@@ -1,0 +1,239 @@
+// Command dotadvisor runs the DOT layout advisor end to end on a built-in
+// workload: it loads a scaled database, profiles the workload, optimizes
+// the layout for the requested relative SLA, validates the recommendation
+// with a test run, and prints the layout with its estimated economics.
+//
+// Usage:
+//
+//	dotadvisor -workload tpch -box 1 -sla 0.5
+//	dotadvisor -workload tpch-mod -box 2 -sla 0.25 -sf 0.01
+//	dotadvisor -workload tpcc -box 2 -sla 0.125 -workers 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/core"
+	"dotprov/internal/device"
+	"dotprov/internal/engine"
+	"dotprov/internal/profiler"
+	"dotprov/internal/sql"
+	"dotprov/internal/tpcc"
+	"dotprov/internal/tpch"
+	"dotprov/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "tpch", "workload: tpch, tpch-mod, tpcc or sql")
+		boxNo     = flag.Int("box", 1, "box configuration: 1 (HDD RAID 0 + L-SSD + H-SSD) or 2 (HDD + L-SSD RAID 0 + H-SSD)")
+		sla       = flag.Float64("sla", 0.5, "relative SLA in (0, 1]")
+		sf        = flag.Float64("sf", 0.004, "TPC-H scale factor")
+		workers   = flag.Int("workers", 8, "TPC-C concurrent workers")
+		seed      = flag.Int64("seed", 42, "generation seed")
+		schemaSQL = flag.String("schema", "", "sql workload: path to a script with CREATE TABLE/INDEX and INSERT statements")
+		queries   = flag.String("queries", "", "sql workload: path to a script of SELECT statements")
+	)
+	flag.Parse()
+	if err := run(*wl, *boxNo, *sla, *sf, *workers, *seed, *schemaSQL, *queries); err != nil {
+		fmt.Fprintf(os.Stderr, "dotadvisor: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl string, boxNo int, sla, sf float64, workers int, seed int64, schemaSQL, queries string) error {
+	var box *device.Box
+	switch boxNo {
+	case 1:
+		box = device.Box1()
+	case 2:
+		box = device.Box2()
+	default:
+		return fmt.Errorf("unknown box %d (want 1 or 2)", boxNo)
+	}
+	fmt.Printf("box: %s — %v\n", box.Name, box.Classes())
+	switch wl {
+	case "tpch", "tpch-mod":
+		return adviseTPCH(box, wl == "tpch-mod", sla, sf, seed)
+	case "tpcc":
+		return adviseTPCC(box, sla, workers, seed)
+	case "sql":
+		if schemaSQL == "" || queries == "" {
+			return fmt.Errorf("the sql workload needs -schema and -queries files")
+		}
+		return adviseSQL(box, sla, schemaSQL, queries)
+	default:
+		return fmt.Errorf("unknown workload %q", wl)
+	}
+}
+
+// adviseSQL provisions a user-supplied SQL workload: the schema script
+// creates and populates the database, the query script defines W.
+func adviseSQL(box *device.Box, sla float64, schemaPath, queryPath string) error {
+	schemaSrc, err := os.ReadFile(schemaPath)
+	if err != nil {
+		return err
+	}
+	querySrc, err := os.ReadFile(queryPath)
+	if err != nil {
+		return err
+	}
+	db := engine.New(box, engine.DefaultPoolPages)
+	if _, err := sql.Exec(db, string(schemaSrc)); err != nil {
+		return fmt.Errorf("schema script: %w", err)
+	}
+	db.ResizePool(max32(db.TotalPages() / 8))
+	if err := db.SetLayout(catalog.NewUniformLayout(db.Cat, device.HSSD)); err != nil {
+		return err
+	}
+	if err := db.Analyze(); err != nil {
+		return err
+	}
+	qs, err := sql.ParseWorkload(db, string(querySrc))
+	if err != nil {
+		return fmt.Errorf("query script: %w", err)
+	}
+	w := &workload.DSS{Name: "sql", Queries: qs}
+	fmt.Printf("profiling %d queries on %d baseline layouts...\n",
+		len(qs), len(core.BaselinePatterns(db.Cat, box)))
+	ps, err := profiler.ProfileDSSEstimates(db, w)
+	if err != nil {
+		return err
+	}
+	in := core.Input{Cat: db.Cat, Box: box, Est: w.Estimator(db), Profiles: ps, Concurrency: 1}
+	res, val, err := core.OptimizeValidated(in, core.Options{RelativeSLA: sla}, &runner{db: db, w: w}, 3)
+	if err != nil {
+		return err
+	}
+	report(db.Cat, box, res)
+	if val != nil {
+		fmt.Printf("validated: PSR %.0f%% (measured %v for the workload)\n",
+			val.PSR*100, val.Measured.Elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func adviseTPCH(box *device.Box, modified bool, sla, sf float64, seed int64) error {
+	db := engine.New(box, engine.DefaultPoolPages)
+	cfg := tpch.Config{ScaleFactor: sf, Seed: seed}
+	fmt.Printf("loading TPC-H (SF %g)...\n", sf)
+	if err := tpch.Build(db, cfg); err != nil {
+		return err
+	}
+	db.ResizePool(max32(db.TotalPages() / 8))
+	if err := db.SetLayout(catalog.NewUniformLayout(db.Cat, device.HSSD)); err != nil {
+		return err
+	}
+	var w *workload.DSS
+	if modified {
+		w = tpch.ModifiedWorkload(cfg, seed+1)
+	} else {
+		w = tpch.OriginalWorkload(cfg, seed+1)
+	}
+	fmt.Printf("profiling %s (%d queries) on %d baseline layouts...\n",
+		w.Name, len(w.Queries), len(core.BaselinePatterns(db.Cat, box)))
+	ps, err := profiler.ProfileDSSEstimates(db, w)
+	if err != nil {
+		return err
+	}
+	in := core.Input{Cat: db.Cat, Box: box, Est: w.Estimator(db), Profiles: ps, Concurrency: 1}
+	res, val, err := core.OptimizeValidated(in, core.Options{RelativeSLA: sla}, &runner{db: db, w: w}, 3)
+	if err != nil {
+		return err
+	}
+	report(db.Cat, box, res)
+	if val != nil {
+		fmt.Printf("validated: PSR %.0f%% (measured %v for the workload)\n",
+			val.PSR*100, val.Measured.Elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+type runner struct {
+	db *engine.DB
+	w  *workload.DSS
+}
+
+func (r *runner) Run(l catalog.Layout) (workload.Observation, error) {
+	if err := r.db.SetLayout(l); err != nil {
+		return workload.Observation{}, err
+	}
+	return r.w.RunDetailed(r.db)
+}
+
+func adviseTPCC(box *device.Box, sla float64, workers int, seed int64) error {
+	db := engine.New(box, engine.DefaultPoolPages)
+	cfg := tpcc.DefaultConfig()
+	cfg.Seed = seed
+	fmt.Printf("loading TPC-C (%d warehouses)...\n", cfg.Warehouses)
+	if err := tpcc.Build(db, cfg); err != nil {
+		return err
+	}
+	db.ResizePool(max32(db.TotalPages() / 8))
+	if err := db.SetLayout(catalog.NewUniformLayout(db.Cat, device.HSSD)); err != nil {
+		return err
+	}
+	driver := &tpcc.Driver{Cfg: cfg, Workers: workers, Period: 500 * time.Millisecond, Seed: seed}
+	fmt.Printf("test run on All H-SSD (%d workers)...\n", workers)
+	probe, err := driver.Run(db)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline: %.0f tpmC over %d transactions\n", probe.TpmC, probe.TotalTxns)
+	est, err := driver.Estimator(db, probe)
+	if err != nil {
+		return err
+	}
+	ps := core.NewProfileSet()
+	ps.SetSingle(probe.Profile)
+	in := core.Input{Cat: db.Cat, Box: box, Est: est, Profiles: ps, Concurrency: workers}
+	res, err := core.OptimizeBest(in, core.Options{RelativeSLA: sla, Baseline: &probe.Metrics})
+	if err != nil {
+		return err
+	}
+	report(db.Cat, box, res)
+	if res.Feasible {
+		if err := db.SetLayout(res.Layout); err != nil {
+			return err
+		}
+		db.ClearPool()
+		check, err := driver.Run(db)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("validated: %.0f tpmC on the recommended layout (floor %.0f)\n",
+			check.TpmC, probe.TpmC*sla)
+	}
+	return nil
+}
+
+func report(cat *catalog.Catalog, box *device.Box, res *core.Result) {
+	if !res.Feasible {
+		fmt.Println("NO FEASIBLE LAYOUT — relax the SLA or add capacity")
+		return
+	}
+	fmt.Printf("\nrecommended layout (optimized in %v over %d candidates):\n%s",
+		res.PlanTime.Round(time.Millisecond), res.Evaluated, res.Layout.String(cat))
+	fmt.Printf("estimated TOC: %.4e cents", res.TOCCents)
+	if res.Metrics.Throughput > 0 {
+		fmt.Printf(" per transaction (%.0f tasks/hour)", res.Metrics.Throughput)
+	} else {
+		fmt.Printf(" per workload run (%v)", res.Metrics.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Println()
+	cost, err := res.Layout.CostCentsPerHour(cat, box)
+	if err == nil {
+		fmt.Printf("layout storage cost: %.4e cents/hour\n", cost)
+	}
+}
+
+func max32(n int) int {
+	if n < 32 {
+		return 32
+	}
+	return n
+}

@@ -1,0 +1,76 @@
+// Command dotbench regenerates the paper's evaluation artifacts: every
+// table and figure of §4 plus the §5 extensions, at a configurable scale.
+//
+// Usage:
+//
+//	dotbench -exp fig3                # one experiment
+//	dotbench -exp all                 # everything
+//	dotbench -list                    # list experiment ids
+//	dotbench -exp fig8 -sf 0.01 -warehouses 4 -workers 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dotprov/internal/bench"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		sf         = flag.Float64("sf", 0, "TPC-H scale factor (0 = default)")
+		seed       = flag.Int64("seed", 0, "workload seed (0 = default)")
+		warehouses = flag.Int("warehouses", 0, "TPC-C warehouses (0 = default)")
+		workers    = flag.Int("workers", 0, "TPC-C concurrent workers (0 = default)")
+		period     = flag.Duration("period", 0, "TPC-C measured period of virtual time (0 = default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Printf("%-10s %s\n", id, bench.Experiments()[id].Title)
+		}
+		return
+	}
+
+	opts := bench.Default()
+	if *sf > 0 {
+		opts.TpchSF = *sf
+	}
+	if *seed != 0 {
+		opts.TpchSeed = *seed
+		opts.TpccCfg.Seed = *seed
+	}
+	if *warehouses > 0 {
+		opts.TpccCfg.Warehouses = *warehouses
+	}
+	if *workers > 0 {
+		opts.TpccWorkers = *workers
+	}
+	if *period > 0 {
+		opts.TpccPeriod = *period
+	}
+
+	start := time.Now()
+	var err error
+	if *exp == "all" {
+		err = bench.RunAll(os.Stdout, opts)
+	} else {
+		e, ok := bench.Experiments()[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dotbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Printf("######## %s ########\n", e.Title)
+		err = e.Run(os.Stdout, opts)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dotbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
+}

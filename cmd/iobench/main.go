@@ -1,0 +1,24 @@
+// Command iobench regenerates the paper's Table 1 (the cost and I/O
+// profiles of the five storage classes, measured with the §3.5.1
+// microbenchmark inside the engine) and Table 2 (the hardware
+// specifications and the derived cent/GB/hour prices).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dotprov/internal/bench"
+)
+
+func main() {
+	if err := bench.Table1(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if err := bench.Table2(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+		os.Exit(1)
+	}
+}

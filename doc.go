@@ -1,0 +1,13 @@
+// Package dotprov is a from-scratch Go reproduction of "Towards
+// Cost-Effective Storage Provisioning for DBMSs" (Zhang, Tatemura, Patel,
+// Hacıgümüş — VLDB 2011): the DOT advisor that places database objects on
+// heterogeneous storage classes to minimise the total operating cost under
+// performance SLAs, together with the mini relational engine, the
+// virtual-time storage simulator calibrated to the paper's Table 1/2, the
+// TPC-H and TPC-C workload substrates, and the full evaluation harness.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured record. The root package holds
+// the repository-level benchmarks (bench_test.go), one per table and figure
+// in the paper's evaluation.
+package dotprov

@@ -1,0 +1,32 @@
+// Capacity planning example: the paper's §5 extensions. First the
+// generalized provisioning problem (§5.1): given two candidate server
+// configurations — Box 1 (HDD RAID 0 + L-SSD + H-SSD) and Box 2 (HDD +
+// L-SSD RAID 0 + H-SSD) — pick the box and layout with the lowest TOC for
+// a TPC-H workload. Then the discrete-sized cost model (§5.2): re-run the
+// optimization when devices must be bought in whole units, sweeping the
+// blend parameter alpha.
+//
+//	go run ./examples/capacity_planning
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dotprov/internal/bench"
+)
+
+func main() {
+	opts := bench.Default()
+	fmt.Println("### Generalized provisioning (paper 5.1): which box should we buy?")
+	if _, err := bench.Provision(os.Stdout, opts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("### Discrete-sized cost model (paper 5.2): devices bought in whole units")
+	reg := bench.Experiments()["discrete"]
+	if err := reg.Run(os.Stdout, opts); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Quickstart: build a tiny database on the paper's Box 1 (HDD RAID 0,
+// L-SSD, H-SSD), describe a workload, and ask DOT for the layout that
+// minimises the total operating cost under a relative SLA of 0.5.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/core"
+	"dotprov/internal/device"
+	"dotprov/internal/engine"
+	"dotprov/internal/plan"
+	"dotprov/internal/profiler"
+	"dotprov/internal/types"
+	"dotprov/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A server with three storage classes, priced and timed per the paper.
+	box := device.Box1()
+	db := engine.New(box, 256)
+
+	// Schema: an events fact table and a small users table.
+	events := types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "user_id", Kind: types.KindInt},
+		types.Column{Name: "amount", Kind: types.KindFloat},
+	)
+	if _, err := db.CreateTable("events", events, []string{"id"}); err != nil {
+		return err
+	}
+	users := types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "name", Kind: types.KindString},
+	)
+	if _, err := db.CreateTable("users", users, []string{"id"}); err != nil {
+		return err
+	}
+
+	// Load: 20k events across 500 users.
+	for i := 0; i < 500; i++ {
+		if err := db.Load("users", types.Tuple{
+			types.NewInt(int64(i)), types.NewString(fmt.Sprintf("user-%03d", i)),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		if err := db.Load("events", types.Tuple{
+			types.NewInt(int64(i)), types.NewInt(int64(i % 500)), types.NewFloat(float64(i % 97)),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := db.SetLayout(catalog.NewUniformLayout(db.Cat, device.HSSD)); err != nil {
+		return err
+	}
+	if err := db.Analyze(); err != nil {
+		return err
+	}
+
+	// Workload: a reporting scan plus frequent point lookups.
+	w := &workload.DSS{Name: "quickstart", Queries: []*plan.Query{
+		{
+			Name:   "daily-report",
+			Tables: []string{"events"},
+			Aggs:   []plan.Agg{{Func: plan.Sum, Table: "events", Column: "amount"}, {Func: plan.Count}},
+		},
+		{
+			Name:   "user-lookup",
+			Tables: []string{"users"},
+			Preds:  []plan.Pred{{Table: "users", Column: "id", Op: plan.Eq, Lo: types.NewInt(42)}},
+		},
+		{
+			Name:   "user-events",
+			Tables: []string{"users", "events"},
+			Preds: []plan.Pred{{
+				Table: "users", Column: "id", Op: plan.Between,
+				Lo: types.NewInt(10), Hi: types.NewInt(19),
+			}},
+			Joins: []plan.EquiJoin{{
+				LeftTable: "users", LeftColumn: "id",
+				RightTable: "events", RightColumn: "user_id",
+			}},
+			Aggs: []plan.Agg{{Func: plan.Count}},
+		},
+	}}
+
+	// Profile the workload on the baseline layouts (paper §3.4) and
+	// optimize (paper Procedure 1).
+	ps, err := profiler.ProfileDSSEstimates(db, w)
+	if err != nil {
+		return err
+	}
+	in := core.Input{Cat: db.Cat, Box: box, Est: w.Estimator(db), Profiles: ps, Concurrency: 1}
+	res, err := core.Optimize(in, core.Options{RelativeSLA: 0.5})
+	if err != nil {
+		return err
+	}
+	if !res.Feasible {
+		return fmt.Errorf("no feasible layout at SLA 0.5")
+	}
+	fmt.Printf("recommended layout (%d candidates in %v):\n%s",
+		res.Evaluated, res.PlanTime.Round(time.Millisecond), res.Layout.String(db.Cat))
+	fmt.Printf("estimated workload time: %v, TOC %.4e cents per run\n",
+		res.Metrics.Elapsed.Round(time.Millisecond), res.TOCCents)
+
+	// Compare against keeping everything on the H-SSD.
+	allFast := catalog.NewUniformLayout(db.Cat, device.HSSD)
+	m, err := in.Est.Estimate(allFast)
+	if err != nil {
+		return err
+	}
+	toc, err := workload.TOCCents(m, allFast, db.Cat, box)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("All H-SSD for comparison: time %v, TOC %.4e cents (%.1fx more expensive)\n",
+		m.Elapsed.Round(time.Millisecond), toc, toc/res.TOCCents)
+	return nil
+}

@@ -1,0 +1,22 @@
+// TPC-C advisor example: the paper's §4.5 scenario. Builds the TPC-C
+// database, takes a short test run on the All H-SSD layout to collect real
+// I/O statistics (the paper's profiling shortcut for OLTP), then asks DOT
+// for layouts under relaxing throughput SLAs and reports tpmC and TOC for
+// each — the experiment behind Figure 8 and Table 3.
+//
+//	go run ./examples/tpcc_advisor
+package main
+
+import (
+	"log"
+	"os"
+
+	"dotprov/internal/bench"
+)
+
+func main() {
+	opts := bench.Default()
+	if _, err := bench.Figure8(os.Stdout, opts); err != nil {
+		log.Fatal(err)
+	}
+}

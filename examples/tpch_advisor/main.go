@@ -1,0 +1,22 @@
+// TPC-H advisor example: the paper's §4.4 scenario end to end. Builds the
+// TPC-H database on both box configurations, runs the full DOT pipeline
+// (profiling, optimization, validation with refinement) for the original
+// mix at relative SLA 0.5, and compares the result with the simple layouts
+// and the Object Advisor baseline — the experiment behind Figures 3 and 4.
+//
+//	go run ./examples/tpch_advisor
+package main
+
+import (
+	"log"
+	"os"
+
+	"dotprov/internal/bench"
+)
+
+func main() {
+	opts := bench.Default()
+	if _, err := bench.Figure3(os.Stdout, opts); err != nil {
+		log.Fatal(err)
+	}
+}

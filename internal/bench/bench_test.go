@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestTable1Reproduction(t *testing.T) {
+	var b strings.Builder
+	if err := Table1(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Spot-check the paper's published numbers surface verbatim.
+	for _, frag := range []string{"13.320", "0.091", "62.010", "0.016", "8.903"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 1 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTable2Reproduction(t *testing.T) {
+	var b strings.Builder
+	if err := Table2(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"Fusion IO", "Caviar Black", "PCI-Express", "3550"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 2 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestFigure3Shapes runs the Figure 3 experiment at reduced scale and
+// asserts the paper's qualitative claims.
+func TestFigure3Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment too heavy for -short")
+	}
+	fig, err := Figure3(io.Discard, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, box := range []string{"Box 1", "Box 2"} {
+		dot := fig.Row(box, "DOT")
+		hssd := fig.Row(box, "All H-SSD")
+		oa := fig.Row(box, "OA")
+		if dot == nil || hssd == nil || oa == nil {
+			t.Fatalf("%s: missing rows: %+v", box, fig.BoxRows[box])
+		}
+		// Paper: "more than 3X ... TOC against the All H-SSD layout".
+		if dot.TOCCents*3 > hssd.TOCCents {
+			t.Errorf("%s: DOT TOC %.3e not 3x below All H-SSD %.3e", box, dot.TOCCents, hssd.TOCCents)
+		}
+		// Paper: DOT achieves PSR 100%.
+		if dot.PSR < 1 {
+			t.Errorf("%s: DOT PSR = %.2f, want 1", box, dot.PSR)
+		}
+		// Paper: "our heuristic layouts outperform the ones produced by OA".
+		if dot.TOCCents >= oa.TOCCents {
+			t.Errorf("%s: DOT TOC %.3e should beat OA %.3e", box, dot.TOCCents, oa.TOCCents)
+		}
+	}
+}
+
+func TestFigure8Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment too heavy for -short")
+	}
+	fig, err := Figure8(io.Discard, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, box := range []string{"Box 1", "Box 2"} {
+		hssd := fig.Row(box, "All H-SSD")
+		if hssd == nil {
+			t.Fatalf("%s: missing All H-SSD row", box)
+		}
+		for _, sla := range []string{"DOT SLA 0.5", "DOT SLA 0.25", "DOT SLA 0.125"} {
+			dot := fig.Row(box, sla)
+			if dot == nil {
+				t.Errorf("%s: missing %s", box, sla)
+				continue
+			}
+			// DOT saves TOC against All H-SSD while retaining far more
+			// throughput than the spinning-disk layouts.
+			if dot.TOCCents >= hssd.TOCCents {
+				t.Errorf("%s %s: TOC %.3e not below All H-SSD %.3e", box, sla, dot.TOCCents, hssd.TOCCents)
+			}
+			if dot.TpmC < hssd.TpmC*0.12 {
+				t.Errorf("%s %s: tpmC %.0f below the loosest floor", box, sla, dot.TpmC)
+			}
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	want := []string{"table1", "table2", "fig3", "fig5", "fig7", "es-tpch", "fig8", "fig9", "provision", "discrete"}
+	for _, id := range want {
+		if _, ok := exps[id]; !ok {
+			t.Errorf("registry missing %s", id)
+		}
+	}
+	ids := IDs()
+	if len(ids) != len(exps) {
+		t.Fatalf("IDs() returned %d, registry has %d", len(ids), len(exps))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("IDs() not sorted")
+		}
+	}
+}
+
+func TestFigureResultHelpers(t *testing.T) {
+	fig := &FigureResult{ID: "x"}
+	fig.addRow("b", LayoutRow{Name: "r", TOCCents: 1})
+	if fig.Row("b", "r") == nil || fig.Row("b", "zz") != nil || fig.Row("zz", "r") != nil {
+		t.Fatal("Row lookup wrong")
+	}
+	fig.note("n %d", 1)
+	if len(fig.Notes) != 1 || fig.Notes[0] != "n 1" {
+		t.Fatal("note wrong")
+	}
+	var b strings.Builder
+	fig.print(&b)
+	if !strings.Contains(b.String(), "== x ==") {
+		t.Fatal("print missing header")
+	}
+}

@@ -1,0 +1,445 @@
+// Package btree implements the B+-tree used for primary-key and secondary
+// indexes. Keys are order-preserving byte strings (types.EncodeKey); values
+// are heap-file RIDs; duplicate keys are allowed (entries are unique on
+// (key, rid)).
+//
+// Nodes are in-memory structs, but each node is registered as one logical
+// page of the owning index object: every node visited during a descent or a
+// leaf-chain walk goes through the buffer pool and, on a miss, charges one
+// random read to whatever storage class currently holds the index. This is
+// how the simulator reproduces the paper's index-vs-device interaction
+// (an index on an H-SSD makes indexed nested-loop joins attractive; the
+// same index on an HDD does not).
+//
+// Deletion is lazy (no rebalancing), as in PostgreSQL: entries are removed
+// from leaves but nodes are never merged.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"dotprov/internal/bufferpool"
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/pagestore"
+)
+
+// DefaultLeafCap and DefaultOrder size nodes so that a node is roughly one
+// 8 KiB page of (key, RID) entries or separators.
+const (
+	DefaultLeafCap = 256
+	DefaultOrder   = 256
+)
+
+type node struct {
+	pageNo   uint32
+	leaf     bool
+	keys     [][]byte
+	children []*node         // internal nodes
+	rids     []pagestore.RID // leaves
+	next     *node           // leaf chain
+}
+
+// Tree is a B+-tree index.
+type Tree struct {
+	obj      catalog.ObjectID
+	root     *node
+	leafCap  int
+	order    int
+	height   int
+	numNodes int
+	nextPage uint32
+	entries  int64
+}
+
+// New creates an empty tree for the given catalog object with default node
+// capacities.
+func New(obj catalog.ObjectID) *Tree {
+	return NewWithCaps(obj, DefaultLeafCap, DefaultOrder)
+}
+
+// NewWithCaps creates a tree with explicit node capacities (small caps make
+// split logic easy to exercise in tests). leafCap and order are clamped to
+// a minimum of 2 and 3 respectively.
+func NewWithCaps(obj catalog.ObjectID, leafCap, order int) *Tree {
+	if leafCap < 2 {
+		leafCap = 2
+	}
+	if order < 3 {
+		order = 3
+	}
+	t := &Tree{obj: obj, leafCap: leafCap, order: order, height: 1}
+	t.root = t.newNode(true)
+	return t
+}
+
+func (t *Tree) newNode(leaf bool) *node {
+	n := &node{pageNo: t.nextPage, leaf: leaf}
+	t.nextPage++
+	t.numNodes++
+	return n
+}
+
+// Object returns the owning catalog object.
+func (t *Tree) Object() catalog.ObjectID { return t.obj }
+
+// Len returns the number of entries.
+func (t *Tree) Len() int64 { return t.entries }
+
+// Height returns the tree height (1 for a lone leaf).
+func (t *Tree) Height() int { return t.height }
+
+// NumPages returns the number of node pages.
+func (t *Tree) NumPages() int { return t.numNodes }
+
+// SizeBytes returns the index size (whole pages).
+func (t *Tree) SizeBytes() int64 { return int64(t.numNodes) * pagestore.PageSize }
+
+// entryLess orders entries by (key, rid).
+func entryLess(k1 []byte, r1 pagestore.RID, k2 []byte, r2 pagestore.RID) bool {
+	if c := bytes.Compare(k1, k2); c != 0 {
+		return c < 0
+	}
+	if r1.Page != r2.Page {
+		return r1.Page < r2.Page
+	}
+	return r1.Slot < r2.Slot
+}
+
+// lowerBoundLeaf returns the first position in the leaf with keys[i] >= key.
+func lowerBoundLeaf(n *node, key []byte) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child of an internal node covers key for
+// insertion: equal separators send the key right, so fresh duplicates land
+// after existing ones.
+func childIndex(n *node, key []byte) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(key, n.keys[mid]) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// childIndexLeft returns the leftmost child that can contain key: equal
+// separators send the search left, because entries equal to a separator may
+// live in the left sibling after a split among duplicates.
+func childIndexLeft(n *node, key []byte) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(key, n.keys[mid]) <= 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// access charges a node visit through the buffer pool as one random read.
+func (t *Tree) access(pool *bufferpool.Pool, ch bufferpool.IOCharger, n *node) {
+	pool.Access(ch, t.obj, n.pageNo, device.RandRead)
+}
+
+// descend walks from the root to the insertion leaf for key, charging one
+// page access per level.
+func (t *Tree) descend(pool *bufferpool.Pool, ch bufferpool.IOCharger, key []byte) *node {
+	n := t.root
+	t.access(pool, ch, n)
+	for !n.leaf {
+		n = n.children[childIndex(n, key)]
+		t.access(pool, ch, n)
+	}
+	return n
+}
+
+// descendLeft walks to the leftmost leaf that can contain key, so reads and
+// deletes see duplicates that straddle leaf boundaries.
+func (t *Tree) descendLeft(pool *bufferpool.Pool, ch bufferpool.IOCharger, key []byte) *node {
+	n := t.root
+	t.access(pool, ch, n)
+	for !n.leaf {
+		n = n.children[childIndexLeft(n, key)]
+		t.access(pool, ch, n)
+	}
+	return n
+}
+
+// Insert adds an entry. The caller is responsible for charging the row
+// write itself (per the paper, writes are charged per row on the object);
+// node page touches during the descent go through the pool as reads.
+func (t *Tree) Insert(pool *bufferpool.Pool, ch bufferpool.IOCharger, key []byte, rid pagestore.RID) {
+	k := append([]byte(nil), key...)
+	leaf := t.descend(pool, ch, k)
+	pos := lowerBoundLeaf(leaf, k)
+	// Among equal keys, keep (key, rid) order.
+	for pos < len(leaf.keys) && bytes.Equal(leaf.keys[pos], k) &&
+		entryLess(leaf.keys[pos], leaf.rids[pos], k, rid) {
+		pos++
+	}
+	leaf.keys = append(leaf.keys, nil)
+	copy(leaf.keys[pos+1:], leaf.keys[pos:])
+	leaf.keys[pos] = k
+	leaf.rids = append(leaf.rids, pagestore.RID{})
+	copy(leaf.rids[pos+1:], leaf.rids[pos:])
+	leaf.rids[pos] = rid
+	t.entries++
+	if len(leaf.keys) > t.leafCap {
+		t.splitLeaf(leaf, k)
+	}
+}
+
+// parentPath re-descends to collect the ancestors of the leaf covering key.
+// Splits are rare, so the extra walk keeps nodes parent-pointer-free.
+func (t *Tree) parentPath(key []byte) []*node {
+	var path []*node
+	n := t.root
+	for !n.leaf {
+		path = append(path, n)
+		n = n.children[childIndex(n, key)]
+	}
+	return path
+}
+
+func (t *Tree) splitLeaf(leaf *node, key []byte) {
+	mid := len(leaf.keys) / 2
+	right := t.newNode(true)
+	right.keys = append(right.keys, leaf.keys[mid:]...)
+	right.rids = append(right.rids, leaf.rids[mid:]...)
+	leaf.keys = leaf.keys[:mid:mid]
+	leaf.rids = leaf.rids[:mid:mid]
+	right.next = leaf.next
+	leaf.next = right
+	sep := append([]byte(nil), right.keys[0]...)
+	t.insertIntoParent(leaf, right, sep, key)
+}
+
+func (t *Tree) insertIntoParent(left, right *node, sep, key []byte) {
+	if left == t.root {
+		newRoot := t.newNode(false)
+		newRoot.keys = [][]byte{sep}
+		newRoot.children = []*node{left, right}
+		t.root = newRoot
+		t.height++
+		return
+	}
+	path := t.parentPath(key)
+	// Find left's parent on the path.
+	var parent *node
+	for i := len(path) - 1; i >= 0; i-- {
+		for _, c := range path[i].children {
+			if c == left {
+				parent = path[i]
+				break
+			}
+		}
+		if parent != nil {
+			break
+		}
+	}
+	if parent == nil {
+		panic("btree: split orphan (corrupt tree)")
+	}
+	pos := 0
+	for pos < len(parent.children) && parent.children[pos] != left {
+		pos++
+	}
+	parent.keys = append(parent.keys, nil)
+	copy(parent.keys[pos+1:], parent.keys[pos:])
+	parent.keys[pos] = sep
+	parent.children = append(parent.children, nil)
+	copy(parent.children[pos+2:], parent.children[pos+1:])
+	parent.children[pos+1] = right
+	if len(parent.children) > t.order {
+		t.splitInternal(parent, key)
+	}
+}
+
+func (t *Tree) splitInternal(n *node, key []byte) {
+	midKey := len(n.keys) / 2
+	sep := n.keys[midKey]
+	right := t.newNode(false)
+	right.keys = append(right.keys, n.keys[midKey+1:]...)
+	right.children = append(right.children, n.children[midKey+1:]...)
+	n.keys = n.keys[:midKey:midKey]
+	n.children = n.children[: midKey+1 : midKey+1]
+	t.insertIntoParent(n, right, sep, key)
+}
+
+// SearchEq returns the RIDs of all entries with exactly the given key,
+// charging the descent plus any extra leaf pages walked.
+func (t *Tree) SearchEq(pool *bufferpool.Pool, ch bufferpool.IOCharger, key []byte) []pagestore.RID {
+	var out []pagestore.RID
+	t.Range(pool, ch, key, key, true, true, func(k []byte, rid pagestore.RID) bool {
+		out = append(out, rid)
+		return true
+	})
+	return out
+}
+
+// Range iterates entries with lo <= key <= hi (bounds controlled by
+// loIncl/hiIncl; a nil lo starts at the smallest key, a nil hi runs to the
+// end). Iteration stops early when fn returns false. Every leaf page
+// visited charges one random read (on buffer miss).
+func (t *Tree) Range(pool *bufferpool.Pool, ch bufferpool.IOCharger, lo, hi []byte, loIncl, hiIncl bool, fn func(key []byte, rid pagestore.RID) bool) {
+	var leaf *node
+	var pos int
+	if lo == nil {
+		leaf = t.leftmostLeaf(pool, ch)
+		pos = 0
+	} else {
+		leaf = t.descendLeft(pool, ch, lo)
+		pos = lowerBoundLeaf(leaf, lo)
+		if !loIncl {
+			for pos < len(leaf.keys) && bytes.Equal(leaf.keys[pos], lo) {
+				pos++
+			}
+		}
+	}
+	for leaf != nil {
+		for ; pos < len(leaf.keys); pos++ {
+			k := leaf.keys[pos]
+			if hi != nil {
+				c := bytes.Compare(k, hi)
+				if c > 0 || (c == 0 && !hiIncl) {
+					return
+				}
+			}
+			if !fn(k, leaf.rids[pos]) {
+				return
+			}
+		}
+		leaf = leaf.next
+		if leaf != nil {
+			t.access(pool, ch, leaf)
+			pos = 0
+		}
+	}
+}
+
+func (t *Tree) leftmostLeaf(pool *bufferpool.Pool, ch bufferpool.IOCharger) *node {
+	n := t.root
+	t.access(pool, ch, n)
+	for !n.leaf {
+		n = n.children[0]
+		t.access(pool, ch, n)
+	}
+	return n
+}
+
+// Delete removes the entry (key, rid). It reports whether an entry was
+// removed. The caller charges the row write.
+func (t *Tree) Delete(pool *bufferpool.Pool, ch bufferpool.IOCharger, key []byte, rid pagestore.RID) bool {
+	leaf := t.descendLeft(pool, ch, key)
+	for leaf != nil {
+		pos := lowerBoundLeaf(leaf, key)
+		for ; pos < len(leaf.keys) && bytes.Equal(leaf.keys[pos], key); pos++ {
+			if leaf.rids[pos] == rid {
+				leaf.keys = append(leaf.keys[:pos], leaf.keys[pos+1:]...)
+				leaf.rids = append(leaf.rids[:pos], leaf.rids[pos+1:]...)
+				t.entries--
+				return true
+			}
+		}
+		if pos < len(leaf.keys) {
+			return false // moved past key
+		}
+		leaf = leaf.next // duplicates may spill into the next leaf
+		if leaf != nil {
+			t.access(pool, ch, leaf)
+		}
+	}
+	return false
+}
+
+// LeafPages estimates the number of leaf pages, used by the optimizer's
+// index scan cost model.
+func (t *Tree) LeafPages() int {
+	if t.entries == 0 {
+		return 1
+	}
+	pages := int(t.entries) / t.leafCap
+	if int(t.entries)%t.leafCap != 0 {
+		pages++
+	}
+	return pages
+}
+
+// Validate checks the structural invariants (sorted keys, separator
+// consistency, uniform leaf depth, leaf chain completeness). It is used by
+// tests and returns a descriptive error on the first violation.
+func (t *Tree) Validate() error {
+	depth := -1
+	var walk func(n *node, d int, lo, hi []byte) error
+	var count int64
+	walk = func(n *node, d int, lo, hi []byte) error {
+		for i := 1; i < len(n.keys); i++ {
+			if bytes.Compare(n.keys[i-1], n.keys[i]) > 0 {
+				return fmt.Errorf("btree: node %d keys unsorted", n.pageNo)
+			}
+		}
+		for _, k := range n.keys {
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				return fmt.Errorf("btree: node %d key below lower bound", n.pageNo)
+			}
+			if hi != nil && bytes.Compare(k, hi) > 0 {
+				return fmt.Errorf("btree: node %d key above upper bound", n.pageNo)
+			}
+		}
+		if n.leaf {
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return fmt.Errorf("btree: uneven leaf depth (%d vs %d)", depth, d)
+			}
+			if len(n.keys) != len(n.rids) {
+				return fmt.Errorf("btree: leaf %d keys/rids mismatch", n.pageNo)
+			}
+			count += int64(len(n.keys))
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("btree: internal %d has %d children for %d keys", n.pageNo, len(n.children), len(n.keys))
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			if err := walk(c, d+1, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, nil, nil); err != nil {
+		return err
+	}
+	if count != t.entries {
+		return fmt.Errorf("btree: entry count %d, tree says %d", count, t.entries)
+	}
+	if depth != t.height && t.entries > 0 {
+		return fmt.Errorf("btree: height %d, observed depth %d", t.height, depth)
+	}
+	return nil
+}

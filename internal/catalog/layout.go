@@ -1,0 +1,136 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dotprov/internal/device"
+)
+
+// Layout is a data layout L: O -> D mapping every object to a storage class
+// (paper §2.2).
+type Layout map[ObjectID]device.Class
+
+// NewUniformLayout places every catalog object on a single class. With the
+// most expensive class this is the paper's starting layout L0.
+func NewUniformLayout(c *Catalog, class device.Class) Layout {
+	l := make(Layout, len(c.objects))
+	for id := range c.objects {
+		l[id] = class
+	}
+	return l
+}
+
+// NewSplitLayout places all tables (and aux objects) on dataClass and all
+// indexes on indexClass — the paper's baseline layouts L(i,j) (§3.4) and the
+// "Index H-SSD Data L-SSD" simple layout (§4.2).
+func NewSplitLayout(c *Catalog, dataClass, indexClass device.Class) Layout {
+	l := make(Layout, len(c.objects))
+	for id, o := range c.objects {
+		if o.Kind == KindIndex {
+			l[id] = indexClass
+		} else {
+			l[id] = dataClass
+		}
+	}
+	return l
+}
+
+// Clone returns a copy of the layout.
+func (l Layout) Clone() Layout {
+	out := make(Layout, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports whether two layouts place every object identically.
+func (l Layout) Equal(o Layout) bool {
+	if len(l) != len(o) {
+		return false
+	}
+	for k, v := range l {
+		if ov, ok := o[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// SpaceByClass returns S_j: the bytes each storage class holds under this
+// layout.
+func (l Layout) SpaceByClass(c *Catalog) map[device.Class]int64 {
+	out := make(map[device.Class]int64)
+	for id, cls := range l {
+		if o := c.Object(id); o != nil {
+			out[cls] += o.SizeBytes
+		}
+	}
+	return out
+}
+
+// CostCentsPerHour computes the layout cost C(L) = sum_j p_j * S_j in
+// cents per hour (paper §2.1).
+func (l Layout) CostCentsPerHour(c *Catalog, box *device.Box) (float64, error) {
+	var cost float64
+	for cls, bytes := range l.SpaceByClass(c) {
+		d := box.Device(cls)
+		if d == nil {
+			return 0, fmt.Errorf("catalog: layout uses class %v not present in box %q", cls, box.Name)
+		}
+		cost += d.PriceCents * float64(bytes) / 1e9
+	}
+	return cost, nil
+}
+
+// TOCCents computes the workload cost C(L,W) = C(L) * t (paper §2.3) given
+// the workload's execution time.
+func (l Layout) TOCCents(c *Catalog, box *device.Box, elapsed time.Duration) (float64, error) {
+	perHour, err := l.CostCentsPerHour(c, box)
+	if err != nil {
+		return 0, err
+	}
+	return perHour * elapsed.Hours(), nil
+}
+
+// CheckCapacity validates the capacity constraints sum_{o in Oj} s_i < c_j
+// (paper §2.2). It returns nil when the layout fits.
+func (l Layout) CheckCapacity(c *Catalog, box *device.Box) error {
+	for cls, bytes := range l.SpaceByClass(c) {
+		d := box.Device(cls)
+		if d == nil {
+			return fmt.Errorf("catalog: layout uses class %v not present in box %q", cls, box.Name)
+		}
+		if bytes >= d.CapacityBytes {
+			return fmt.Errorf("catalog: class %v over capacity: %d bytes placed, capacity %d",
+				cls, bytes, d.CapacityBytes)
+		}
+	}
+	return nil
+}
+
+// String renders the layout grouped by storage class, objects sorted by
+// name, in the style of the paper's Figure 4/6 and Table 3.
+func (l Layout) String(c *Catalog) string {
+	byClass := make(map[device.Class][]string)
+	for id, cls := range l {
+		if o := c.Object(id); o != nil {
+			byClass[cls] = append(byClass[cls], o.Name)
+		}
+	}
+	var classes []device.Class
+	for cls := range byClass {
+		classes = append(classes, cls)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	var b strings.Builder
+	for _, cls := range classes {
+		names := byClass[cls]
+		sort.Strings(names)
+		fmt.Fprintf(&b, "%-12s: %s\n", cls, strings.Join(names, ", "))
+	}
+	return b.String()
+}

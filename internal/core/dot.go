@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/workload"
+)
+
+// Input bundles what the layout algorithms need: the database metadata and
+// sizes, the box of storage devices, the TOC/performance estimator
+// (extended optimizer for DSS, profile-based for OLTP), and the workload
+// profiles for move scoring.
+type Input struct {
+	Cat         *catalog.Catalog
+	Box         *device.Box
+	Est         workload.Estimator
+	Profiles    *ProfileSet
+	Concurrency int
+	// LayoutCost optionally overrides the layout cost model C(L) in
+	// cent/hour (default: the linear model of §2.1). The discrete-sized
+	// model of §5.2 plugs in here.
+	LayoutCost func(l catalog.Layout) (float64, error)
+}
+
+// Options controls one optimization run.
+type Options struct {
+	// RelativeSLA is the performance constraint relative to the starting
+	// layout L0 (paper §2.4): 0.5 allows 2x degradation.
+	RelativeSLA float64
+	// Baseline optionally overrides the estimated L0 metrics when deriving
+	// constraints (e.g. to use measured baseline numbers).
+	Baseline *workload.Metrics
+	// Passes bounds the number of sweeps over the move list (default 2).
+	// Procedure 1 in the paper is a single sweep; a second sweep lets a
+	// group's placement be revisited after the rest of the layout has
+	// settled, which closes most of the gap to exhaustive search (see the
+	// ablation benchmark). Sweeps stop early at a fixed point.
+	Passes int
+	// GreedyApply disables the TOC-improvement guard, reproducing the
+	// paper's literal Procedure 1 where every feasible move is applied to
+	// L even when it worsens the running layout (L* still tracks the best
+	// prefix). Kept for the ablation benchmark.
+	GreedyApply bool
+}
+
+// Result reports the recommended layout and its estimated economics.
+type Result struct {
+	Layout      catalog.Layout
+	Feasible    bool
+	TOCCents    float64 // estimated TOC (cents/workload for DSS, cents/task for OLTP)
+	Metrics     workload.Metrics
+	Constraints workload.Constraints
+	Evaluated   int           // layouts investigated
+	PlanTime    time.Duration // wall-clock optimization time
+}
+
+func (in Input) validate() error {
+	if in.Cat == nil || in.Box == nil || in.Est == nil {
+		return fmt.Errorf("core: Input requires Cat, Box and Est")
+	}
+	if len(in.Box.Devices) == 0 {
+		return fmt.Errorf("core: box %q has no devices", in.Box.Name)
+	}
+	return nil
+}
+
+func (in Input) conc() int {
+	if in.Concurrency < 1 {
+		return 1
+	}
+	return in.Concurrency
+}
+
+// toc computes the workload cost under the input's layout cost model.
+func (in Input) toc(m workload.Metrics, l catalog.Layout) (float64, error) {
+	if in.LayoutCost == nil {
+		return workload.TOCCents(m, l, in.Cat, in.Box)
+	}
+	perHour, err := in.LayoutCost(l)
+	if err != nil {
+		return 0, err
+	}
+	if m.Throughput > 0 {
+		return perHour / m.Throughput, nil
+	}
+	return perHour * m.Elapsed.Hours(), nil
+}
+
+// evaluate estimates a candidate layout and checks feasibility.
+func evaluate(in Input, cons workload.Constraints, l catalog.Layout) (workload.Metrics, float64, bool, error) {
+	m, err := in.Est.Estimate(l)
+	if err != nil {
+		return workload.Metrics{}, 0, false, err
+	}
+	toc, err := in.toc(m, l)
+	if err != nil {
+		return workload.Metrics{}, 0, false, err
+	}
+	feasible := l.CheckCapacity(in.Cat, in.Box) == nil && cons.Satisfied(m)
+	return m, toc, feasible, nil
+}
+
+// Optimize is Procedure 1, the DOT heuristic: start from L0 (every object
+// on the most expensive class), apply the scored moves in order, keep every
+// feasible layout, and return the one with the minimum estimated TOC.
+func Optimize(in Input, opts Options) (*Result, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if opts.RelativeSLA <= 0 || opts.RelativeSLA > 1 {
+		return nil, fmt.Errorf("core: relative SLA must be in (0, 1], got %g", opts.RelativeSLA)
+	}
+	if in.Profiles == nil {
+		return nil, fmt.Errorf("core: Optimize requires workload profiles (run the profiling phase)")
+	}
+	start := time.Now()
+
+	l0Class := in.Box.MostExpensive().Class
+	l0 := catalog.NewUniformLayout(in.Cat, l0Class)
+
+	m0, err := in.Est.Estimate(l0)
+	if err != nil {
+		return nil, fmt.Errorf("core: estimating baseline: %w", err)
+	}
+	baseline := m0
+	if opts.Baseline != nil {
+		baseline = *opts.Baseline
+	}
+	cons := workload.Constraints{Relative: opts.RelativeSLA, Baseline: baseline}
+
+	res := &Result{Constraints: cons, Evaluated: 1}
+
+	// L0 is the first candidate (it may violate capacity).
+	toc0, err := in.toc(m0, l0)
+	if err != nil {
+		return nil, err
+	}
+	if l0.CheckCapacity(in.Cat, in.Box) == nil && cons.Satisfied(m0) {
+		res.Feasible = true
+		res.Layout = l0
+		res.TOCCents = toc0
+		res.Metrics = m0
+	}
+
+	// Seed the candidates with the uniform ("All <class>") layouts. They
+	// cost M extra evaluations and anchor the search under cost models with
+	// consolidation discounts (the discrete-sized model of §5.2 prices any
+	// second storage class at a whole device).
+	for _, d := range in.Box.SortedByPrice() {
+		if d.Class == l0Class {
+			continue
+		}
+		lu := catalog.NewUniformLayout(in.Cat, d.Class)
+		metrics, toc, feasible, err := evaluate(in, cons, lu)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluated++
+		if feasible && (!res.Feasible || toc < res.TOCCents) {
+			res.Feasible = true
+			res.Layout = lu
+			res.TOCCents = toc
+			res.Metrics = metrics
+		}
+	}
+
+	moves, err := EnumerateMoves(in.Cat, in.Box, in.Profiles, l0Class, in.conc())
+	if err != nil {
+		return nil, err
+	}
+
+	passes := opts.Passes
+	if passes < 1 {
+		passes = 2
+	}
+	l := l0
+	curTOC := toc0
+	curFeasible := l0.CheckCapacity(in.Cat, in.Box) == nil && cons.Satisfied(m0)
+	for pass := 0; pass < passes; pass++ {
+		changed := false
+		for _, m := range moves {
+			lnew := m.Apply(l)
+			if lnew.Equal(l) {
+				continue
+			}
+			metrics, toc, feasible, err := evaluate(in, cons, lnew)
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluated++
+			if !feasible {
+				continue
+			}
+			// Guard: only walk to layouts that do not worsen the running
+			// TOC (unless reproducing the literal Procedure 1). Infeasible
+			// starting points (L0 over capacity) always accept the first
+			// feasible layout.
+			if !opts.GreedyApply && curFeasible && toc > curTOC {
+				continue
+			}
+			l = lnew
+			curTOC = toc
+			curFeasible = true
+			changed = true
+			if !res.Feasible || toc < res.TOCCents {
+				res.Feasible = true
+				res.Layout = lnew
+				res.TOCCents = toc
+				res.Metrics = metrics
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if !res.Feasible {
+		// No feasible layout found: report L0's numbers so the caller can
+		// decide how to relax the constraints (paper §3: "the performance
+		// constraints must be relaxed in order to compute a layout").
+		res.Layout = l0
+		res.TOCCents = toc0
+		res.Metrics = m0
+	}
+	res.PlanTime = time.Since(start)
+	return res, nil
+}
+
+// OptimizeBest runs both application policies — the guarded sweep and the
+// paper's literal greedy sweep — and returns the feasible result with the
+// lower estimated TOC. The two are complementary: the guard wins when the
+// greedy walk would clobber good placements; the greedy walk wins when the
+// cost model has valleys a monotonic walk cannot cross (e.g. the
+// discrete-sized model of §5.2, where using a second storage class
+// temporarily raises cost until the first one empties).
+func OptimizeBest(in Input, opts Options) (*Result, error) {
+	guarded := opts
+	guarded.GreedyApply = false
+	a, err := Optimize(in, guarded)
+	if err != nil {
+		return nil, err
+	}
+	greedy := opts
+	greedy.GreedyApply = true
+	b, err := Optimize(in, greedy)
+	if err != nil {
+		return nil, err
+	}
+	best := a
+	if b.Feasible && (!a.Feasible || b.TOCCents < a.TOCCents) {
+		best = b
+	}
+	best.Evaluated = a.Evaluated + b.Evaluated
+	best.PlanTime = a.PlanTime + b.PlanTime
+	return best, nil
+}
+
+// OptimizeRelaxing runs Optimize, halving the relative SLA until a feasible
+// layout appears (the paper's loop in §4.5.3: "we slightly relax the
+// relative SLA and repeat the optimization"). It returns the result and the
+// final SLA value.
+func OptimizeRelaxing(in Input, opts Options, minSLA float64) (*Result, float64, error) {
+	sla := opts.RelativeSLA
+	for {
+		o := opts
+		o.RelativeSLA = sla
+		res, err := Optimize(in, o)
+		if err != nil {
+			return nil, 0, err
+		}
+		if res.Feasible || sla <= minSLA {
+			return res, sla, nil
+		}
+		sla /= 2
+		if sla < minSLA {
+			sla = minSLA
+		}
+	}
+}

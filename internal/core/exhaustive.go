@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/workload"
+)
+
+// MaxExhaustiveLayouts bounds the M^N enumeration. The paper estimates
+// ~3500 hours for the full 16-object TPC-H catalog (§4.4.3) and restricts
+// ES to 8 objects; we refuse anything beyond this many layouts.
+const MaxExhaustiveLayouts = 5_000_000
+
+// Exhaustive enumerates every layout L: O -> D and returns the feasible one
+// with minimum estimated TOC, using the same estimator and constraints as
+// DOT. It is the quality yardstick of §4.4.3/§4.5.3.
+func Exhaustive(in Input, opts Options) (*Result, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if opts.RelativeSLA <= 0 || opts.RelativeSLA > 1 {
+		return nil, fmt.Errorf("core: relative SLA must be in (0, 1], got %g", opts.RelativeSLA)
+	}
+	start := time.Now()
+
+	objs := in.Cat.Objects()
+	classes := in.Box.Classes()
+	n := len(objs)
+	m := len(classes)
+	total := 1.0
+	for i := 0; i < n; i++ {
+		total *= float64(m)
+		if total > MaxExhaustiveLayouts {
+			return nil, fmt.Errorf("core: exhaustive search over %d objects x %d classes exceeds the %d-layout bound",
+				n, m, MaxExhaustiveLayouts)
+		}
+	}
+
+	l0 := catalog.NewUniformLayout(in.Cat, in.Box.MostExpensive().Class)
+	m0, err := in.Est.Estimate(l0)
+	if err != nil {
+		return nil, err
+	}
+	baseline := m0
+	if opts.Baseline != nil {
+		baseline = *opts.Baseline
+	}
+	cons := workload.Constraints{Relative: opts.RelativeSLA, Baseline: baseline}
+	res := &Result{Constraints: cons}
+
+	assign := make([]int, n)
+	l := make(catalog.Layout, n)
+	for {
+		for i, o := range objs {
+			l[o.ID] = classes[assign[i]]
+		}
+		metrics, toc, feasible, err := evaluate(in, cons, l)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluated++
+		if feasible && (!res.Feasible || toc < res.TOCCents) {
+			res.Feasible = true
+			res.Layout = l.Clone()
+			res.TOCCents = toc
+			res.Metrics = metrics
+		}
+		// Next assignment (odometer).
+		i := 0
+		for ; i < n; i++ {
+			assign[i]++
+			if assign[i] < m {
+				break
+			}
+			assign[i] = 0
+		}
+		if i == n {
+			break
+		}
+	}
+	if !res.Feasible {
+		res.Layout = l0
+		res.Metrics = m0
+		res.TOCCents, _ = in.toc(m0, l0)
+	}
+	res.PlanTime = time.Since(start)
+	return res, nil
+}
+
+// ExhaustivePartial enumerates placements for only the given objects,
+// keeping every other object pinned at base. It makes the ES comparison
+// tractable for catalogs whose full M^N space is out of reach (the TPC-C
+// comparison of §4.5.3: we free the objects with the highest I/O pressure
+// and pin the tiny remainder).
+func ExhaustivePartial(in Input, opts Options, free []catalog.ObjectID, base catalog.Layout) (*Result, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if opts.RelativeSLA <= 0 || opts.RelativeSLA > 1 {
+		return nil, fmt.Errorf("core: relative SLA must be in (0, 1], got %g", opts.RelativeSLA)
+	}
+	start := time.Now()
+	classes := in.Box.Classes()
+	n, m := len(free), len(classes)
+	total := 1.0
+	for i := 0; i < n; i++ {
+		total *= float64(m)
+		if total > MaxExhaustiveLayouts {
+			return nil, fmt.Errorf("core: partial exhaustive search over %d objects exceeds the bound", n)
+		}
+	}
+	l0 := catalog.NewUniformLayout(in.Cat, in.Box.MostExpensive().Class)
+	m0, err := in.Est.Estimate(l0)
+	if err != nil {
+		return nil, err
+	}
+	baseline := m0
+	if opts.Baseline != nil {
+		baseline = *opts.Baseline
+	}
+	cons := workload.Constraints{Relative: opts.RelativeSLA, Baseline: baseline}
+	res := &Result{Constraints: cons}
+
+	assign := make([]int, n)
+	for {
+		l := base.Clone()
+		for i, id := range free {
+			l[id] = classes[assign[i]]
+		}
+		metrics, toc, feasible, err := evaluate(in, cons, l)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluated++
+		if feasible && (!res.Feasible || toc < res.TOCCents) {
+			res.Feasible = true
+			res.Layout = l
+			res.TOCCents = toc
+			res.Metrics = metrics
+		}
+		i := 0
+		for ; i < n; i++ {
+			assign[i]++
+			if assign[i] < m {
+				break
+			}
+			assign[i] = 0
+		}
+		if i == n {
+			break
+		}
+	}
+	if !res.Feasible {
+		res.Layout = base.Clone()
+		res.Metrics = m0
+		res.TOCCents, _ = in.toc(m0, base)
+	}
+	res.PlanTime = time.Since(start)
+	return res, nil
+}
+
+// ExhaustiveRelaxing mirrors OptimizeRelaxing for the ES baseline: halve
+// the SLA until ES finds a feasible layout (paper §4.5.3: "This process
+// stops when ES finds a feasible solution").
+func ExhaustiveRelaxing(in Input, opts Options, minSLA float64) (*Result, float64, error) {
+	sla := opts.RelativeSLA
+	for {
+		o := opts
+		o.RelativeSLA = sla
+		res, err := Exhaustive(in, o)
+		if err != nil {
+			return nil, 0, err
+		}
+		if res.Feasible || sla <= minSLA {
+			return res, sla, nil
+		}
+		sla /= 2
+		if sla < minSLA {
+			sla = minSLA
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/workload"
+)
+
+func TestExhaustivePartial(t *testing.T) {
+	f := newFix(t)
+	in := f.input()
+	// Pin everything to H-SSD; free only the big table and its index.
+	base := catalog.NewUniformLayout(f.cat, device.HSSD)
+	free := []catalog.ObjectID{f.ids["big"], f.ids["big_pkey"]}
+	res, err := ExhaustivePartial(in, Options{RelativeSLA: 0.25}, free, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("partial ES should find a feasible layout")
+	}
+	if res.Evaluated != 9 { // 3 classes ^ 2 free objects
+		t.Fatalf("evaluated %d layouts, want 9", res.Evaluated)
+	}
+	// Pinned objects must stay where the base put them.
+	if res.Layout[f.ids["small"]] != device.HSSD || res.Layout[f.ids["small_pkey"]] != device.HSSD {
+		t.Fatal("pinned objects moved")
+	}
+	// The free big table should have escaped the expensive class.
+	if res.Layout[f.ids["big"]] == device.HSSD {
+		t.Fatal("ES left the scan-heavy table on the most expensive class")
+	}
+	// Full ES over the free set can never be beaten by DOT restricted the
+	// same way, and must not be worse than staying at base.
+	baseMetrics, _ := in.Est.Estimate(base)
+	baseTOC, _ := in.toc(baseMetrics, base)
+	if res.TOCCents > baseTOC {
+		t.Fatalf("partial ES TOC %g worse than pinned base %g", res.TOCCents, baseTOC)
+	}
+}
+
+func TestExhaustivePartialValidation(t *testing.T) {
+	f := newFix(t)
+	in := f.input()
+	base := catalog.NewUniformLayout(f.cat, device.HSSD)
+	if _, err := ExhaustivePartial(in, Options{RelativeSLA: 0}, nil, base); err == nil {
+		t.Fatal("zero SLA should fail")
+	}
+	// Too many free objects trips the bound.
+	var free []catalog.ObjectID
+	for i := 0; i < 20; i++ {
+		free = append(free, f.ids["big"]) // duplicates still multiply the bound
+	}
+	if _, err := ExhaustivePartial(in, Options{RelativeSLA: 0.5}, free, base); err == nil {
+		t.Fatal("oversized free set should trip the enumeration bound")
+	}
+}
+
+func TestExhaustivePartialInfeasible(t *testing.T) {
+	f := newFix(t)
+	for _, c := range f.box.Classes() {
+		f.box.SetCapacity(c, 1)
+	}
+	base := catalog.NewUniformLayout(f.cat, device.HSSD)
+	res, err := ExhaustivePartial(f.input(), Options{RelativeSLA: 0.5},
+		[]catalog.ObjectID{f.ids["big"]}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("nothing fits; result must be infeasible")
+	}
+}
+
+func TestOptimizeBestNotWorseThanEither(t *testing.T) {
+	f := newFix(t)
+	in := f.input()
+	opts := Options{RelativeSLA: 0.25}
+	guarded, err := Optimize(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := Optimize(in, Options{RelativeSLA: 0.25, GreedyApply: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := OptimizeBest(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Feasible {
+		t.Fatal("portfolio should be feasible when either policy is")
+	}
+	if best.TOCCents > guarded.TOCCents+1e-15 || best.TOCCents > greedy.TOCCents+1e-15 {
+		t.Fatalf("portfolio TOC %g worse than guarded %g or greedy %g",
+			best.TOCCents, guarded.TOCCents, greedy.TOCCents)
+	}
+	if best.Evaluated != guarded.Evaluated+greedy.Evaluated {
+		t.Fatal("portfolio should report combined evaluation counts")
+	}
+}
+
+func TestGreedyApplyStillTracksBestPrefix(t *testing.T) {
+	// The literal Procedure 1 (GreedyApply) must never return an infeasible
+	// layout as feasible and must satisfy its own constraints.
+	f := newFix(t)
+	res, err := Optimize(f.input(), Options{RelativeSLA: 0.5, GreedyApply: true, Passes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("greedy sweep should find a feasible layout at SLA 0.5")
+	}
+	if !res.Constraints.Satisfied(res.Metrics) {
+		t.Fatal("reported metrics violate the constraints")
+	}
+	if err := res.Layout.CheckCapacity(f.cat, f.box); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardedNeverWorseThanGreedyOnSeparableCost(t *testing.T) {
+	// With the linear (separable) cost model the guard should never lose to
+	// the literal sweep.
+	f := newFix(t)
+	for _, sla := range []float64{0.9, 0.5, 0.25, 0.125} {
+		guarded, err := Optimize(f.input(), Options{RelativeSLA: sla})
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := Optimize(f.input(), Options{RelativeSLA: sla, GreedyApply: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if guarded.TOCCents > greedy.TOCCents+1e-15 {
+			t.Errorf("SLA %g: guarded TOC %g worse than greedy %g", sla, guarded.TOCCents, greedy.TOCCents)
+		}
+	}
+}
+
+func TestCustomLayoutCostFlowsThroughTOC(t *testing.T) {
+	f := newFix(t)
+	in := f.input()
+	// A cost model that charges a flat fee regardless of layout: every
+	// candidate then has TOC proportional to elapsed time only, so the
+	// fastest feasible layout (L0) must win.
+	in.LayoutCost = func(l catalog.Layout) (float64, error) { return 42, nil }
+	res, err := Optimize(in, Options{RelativeSLA: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("flat-cost optimization should be feasible")
+	}
+	for id, cls := range res.Layout {
+		if cls != device.HSSD {
+			t.Fatalf("object %d left the fastest class under flat cost", id)
+		}
+	}
+	m, _ := in.Est.Estimate(res.Layout)
+	want := 42 * m.Elapsed.Hours()
+	if diff := res.TOCCents - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("TOC %g, want %g under the flat model", res.TOCCents, want)
+	}
+}
+
+func TestOptimizeValidatedOLTPPathNoPerQueryStats(t *testing.T) {
+	// When the runner yields no per-query observations (the OLTP path),
+	// a failing validation returns the best-so-far result unrefined.
+	f := newFix(t)
+	runner := &oltpSkewRunner{f: f}
+	res, val, err := OptimizeValidated(f.input(), Options{RelativeSLA: 0.5}, runner, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || val == nil {
+		t.Fatal("missing result")
+	}
+	if val.Satisfied {
+		t.Fatal("this runner always misses; validation should report failure")
+	}
+}
+
+// oltpSkewRunner reports healthy throughput for L0 (so the baseline-derived
+// floor is meaningful) and terrible throughput for anything else, with no
+// per-query statistics — the shape of a failing OLTP validation.
+type oltpSkewRunner struct {
+	f *fix
+}
+
+func (r *oltpSkewRunner) Run(l catalog.Layout) (workload.Observation, error) {
+	m, err := r.f.est.Estimate(l)
+	if err != nil {
+		return workload.Observation{}, err
+	}
+	m.PerQuery = nil
+	m.Throughput = 0.1
+	if l.Equal(catalog.NewUniformLayout(r.f.cat, device.HSSD)) {
+		m.Throughput = 1
+	}
+	return workload.Observation{Metrics: m, Profile: r.f.prof.Clone()}, nil
+}

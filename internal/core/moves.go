@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+)
+
+// Move is one candidate relocation m(g, p): place group g's objects with
+// pattern p (§3.2). DeltaTime and DeltaCost are the components of the
+// priority score (Eq. 2-3), Score their ratio (Eq. 4).
+type Move struct {
+	Group     catalog.Group
+	Placement Pattern
+	DeltaTime time.Duration // performance penalty vs L0 (Eq. 2)
+	DeltaCost float64       // layout cost saving in cent/hour (Eq. 3)
+	Score     float64       // DeltaTime / DeltaCost (Eq. 4), lower is better
+}
+
+// Apply returns a new layout with the move applied.
+func (m Move) Apply(l catalog.Layout) catalog.Layout {
+	out := l.Clone()
+	for i, obj := range m.Group.Objects {
+		out[obj] = m.Placement[i]
+	}
+	return out
+}
+
+// EnumerateMoves is Procedure 2: for every object group, consider every
+// placement combination over the box's classes, score it against the
+// starting layout L0 (all objects on class l0), and return the moves sorted
+// by ascending priority score (most beneficial first).
+//
+// Moves that save nothing (DeltaCost <= 0) and don't improve performance
+// are dropped; free wins (faster and not more expensive) sort first.
+func EnumerateMoves(cat *catalog.Catalog, box *device.Box, ps *ProfileSet, l0 device.Class, concurrency int) ([]Move, error) {
+	l0Dev := box.Device(l0)
+	var moves []Move
+	for _, g := range cat.Groups() {
+		k := g.Size()
+		p0 := Uniform(l0, k)
+		prof0, err := ps.For(p0)
+		if err != nil {
+			return nil, err
+		}
+		// T0[g]: the group's I/O time share under L0 (Eq. 1).
+		var t0 time.Duration
+		for _, obj := range g.Objects {
+			t0 += prof0.ObjectIOTime(obj, l0Dev, concurrency)
+		}
+		for _, p := range enumeratePatterns(box.Classes(), k) {
+			if p.key() == p0.key() {
+				continue // identity move
+			}
+			profP, err := ps.For(p)
+			if err != nil {
+				return nil, err
+			}
+			var tp time.Duration
+			var saving float64
+			for i, obj := range g.Objects {
+				dev := box.Device(p[i])
+				tp += profP.ObjectIOTime(obj, dev, concurrency)
+				sizeGB := float64(cat.Object(obj).SizeBytes) / 1e9
+				saving += (l0Dev.PriceCents - dev.PriceCents) * sizeGB
+			}
+			m := Move{
+				Group:     g,
+				Placement: p,
+				DeltaTime: tp - t0,
+				DeltaCost: saving,
+			}
+			switch {
+			case m.DeltaCost > 0:
+				m.Score = float64(m.DeltaTime) / m.DeltaCost
+			case m.DeltaTime < 0:
+				m.Score = math.Inf(-1) // faster and not cheaper to skip: free win
+			default:
+				continue // dominated: no saving, no speedup
+			}
+			moves = append(moves, m)
+		}
+	}
+	sort.SliceStable(moves, func(i, j int) bool {
+		if moves[i].Score != moves[j].Score {
+			return moves[i].Score < moves[j].Score
+		}
+		// Deterministic tie-break: larger saving first, then group order.
+		if moves[i].DeltaCost != moves[j].DeltaCost {
+			return moves[i].DeltaCost > moves[j].DeltaCost
+		}
+		return moves[i].Group.Objects[0] < moves[j].Group.Objects[0]
+	})
+	return moves, nil
+}

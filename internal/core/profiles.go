@@ -1,0 +1,154 @@
+// Package core implements the paper's contribution: DOT, the heuristic that
+// computes a Data layout Optimized to reduce the TOC (§3), together with
+// the baselines the evaluation compares against — exhaustive search and the
+// Object Advisor of Canim et al. — and the validation/refinement loop of
+// Figure 2.
+package core
+
+import (
+	"fmt"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/iosim"
+)
+
+// Pattern is a group placement vector p = (d_1..d_K): position i holds the
+// storage class of the group's i-th object (the table first, then its
+// indexes, §3.2).
+type Pattern []device.Class
+
+// key encodes the pattern for map lookup.
+func (p Pattern) key() string {
+	b := make([]byte, len(p))
+	for i, c := range p {
+		b[i] = byte(c)
+	}
+	return string(b)
+}
+
+// Uniform returns a pattern of k copies of one class.
+func Uniform(c device.Class, k int) Pattern {
+	p := make(Pattern, k)
+	for i := range p {
+		p[i] = c
+	}
+	return p
+}
+
+// String renders the pattern.
+func (p Pattern) String() string {
+	s := "("
+	for i, c := range p {
+		if i > 0 {
+			s += ", "
+		}
+		s += c.String()
+	}
+	return s + ")"
+}
+
+// ProfileSet is the workload profile X = {chi^p_r[o]} of §3.4: for each
+// baseline placement pattern, the number of I/Os per object and I/O type
+// observed (or estimated) when every group is laid out with that pattern.
+//
+// The TPC-C path (§4.5) profiles a single layout because plans do not
+// change; SetSingle installs that profile as the answer for every pattern.
+type ProfileSet struct {
+	byPattern map[string]iosim.Profile
+	single    iosim.Profile
+	maxK      int
+}
+
+// NewProfileSet returns an empty profile set.
+func NewProfileSet() *ProfileSet {
+	return &ProfileSet{byPattern: make(map[string]iosim.Profile)}
+}
+
+// AddPattern installs the profile measured/estimated on the baseline layout
+// L_p where every group uses placement pattern p.
+func (ps *ProfileSet) AddPattern(p Pattern, prof iosim.Profile) {
+	ps.byPattern[p.key()] = prof
+	if len(p) > ps.maxK {
+		ps.maxK = len(p)
+	}
+}
+
+// SetSingle installs one profile used for every pattern (test-run path).
+func (ps *ProfileSet) SetSingle(prof iosim.Profile) { ps.single = prof }
+
+// MaxK returns the longest pattern profiled.
+func (ps *ProfileSet) MaxK() int { return ps.maxK }
+
+// Patterns returns the number of distinct profiled patterns.
+func (ps *ProfileSet) Patterns() int { return len(ps.byPattern) }
+
+// For returns the profile to use for a group placed with pattern p. Groups
+// smaller than the profiled pattern length match on their prefix (under the
+// paper's cross-group independence assumption the counts of the group's own
+// objects do not depend on the suffix classes). Falls back to the single
+// profile when pattern profiles are absent.
+func (ps *ProfileSet) For(p Pattern) (iosim.Profile, error) {
+	if prof, ok := ps.byPattern[p.key()]; ok {
+		return prof, nil
+	}
+	// Prefix match: any stored pattern beginning with p.
+	k := p.key()
+	for pk, prof := range ps.byPattern {
+		if len(pk) >= len(k) && pk[:len(k)] == k {
+			return prof, nil
+		}
+	}
+	if ps.single != nil {
+		return ps.single, nil
+	}
+	return nil, fmt.Errorf("core: no workload profile for pattern %v", p)
+}
+
+// enumeratePatterns yields every pattern in D^k, in deterministic order.
+func enumeratePatterns(classes []device.Class, k int) []Pattern {
+	if k == 0 {
+		return []Pattern{{}}
+	}
+	sub := enumeratePatterns(classes, k-1)
+	out := make([]Pattern, 0, len(sub)*len(classes))
+	for _, c := range classes {
+		for _, s := range sub {
+			p := make(Pattern, 0, k)
+			p = append(p, c)
+			p = append(p, s...)
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BaselinePatterns returns the placement patterns the profiling phase must
+// cover for the catalog's groups: D^Kmax where Kmax is the largest group
+// (§3.4; with tables+PK indexes this is the paper's M^2 baseline layouts).
+func BaselinePatterns(cat *catalog.Catalog, box *device.Box) []Pattern {
+	maxK := 1
+	for _, g := range cat.Groups() {
+		if g.Size() > maxK {
+			maxK = g.Size()
+		}
+	}
+	return enumeratePatterns(box.Classes(), maxK)
+}
+
+// BaselineLayout expands a pattern into a full layout: every group's i-th
+// object goes to pattern position i (positions beyond the pattern reuse the
+// last class).
+func BaselineLayout(cat *catalog.Catalog, p Pattern) catalog.Layout {
+	l := make(catalog.Layout)
+	for _, g := range cat.Groups() {
+		for i, obj := range g.Objects {
+			idx := i
+			if idx >= len(p) {
+				idx = len(p) - 1
+			}
+			l[obj] = p[idx]
+		}
+	}
+	return l
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+)
+
+// NamedLayout pairs a layout with the label used in the paper's figures.
+type NamedLayout struct {
+	Name   string
+	Layout catalog.Layout
+}
+
+// SimpleLayouts returns the paper's comparison layouts (§4.2) available on
+// a box: "All <class>" for every class, plus "Index H-SSD Data L-SSD" when
+// the box carries both an H-SSD and an L-SSD variant.
+func SimpleLayouts(cat *catalog.Catalog, box *device.Box) []NamedLayout {
+	var out []NamedLayout
+	for _, d := range box.SortedByPrice() {
+		out = append(out, NamedLayout{
+			Name:   "All " + d.Class.String(),
+			Layout: catalog.NewUniformLayout(cat, d.Class),
+		})
+	}
+	if box.Device(device.HSSD) != nil {
+		for _, lssd := range []device.Class{device.LSSD, device.LSSDRAID0} {
+			if box.Device(lssd) != nil {
+				out = append(out, NamedLayout{
+					Name:   "Index H-SSD Data " + lssd.String(),
+					Layout: catalog.NewSplitLayout(cat, lssd, device.HSSD),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Box is a server's I/O subsystem: the set of storage classes available to
+// the layout optimizer. The paper evaluates two boxes (§4.1):
+//
+//	Box 1: HDD RAID 0, L-SSD, H-SSD
+//	Box 2: HDD, L-SSD RAID 0, H-SSD
+type Box struct {
+	Name    string
+	Devices []*Device
+}
+
+// NewBox builds a box from storage classes, each with its default capacity.
+func NewBox(name string, classes ...Class) *Box {
+	b := &Box{Name: name}
+	for _, c := range classes {
+		b.Devices = append(b.Devices, New(c))
+	}
+	return b
+}
+
+// Box1 returns the paper's Box 1 configuration.
+func Box1() *Box { return NewBox("Box 1", HDDRAID0, LSSD, HSSD) }
+
+// Box2 returns the paper's Box 2 configuration.
+func Box2() *Box { return NewBox("Box 2", HDD, LSSDRAID0, HSSD) }
+
+// Device returns the device of the given class, or nil if the box does not
+// include it.
+func (b *Box) Device(c Class) *Device {
+	for _, d := range b.Devices {
+		if d.Class == c {
+			return d
+		}
+	}
+	return nil
+}
+
+// Classes lists the storage classes in the box.
+func (b *Box) Classes() []Class {
+	out := make([]Class, len(b.Devices))
+	for i, d := range b.Devices {
+		out[i] = d.Class
+	}
+	return out
+}
+
+// MostExpensive returns the device with the highest cent/GB/hour price. DOT
+// uses it as the starting layout L0 (paper §3.1: "start from a layout that
+// places all the objects on the most expensive storage class").
+func (b *Box) MostExpensive() *Device {
+	if len(b.Devices) == 0 {
+		return nil
+	}
+	best := b.Devices[0]
+	for _, d := range b.Devices[1:] {
+		if d.PriceCents > best.PriceCents {
+			best = d
+		}
+	}
+	return best
+}
+
+// Cheapest returns the device with the lowest cent/GB/hour price.
+func (b *Box) Cheapest() *Device {
+	if len(b.Devices) == 0 {
+		return nil
+	}
+	best := b.Devices[0]
+	for _, d := range b.Devices[1:] {
+		if d.PriceCents < best.PriceCents {
+			best = d
+		}
+	}
+	return best
+}
+
+// SetCapacity overrides the usable capacity of one class, for the paper's
+// capacity-constrained experiments (§4.4.3, §4.5.3). It returns an error if
+// the class is not in the box.
+func (b *Box) SetCapacity(c Class, bytes int64) error {
+	d := b.Device(c)
+	if d == nil {
+		return fmt.Errorf("device: box %q has no class %v", b.Name, c)
+	}
+	d.CapacityBytes = bytes
+	return nil
+}
+
+// SortedByPrice returns the devices ordered from cheapest to most expensive.
+func (b *Box) SortedByPrice() []*Device {
+	out := append([]*Device(nil), b.Devices...)
+	sort.Slice(out, func(i, j int) bool { return out[i].PriceCents < out[j].PriceCents })
+	return out
+}
+
+// Clone returns a deep copy of the box so experiments can adjust capacities
+// without affecting each other.
+func (b *Box) Clone() *Box {
+	nb := &Box{Name: b.Name}
+	for _, d := range b.Devices {
+		cp := *d
+		nb.Devices = append(nb.Devices, &cp)
+	}
+	return nb
+}

@@ -1,0 +1,321 @@
+// Package executor runs physical plans against the engine's heap files and
+// B+-trees. Execution is real — tuples are decoded from slotted pages,
+// hash tables are built, index probes descend actual trees — while device
+// time is charged through the buffer pool to the storage class holding each
+// object, and CPU time is charged with the same constants the optimizer
+// uses for its estimates.
+package executor
+
+import (
+	"fmt"
+	"time"
+
+	"dotprov/internal/btree"
+	"dotprov/internal/bufferpool"
+	"dotprov/internal/catalog"
+	"dotprov/internal/iosim"
+	"dotprov/internal/pagestore"
+	"dotprov/internal/plan"
+	"dotprov/internal/types"
+)
+
+// Storage is what the executor needs from the engine.
+type Storage interface {
+	Heap(id catalog.ObjectID) *pagestore.HeapFile
+	Tree(id catalog.ObjectID) *btree.Tree
+	TableSchema(name string) *types.Schema
+	Pool() *bufferpool.Pool
+}
+
+// MaxResultTuples caps how many output tuples Run materialises in the
+// Result (counting always continues past the cap).
+const MaxResultTuples = 10000
+
+// Result summarises a query execution.
+type Result struct {
+	Rows   int64
+	Tuples []types.Tuple // first MaxResultTuples output rows
+}
+
+// Run executes a plan on behalf of one worker, charging I/O and CPU to the
+// accountant, and returns the result.
+func Run(st Storage, acct *iosim.Accountant, p *plan.Plan) (*Result, error) {
+	e := &exec{st: st, acct: acct}
+	res := &Result{}
+	err := e.run(p.Root, func(t types.Tuple) bool {
+		res.Rows++
+		if len(res.Tuples) < MaxResultTuples {
+			res.Tuples = append(res.Tuples, t.Clone())
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+type exec struct {
+	st   Storage
+	acct *iosim.Accountant
+}
+
+// run pushes the node's output tuples into emit; emit returning false stops
+// execution early (limit).
+func (e *exec) run(n plan.Node, emit func(types.Tuple) bool) error {
+	switch t := n.(type) {
+	case *plan.SeqScan:
+		return e.seqScan(t, emit)
+	case *plan.IndexScan:
+		return e.indexScan(t, emit)
+	case *plan.Join:
+		if t.Algo == plan.HashJoin {
+			return e.hashJoin(t, emit)
+		}
+		return e.indexNLJoin(t, emit)
+	case *plan.AggNode:
+		return e.aggregate(t, emit)
+	case *plan.LimitNode:
+		left := t.N
+		err := e.run(t.Input, func(tu types.Tuple) bool {
+			if left <= 0 {
+				return false
+			}
+			left--
+			if !emit(tu) {
+				return false
+			}
+			return left > 0
+		})
+		return err
+	default:
+		return fmt.Errorf("executor: unknown node %T", n)
+	}
+}
+
+// predIdx binds a predicate list to column positions in a schema.
+func predIdx(sch *types.Schema, preds []plan.Pred) ([]int, error) {
+	out := make([]int, len(preds))
+	for i, p := range preds {
+		idx := sch.ColIndex(p.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("executor: predicate column %s.%s not in schema", p.Table, p.Column)
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+func matchAll(tu types.Tuple, preds []plan.Pred, idx []int) bool {
+	for i, p := range preds {
+		if !p.Matches(tu[idx[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *exec) seqScan(s *plan.SeqScan, emit func(types.Tuple) bool) error {
+	sch := e.st.TableSchema(s.Table)
+	if sch == nil {
+		return fmt.Errorf("executor: no schema for table %q", s.Table)
+	}
+	heap := e.st.Heap(s.TableID)
+	if heap == nil {
+		return fmt.Errorf("executor: no heap for table %q", s.Table)
+	}
+	idx, err := predIdx(sch, s.Filter)
+	if err != nil {
+		return err
+	}
+	pool := e.st.Pool()
+	var decodeErr error
+	n := len(sch.Columns)
+	perRow := plan.CPUTupleTime + time.Duration(len(s.Filter))*plan.CPUPredTime
+	scanErr := heap.Scan(pool, e.acct, func(_ pagestore.RID, rec []byte) bool {
+		tu, _, err := types.DecodeTuple(rec, n)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		e.acct.ChargeCPU(perRow)
+		if !matchAll(tu, s.Filter, idx) {
+			return true
+		}
+		return emit(tu)
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return scanErr
+}
+
+// rangeBounds converts an index-scan predicate into B+-tree range bounds.
+func rangeBounds(s *plan.IndexScan) (lo, hi []byte, loIncl, hiIncl bool) {
+	key := func(v types.Value) []byte { return types.EncodeKey(nil, v) }
+	switch s.Op {
+	case plan.Eq:
+		return key(s.Lo), key(s.Lo), true, true
+	case plan.Lt:
+		return nil, key(s.Lo), true, false
+	case plan.Le:
+		return nil, key(s.Lo), true, true
+	case plan.Gt:
+		return key(s.Lo), nil, false, true
+	case plan.Ge:
+		return key(s.Lo), nil, true, true
+	case plan.Between:
+		return key(s.Lo), key(s.Hi), true, true
+	default:
+		return nil, nil, true, true
+	}
+}
+
+func (e *exec) indexScan(s *plan.IndexScan, emit func(types.Tuple) bool) error {
+	sch := e.st.TableSchema(s.Table)
+	if sch == nil {
+		return fmt.Errorf("executor: no schema for table %q", s.Table)
+	}
+	heap := e.st.Heap(s.TableID)
+	tree := e.st.Tree(s.IndexID)
+	if heap == nil || tree == nil {
+		return fmt.Errorf("executor: missing storage for index scan on %q", s.Table)
+	}
+	idx, err := predIdx(sch, s.Residual)
+	if err != nil {
+		return err
+	}
+	pool := e.st.Pool()
+	lo, hi, loIncl, hiIncl := rangeBounds(s)
+	var innerErr error
+	n := len(sch.Columns)
+	tree.Range(pool, e.acct, lo, hi, loIncl, hiIncl, func(_ []byte, rid pagestore.RID) bool {
+		e.acct.ChargeCPU(plan.CPUIndexTime)
+		rec, err := heap.Fetch(pool, e.acct, rid)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		tu, _, err := types.DecodeTuple(rec, n)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		e.acct.ChargeCPU(plan.CPUTupleTime + time.Duration(len(s.Residual))*plan.CPUPredTime)
+		if !matchAll(tu, s.Residual, idx) {
+			return true
+		}
+		return emit(tu)
+	})
+	return innerErr
+}
+
+// colPos finds a qualified column in a node's output schema.
+func colPos(sch []plan.ColRef, c plan.ColRef) (int, error) {
+	for i, s := range sch {
+		if s == c {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("executor: column %v not in schema %v", c, sch)
+}
+
+func (e *exec) hashJoin(j *plan.Join, emit func(types.Tuple) bool) error {
+	innerPos, err := colPos(j.Inner.Schema(), j.InnerCol)
+	if err != nil {
+		return err
+	}
+	outerPos, err := colPos(j.Outer.Schema(), j.OuterCol)
+	if err != nil {
+		return err
+	}
+	// Build phase: hash the inner input in memory.
+	table := make(map[string][]types.Tuple)
+	var keyBuf []byte
+	err = e.run(j.Inner, func(tu types.Tuple) bool {
+		e.acct.ChargeCPU(plan.CPUHashTime)
+		keyBuf = types.EncodeKey(keyBuf[:0], tu[innerPos])
+		table[string(keyBuf)] = append(table[string(keyBuf)], tu.Clone())
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	// Probe phase.
+	stopped := false
+	err = e.run(j.Outer, func(outer types.Tuple) bool {
+		e.acct.ChargeCPU(plan.CPUHashTime)
+		keyBuf = types.EncodeKey(keyBuf[:0], outer[outerPos])
+		for _, inner := range table[string(keyBuf)] {
+			e.acct.ChargeCPU(plan.CPUTupleTime)
+			joined := make(types.Tuple, 0, len(outer)+len(inner))
+			joined = append(joined, outer...)
+			joined = append(joined, inner...)
+			if !emit(joined) {
+				stopped = true
+				return false
+			}
+		}
+		return true
+	})
+	_ = stopped
+	return err
+}
+
+func (e *exec) indexNLJoin(j *plan.Join, emit func(types.Tuple) bool) error {
+	outerPos, err := colPos(j.Outer.Schema(), j.OuterCol)
+	if err != nil {
+		return err
+	}
+	sch := e.st.TableSchema(j.InnerTable)
+	if sch == nil {
+		return fmt.Errorf("executor: no schema for inner table %q", j.InnerTable)
+	}
+	heap := e.st.Heap(j.InnerTableID)
+	tree := e.st.Tree(j.InnerIndexID)
+	if heap == nil || tree == nil {
+		return fmt.Errorf("executor: missing storage for INLJ inner %q", j.InnerTable)
+	}
+	idx, err := predIdx(sch, j.InnerResidual)
+	if err != nil {
+		return err
+	}
+	pool := e.st.Pool()
+	n := len(sch.Columns)
+	var keyBuf []byte
+	var innerErr error
+	err = e.run(j.Outer, func(outer types.Tuple) bool {
+		e.acct.ChargeCPU(plan.CPUIndexTime)
+		keyBuf = types.EncodeKey(keyBuf[:0], outer[outerPos])
+		keep := true
+		tree.Range(pool, e.acct, keyBuf, keyBuf, true, true, func(_ []byte, rid pagestore.RID) bool {
+			rec, err := heap.Fetch(pool, e.acct, rid)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			tu, _, err := types.DecodeTuple(rec, n)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			e.acct.ChargeCPU(plan.CPUTupleTime + time.Duration(len(j.InnerResidual))*plan.CPUPredTime)
+			if !matchAll(tu, j.InnerResidual, idx) {
+				return true
+			}
+			joined := make(types.Tuple, 0, len(outer)+len(tu))
+			joined = append(joined, outer...)
+			joined = append(joined, tu...)
+			if !emit(joined) {
+				keep = false
+				return false
+			}
+			return true
+		})
+		return keep && innerErr == nil
+	})
+	if innerErr != nil {
+		return innerErr
+	}
+	return err
+}

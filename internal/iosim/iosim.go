@@ -1,0 +1,224 @@
+// Package iosim is the storage simulator's accounting engine. Execution in
+// this reproduction is real (pages, B+-trees, tuples), but time is virtual:
+// every device operation charges the calibrated per-I/O service time of the
+// storage class that currently holds the touched object (paper Table 1)
+// against a virtual clock.
+//
+// The package also defines Profile, the workload profile X = chi^p_r[o] of
+// paper §3.4: the number of I/Os of each type on each object.
+package iosim
+
+import (
+	"fmt"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/vclock"
+)
+
+// IOVector counts I/Os by type (indexed by device.IOType). Counts are
+// float64 because optimizer estimates are fractional; measured counts are
+// whole numbers.
+type IOVector [device.NumIOTypes]float64
+
+// Add accumulates another vector.
+func (v *IOVector) Add(o IOVector) {
+	for i := range v {
+		v[i] += o[i]
+	}
+}
+
+// Total returns the total number of I/Os in the vector.
+func (v IOVector) Total() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Profile is a workload profile: for every object, how many I/Os of each
+// type the workload performs on it (chi_r[o], paper §3.3-3.4).
+type Profile map[catalog.ObjectID]*IOVector
+
+// NewProfile returns an empty profile.
+func NewProfile() Profile { return make(Profile) }
+
+// Add accumulates n I/Os of type t on object id.
+func (p Profile) Add(id catalog.ObjectID, t device.IOType, n float64) {
+	v := p[id]
+	if v == nil {
+		v = &IOVector{}
+		p[id] = v
+	}
+	v[t] += n
+}
+
+// Get returns the I/O vector for an object (zero vector if absent).
+func (p Profile) Get(id catalog.ObjectID) IOVector {
+	if v := p[id]; v != nil {
+		return *v
+	}
+	return IOVector{}
+}
+
+// Merge accumulates another profile into p.
+func (p Profile) Merge(o Profile) {
+	for id, v := range o {
+		pv := p[id]
+		if pv == nil {
+			pv = &IOVector{}
+			p[id] = pv
+		}
+		pv.Add(*v)
+	}
+}
+
+// Clone returns a deep copy.
+func (p Profile) Clone() Profile {
+	out := make(Profile, len(p))
+	for id, v := range p {
+		cp := *v
+		out[id] = &cp
+	}
+	return out
+}
+
+// Scale multiplies every count by f (used to extrapolate a short test run
+// to the full workload).
+func (p Profile) Scale(f float64) {
+	for _, v := range p {
+		for i := range v {
+			v[i] *= f
+		}
+	}
+}
+
+// IOTime computes the accumulated I/O time of the profile under a layout:
+// sum over objects and types of chi_r[o] * tau(type, class(o)) — the paper's
+// Eq. 1, extended over the whole profile.
+func (p Profile) IOTime(layout catalog.Layout, box *device.Box, concurrency int) (time.Duration, error) {
+	var total time.Duration
+	for id, v := range p {
+		cls, ok := layout[id]
+		if !ok {
+			return 0, fmt.Errorf("iosim: object %d not placed by layout", id)
+		}
+		d := box.Device(cls)
+		if d == nil {
+			return 0, fmt.Errorf("iosim: layout places object %d on class %v absent from box %q", id, cls, box.Name)
+		}
+		for _, t := range device.AllIOTypes {
+			n := v[t]
+			if n > 0 {
+				total += time.Duration(n * float64(d.ServiceTime(t, concurrency)))
+			}
+		}
+	}
+	return total, nil
+}
+
+// ObjectIOTime computes the I/O time share of a single object under a given
+// storage class (the inner term of Eq. 1).
+func (p Profile) ObjectIOTime(id catalog.ObjectID, d *device.Device, concurrency int) time.Duration {
+	v := p.Get(id)
+	var total time.Duration
+	for _, t := range device.AllIOTypes {
+		if v[t] > 0 {
+			total += time.Duration(v[t] * float64(d.ServiceTime(t, concurrency)))
+		}
+	}
+	return total
+}
+
+// Accountant charges I/O and CPU time for one simulated DB worker. It is
+// constructed against a fixed box + layout + concurrency so the per-object
+// service times can be resolved up front; Charge is then allocation-free.
+//
+// An Accountant is not safe for concurrent use; each simulated worker owns
+// its own and results are merged afterwards.
+type Accountant struct {
+	clock   *vclock.Clock
+	svc     map[catalog.ObjectID]*[device.NumIOTypes]time.Duration
+	profile Profile
+	ioTime  time.Duration
+	cpuTime time.Duration
+}
+
+// NewAccountant validates that the layout places every object on a device
+// present in the box and resolves service times at the given degree of
+// concurrency. The clock may be shared across accountants only for strictly
+// sequential workloads.
+func NewAccountant(box *device.Box, layout catalog.Layout, concurrency int, clock *vclock.Clock) (*Accountant, error) {
+	if clock == nil {
+		clock = &vclock.Clock{}
+	}
+	a := &Accountant{
+		clock:   clock,
+		svc:     make(map[catalog.ObjectID]*[device.NumIOTypes]time.Duration, len(layout)),
+		profile: NewProfile(),
+	}
+	for id, cls := range layout {
+		d := box.Device(cls)
+		if d == nil {
+			return nil, fmt.Errorf("iosim: layout places object %d on class %v absent from box %q", id, cls, box.Name)
+		}
+		var times [device.NumIOTypes]time.Duration
+		for _, t := range device.AllIOTypes {
+			times[t] = d.ServiceTime(t, concurrency)
+		}
+		a.svc[id] = &times
+	}
+	return a, nil
+}
+
+// ChargeIO records n I/Os of type t against object id, advancing the
+// virtual clock by n service times. Objects unknown to the layout panic:
+// that is a programming error (the layout must be total over O).
+func (a *Accountant) ChargeIO(id catalog.ObjectID, t device.IOType, n int64) {
+	if n <= 0 {
+		return
+	}
+	times := a.svc[id]
+	if times == nil {
+		panic(fmt.Sprintf("iosim: ChargeIO on object %d not covered by layout", id))
+	}
+	d := time.Duration(n) * times[t]
+	a.clock.Advance(d)
+	a.ioTime += d
+	a.profile.Add(id, t, float64(n))
+}
+
+// ChargeCPU advances the virtual clock by pure compute time.
+func (a *Accountant) ChargeCPU(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	a.clock.Advance(d)
+	a.cpuTime += d
+}
+
+// Clock returns the worker's virtual clock.
+func (a *Accountant) Clock() *vclock.Clock { return a.clock }
+
+// Now returns the worker's current virtual time.
+func (a *Accountant) Now() time.Duration { return a.clock.Now() }
+
+// IOTime returns the accumulated device time charged so far.
+func (a *Accountant) IOTime() time.Duration { return a.ioTime }
+
+// CPUTime returns the accumulated compute time charged so far.
+func (a *Accountant) CPUTime() time.Duration { return a.cpuTime }
+
+// Profile returns the live profile of I/Os charged so far. The caller must
+// not mutate it; use Profile().Clone() to keep a snapshot.
+func (a *Accountant) Profile() Profile { return a.profile }
+
+// ResetCounters clears the profile and time tallies but leaves the clock
+// running, so a warm-up phase can be excluded from measurement.
+func (a *Accountant) ResetCounters() {
+	a.profile = NewProfile()
+	a.ioTime = 0
+	a.cpuTime = 0
+}

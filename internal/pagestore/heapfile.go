@@ -1,0 +1,134 @@
+package pagestore
+
+import (
+	"fmt"
+
+	"dotprov/internal/bufferpool"
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+)
+
+// RID is a record identifier: page number and slot within the page.
+type RID struct {
+	Page uint32
+	Slot uint16
+}
+
+// String renders the RID for diagnostics.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// HeapFile is an append-oriented table file made of slotted pages. Device
+// time is charged through the buffer pool: sequential reads during scans,
+// random reads for RID fetches, and per-row write charges for inserts and
+// updates (matching the units of the paper's Table 1).
+type HeapFile struct {
+	obj   catalog.ObjectID
+	pages []*Page
+	rows  int64
+	// insertHint is the page that last accepted an insert; appends go there
+	// first, then fall through to a new page.
+	insertHint int
+}
+
+// NewHeapFile creates an empty heap file for the given catalog object.
+func NewHeapFile(obj catalog.ObjectID) *HeapFile {
+	return &HeapFile{obj: obj}
+}
+
+// Object returns the owning catalog object.
+func (h *HeapFile) Object() catalog.ObjectID { return h.obj }
+
+// NumPages returns the number of allocated pages.
+func (h *HeapFile) NumPages() int { return len(h.pages) }
+
+// NumRows returns the number of live records.
+func (h *HeapFile) NumRows() int64 { return h.rows }
+
+// SizeBytes returns the file's size (whole pages).
+func (h *HeapFile) SizeBytes() int64 { return int64(len(h.pages)) * PageSize }
+
+// Insert appends a record, charging one sequential-write row operation, and
+// returns its RID.
+func (h *HeapFile) Insert(pool *bufferpool.Pool, ch bufferpool.IOCharger, rec []byte) (RID, error) {
+	if h.insertHint < len(h.pages) {
+		if slot, err := h.pages[h.insertHint].Insert(rec); err == nil {
+			ch.ChargeIO(h.obj, device.SeqWrite, 1)
+			pool.Touch(h.obj, uint32(h.insertHint))
+			h.rows++
+			return RID{Page: uint32(h.insertHint), Slot: uint16(slot)}, nil
+		} else if err != ErrPageFull {
+			return RID{}, err
+		}
+	}
+	p := NewPage()
+	slot, err := p.Insert(rec)
+	if err != nil {
+		return RID{}, err
+	}
+	h.pages = append(h.pages, p)
+	h.insertHint = len(h.pages) - 1
+	ch.ChargeIO(h.obj, device.SeqWrite, 1)
+	pool.Touch(h.obj, uint32(h.insertHint))
+	h.rows++
+	return RID{Page: uint32(h.insertHint), Slot: uint16(slot)}, nil
+}
+
+// Fetch reads the record at rid with a random page read (on buffer miss).
+// The returned bytes alias the page.
+func (h *HeapFile) Fetch(pool *bufferpool.Pool, ch bufferpool.IOCharger, rid RID) ([]byte, error) {
+	if int(rid.Page) >= len(h.pages) {
+		return nil, fmt.Errorf("pagestore: fetch %v: page out of range (have %d)", rid, len(h.pages))
+	}
+	pool.Access(ch, h.obj, rid.Page, device.RandRead)
+	return h.pages[rid.Page].Get(int(rid.Slot))
+}
+
+// Update rewrites the record at rid in place, charging one random-write row
+// operation. (An update's read side is charged by whoever located the RID.)
+func (h *HeapFile) Update(pool *bufferpool.Pool, ch bufferpool.IOCharger, rid RID, rec []byte) error {
+	if int(rid.Page) >= len(h.pages) {
+		return fmt.Errorf("pagestore: update %v: page out of range (have %d)", rid, len(h.pages))
+	}
+	if err := h.pages[rid.Page].Update(int(rid.Slot), rec); err != nil {
+		return err
+	}
+	ch.ChargeIO(h.obj, device.RandWrite, 1)
+	pool.Touch(h.obj, rid.Page)
+	return nil
+}
+
+// Delete removes the record at rid, charging one random-write row operation.
+func (h *HeapFile) Delete(pool *bufferpool.Pool, ch bufferpool.IOCharger, rid RID) error {
+	if int(rid.Page) >= len(h.pages) {
+		return fmt.Errorf("pagestore: delete %v: page out of range (have %d)", rid, len(h.pages))
+	}
+	if err := h.pages[rid.Page].Delete(int(rid.Slot)); err != nil {
+		return err
+	}
+	ch.ChargeIO(h.obj, device.RandWrite, 1)
+	h.rows--
+	return nil
+}
+
+// Scan iterates every live record in physical order, charging one
+// sequential page read per page (on buffer miss). The callback's record
+// slice aliases the page. Iteration stops when fn returns false.
+func (h *HeapFile) Scan(pool *bufferpool.Pool, ch bufferpool.IOCharger, fn func(rid RID, rec []byte) bool) error {
+	for pg := 0; pg < len(h.pages); pg++ {
+		pool.Access(ch, h.obj, uint32(pg), device.SeqRead)
+		p := h.pages[pg]
+		for s := 0; s < p.NumSlots(); s++ {
+			rec, err := p.Get(s)
+			if err == ErrNoSlot {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			if !fn(RID{Page: uint32(pg), Slot: uint16(s)}, rec) {
+				return nil
+			}
+		}
+	}
+	return nil
+}

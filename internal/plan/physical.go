@@ -1,0 +1,273 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/iosim"
+	"dotprov/internal/types"
+)
+
+// CPU cost constants. They are shared by the optimizer (estimates) and the
+// executor (live charging) so that validated runs track estimated times.
+// The magnitudes follow PostgreSQL's defaults scaled to absolute time
+// (cpu_tuple_cost : seq_page_cost = 0.01 : 1.0 against a ~70us HDD page
+// read, giving ~0.7us per tuple).
+const (
+	CPUTupleTime   = 200 * time.Nanosecond // per tuple materialised/emitted
+	CPUPredTime    = 50 * time.Nanosecond  // per predicate evaluation
+	CPUHashTime    = 150 * time.Nanosecond // per hash-table build or probe
+	CPUIndexTime   = 100 * time.Nanosecond // per index entry comparison
+	CPUAggTime     = 100 * time.Nanosecond // per aggregate accumulation
+	CPUPerRowWrite = 2 * time.Microsecond  // per row write (logging, latching)
+)
+
+// JoinAlgo enumerates join algorithms.
+type JoinAlgo uint8
+
+const (
+	HashJoin JoinAlgo = iota
+	IndexNLJoin
+)
+
+func (a JoinAlgo) String() string {
+	switch a {
+	case HashJoin:
+		return "HJ"
+	case IndexNLJoin:
+		return "INLJ"
+	default:
+		return fmt.Sprintf("JoinAlgo(%d)", uint8(a))
+	}
+}
+
+// Node is a physical plan operator. Implementations are the *Scan, *Join,
+// *AggNode structs below; the executor interprets them.
+type Node interface {
+	// Schema lists the qualified columns the node emits.
+	Schema() []ColRef
+	// EstRows is the optimizer's output cardinality estimate.
+	EstRows() float64
+	// Describe renders a one-line summary for EXPLAIN output.
+	Describe() string
+}
+
+// SeqScan reads a table sequentially, applying filters.
+type SeqScan struct {
+	Table   string
+	TableID catalog.ObjectID
+	Filter  []Pred
+	Cols    []ColRef
+	Rows    float64
+}
+
+// Schema implements Node.
+func (s *SeqScan) Schema() []ColRef { return s.Cols }
+
+// EstRows implements Node.
+func (s *SeqScan) EstRows() float64 { return s.Rows }
+
+// Describe implements Node.
+func (s *SeqScan) Describe() string {
+	return fmt.Sprintf("SeqScan(%s) filters=%d rows=%.0f", s.Table, len(s.Filter), s.Rows)
+}
+
+// IndexScan reads a table through an index range, then fetches matching
+// heap rows, applying residual filters.
+type IndexScan struct {
+	Table   string
+	TableID catalog.ObjectID
+	Index   string
+	IndexID catalog.ObjectID
+	Column  string // leading index column the range applies to
+	Op      CmpOp
+	Lo, Hi  types.Value
+	// Residual predicates evaluated after the heap fetch (including any
+	// re-check of the range itself is unnecessary: ranges are exact).
+	Residual []Pred
+	Cols     []ColRef
+	Rows     float64
+}
+
+// Schema implements Node.
+func (s *IndexScan) Schema() []ColRef { return s.Cols }
+
+// EstRows implements Node.
+func (s *IndexScan) EstRows() float64 { return s.Rows }
+
+// Describe implements Node.
+func (s *IndexScan) Describe() string {
+	return fmt.Sprintf("IndexScan(%s via %s on %s %v) rows=%.0f", s.Table, s.Index, s.Column, s.Op, s.Rows)
+}
+
+// Join combines two inputs on an equality predicate. For HashJoin both
+// children are Nodes (build = Inner). For IndexNLJoin the inner side is a
+// base table probed through InnerIndex for every outer row; InnerResidual
+// holds the inner table's remaining predicates.
+type Join struct {
+	Algo     JoinAlgo
+	Outer    Node
+	OuterCol ColRef
+
+	// HashJoin: the build side.
+	Inner    Node
+	InnerCol ColRef
+
+	// IndexNLJoin: the probed table.
+	InnerTable    string
+	InnerTableID  catalog.ObjectID
+	InnerIndex    string
+	InnerIndexID  catalog.ObjectID
+	InnerResidual []Pred
+	InnerCols     []ColRef
+
+	Rows float64
+}
+
+// Schema implements Node: outer columns followed by inner columns.
+func (j *Join) Schema() []ColRef {
+	out := append([]ColRef(nil), j.Outer.Schema()...)
+	if j.Algo == HashJoin {
+		return append(out, j.Inner.Schema()...)
+	}
+	return append(out, j.InnerCols...)
+}
+
+// EstRows implements Node.
+func (j *Join) EstRows() float64 { return j.Rows }
+
+// Describe implements Node.
+func (j *Join) Describe() string {
+	inner := ""
+	if j.Algo == HashJoin {
+		inner = j.Inner.Describe()
+	} else {
+		inner = fmt.Sprintf("%s via %s", j.InnerTable, j.InnerIndex)
+	}
+	return fmt.Sprintf("%v(outer=[%s] inner=[%s]) rows=%.0f", j.Algo, j.Outer.Describe(), inner, j.Rows)
+}
+
+// AggNode aggregates its input, optionally grouped.
+type AggNode struct {
+	Input   Node
+	GroupBy []ColRef
+	Aggs    []Agg
+	Rows    float64
+}
+
+// Schema implements Node: group-by columns then one column per aggregate.
+func (a *AggNode) Schema() []ColRef {
+	out := append([]ColRef(nil), a.GroupBy...)
+	for _, g := range a.Aggs {
+		out = append(out, ColRef{Table: "", Column: fmt.Sprintf("%v(%s.%s)", g.Func, g.Table, g.Column)})
+	}
+	return out
+}
+
+// EstRows implements Node.
+func (a *AggNode) EstRows() float64 { return a.Rows }
+
+// Describe implements Node.
+func (a *AggNode) Describe() string {
+	return fmt.Sprintf("Agg(groups=%d aggs=%d)[%s]", len(a.GroupBy), len(a.Aggs), a.Input.Describe())
+}
+
+// LimitNode truncates its input.
+type LimitNode struct {
+	Input Node
+	N     int
+}
+
+// Schema implements Node.
+func (l *LimitNode) Schema() []ColRef { return l.Input.Schema() }
+
+// EstRows implements Node.
+func (l *LimitNode) EstRows() float64 {
+	r := l.Input.EstRows()
+	if float64(l.N) < r {
+		return float64(l.N)
+	}
+	return r
+}
+
+// Describe implements Node.
+func (l *LimitNode) Describe() string {
+	return fmt.Sprintf("Limit(%d)[%s]", l.N, l.Input.Describe())
+}
+
+// Estimate is the optimizer's prediction for a plan under a specific layout:
+// the per-object I/O profile (chi), the I/O and CPU time, and the output
+// cardinality. DOT consumes the profile; the SLA check consumes the time.
+type Estimate struct {
+	Rows    float64
+	Profile iosim.Profile
+	IOTime  time.Duration
+	CPUTime time.Duration
+}
+
+// Time returns the estimated response time (paper §3.5: I/O time plus the
+// optimizer's CPU time estimate).
+func (e *Estimate) Time() time.Duration { return e.IOTime + e.CPUTime }
+
+// Plan is a costed physical plan.
+type Plan struct {
+	Query *Query
+	Root  Node
+	Est   Estimate
+}
+
+// JoinAlgos returns the join algorithms used in the plan, outermost first.
+// The paper reports the fraction of INLJ joins as layouts change (§4.4.2).
+func (p *Plan) JoinAlgos() []JoinAlgo {
+	var out []JoinAlgo
+	var walk func(Node)
+	walk = func(n Node) {
+		switch t := n.(type) {
+		case *Join:
+			out = append(out, t.Algo)
+			walk(t.Outer)
+			if t.Algo == HashJoin {
+				walk(t.Inner)
+			}
+		case *AggNode:
+			walk(t.Input)
+		case *LimitNode:
+			walk(t.Input)
+		}
+	}
+	walk(p.Root)
+	return out
+}
+
+// Explain renders a multi-line plan description.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p.Query.Name)
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		switch t := n.(type) {
+		case *Join:
+			fmt.Fprintf(&b, "%s%v rows=%.0f\n", indent, t.Algo, t.Rows)
+			walk(t.Outer, depth+1)
+			if t.Algo == HashJoin {
+				walk(t.Inner, depth+1)
+			} else {
+				fmt.Fprintf(&b, "%s  IndexProbe(%s via %s) residual=%d\n", indent, t.InnerTable, t.InnerIndex, len(t.InnerResidual))
+			}
+		case *AggNode:
+			fmt.Fprintf(&b, "%sAgg groups=%d rows=%.0f\n", indent, len(t.GroupBy), t.Rows)
+			walk(t.Input, depth+1)
+		case *LimitNode:
+			fmt.Fprintf(&b, "%sLimit %d\n", indent, t.N)
+			walk(t.Input, depth+1)
+		default:
+			fmt.Fprintf(&b, "%s%s\n", indent, n.Describe())
+		}
+	}
+	walk(p.Root, 1)
+	fmt.Fprintf(&b, "  est: rows=%.0f io=%v cpu=%v\n", p.Est.Rows, p.Est.IOTime, p.Est.CPUTime)
+	return b.String()
+}

@@ -1,0 +1,256 @@
+// Package plan defines the engine's query representation: a structured
+// logical query (tables, predicates, equi-joins, aggregates), the physical
+// plan nodes the optimizer produces, and the CPU cost constants shared by
+// the optimizer's estimates and the executor's charging so that estimated
+// and measured times are mutually consistent.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"dotprov/internal/types"
+)
+
+// CmpOp is a comparison operator in a table predicate.
+type CmpOp uint8
+
+const (
+	Eq CmpOp = iota
+	Lt
+	Le
+	Gt
+	Ge
+	Between // Lo <= col <= Hi
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Between:
+		return "between"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(o))
+	}
+}
+
+// Pred is a single-table predicate: column op constant (or a range for
+// Between). The optimizer uses preds both for selectivity estimation and
+// index-range derivation; the executor evaluates them on decoded tuples.
+type Pred struct {
+	Table  string
+	Column string
+	Op     CmpOp
+	Lo     types.Value
+	Hi     types.Value // Between only
+}
+
+// Matches evaluates the predicate against a value of the referenced column.
+func (p Pred) Matches(v types.Value) bool {
+	c := types.Compare(v, p.Lo)
+	switch p.Op {
+	case Eq:
+		return c == 0
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Ge:
+		return c >= 0
+	case Between:
+		return c >= 0 && types.Compare(v, p.Hi) <= 0
+	default:
+		return false
+	}
+}
+
+// String renders the predicate.
+func (p Pred) String() string {
+	if p.Op == Between {
+		return fmt.Sprintf("%s.%s between %v and %v", p.Table, p.Column, p.Lo, p.Hi)
+	}
+	return fmt.Sprintf("%s.%s %v %v", p.Table, p.Column, p.Op, p.Lo)
+}
+
+// EquiJoin is an equality join predicate between two tables.
+type EquiJoin struct {
+	LeftTable   string
+	LeftColumn  string
+	RightTable  string
+	RightColumn string
+}
+
+// String renders the join predicate.
+func (j EquiJoin) String() string {
+	return fmt.Sprintf("%s.%s = %s.%s", j.LeftTable, j.LeftColumn, j.RightTable, j.RightColumn)
+}
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc uint8
+
+const (
+	Count AggFunc = iota
+	Sum
+	Min
+	Max
+	Avg
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Avg:
+		return "avg"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(f))
+	}
+}
+
+// Agg is an aggregate over the join result. Count ignores the column.
+type Agg struct {
+	Func   AggFunc
+	Table  string
+	Column string
+}
+
+// ColRef names a column of a specific table.
+type ColRef struct {
+	Table  string
+	Column string
+}
+
+// String renders the column reference.
+func (c ColRef) String() string { return c.Table + "." + c.Column }
+
+// Query is the structured logical query the optimizer plans: a conjunctive
+// select-project-join block with optional grouping, aggregation and limit —
+// the fragment the TPC-H templates in this reproduction are expressed in.
+type Query struct {
+	Name    string
+	Tables  []string
+	Preds   []Pred
+	Joins   []EquiJoin
+	GroupBy []ColRef
+	Aggs    []Agg
+	Limit   int // 0 means no limit
+}
+
+// HasTable reports whether the query references the table.
+func (q *Query) HasTable(name string) bool {
+	for _, t := range q.Tables {
+		if t == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TablePreds returns the predicates restricted to one table.
+func (q *Query) TablePreds(name string) []Pred {
+	var out []Pred
+	for _, p := range q.Preds {
+		if p.Table == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Validate checks structural consistency: every pred/join/agg references a
+// table in the FROM list.
+func (q *Query) Validate() error {
+	has := func(t string) bool { return q.HasTable(t) }
+	if len(q.Tables) == 0 {
+		return fmt.Errorf("plan: query %q has no tables", q.Name)
+	}
+	seen := map[string]bool{}
+	for _, t := range q.Tables {
+		if seen[t] {
+			return fmt.Errorf("plan: query %q lists table %q twice", q.Name, t)
+		}
+		seen[t] = true
+	}
+	for _, p := range q.Preds {
+		if !has(p.Table) {
+			return fmt.Errorf("plan: query %q: predicate on unknown table %q", q.Name, p.Table)
+		}
+	}
+	for _, j := range q.Joins {
+		if !has(j.LeftTable) || !has(j.RightTable) {
+			return fmt.Errorf("plan: query %q: join %v references unknown table", q.Name, j)
+		}
+		if j.LeftTable == j.RightTable {
+			return fmt.Errorf("plan: query %q: self-join %v not supported", q.Name, j)
+		}
+	}
+	for _, g := range q.GroupBy {
+		if !has(g.Table) {
+			return fmt.Errorf("plan: query %q: group-by on unknown table %q", q.Name, g.Table)
+		}
+	}
+	for _, a := range q.Aggs {
+		if a.Func != Count && !has(a.Table) {
+			return fmt.Errorf("plan: query %q: aggregate on unknown table %q", q.Name, a.Table)
+		}
+	}
+	return nil
+}
+
+// String renders a compact SQL-ish description of the query.
+func (q *Query) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "select")
+	if len(q.Aggs) == 0 {
+		b.WriteString(" *")
+	}
+	for i, a := range q.Aggs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if a.Func == Count && a.Column == "" {
+			b.WriteString(" count(*)")
+		} else {
+			fmt.Fprintf(&b, " %v(%s.%s)", a.Func, a.Table, a.Column)
+		}
+	}
+	fmt.Fprintf(&b, " from %s", strings.Join(q.Tables, ", "))
+	var conds []string
+	for _, j := range q.Joins {
+		conds = append(conds, j.String())
+	}
+	for _, p := range q.Preds {
+		conds = append(conds, p.String())
+	}
+	if len(conds) > 0 {
+		fmt.Fprintf(&b, " where %s", strings.Join(conds, " and "))
+	}
+	if len(q.GroupBy) > 0 {
+		var gs []string
+		for _, g := range q.GroupBy {
+			gs = append(gs, g.String())
+		}
+		fmt.Fprintf(&b, " group by %s", strings.Join(gs, ", "))
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " limit %d", q.Limit)
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+// Package provision implements the paper's §5 extensions: the generalized
+// provisioning problem (§5.1 — choose the storage configuration, i.e. the
+// box, together with its layout) and the discrete-sized storage cost model
+// (§5.2 — devices are bought in whole units, blended with the linear
+// proportional cost by a parameter alpha).
+package provision
+
+import (
+	"fmt"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/core"
+	"dotprov/internal/device"
+)
+
+// Candidate is one storage configuration option f_i of §5.1: a box plus the
+// DOT input bound to it (estimator, profiles, catalog).
+type Candidate struct {
+	Name string
+	In   core.Input
+}
+
+// Choice reports the winning configuration and every candidate's outcome.
+type Choice struct {
+	Best    int // index into Results; -1 if nothing feasible
+	Results []CandidateResult
+}
+
+// CandidateResult pairs a candidate with its DOT recommendation.
+type CandidateResult struct {
+	Name   string
+	Result *core.Result
+}
+
+// ChooseConfiguration solves the generalized provisioning problem: run DOT
+// on every candidate configuration and pick the feasible recommendation
+// with the minimum TOC (paper §5.1.1).
+func ChooseConfiguration(cands []Candidate, opts core.Options) (*Choice, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("provision: no candidate configurations")
+	}
+	ch := &Choice{Best: -1}
+	for _, c := range cands {
+		res, err := core.Optimize(c.In, opts)
+		if err != nil {
+			return nil, fmt.Errorf("provision: candidate %q: %w", c.Name, err)
+		}
+		ch.Results = append(ch.Results, CandidateResult{Name: c.Name, Result: res})
+		if !res.Feasible {
+			continue
+		}
+		if ch.Best < 0 || res.TOCCents < ch.Results[ch.Best].Result.TOCCents {
+			ch.Best = len(ch.Results) - 1
+		}
+	}
+	return ch, nil
+}
+
+// DiscreteCostModel returns the layout cost function of §5.2:
+//
+//	C(L) = sum_j [ alpha * (p_j * c_j) + (1-alpha) * (S_j/c_j) * (p_j * c_j) ]
+//
+// where the first term is the discrete cost of the devices a class needs
+// (paid in whole units as soon as the class is used) and the second is the
+// proportional cost; alpha in [0, 1] blends them. alpha = 0 degenerates to
+// the paper's linear model of §2.1.
+func DiscreteCostModel(cat *catalog.Catalog, box *device.Box, alpha float64) (func(catalog.Layout) (float64, error), error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("provision: alpha must be in [0, 1], got %g", alpha)
+	}
+	return func(l catalog.Layout) (float64, error) {
+		var total float64
+		for cls, bytes := range l.SpaceByClass(cat) {
+			if bytes == 0 {
+				continue
+			}
+			d := box.Device(cls)
+			if d == nil {
+				return 0, fmt.Errorf("provision: layout uses class %v absent from box %q", cls, box.Name)
+			}
+			capGB := float64(d.CapacityBytes) / 1e9
+			unitCost := d.PriceCents * capGB // p_j * c_j, cent/hour for the whole device
+			// Units needed to hold S_j (devices are bought whole).
+			units := float64((bytes + d.CapacityBytes - 1) / d.CapacityBytes)
+			if units < 1 {
+				units = 1
+			}
+			discrete := unitCost * units
+			linear := d.PriceCents * float64(bytes) / 1e9
+			total += alpha*discrete + (1-alpha)*linear
+		}
+		return total, nil
+	}, nil
+}
+
+// CompareAlphas runs DOT under the discrete model for each alpha and
+// returns the recommendations, for the §5.2 sensitivity sweep.
+func CompareAlphas(in core.Input, opts core.Options, alphas []float64) ([]CandidateResult, error) {
+	var out []CandidateResult
+	for _, a := range alphas {
+		model, err := DiscreteCostModel(in.Cat, in.Box, a)
+		if err != nil {
+			return nil, err
+		}
+		in2 := in
+		in2.LayoutCost = model
+		res, err := core.Optimize(in2, opts)
+		if err != nil {
+			return nil, fmt.Errorf("provision: alpha %g: %w", a, err)
+		}
+		out = append(out, CandidateResult{Name: fmt.Sprintf("alpha=%g", a), Result: res})
+	}
+	return out, nil
+}
+
+// Amortize converts a one-off TOC measurement into a cents/hour figure for
+// reporting (helper for harnesses that compare DSS runs of different
+// lengths).
+func Amortize(tocCents float64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return tocCents / elapsed.Hours()
+}

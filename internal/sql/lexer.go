@@ -1,0 +1,139 @@
+// Package sql provides a front-end for the engine: a lexer and recursive-
+// descent parser for the SQL subset the reproduction's workloads are
+// written in (CREATE TABLE / CREATE INDEX / INSERT / SELECT with
+// conjunctive predicates, equi-joins, aggregates, GROUP BY and LIMIT), a
+// compiler from SELECT statements to the engine's structured query IR
+// (plan.Query), and helpers that apply scripts to a database.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , ; . * = < > <= >=
+	tokKeyword
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords uppercased; idents lowercased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "GROUP": true,
+	"BY": true, "LIMIT": true, "BETWEEN": true, "COUNT": true, "SUM": true,
+	"MIN": true, "MAX": true, "AVG": true, "CREATE": true, "TABLE": true,
+	"INDEX": true, "UNIQUE": true, "ON": true, "PRIMARY": true, "KEY": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "INT": true, "FLOAT": true,
+	"STRING": true, "TEXT": true, "DATE": true, "AS": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits src into tokens. It returns a descriptive error with byte
+// position on any character it does not understand.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			l.number()
+		case isIdentStart(c):
+			l.ident()
+		case c == '\'':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		case c == '<' || c == '>':
+			start := l.pos
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+			}
+			l.emit(tokSymbol, l.src[start:l.pos], start)
+		case strings.IndexByte("(),;.*=", c) >= 0:
+			l.emit(tokSymbol, string(c), l.pos)
+			l.pos++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at byte %d", c, l.pos)
+		}
+	}
+	l.emit(tokEOF, "", l.pos)
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	l.emit(tokNumber, l.src[start:l.pos], start)
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	up := strings.ToUpper(word)
+	if keywords[up] {
+		l.emit(tokKeyword, up, start)
+	} else {
+		l.emit(tokIdent, strings.ToLower(word), start)
+	}
+}
+
+func (l *lexer) str() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tokString, b.String(), start)
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string starting at byte %d", start)
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c) }

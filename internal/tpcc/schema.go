@@ -1,0 +1,213 @@
+// Package tpcc provides the TPC-C-like OLTP substrate of the paper's §4.5
+// evaluation: the nine-table schema with the paper's index set (Table 3
+// lists the eight primary-key indexes plus i_orders and i_customer — 19
+// placeable objects), a scaled-down generator, the five transaction
+// profiles, and a driver measuring New-Order transactions per minute (tpmC)
+// on the virtual clock. Access is random-I/O dominated by construction,
+// matching the paper's observation (§4.5.1).
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dotprov/internal/engine"
+	"dotprov/internal/types"
+)
+
+// Config scales the generated database.
+type Config struct {
+	Warehouses        int
+	DistrictsPerW     int
+	CustomersPerDist  int
+	Items             int
+	OrdersPerDistrict int
+	Seed              int64
+}
+
+// DefaultConfig is a laptop-scale configuration (the paper populates scale
+// factor 300 — 300 warehouses — on real hardware).
+func DefaultConfig() Config {
+	return Config{
+		Warehouses:        2,
+		DistrictsPerW:     10,
+		CustomersPerDist:  100,
+		Items:             500,
+		OrdersPerDistrict: 100,
+		Seed:              1,
+	}
+}
+
+func col(name string, k types.Kind) types.Column { return types.Column{Name: name, Kind: k} }
+
+// lastNames generates TPC-C style customer last names from the syllable
+// table, so i_customer lookups by last name have realistic duplication.
+var lastSyllables = []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+
+// LastName returns the TPC-C last name for a number in [0, 999].
+func LastName(num int) string {
+	return lastSyllables[num/100%10] + lastSyllables[num/10%10] + lastSyllables[num%10]
+}
+
+// Build creates the TPC-C schema and loads the initial population, then
+// analyzes. Objects: 9 tables, 8 PK indexes (history has none), i_customer
+// and i_orders.
+func Build(db *engine.DB, cfg Config) error {
+	type def struct {
+		name   string
+		schema *types.Schema
+		pk     []string
+	}
+	defs := []def{
+		{"warehouse", types.NewSchema(
+			col("w_id", types.KindInt), col("w_name", types.KindString),
+			col("w_tax", types.KindFloat), col("w_ytd", types.KindFloat),
+		), []string{"w_id"}},
+		{"district", types.NewSchema(
+			col("d_w_id", types.KindInt), col("d_id", types.KindInt),
+			col("d_tax", types.KindFloat), col("d_ytd", types.KindFloat),
+			col("d_next_o_id", types.KindInt),
+		), []string{"d_w_id", "d_id"}},
+		{"customer", types.NewSchema(
+			col("c_w_id", types.KindInt), col("c_d_id", types.KindInt), col("c_id", types.KindInt),
+			col("c_last", types.KindString), col("c_first", types.KindString),
+			col("c_balance", types.KindFloat), col("c_ytd_payment", types.KindFloat),
+			col("c_payment_cnt", types.KindInt), col("c_data", types.KindString),
+		), []string{"c_w_id", "c_d_id", "c_id"}},
+		{"history", types.NewSchema(
+			col("h_w_id", types.KindInt), col("h_d_id", types.KindInt), col("h_c_id", types.KindInt),
+			col("h_date", types.KindDate), col("h_amount", types.KindFloat),
+		), nil}, // history has no primary key in TPC-C
+		{"item", types.NewSchema(
+			col("i_id", types.KindInt), col("i_name", types.KindString),
+			col("i_price", types.KindFloat), col("i_data", types.KindString),
+		), []string{"i_id"}},
+		{"stock", types.NewSchema(
+			col("s_w_id", types.KindInt), col("s_i_id", types.KindInt),
+			col("s_quantity", types.KindInt), col("s_ytd", types.KindInt),
+			col("s_order_cnt", types.KindInt), col("s_data", types.KindString),
+		), []string{"s_w_id", "s_i_id"}},
+		{"orders", types.NewSchema(
+			col("o_w_id", types.KindInt), col("o_d_id", types.KindInt), col("o_id", types.KindInt),
+			col("o_c_id", types.KindInt), col("o_entry_d", types.KindDate),
+			col("o_carrier_id", types.KindInt), col("o_ol_cnt", types.KindInt),
+		), []string{"o_w_id", "o_d_id", "o_id"}},
+		{"new_order", types.NewSchema(
+			col("no_w_id", types.KindInt), col("no_d_id", types.KindInt), col("no_o_id", types.KindInt),
+		), []string{"no_w_id", "no_d_id", "no_o_id"}},
+		{"order_line", types.NewSchema(
+			col("ol_w_id", types.KindInt), col("ol_d_id", types.KindInt), col("ol_o_id", types.KindInt),
+			col("ol_number", types.KindInt), col("ol_i_id", types.KindInt),
+			col("ol_quantity", types.KindInt), col("ol_amount", types.KindFloat),
+			col("ol_delivery_d", types.KindDate),
+		), []string{"ol_w_id", "ol_d_id", "ol_o_id", "ol_number"}},
+	}
+	for _, d := range defs {
+		if _, err := db.CreateTable(d.name, d.schema, d.pk); err != nil {
+			return err
+		}
+	}
+	// The paper's secondary indexes (Table 3): i_customer on the customer
+	// last name (per district) and i_orders on the order's customer.
+	if _, err := db.CreateIndex("i_customer", "customer", []string{"c_w_id", "c_d_id", "c_last"}, false); err != nil {
+		return err
+	}
+	if _, err := db.CreateIndex("i_orders", "orders", []string{"o_w_id", "o_d_id", "o_c_id"}, false); err != nil {
+		return err
+	}
+	if err := loadAll(db, cfg); err != nil {
+		return err
+	}
+	return db.Analyze()
+}
+
+func loadAll(db *engine.DB, cfg Config) error {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	pad := "initial-data-padding-padding-padding"
+	for w := 0; w < cfg.Warehouses; w++ {
+		if err := db.Load("warehouse", types.Tuple{
+			types.NewInt(int64(w)), types.NewString(fmt.Sprintf("WH%03d", w)),
+			types.NewFloat(r.Float64() * 0.2), types.NewFloat(300000),
+		}); err != nil {
+			return err
+		}
+		for i := 0; i < cfg.Items; i++ {
+			if w == 0 { // items are global
+				if err := db.Load("item", types.Tuple{
+					types.NewInt(int64(i)), types.NewString(fmt.Sprintf("item-%06d", i)),
+					types.NewFloat(1 + r.Float64()*99), types.NewString(pad),
+				}); err != nil {
+					return err
+				}
+			}
+			if err := db.Load("stock", types.Tuple{
+				types.NewInt(int64(w)), types.NewInt(int64(i)),
+				types.NewInt(int64(10 + r.Intn(90))), types.NewInt(0), types.NewInt(0),
+				types.NewString(pad),
+			}); err != nil {
+				return err
+			}
+		}
+		for d := 0; d < cfg.DistrictsPerW; d++ {
+			if err := db.Load("district", types.Tuple{
+				types.NewInt(int64(w)), types.NewInt(int64(d)),
+				types.NewFloat(r.Float64() * 0.2), types.NewFloat(30000),
+				types.NewInt(int64(cfg.OrdersPerDistrict)),
+			}); err != nil {
+				return err
+			}
+			for c := 0; c < cfg.CustomersPerDist; c++ {
+				if err := db.Load("customer", types.Tuple{
+					types.NewInt(int64(w)), types.NewInt(int64(d)), types.NewInt(int64(c)),
+					types.NewString(LastName(nonUniform(r, 255, 999))),
+					types.NewString(fmt.Sprintf("first-%04d", c)),
+					types.NewFloat(-10), types.NewFloat(10), types.NewInt(1),
+					types.NewString(pad + pad),
+				}); err != nil {
+					return err
+				}
+				if err := db.Load("history", types.Tuple{
+					types.NewInt(int64(w)), types.NewInt(int64(d)), types.NewInt(int64(c)),
+					types.NewDate(10000), types.NewFloat(10),
+				}); err != nil {
+					return err
+				}
+			}
+			for o := 0; o < cfg.OrdersPerDistrict; o++ {
+				cid := r.Intn(cfg.CustomersPerDist)
+				olCnt := 5 + r.Intn(6)
+				if err := db.Load("orders", types.Tuple{
+					types.NewInt(int64(w)), types.NewInt(int64(d)), types.NewInt(int64(o)),
+					types.NewInt(int64(cid)), types.NewDate(10000 + int64(o)),
+					types.NewInt(int64(1 + r.Intn(10))), types.NewInt(int64(olCnt)),
+				}); err != nil {
+					return err
+				}
+				for ol := 0; ol < olCnt; ol++ {
+					if err := db.Load("order_line", types.Tuple{
+						types.NewInt(int64(w)), types.NewInt(int64(d)), types.NewInt(int64(o)),
+						types.NewInt(int64(ol)), types.NewInt(int64(r.Intn(cfg.Items))),
+						types.NewInt(5), types.NewFloat(r.Float64() * 9999),
+						types.NewDate(10000 + int64(o)),
+					}); err != nil {
+						return err
+					}
+				}
+				// The most recent third of orders are undelivered.
+				if o >= cfg.OrdersPerDistrict*2/3 {
+					if err := db.Load("new_order", types.Tuple{
+						types.NewInt(int64(w)), types.NewInt(int64(d)), types.NewInt(int64(o)),
+					}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// nonUniform implements TPC-C's NURand-style skewed distribution.
+func nonUniform(r *rand.Rand, a, max int) int {
+	return ((r.Intn(a+1) | r.Intn(max+1)) % (max + 1))
+}

@@ -1,0 +1,223 @@
+package tpcc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/engine"
+	"dotprov/internal/types"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Warehouses:        1,
+		DistrictsPerW:     3,
+		CustomersPerDist:  20,
+		Items:             50,
+		OrdersPerDistrict: 15,
+		Seed:              3,
+	}
+}
+
+func buildTiny(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.New(device.Box2(), 4096)
+	if err := Build(db, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetLayout(catalog.NewUniformLayout(db.Cat, device.HSSD)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestBuildHas19Objects(t *testing.T) {
+	db := buildTiny(t)
+	objs := db.Cat.Objects()
+	// 9 tables + 8 PK indexes (history has none) + i_customer + i_orders.
+	if len(objs) != 19 {
+		for _, o := range objs {
+			t.Logf("  %s (%v)", o.Name, o.Kind)
+		}
+		t.Fatalf("TPC-C catalog has %d objects, want 19 (paper Table 3)", len(objs))
+	}
+	for _, name := range []string{"i_customer", "i_orders", "warehouse_pkey", "order_line_pkey"} {
+		if _, err := db.Cat.IndexByName(name); err != nil {
+			t.Errorf("missing index %s: %v", name, err)
+		}
+	}
+	if _, err := db.Cat.IndexByName("history_pkey"); err == nil {
+		t.Error("history must not have a primary key index")
+	}
+}
+
+func TestLastName(t *testing.T) {
+	if LastName(0) != "BARBARBAR" {
+		t.Errorf("LastName(0) = %q", LastName(0))
+	}
+	if LastName(371) != "PRIANTIPRI" && LastName(371) == "" {
+		t.Errorf("LastName(371) = %q", LastName(371))
+	}
+	if LastName(999) != "EINGEINGEING" {
+		t.Errorf("LastName(999) = %q", LastName(999))
+	}
+}
+
+func TestTransactionsExecute(t *testing.T) {
+	db := buildTiny(t)
+	sess, err := db.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &txnState{cfg: tinyConfig(), r: newRand(1), w: 0}
+	for i := 0; i < 10; i++ {
+		if err := st.NewOrder(sess); err != nil {
+			t.Fatalf("NewOrder %d: %v", i, err)
+		}
+	}
+	if st.last.newOrders != 10 {
+		t.Fatalf("counted %d new orders, want 10", st.last.newOrders)
+	}
+	for i := 0; i < 10; i++ {
+		if err := st.Payment(sess); err != nil {
+			t.Fatalf("Payment %d: %v", i, err)
+		}
+	}
+	if err := st.OrderStatus(sess); err != nil {
+		t.Fatalf("OrderStatus: %v", err)
+	}
+	if err := st.Delivery(sess); err != nil {
+		t.Fatalf("Delivery: %v", err)
+	}
+	if err := st.StockLevel(sess); err != nil {
+		t.Fatalf("StockLevel: %v", err)
+	}
+	if sess.Acct().Now() == 0 {
+		t.Fatal("transactions consumed no virtual time")
+	}
+}
+
+func TestNewOrderAdvancesDistrictCounter(t *testing.T) {
+	db := buildTiny(t)
+	sess, _ := db.NewSession()
+	st := &txnState{cfg: tinyConfig(), r: newRand(2), w: 0}
+	before := districtNext(t, db, 0)
+	for i := 0; i < 12; i++ {
+		if err := st.NewOrder(sess); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := districtNext(t, db, 0)
+	var gained int64
+	for d := range after {
+		gained += after[d] - before[d]
+	}
+	if gained != 12 {
+		t.Fatalf("district counters advanced by %d, want 12", gained)
+	}
+}
+
+func districtNext(t *testing.T, db *engine.DB, w int) map[int]int64 {
+	t.Helper()
+	sess, _ := db.NewSession()
+	out := map[int]int64{}
+	for d := 0; d < tinyConfig().DistrictsPerW; d++ {
+		tu, _, err := sess.LookupEq("district_pkey", types.NewInt(int64(w)), types.NewInt(int64(d)))
+		if err != nil || len(tu) != 1 {
+			t.Fatalf("district (%d,%d): %v", w, d, err)
+		}
+		out[d] = tu[0][4].Int
+	}
+	return out
+}
+
+func TestDriverMeasuresTpmC(t *testing.T) {
+	db := buildTiny(t)
+	d := &Driver{Cfg: tinyConfig(), Workers: 4, Period: 300 * time.Millisecond, Seed: 11}
+	res, err := d.Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTxns == 0 || res.TpmC <= 0 {
+		t.Fatalf("no work measured: %+v", res)
+	}
+	if res.Metrics.Throughput <= 0 || res.Metrics.Elapsed < 300*time.Millisecond {
+		t.Fatalf("metrics wrong: %+v", res.Metrics)
+	}
+	// TPC-C is random-I/O dominated (paper §4.5.1).
+	var sr, rr float64
+	for _, o := range db.Cat.Objects() {
+		v := res.Profile.Get(o.ID)
+		sr += v[device.SeqRead]
+		rr += v[device.RandRead]
+	}
+	if rr <= sr {
+		t.Fatalf("TPC-C should be RR-dominated: RR=%g SR=%g", rr, sr)
+	}
+}
+
+func TestThroughputFallsOnSlowStorage(t *testing.T) {
+	db := buildTiny(t)
+	d := &Driver{Cfg: tinyConfig(), Workers: 2, Period: 150 * time.Millisecond, Seed: 5}
+	fast, err := d.Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetLayout(catalog.NewUniformLayout(db.Cat, device.HDD)); err != nil {
+		t.Fatal(err)
+	}
+	db.ClearPool()
+	slow, err := d.Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.TpmC >= fast.TpmC {
+		t.Fatalf("tpmC on HDD (%.0f) should be below H-SSD (%.0f)", slow.TpmC, fast.TpmC)
+	}
+	// The gap should be large: TPC-C random I/O is ~100x slower on disk.
+	if fast.TpmC/slow.TpmC < 5 {
+		t.Fatalf("H-SSD/HDD tpmC ratio only %.1f; random I/O dominance broken", fast.TpmC/slow.TpmC)
+	}
+}
+
+func TestProfileEstimatorTracksDirection(t *testing.T) {
+	db := buildTiny(t)
+	d := &Driver{Cfg: tinyConfig(), Workers: 2, Period: 150 * time.Millisecond, Seed: 9}
+	run, err := d.Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := d.Estimator(db, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mFast, err := est.Estimate(catalog.NewUniformLayout(db.Cat, device.HSSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSlow, err := est.Estimate(catalog.NewUniformLayout(db.Cat, device.HDD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mSlow.Throughput >= mFast.Throughput {
+		t.Fatalf("estimator should predict lower throughput on HDD: %g vs %g", mSlow.Throughput, mFast.Throughput)
+	}
+	// The estimator should be self-consistent on the profiled layout.
+	ratio := mFast.Throughput * run.Metrics.Elapsed.Hours() / float64(run.Stats.Txns)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("estimate on profiled layout off by %.2fx", ratio)
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	db := buildTiny(t)
+	d := &Driver{Cfg: tinyConfig(), Workers: 0, Period: time.Millisecond}
+	if _, err := d.Run(db); err == nil {
+		t.Fatal("zero workers should fail")
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

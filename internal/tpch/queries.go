@@ -1,0 +1,399 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dotprov/internal/plan"
+	"dotprov/internal/types"
+)
+
+// gen draws query parameters deterministically.
+type gen struct {
+	r    *rand.Rand
+	rows map[string]int
+}
+
+func newGen(cfg Config, seed int64) *gen {
+	return &gen{r: rand.New(rand.NewSource(seed)), rows: cfg.Rows()}
+}
+
+func (g *gen) date(loFrac, hiFrac float64) (int64, int64) {
+	span := float64(DateHi - DateLo)
+	lo := DateLo + int64(loFrac*span)
+	hi := DateLo + int64(hiFrac*span)
+	return lo, hi
+}
+
+func pInt(table, column string, op plan.CmpOp, v int64) plan.Pred {
+	return plan.Pred{Table: table, Column: column, Op: op, Lo: types.NewInt(v)}
+}
+
+func pStr(table, column, v string) plan.Pred {
+	return plan.Pred{Table: table, Column: column, Op: plan.Eq, Lo: types.NewString(v)}
+}
+
+func pBetween(table, column string, lo, hi types.Value) plan.Pred {
+	return plan.Pred{Table: table, Column: column, Op: plan.Between, Lo: lo, Hi: hi}
+}
+
+func pDateBetween(table, column string, lo, hi int64) plan.Pred {
+	return pBetween(table, column, types.NewDate(lo), types.NewDate(hi))
+}
+
+func join(lt, lc, rt, rc string) plan.EquiJoin {
+	return plan.EquiJoin{LeftTable: lt, LeftColumn: lc, RightTable: rt, RightColumn: rc}
+}
+
+func agg(f plan.AggFunc, t, c string) plan.Agg { return plan.Agg{Func: f, Table: t, Column: c} }
+
+func countStar() plan.Agg { return plan.Agg{Func: plan.Count} }
+
+// Query builds one instance of a TPC-H template (1..22) with parameters
+// drawn from g. The templates are structural approximations: each preserves
+// the tables touched, the join shape, the rough selectivities and therefore
+// the I/O access pattern of the official SQL; correlated subqueries are
+// flattened into selective predicates.
+func (g *gen) Query(template int) *plan.Query {
+	r := g.r
+	name := fmt.Sprintf("Q%d", template)
+	switch template {
+	case 1: // pricing summary: full lineitem scan
+		cut := int64(DateHi - 60 - r.Intn(60))
+		return &plan.Query{Name: name, Tables: []string{"lineitem"},
+			Preds: []plan.Pred{{Table: "lineitem", Column: "l_shipdate", Op: plan.Le, Lo: types.NewDate(cut)}},
+			GroupBy: []plan.ColRef{{Table: "lineitem", Column: "l_returnflag"},
+				{Table: "lineitem", Column: "l_shipmode"}},
+			Aggs: []plan.Agg{agg(plan.Sum, "lineitem", "l_quantity"),
+				agg(plan.Sum, "lineitem", "l_extendedprice"),
+				agg(plan.Avg, "lineitem", "l_discount"), countStar()},
+		}
+	case 2: // minimum cost supplier
+		return &plan.Query{Name: name,
+			Tables: []string{"part", "partsupp", "supplier", "nation", "region"},
+			Preds: []plan.Pred{
+				pInt("part", "p_size", plan.Eq, int64(1+r.Intn(50))),
+				pStr("region", "r_name", regions[r.Intn(len(regions))]),
+			},
+			Joins: []plan.EquiJoin{
+				join("part", "p_partkey", "partsupp", "ps_partkey"),
+				join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+				join("supplier", "s_nationkey", "nation", "n_nationkey"),
+				join("nation", "n_regionkey", "region", "r_regionkey"),
+			},
+			Aggs:  []plan.Agg{agg(plan.Min, "partsupp", "ps_supplycost"), countStar()},
+			Limit: 100,
+		}
+	case 3: // shipping priority
+		lo, hi := g.date(0.4, 0.45)
+		return &plan.Query{Name: name,
+			Tables: []string{"customer", "orders", "lineitem"},
+			Preds: []plan.Pred{
+				pStr("customer", "c_mktsegment", segments[r.Intn(len(segments))]),
+				{Table: "orders", Column: "o_orderdate", Op: plan.Lt, Lo: types.NewDate(hi)},
+				{Table: "lineitem", Column: "l_shipdate", Op: plan.Gt, Lo: types.NewDate(lo)},
+			},
+			Joins: []plan.EquiJoin{
+				join("customer", "c_custkey", "orders", "o_custkey"),
+				join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+			},
+			GroupBy: []plan.ColRef{{Table: "lineitem", Column: "l_orderkey"}},
+			Aggs:    []plan.Agg{agg(plan.Sum, "lineitem", "l_extendedprice")},
+			Limit:   10,
+		}
+	case 4: // order priority checking
+		lo, _ := g.date(0.3+0.05*r.Float64(), 0)
+		return &plan.Query{Name: name,
+			Tables: []string{"orders", "lineitem"},
+			Preds: []plan.Pred{
+				pDateBetween("orders", "o_orderdate", lo, lo+90),
+				{Table: "lineitem", Column: "l_receiptdate", Op: plan.Gt, Lo: types.NewDate(lo + 20)},
+			},
+			Joins:   []plan.EquiJoin{join("orders", "o_orderkey", "lineitem", "l_orderkey")},
+			GroupBy: []plan.ColRef{{Table: "orders", Column: "o_orderpriority"}},
+			Aggs:    []plan.Agg{countStar()},
+		}
+	case 5: // local supplier volume
+		lo, _ := g.date(0.2+0.1*r.Float64(), 0)
+		return &plan.Query{Name: name,
+			Tables: []string{"customer", "orders", "lineitem", "supplier", "nation", "region"},
+			Preds: []plan.Pred{
+				pStr("region", "r_name", regions[r.Intn(len(regions))]),
+				pDateBetween("orders", "o_orderdate", lo, lo+365),
+			},
+			Joins: []plan.EquiJoin{
+				join("customer", "c_custkey", "orders", "o_custkey"),
+				join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+				join("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+				join("supplier", "s_nationkey", "nation", "n_nationkey"),
+				join("nation", "n_regionkey", "region", "r_regionkey"),
+			},
+			GroupBy: []plan.ColRef{{Table: "nation", Column: "n_name"}},
+			Aggs:    []plan.Agg{agg(plan.Sum, "lineitem", "l_extendedprice")},
+		}
+	case 6: // forecasting revenue change: selective lineitem scan
+		lo, _ := g.date(0.1+0.5*r.Float64(), 0)
+		d := float64(r.Intn(9)) / 100
+		return &plan.Query{Name: name, Tables: []string{"lineitem"},
+			Preds: []plan.Pred{
+				pDateBetween("lineitem", "l_shipdate", lo, lo+365),
+				pBetween("lineitem", "l_discount", types.NewFloat(d), types.NewFloat(d+0.02)),
+				{Table: "lineitem", Column: "l_quantity", Op: plan.Lt, Lo: types.NewFloat(24)},
+			},
+			Aggs: []plan.Agg{agg(plan.Sum, "lineitem", "l_extendedprice")},
+		}
+	case 7: // volume shipping
+		lo, hi := g.date(0.6, 0.9)
+		return &plan.Query{Name: name,
+			Tables: []string{"supplier", "lineitem", "orders", "customer", "nation"},
+			Preds: []plan.Pred{
+				pDateBetween("lineitem", "l_shipdate", lo, hi),
+				pInt("nation", "n_nationkey", plan.Eq, int64(r.Intn(25))),
+			},
+			Joins: []plan.EquiJoin{
+				join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+				join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+				join("orders", "o_custkey", "customer", "c_custkey"),
+				join("customer", "c_nationkey", "nation", "n_nationkey"),
+			},
+			GroupBy: []plan.ColRef{{Table: "nation", Column: "n_name"}},
+			Aggs:    []plan.Agg{agg(plan.Sum, "lineitem", "l_extendedprice")},
+		}
+	case 8: // national market share
+		lo, hi := g.date(0.55, 0.85)
+		return &plan.Query{Name: name,
+			Tables: []string{"part", "lineitem", "orders", "customer", "nation", "region"},
+			Preds: []plan.Pred{
+				pStr("part", "p_type", ptypes[r.Intn(len(ptypes))]),
+				pDateBetween("orders", "o_orderdate", lo, hi),
+				pStr("region", "r_name", regions[r.Intn(len(regions))]),
+			},
+			Joins: []plan.EquiJoin{
+				join("part", "p_partkey", "lineitem", "l_partkey"),
+				join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+				join("orders", "o_custkey", "customer", "c_custkey"),
+				join("customer", "c_nationkey", "nation", "n_nationkey"),
+				join("nation", "n_regionkey", "region", "r_regionkey"),
+			},
+			Aggs: []plan.Agg{agg(plan.Sum, "lineitem", "l_extendedprice"), countStar()},
+		}
+	case 9: // product type profit measure
+		return &plan.Query{Name: name,
+			Tables: []string{"part", "lineitem", "supplier", "orders", "nation"},
+			Preds:  []plan.Pred{pStr("part", "p_mfgr", mfgrs[r.Intn(len(mfgrs))])},
+			Joins: []plan.EquiJoin{
+				join("part", "p_partkey", "lineitem", "l_partkey"),
+				join("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+				join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+				join("supplier", "s_nationkey", "nation", "n_nationkey"),
+			},
+			GroupBy: []plan.ColRef{{Table: "nation", Column: "n_name"}},
+			Aggs:    []plan.Agg{agg(plan.Sum, "lineitem", "l_extendedprice")},
+		}
+	case 10: // returned item reporting
+		lo, _ := g.date(0.3+0.3*r.Float64(), 0)
+		return &plan.Query{Name: name,
+			Tables: []string{"customer", "orders", "lineitem", "nation"},
+			Preds: []plan.Pred{
+				pDateBetween("orders", "o_orderdate", lo, lo+90),
+				pStr("lineitem", "l_returnflag", "R"),
+			},
+			Joins: []plan.EquiJoin{
+				join("customer", "c_custkey", "orders", "o_custkey"),
+				join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+				join("customer", "c_nationkey", "nation", "n_nationkey"),
+			},
+			GroupBy: []plan.ColRef{{Table: "customer", Column: "c_custkey"}},
+			Aggs:    []plan.Agg{agg(plan.Sum, "lineitem", "l_extendedprice")},
+			Limit:   20,
+		}
+	case 11: // important stock identification
+		return &plan.Query{Name: name,
+			Tables: []string{"partsupp", "supplier", "nation"},
+			Preds:  []plan.Pred{pInt("nation", "n_nationkey", plan.Eq, int64(r.Intn(25)))},
+			Joins: []plan.EquiJoin{
+				join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+				join("supplier", "s_nationkey", "nation", "n_nationkey"),
+			},
+			GroupBy: []plan.ColRef{{Table: "partsupp", Column: "ps_partkey"}},
+			Aggs:    []plan.Agg{agg(plan.Sum, "partsupp", "ps_supplycost")},
+		}
+	case 12: // shipping modes and order priority
+		lo, _ := g.date(0.2+0.6*r.Float64(), 0)
+		return &plan.Query{Name: name,
+			Tables: []string{"orders", "lineitem"},
+			Preds: []plan.Pred{
+				pStr("lineitem", "l_shipmode", shipmodes[r.Intn(len(shipmodes))]),
+				pDateBetween("lineitem", "l_receiptdate", lo, lo+365),
+			},
+			Joins:   []plan.EquiJoin{join("orders", "o_orderkey", "lineitem", "l_orderkey")},
+			GroupBy: []plan.ColRef{{Table: "lineitem", Column: "l_shipmode"}},
+			Aggs:    []plan.Agg{countStar()},
+		}
+	case 13: // customer distribution
+		return &plan.Query{Name: name,
+			Tables:  []string{"customer", "orders"},
+			Joins:   []plan.EquiJoin{join("customer", "c_custkey", "orders", "o_custkey")},
+			GroupBy: []plan.ColRef{{Table: "customer", Column: "c_custkey"}},
+			Aggs:    []plan.Agg{countStar()},
+		}
+	case 14: // promotion effect
+		lo, _ := g.date(0.1+0.7*r.Float64(), 0)
+		return &plan.Query{Name: name,
+			Tables: []string{"lineitem", "part"},
+			Preds:  []plan.Pred{pDateBetween("lineitem", "l_shipdate", lo, lo+30)},
+			Joins:  []plan.EquiJoin{join("lineitem", "l_partkey", "part", "p_partkey")},
+			Aggs:   []plan.Agg{agg(plan.Sum, "lineitem", "l_extendedprice")},
+		}
+	case 15: // top supplier
+		lo, _ := g.date(0.2+0.6*r.Float64(), 0)
+		return &plan.Query{Name: name,
+			Tables:  []string{"supplier", "lineitem"},
+			Preds:   []plan.Pred{pDateBetween("lineitem", "l_shipdate", lo, lo+90)},
+			Joins:   []plan.EquiJoin{join("supplier", "s_suppkey", "lineitem", "l_suppkey")},
+			GroupBy: []plan.ColRef{{Table: "supplier", Column: "s_suppkey"}},
+			Aggs:    []plan.Agg{agg(plan.Sum, "lineitem", "l_extendedprice")},
+			Limit:   1,
+		}
+	case 16: // parts/supplier relationship
+		return &plan.Query{Name: name,
+			Tables: []string{"partsupp", "part"},
+			Preds: []plan.Pred{
+				pStr("part", "p_brand", brands[r.Intn(len(brands))]),
+				pBetween("part", "p_size", types.NewInt(1), types.NewInt(int64(10+r.Intn(40)))),
+			},
+			Joins:   []plan.EquiJoin{join("partsupp", "ps_partkey", "part", "p_partkey")},
+			GroupBy: []plan.ColRef{{Table: "part", Column: "p_brand"}},
+			Aggs:    []plan.Agg{countStar()},
+		}
+	case 17: // small-quantity-order revenue
+		return &plan.Query{Name: name,
+			Tables: []string{"lineitem", "part"},
+			Preds: []plan.Pred{
+				pStr("part", "p_brand", brands[r.Intn(len(brands))]),
+				pInt("part", "p_size", plan.Eq, int64(1+r.Intn(50))),
+				{Table: "lineitem", Column: "l_quantity", Op: plan.Lt, Lo: types.NewFloat(5)},
+			},
+			Joins: []plan.EquiJoin{join("lineitem", "l_partkey", "part", "p_partkey")},
+			Aggs:  []plan.Agg{agg(plan.Sum, "lineitem", "l_extendedprice"), agg(plan.Avg, "lineitem", "l_quantity")},
+		}
+	case 18: // large volume customer
+		return &plan.Query{Name: name,
+			Tables: []string{"customer", "orders", "lineitem"},
+			Preds: []plan.Pred{
+				{Table: "orders", Column: "o_totalprice", Op: plan.Gt, Lo: types.NewFloat(4500)},
+			},
+			Joins: []plan.EquiJoin{
+				join("customer", "c_custkey", "orders", "o_custkey"),
+				join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+			},
+			GroupBy: []plan.ColRef{{Table: "orders", Column: "o_orderkey"}},
+			Aggs:    []plan.Agg{agg(plan.Sum, "lineitem", "l_quantity")},
+			Limit:   100,
+		}
+	case 19: // discounted revenue
+		q := float64(1 + r.Intn(10))
+		return &plan.Query{Name: name,
+			Tables: []string{"lineitem", "part"},
+			Preds: []plan.Pred{
+				pStr("part", "p_brand", brands[r.Intn(len(brands))]),
+				pBetween("part", "p_size", types.NewInt(1), types.NewInt(15)),
+				pBetween("lineitem", "l_quantity", types.NewFloat(q), types.NewFloat(q+10)),
+				pStr("lineitem", "l_shipmode", "AIR"),
+			},
+			Joins: []plan.EquiJoin{join("lineitem", "l_partkey", "part", "p_partkey")},
+			Aggs:  []plan.Agg{agg(plan.Sum, "lineitem", "l_extendedprice")},
+		}
+	case 20: // potential part promotion
+		return &plan.Query{Name: name,
+			Tables: []string{"partsupp", "supplier", "nation"},
+			Preds: []plan.Pred{
+				pInt("nation", "n_nationkey", plan.Eq, int64(r.Intn(25))),
+				{Table: "partsupp", Column: "ps_availqty", Op: plan.Gt, Lo: types.NewInt(5000)},
+			},
+			Joins: []plan.EquiJoin{
+				join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+				join("supplier", "s_nationkey", "nation", "n_nationkey"),
+			},
+			GroupBy: []plan.ColRef{{Table: "supplier", Column: "s_suppkey"}},
+			Aggs:    []plan.Agg{countStar()},
+		}
+	case 21: // suppliers who kept orders waiting
+		return &plan.Query{Name: name,
+			Tables: []string{"supplier", "lineitem", "orders", "nation"},
+			Preds: []plan.Pred{
+				pStr("orders", "o_orderstatus", "F"),
+				pInt("nation", "n_nationkey", plan.Eq, int64(r.Intn(25))),
+			},
+			Joins: []plan.EquiJoin{
+				join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+				join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+				join("supplier", "s_nationkey", "nation", "n_nationkey"),
+			},
+			GroupBy: []plan.ColRef{{Table: "supplier", Column: "s_name"}},
+			Aggs:    []plan.Agg{countStar()},
+			Limit:   100,
+		}
+	case 22: // global sales opportunity
+		return &plan.Query{Name: name,
+			Tables: []string{"customer"},
+			Preds: []plan.Pred{
+				{Table: "customer", Column: "c_acctbal", Op: plan.Gt, Lo: types.NewFloat(0)},
+			},
+			GroupBy: []plan.ColRef{{Table: "customer", Column: "c_nationkey"}},
+			Aggs:    []plan.Agg{countStar(), agg(plan.Sum, "customer", "c_acctbal")},
+		}
+	default:
+		panic(fmt.Sprintf("tpch: no template %d", template))
+	}
+}
+
+// ModifiedQuery builds one instance of the modified templates of §4.4.2
+// (Q2, Q5, Q9, Q11, Q17 with extra selective predicates on the part, order
+// and/or supplier keys, as in Canim et al.), producing a mixed
+// random/sequential read workload.
+func (g *gen) ModifiedQuery(template int) *plan.Query {
+	q := g.Query(template)
+	q.Name = fmt.Sprintf("mod-%s", q.Name)
+	r := g.r
+	keyRange := func(table, column string, frac float64) plan.Pred {
+		n := int64(g.rows[tableOf(column)])
+		width := int64(float64(n) * frac)
+		if width < 1 {
+			width = 1
+		}
+		lo := int64(r.Intn(int(n-width) + 1))
+		return pBetween(table, column, types.NewInt(lo), types.NewInt(lo+width-1))
+	}
+	switch template {
+	case 2:
+		q.Preds = append(q.Preds, keyRange("part", "p_partkey", 0.002))
+	case 5:
+		q.Preds = append(q.Preds, keyRange("orders", "o_orderkey", 0.001))
+	case 9:
+		q.Preds = append(q.Preds,
+			keyRange("part", "p_partkey", 0.002),
+			keyRange("supplier", "s_suppkey", 0.05))
+	case 11:
+		q.Preds = append(q.Preds, keyRange("partsupp", "ps_partkey", 0.002))
+	case 17:
+		q.Preds = append(q.Preds, keyRange("part", "p_partkey", 0.002))
+	default:
+		panic(fmt.Sprintf("tpch: template %d is not part of the modified workload", template))
+	}
+	return q
+}
+
+// tableOf maps a key column to the table whose cardinality bounds it.
+func tableOf(column string) string {
+	switch column {
+	case "p_partkey", "ps_partkey":
+		return "part"
+	case "o_orderkey":
+		return "orders"
+	case "s_suppkey":
+		return "supplier"
+	default:
+		return "part"
+	}
+}

@@ -1,0 +1,64 @@
+package tpch
+
+import (
+	"fmt"
+
+	"dotprov/internal/plan"
+	"dotprov/internal/workload"
+)
+
+// SubsetTemplates are the 11 templates of the exhaustive-search experiment
+// (§4.4.3): Q1, Q3, Q4, Q6, Q12, Q13, Q14, Q17, Q18, Q19, Q22.
+var SubsetTemplates = []int{1, 3, 4, 6, 12, 13, 14, 17, 18, 19, 22}
+
+// ModifiedTemplates are the five templates of the modified workload
+// (§4.4.2): Q2, Q5, Q9, Q11, Q17.
+var ModifiedTemplates = []int{2, 5, 9, 11, 17}
+
+// OriginalWorkload builds the paper's original TPC-H mix (§4.4.1,
+// following Ozmen et al.): 66 queries, three instances of each of the 22
+// templates, executed sequentially. SR is the dominating I/O type.
+func OriginalWorkload(cfg Config, seed int64) *workload.DSS {
+	g := newGen(cfg, seed)
+	var qs []*plan.Query
+	for rep := 0; rep < 3; rep++ {
+		for t := 1; t <= 22; t++ {
+			q := g.Query(t)
+			q.Name = fmt.Sprintf("%s#%d", q.Name, rep+1)
+			qs = append(qs, q)
+		}
+	}
+	return &workload.DSS{Name: "tpch-original", Queries: qs}
+}
+
+// ModifiedWorkload builds the modified TPC-H mix (§4.4.2): 100 queries, 20
+// instances of each of the five modified templates, with selective key
+// predicates producing mixed random/sequential reads.
+func ModifiedWorkload(cfg Config, seed int64) *workload.DSS {
+	g := newGen(cfg, seed)
+	var qs []*plan.Query
+	for rep := 0; rep < 20; rep++ {
+		for _, t := range ModifiedTemplates {
+			q := g.ModifiedQuery(t)
+			q.Name = fmt.Sprintf("%s#%d", q.Name, rep+1)
+			qs = append(qs, q)
+		}
+	}
+	return &workload.DSS{Name: "tpch-modified", Queries: qs}
+}
+
+// SubsetWorkload builds the smaller mix used against exhaustive search
+// (§4.4.3): 33 queries, three instances of each of the 11 subset templates,
+// touching only lineitem, orders, customer, part (8 objects with indexes).
+func SubsetWorkload(cfg Config, seed int64) *workload.DSS {
+	g := newGen(cfg, seed)
+	var qs []*plan.Query
+	for rep := 0; rep < 3; rep++ {
+		for _, t := range SubsetTemplates {
+			q := g.Query(t)
+			q.Name = fmt.Sprintf("%s#%d", q.Name, rep+1)
+			qs = append(qs, q)
+		}
+	}
+	return &workload.DSS{Name: "tpch-subset", Queries: qs}
+}

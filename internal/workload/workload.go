@@ -1,0 +1,400 @@
+// Package workload models the paper's workloads (§2.3-2.4): sets of query
+// sequences with a degree of concurrency, performance metrics (per-query
+// response time for DSS, throughput for OLTP), relative SLA constraints,
+// and the performance satisfaction ratio (PSR) used in the evaluation.
+//
+// It also provides the two estimators DOT drives (paper Fig. 2): the
+// extended-optimizer path used for TPC-H (§4.4) and the test-run-profile
+// path used for TPC-C (§4.5).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/engine"
+	"dotprov/internal/iosim"
+	"dotprov/internal/plan"
+)
+
+// Metrics captures a workload's (estimated or measured) performance under
+// one layout.
+type Metrics struct {
+	// Elapsed is the total execution time (virtual) of the workload.
+	Elapsed time.Duration
+	// PerQuery holds each query's response time, in workload order (DSS).
+	PerQuery []time.Duration
+	// Throughput is the task rate in tasks/hour (OLTP; 0 for DSS).
+	Throughput float64
+}
+
+// Estimator predicts workload metrics under a hypothetical layout. DOT
+// calls it once per candidate layout (Procedure 1's estimateTOC).
+type Estimator interface {
+	Estimate(l catalog.Layout) (Metrics, error)
+}
+
+// TOCCents computes the workload cost (paper §2.1/§2.3): for DSS workloads
+// C(L) * t — cents to run the workload once; for OLTP workloads C(L) / T —
+// cents per task.
+func TOCCents(m Metrics, l catalog.Layout, cat *catalog.Catalog, box *device.Box) (float64, error) {
+	perHour, err := l.CostCentsPerHour(cat, box)
+	if err != nil {
+		return 0, err
+	}
+	if m.Throughput > 0 {
+		return perHour / m.Throughput, nil
+	}
+	return perHour * m.Elapsed.Hours(), nil
+}
+
+// Constraints is the performance SLA (paper §2.4): relative to a baseline
+// (the all-H-SSD layout L0). Relative = 0.5 allows queries to be 2x slower
+// than the baseline (DSS) or throughput to halve (OLTP).
+type Constraints struct {
+	Relative float64
+	Baseline Metrics
+}
+
+// QueryCaps returns the per-query response-time caps t_i = baseline_i / r.
+func (c Constraints) QueryCaps() []time.Duration {
+	caps := make([]time.Duration, len(c.Baseline.PerQuery))
+	for i, b := range c.Baseline.PerQuery {
+		caps[i] = time.Duration(float64(b) / c.Relative)
+	}
+	return caps
+}
+
+// ThroughputFloor returns the minimum acceptable task rate.
+func (c Constraints) ThroughputFloor() float64 {
+	return c.Baseline.Throughput * c.Relative
+}
+
+// Satisfied reports whether the metrics meet the constraints (every query
+// under its cap; throughput above the floor).
+func (c Constraints) Satisfied(m Metrics) bool {
+	if c.Baseline.Throughput > 0 {
+		return m.Throughput >= c.ThroughputFloor()
+	}
+	caps := c.QueryCaps()
+	if len(m.PerQuery) != len(caps) {
+		return false
+	}
+	for i, d := range m.PerQuery {
+		if d > caps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PSR returns the performance satisfaction ratio (paper §4.3): the fraction
+// of queries meeting their relative SLA. For OLTP it is 1 or 0 (throughput
+// either meets the floor or not).
+func (c Constraints) PSR(m Metrics) float64 {
+	if c.Baseline.Throughput > 0 {
+		if m.Throughput >= c.ThroughputFloor() {
+			return 1
+		}
+		return 0
+	}
+	caps := c.QueryCaps()
+	if len(caps) == 0 {
+		return 1
+	}
+	ok := 0
+	for i, d := range m.PerQuery {
+		if i < len(caps) && d <= caps[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(caps))
+}
+
+// ---- DSS ----------------------------------------------------------------
+
+// DSS is a decision-support workload: Streams concurrent query sequences
+// (paper §2.3, W = {[q^1_1..q^1_n], ..., [q^c_1..q^c_n]}). The paper runs
+// the TPC-H mixes with a single stream (§4.4); Streams <= 1 selects that.
+type DSS struct {
+	Name    string
+	Queries []*plan.Query
+	Streams int
+}
+
+func (w *DSS) streams() int {
+	if w.Streams < 1 {
+		return 1
+	}
+	return w.Streams
+}
+
+// Run executes the workload on the engine's current layout with a cold
+// buffer pool and returns measured metrics plus the observed I/O profile.
+// Each stream executes the query list on its own virtual clock at the
+// workload's degree of concurrency; the elapsed time is the slowest
+// stream's clock and each query's reported response time is its worst
+// across streams. (Streams share the buffer pool, approximating the warmed
+// steady state rather than interleaving page-level contention.)
+func (w *DSS) Run(db *engine.DB) (Metrics, iosim.Profile, error) {
+	db.ClearPool()
+	db.SetConcurrency(w.streams())
+	m := Metrics{PerQuery: make([]time.Duration, len(w.Queries))}
+	profile := iosim.NewProfile()
+	for s := 0; s < w.streams(); s++ {
+		sess, err := db.NewSession()
+		if err != nil {
+			return Metrics{}, nil, err
+		}
+		for i, q := range w.Queries {
+			start := sess.Acct().Now()
+			if _, err := sess.Run(q); err != nil {
+				return Metrics{}, nil, fmt.Errorf("workload %s stream %d query %s: %w", w.Name, s, q.Name, err)
+			}
+			if d := sess.Acct().Now() - start; d > m.PerQuery[i] {
+				m.PerQuery[i] = d
+			}
+		}
+		if e := sess.Acct().Now(); e > m.Elapsed {
+			m.Elapsed = e
+		}
+		profile.Merge(sess.Acct().Profile())
+	}
+	return m, profile, nil
+}
+
+// QueryObservation is one query's measured runtime statistics: its actual
+// per-object I/O counts (buffer misses only — cache effects included) and
+// its CPU time. The refinement phase re-prices these counts under candidate
+// layouts (paper §3: "uses real runtime statistics, such as the actual
+// numbers of I/O incurred in the test run, buffer usage statistics").
+type QueryObservation struct {
+	Profile iosim.Profile
+	CPU     time.Duration
+}
+
+// Observation is everything a test run yields.
+type Observation struct {
+	Metrics  Metrics
+	Profile  iosim.Profile
+	PerQuery []QueryObservation // DSS runs only
+}
+
+// RunDetailed executes the workload like Run but also captures per-query
+// observations for the refinement phase. It always runs a single stream:
+// the refinement counts are per-sequence statistics.
+func (w *DSS) RunDetailed(db *engine.DB) (Observation, error) {
+	db.ClearPool()
+	sess, err := db.NewSession()
+	if err != nil {
+		return Observation{}, err
+	}
+	obs := Observation{Metrics: Metrics{PerQuery: make([]time.Duration, 0, len(w.Queries))}}
+	for _, q := range w.Queries {
+		start := sess.Acct().Now()
+		cpuStart := sess.Acct().CPUTime()
+		before := sess.Acct().Profile().Clone()
+		if _, err := sess.Run(q); err != nil {
+			return Observation{}, fmt.Errorf("workload %s query %s: %w", w.Name, q.Name, err)
+		}
+		obs.Metrics.PerQuery = append(obs.Metrics.PerQuery, sess.Acct().Now()-start)
+		qp := sess.Acct().Profile().Clone()
+		for id, v := range before {
+			cur := qp[id]
+			if cur == nil {
+				continue
+			}
+			for i := range cur {
+				cur[i] -= v[i]
+			}
+		}
+		obs.PerQuery = append(obs.PerQuery, QueryObservation{
+			Profile: qp,
+			CPU:     sess.Acct().CPUTime() - cpuStart,
+		})
+	}
+	obs.Metrics.Elapsed = sess.Acct().Now()
+	obs.Profile = sess.Acct().Profile().Clone()
+	return obs, nil
+}
+
+// ObservedEstimator prices measured per-query I/O counts under candidate
+// layouts. Because the counts come from a real run they include buffer-pool
+// effects; the plans are frozen at the observed layout (the validation
+// phase re-checks any recommendation built from it).
+type ObservedEstimator struct {
+	Box         *device.Box
+	Concurrency int
+	PerQuery    []QueryObservation
+}
+
+// Estimate implements Estimator.
+func (e *ObservedEstimator) Estimate(l catalog.Layout) (Metrics, error) {
+	m := Metrics{PerQuery: make([]time.Duration, 0, len(e.PerQuery))}
+	for _, q := range e.PerQuery {
+		io, err := q.Profile.IOTime(l, e.Box, e.Concurrency)
+		if err != nil {
+			return Metrics{}, err
+		}
+		t := io + q.CPU
+		m.PerQuery = append(m.PerQuery, t)
+		m.Elapsed += t
+	}
+	return m, nil
+}
+
+// Estimator returns the extended-optimizer estimator for this workload:
+// per-query times come from planning each query under the candidate layout
+// (paper §3.5). The estimator re-plans per layout, so plan changes (e.g. HJ
+// -> INLJ) are reflected in the estimates.
+func (w *DSS) Estimator(db *engine.DB) Estimator {
+	return &dssEstimator{db: db, w: w}
+}
+
+type dssEstimator struct {
+	db *engine.DB
+	w  *DSS
+}
+
+func (e *dssEstimator) Estimate(l catalog.Layout) (Metrics, error) {
+	m := Metrics{PerQuery: make([]time.Duration, 0, len(e.w.Queries))}
+	for _, q := range e.w.Queries {
+		pl, err := e.db.PlanUnder(q, l)
+		if err != nil {
+			return Metrics{}, err
+		}
+		t := pl.Est.Time()
+		m.PerQuery = append(m.PerQuery, t)
+		m.Elapsed += t
+	}
+	return m, nil
+}
+
+// EstimateProfile returns the per-object I/O profile the optimizer predicts
+// for the whole workload under a layout (the profiling-phase building block
+// for baseline layouts, paper §3.4).
+func (w *DSS) EstimateProfile(db *engine.DB, l catalog.Layout) (iosim.Profile, error) {
+	total := iosim.NewProfile()
+	for _, q := range w.Queries {
+		pl, err := db.PlanUnder(q, l)
+		if err != nil {
+			return nil, err
+		}
+		total.Merge(pl.Est.Profile)
+	}
+	return total, nil
+}
+
+// ---- OLTP ----------------------------------------------------------------
+
+// Txn is one transaction executed in a session. Implementations return an
+// error only for real failures; business aborts (e.g. TPC-C's 1% rollbacks)
+// count as executed work.
+type Txn func(sess *engine.Session) error
+
+// OLTP is a transactional workload: Workers concurrent sessions each
+// drawing transactions from Next until the measured period of virtual time
+// elapses.
+type OLTP struct {
+	Name    string
+	Workers int
+	Period  time.Duration // measured period of virtual time per worker
+	// Next returns the next transaction for the given worker.
+	Next func(worker int) Txn
+}
+
+// Run executes the workload on the engine's current layout and returns
+// measured metrics (throughput in transactions/hour) and the observed I/O
+// profile. Each worker runs on its own virtual clock; the workload elapsed
+// time is the longest worker clock, and throughput counts all committed
+// transactions across workers.
+func (w *OLTP) Run(db *engine.DB) (Metrics, iosim.Profile, RunStats, error) {
+	db.SetConcurrency(w.Workers)
+	profile := iosim.NewProfile()
+	var txns int64
+	var maxElapsed time.Duration
+	for worker := 0; worker < w.Workers; worker++ {
+		sess, err := db.NewSession()
+		if err != nil {
+			return Metrics{}, nil, RunStats{}, err
+		}
+		for sess.Acct().Now() < w.Period {
+			txn := w.Next(worker)
+			if err := txn(sess); err != nil {
+				return Metrics{}, nil, RunStats{}, fmt.Errorf("workload %s worker %d: %w", w.Name, worker, err)
+			}
+			txns++
+		}
+		if e := sess.Acct().Now(); e > maxElapsed {
+			maxElapsed = e
+		}
+		profile.Merge(sess.Acct().Profile())
+	}
+	if maxElapsed == 0 {
+		return Metrics{}, nil, RunStats{}, fmt.Errorf("workload %s: no virtual time elapsed", w.Name)
+	}
+	m := Metrics{
+		Elapsed:    maxElapsed,
+		Throughput: float64(txns) / maxElapsed.Hours(),
+	}
+	return m, profile, RunStats{Txns: txns, Elapsed: maxElapsed}, nil
+}
+
+// RunStats carries the raw numbers of an OLTP test run that the profile
+// estimator needs.
+type RunStats struct {
+	Txns    int64
+	Elapsed time.Duration
+}
+
+// ProfileEstimator predicts OLTP throughput under candidate layouts from a
+// single test-run profile (the paper's TPC-C path, §4.5: "we only need one
+// simple layout ... a test run can give actual I/O statistics"). The
+// estimated throughput scales inversely with the profile's I/O time under
+// the candidate layout (CPU time is layout-invariant).
+type ProfileEstimator struct {
+	Box         *device.Box
+	Concurrency int
+	Profile     iosim.Profile
+	CPUTime     time.Duration // measured CPU time of the test run
+	Stats       RunStats
+	baseTime    time.Duration // I/O time of the profile under the profiled layout
+}
+
+// NewProfileEstimator builds the estimator; profiledLayout is the layout of
+// the test run (typically all H-SSD).
+func NewProfileEstimator(box *device.Box, concurrency int, profile iosim.Profile, cpu time.Duration, stats RunStats, profiledLayout catalog.Layout) (*ProfileEstimator, error) {
+	base, err := profile.IOTime(profiledLayout, box, concurrency)
+	if err != nil {
+		return nil, err
+	}
+	return &ProfileEstimator{
+		Box: box, Concurrency: concurrency,
+		Profile: profile, CPUTime: cpu, Stats: stats,
+		baseTime: base,
+	}, nil
+}
+
+// Estimate implements Estimator.
+func (e *ProfileEstimator) Estimate(l catalog.Layout) (Metrics, error) {
+	io, err := e.Profile.IOTime(l, e.Box, e.Concurrency)
+	if err != nil {
+		return Metrics{}, err
+	}
+	// Scale the measured elapsed time by the predicted change in total work.
+	base := e.baseTime + e.CPUTime
+	cand := io + e.CPUTime
+	if base <= 0 {
+		return Metrics{}, fmt.Errorf("workload: profile estimator has no base time")
+	}
+	elapsed := time.Duration(float64(e.Stats.Elapsed) * float64(cand) / float64(base))
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return Metrics{
+		Elapsed:    elapsed,
+		Throughput: float64(e.Stats.Txns) / elapsed.Hours(),
+	}, nil
+}
