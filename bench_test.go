@@ -12,7 +12,9 @@ package dotprov_test
 // cost) and the design-choice ablation for the move-application policy.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -197,4 +199,109 @@ func BenchmarkAblation_MovePolicy(b *testing.B) {
 
 func sizeName(n int) string {
 	return "tables-" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+// ---- Search-engine benchmarks ---------------------------------------------
+//
+// The shared layout-search engine (internal/search) memoizes candidate
+// evaluations by canonical layout key, fans them out over a worker pool,
+// and prunes exhaustive subtrees under an admissible TOC floor. These
+// benchmarks quantify each lever; results are byte-identical across all
+// variants.
+
+// BenchmarkOptimizeBestMemo shows the memo table halving OptimizeBest's
+// estimator bill: its two sweeps share one engine, so the reported
+// est-calls metric is well below the two-independent-sweeps variant.
+func BenchmarkOptimizeBestMemo(b *testing.B) {
+	in, err := synthetic(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{RelativeSLA: 0.5}
+	b.Run("two-optimize", func(b *testing.B) {
+		b.ReportAllocs()
+		var calls int
+		for i := 0; i < b.N; i++ {
+			guarded, err := core.Optimize(in, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			greedy, err := core.Optimize(in, core.Options{RelativeSLA: 0.5, GreedyApply: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			calls = guarded.EstimatorCalls + greedy.EstimatorCalls
+		}
+		b.ReportMetric(float64(calls), "est-calls")
+	})
+	b.Run("optimize-best-memo", func(b *testing.B) {
+		b.ReportAllocs()
+		var calls int
+		for i := 0; i < b.N; i++ {
+			res, err := core.OptimizeBest(in, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			calls = res.EstimatorCalls
+		}
+		b.ReportMetric(float64(calls), "est-calls")
+	})
+}
+
+// BenchmarkExhaustiveWorkers scales the M^N enumeration across the worker
+// pool (sequential vs all cores).
+func BenchmarkExhaustiveWorkers(b *testing.B) {
+	widths := []int{1, 2, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, w := range widths {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		in, err := synthetic(6) // 3^12 layouts
+		if err != nil {
+			b.Fatal(err)
+		}
+		in.Workers = w
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Exhaustive(in, core.Options{RelativeSLA: 0.5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExhaustivePruned compares plain enumeration against the
+// storage-floor lower bound (Input.StorageFloorBound): the evaluated
+// metric records how many of the 3^12 candidates each variant visits.
+func BenchmarkExhaustivePruned(b *testing.B) {
+	base, err := synthetic(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pruned := base
+	pruned.LowerBound = pruned.StorageFloorBound(base.Est.(*profileTimeEstimator).prof)
+	if pruned.LowerBound == nil {
+		b.Fatal("expected a storage-floor bound under the linear cost model")
+	}
+	for _, c := range []struct {
+		name string
+		in   core.Input
+	}{{"plain", base}, {"pruned", pruned}} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var evaluated int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Exhaustive(c.in, core.Options{RelativeSLA: 0.5})
+				if err != nil {
+					b.Fatal(err)
+				}
+				evaluated = res.Evaluated
+			}
+			b.ReportMetric(float64(evaluated), "evaluated")
+		})
+	}
 }

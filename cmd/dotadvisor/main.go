@@ -8,12 +8,16 @@
 //	dotadvisor -workload tpch -box 1 -sla 0.5
 //	dotadvisor -workload tpch-mod -box 2 -sla 0.25 -sf 0.01
 //	dotadvisor -workload tpcc -box 2 -sla 0.125 -workers 16
+//
+// -search-workers controls the layout-search engine's evaluation fan-out
+// (default: all CPUs); results are identical at any width.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"dotprov/internal/catalog"
@@ -34,18 +38,19 @@ func main() {
 		sla       = flag.Float64("sla", 0.5, "relative SLA in (0, 1]")
 		sf        = flag.Float64("sf", 0.004, "TPC-H scale factor")
 		workers   = flag.Int("workers", 8, "TPC-C concurrent workers")
+		searchW   = flag.Int("search-workers", runtime.NumCPU(), "layout-search evaluation workers (results are identical at any width)")
 		seed      = flag.Int64("seed", 42, "generation seed")
 		schemaSQL = flag.String("schema", "", "sql workload: path to a script with CREATE TABLE/INDEX and INSERT statements")
 		queries   = flag.String("queries", "", "sql workload: path to a script of SELECT statements")
 	)
 	flag.Parse()
-	if err := run(*wl, *boxNo, *sla, *sf, *workers, *seed, *schemaSQL, *queries); err != nil {
+	if err := run(*wl, *boxNo, *sla, *sf, *workers, *searchW, *seed, *schemaSQL, *queries); err != nil {
 		fmt.Fprintf(os.Stderr, "dotadvisor: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl string, boxNo int, sla, sf float64, workers int, seed int64, schemaSQL, queries string) error {
+func run(wl string, boxNo int, sla, sf float64, workers, searchWorkers int, seed int64, schemaSQL, queries string) error {
 	var box *device.Box
 	switch boxNo {
 	case 1:
@@ -58,14 +63,14 @@ func run(wl string, boxNo int, sla, sf float64, workers int, seed int64, schemaS
 	fmt.Printf("box: %s — %v\n", box.Name, box.Classes())
 	switch wl {
 	case "tpch", "tpch-mod":
-		return adviseTPCH(box, wl == "tpch-mod", sla, sf, seed)
+		return adviseTPCH(box, wl == "tpch-mod", sla, sf, seed, searchWorkers)
 	case "tpcc":
-		return adviseTPCC(box, sla, workers, seed)
+		return adviseTPCC(box, sla, workers, searchWorkers, seed)
 	case "sql":
 		if schemaSQL == "" || queries == "" {
 			return fmt.Errorf("the sql workload needs -schema and -queries files")
 		}
-		return adviseSQL(box, sla, schemaSQL, queries)
+		return adviseSQL(box, sla, schemaSQL, queries, searchWorkers)
 	default:
 		return fmt.Errorf("unknown workload %q", wl)
 	}
@@ -73,7 +78,7 @@ func run(wl string, boxNo int, sla, sf float64, workers int, seed int64, schemaS
 
 // adviseSQL provisions a user-supplied SQL workload: the schema script
 // creates and populates the database, the query script defines W.
-func adviseSQL(box *device.Box, sla float64, schemaPath, queryPath string) error {
+func adviseSQL(box *device.Box, sla float64, schemaPath, queryPath string, searchWorkers int) error {
 	schemaSrc, err := os.ReadFile(schemaPath)
 	if err != nil {
 		return err
@@ -104,7 +109,7 @@ func adviseSQL(box *device.Box, sla float64, schemaPath, queryPath string) error
 	if err != nil {
 		return err
 	}
-	in := core.Input{Cat: db.Cat, Box: box, Est: w.Estimator(db), Profiles: ps, Concurrency: 1}
+	in := core.Input{Cat: db.Cat, Box: box, Est: w.Estimator(db), Profiles: ps, Concurrency: 1, Workers: searchWorkers}
 	res, val, err := core.OptimizeValidated(in, core.Options{RelativeSLA: sla}, &runner{db: db, w: w}, 3)
 	if err != nil {
 		return err
@@ -117,7 +122,7 @@ func adviseSQL(box *device.Box, sla float64, schemaPath, queryPath string) error
 	return nil
 }
 
-func adviseTPCH(box *device.Box, modified bool, sla, sf float64, seed int64) error {
+func adviseTPCH(box *device.Box, modified bool, sla, sf float64, seed int64, searchWorkers int) error {
 	db := engine.New(box, engine.DefaultPoolPages)
 	cfg := tpch.Config{ScaleFactor: sf, Seed: seed}
 	fmt.Printf("loading TPC-H (SF %g)...\n", sf)
@@ -140,7 +145,7 @@ func adviseTPCH(box *device.Box, modified bool, sla, sf float64, seed int64) err
 	if err != nil {
 		return err
 	}
-	in := core.Input{Cat: db.Cat, Box: box, Est: w.Estimator(db), Profiles: ps, Concurrency: 1}
+	in := core.Input{Cat: db.Cat, Box: box, Est: w.Estimator(db), Profiles: ps, Concurrency: 1, Workers: searchWorkers}
 	res, val, err := core.OptimizeValidated(in, core.Options{RelativeSLA: sla}, &runner{db: db, w: w}, 3)
 	if err != nil {
 		return err
@@ -165,7 +170,7 @@ func (r *runner) Run(l catalog.Layout) (workload.Observation, error) {
 	return r.w.RunDetailed(r.db)
 }
 
-func adviseTPCC(box *device.Box, sla float64, workers int, seed int64) error {
+func adviseTPCC(box *device.Box, sla float64, workers, searchWorkers int, seed int64) error {
 	db := engine.New(box, engine.DefaultPoolPages)
 	cfg := tpcc.DefaultConfig()
 	cfg.Seed = seed
@@ -190,7 +195,7 @@ func adviseTPCC(box *device.Box, sla float64, workers int, seed int64) error {
 	}
 	ps := core.NewProfileSet()
 	ps.SetSingle(probe.Profile)
-	in := core.Input{Cat: db.Cat, Box: box, Est: est, Profiles: ps, Concurrency: workers}
+	in := core.Input{Cat: db.Cat, Box: box, Est: est, Profiles: ps, Concurrency: workers, Workers: searchWorkers}
 	res, err := core.OptimizeBest(in, core.Options{RelativeSLA: sla, Baseline: &probe.Metrics})
 	if err != nil {
 		return err

@@ -1,0 +1,3 @@
+module dotprov
+
+go 1.24

@@ -47,6 +47,23 @@ func (l Layout) Clone() Layout {
 	return out
 }
 
+// Key returns a canonical byte-string encoding of the layout — the
+// (ObjectID, Class) pairs sorted by ID — for use as a memo-table key.
+// Two layouts have equal keys iff Equal reports true, so the search
+// engine's cache can never conflate distinct layouts.
+func (l Layout) Key() string {
+	ids := make([]ObjectID, 0, len(l))
+	for id := range l {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	b := make([]byte, 0, 5*len(ids))
+	for _, id := range ids {
+		b = append(b, byte(id>>24), byte(id>>16), byte(id>>8), byte(id), byte(l[id]))
+	}
+	return string(b)
+}
+
 // Equal reports whether two layouts place every object identically.
 func (l Layout) Equal(o Layout) bool {
 	if len(l) != len(o) {

@@ -1,0 +1,40 @@
+package catalog
+
+import (
+	"testing"
+
+	"dotprov/internal/device"
+)
+
+// TestLayoutKeyCanonical: Key must be insertion-order independent, equal
+// exactly when Equal reports true, and collision-free across layouts that
+// differ in placement or in object set.
+func TestLayoutKeyCanonical(t *testing.T) {
+	a := Layout{1: device.HSSD, 2: device.LSSD, 3: device.HDD}
+	b := Layout{3: device.HDD, 1: device.HSSD, 2: device.LSSD}
+	if a.Key() != b.Key() {
+		t.Fatal("equal layouts built in different orders must share a key")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Fatal("clone must share the key")
+	}
+	distinct := []Layout{
+		{1: device.HSSD, 2: device.LSSD, 3: device.LSSD}, // placement differs
+		{1: device.HSSD, 2: device.LSSD},                 // subset
+		{1: device.HSSD, 2: device.LSSD, 4: device.HDD},  // different object
+		{10: device.HSSD, 2: device.LSSD, 3: device.HDD}, // different id
+		{}, // empty
+		{1 << 20: device.HSSD, 2: device.LSSD, 3: device.HDD}, // wide id
+	}
+	seen := map[string]int{a.Key(): -1}
+	for i, l := range distinct {
+		if l.Equal(a) {
+			t.Fatalf("fixture %d unexpectedly equals a", i)
+		}
+		k := l.Key()
+		if j, dup := seen[k]; dup {
+			t.Fatalf("layouts %d and %d collide on key %q", i, j, k)
+		}
+		seen[k] = i
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/iosim"
+	"dotprov/internal/search"
+)
+
+// StorageFloorBound builds an admissible TOC lower bound for exhaustive
+// search from a workload profile, for plugging into Input.LowerBound.
+//
+// It applies to elapsed-time (DSS) estimators whose predicted elapsed time
+// is at least the profile's I/O time under the candidate layout (the
+// profile-driven estimators; the re-planning optimizer estimator satisfies
+// this when its plans are frozen), under the linear cost model of §2.1.
+// For such workloads TOC = C(L) x t(L) with both factors positive, so
+//
+//	min over completions >= (storage-cost floor) x (I/O-time floor):
+//
+// the cost floor prices every unassigned object on the cheapest class, and
+// the time floor charges every profiled object its fastest class. Pruning
+// uses a strict comparison against the incumbent, so an admissible bound
+// can only skip candidates that provably cannot win.
+//
+// It returns nil (no pruning) when a custom LayoutCost is installed: the
+// floor below assumes the linear model. Throughput (OLTP) workloads price
+// TOC as C(L)/T, which this floor cannot bound — the exhaustive entry
+// points detect that case from the baseline metrics and ignore the hook.
+func (in Input) StorageFloorBound(prof iosim.Profile) search.LowerBound {
+	if in.LayoutCost != nil {
+		return nil
+	}
+	// Time floor: every profiled object on its fastest class for its own
+	// I/O mix. Independent of the assignment, so computed once.
+	var timeFloor time.Duration
+	conc := in.conc()
+	for id := range prof {
+		var best time.Duration
+		for i, d := range in.Box.SortedByPrice() {
+			t := prof.ObjectIOTime(id, d, conc)
+			if i == 0 || t < best {
+				best = t
+			}
+		}
+		timeFloor += best
+	}
+	minPrice := in.Box.Cheapest().PriceCents
+	sizeGB := func(id catalog.ObjectID) float64 {
+		if o := in.Cat.Object(id); o != nil {
+			return float64(o.SizeBytes) / 1e9
+		}
+		return 0
+	}
+	return func(partial catalog.Layout, unassigned []catalog.ObjectID) (float64, error) {
+		var perHour float64
+		for id, cls := range partial {
+			d := in.Box.Device(cls)
+			if d == nil {
+				continue // enumeration only assigns box classes
+			}
+			perHour += d.PriceCents * sizeGB(id)
+		}
+		for _, id := range unassigned {
+			perHour += minPrice * sizeGB(id)
+		}
+		return perHour * timeFloor.Hours(), nil
+	}
+}

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"dotprov/internal/catalog"
 	"dotprov/internal/device"
+	"dotprov/internal/search"
 	"dotprov/internal/workload"
 )
 
@@ -19,10 +21,23 @@ type Input struct {
 	Est         workload.Estimator
 	Profiles    *ProfileSet
 	Concurrency int
+	// Workers bounds the search engine's evaluation fan-out. Values below 2
+	// keep every evaluation on the calling goroutine; higher values require
+	// Est to be safe for concurrent use (see workload.Estimator). Results
+	// are identical either way.
+	Workers int
 	// LayoutCost optionally overrides the layout cost model C(L) in
 	// cent/hour (default: the linear model of §2.1). The discrete-sized
 	// model of §5.2 plugs in here.
 	LayoutCost func(l catalog.Layout) (float64, error)
+	// LowerBound optionally supplies an admissible TOC lower bound for
+	// partial assignments, letting Exhaustive/ExhaustivePartial prune whole
+	// subtrees whose floor already exceeds the incumbent (see
+	// Input.StorageFloorBound for the profile-separable construction). An
+	// admissible bound never changes the result, only the number of
+	// candidates evaluated. The hook is ignored for throughput (OLTP)
+	// workloads, whose C(L)/T objective elapsed-time floors cannot bound.
+	LowerBound search.LowerBound
 }
 
 // Options controls one optimization run.
@@ -46,6 +61,15 @@ type Options struct {
 	GreedyApply bool
 }
 
+// validateSLA checks the relative SLA bounds shared by every search entry
+// point.
+func (o Options) validateSLA() error {
+	if o.RelativeSLA <= 0 || o.RelativeSLA > 1 {
+		return fmt.Errorf("core: relative SLA must be in (0, 1], got %g", o.RelativeSLA)
+	}
+	return nil
+}
+
 // Result reports the recommended layout and its estimated economics.
 type Result struct {
 	Layout      catalog.Layout
@@ -53,8 +77,29 @@ type Result struct {
 	TOCCents    float64 // estimated TOC (cents/workload for DSS, cents/task for OLTP)
 	Metrics     workload.Metrics
 	Constraints workload.Constraints
-	Evaluated   int           // layouts investigated
-	PlanTime    time.Duration // wall-clock optimization time
+	Evaluated   int // layouts investigated (memoized revisits included)
+	// EstimatorCalls counts the estimator invocations this run actually
+	// made: the candidate evaluations that missed the shared engine's memo,
+	// plus the baseline (and, for an infeasible ExhaustivePartial, the
+	// fallback) evaluations — which is why it can slightly exceed the
+	// memo-miss share of Evaluated.
+	EstimatorCalls int
+	PlanTime       time.Duration // wall-clock optimization time
+}
+
+// consider adopts the evaluation when it is feasible and improves on the
+// result's incumbent TOC. It reports feasibility.
+func (r *Result) consider(ev search.Eval, cons workload.Constraints) bool {
+	if !ev.Feasible(cons) {
+		return false
+	}
+	if !r.Feasible || ev.TOCCents < r.TOCCents {
+		r.Feasible = true
+		r.Layout = ev.Layout
+		r.TOCCents = ev.TOCCents
+		r.Metrics = ev.Metrics
+	}
+	return true
 }
 
 func (in Input) validate() error {
@@ -89,96 +134,117 @@ func (in Input) toc(m workload.Metrics, l catalog.Layout) (float64, error) {
 	return perHour * m.Elapsed.Hours(), nil
 }
 
-// evaluate estimates a candidate layout and checks feasibility.
-func evaluate(in Input, cons workload.Constraints, l catalog.Layout) (workload.Metrics, float64, bool, error) {
-	m, err := in.Est.Estimate(l)
-	if err != nil {
-		return workload.Metrics{}, 0, false, err
+// engine builds the shared candidate-evaluation engine for this input: the
+// single estimate → price → check pipeline every search entry point runs
+// through, memoized by catalog.Layout.Key and fanned out over in.Workers.
+func (in Input) engine() (*search.Engine, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
 	}
-	toc, err := in.toc(m, l)
-	if err != nil {
-		return workload.Metrics{}, 0, false, err
+	return search.New(search.Config{
+		Est:        in.Est,
+		Cost:       in.toc,
+		CapacityOK: func(l catalog.Layout) bool { return l.CheckCapacity(in.Cat, in.Box) == nil },
+		Workers:    in.Workers,
+	})
+}
+
+// prep evaluates the starting layout L0 (every object on the most expensive
+// class) and derives the constraint set, shared by DOT and exhaustive
+// search.
+func (in Input) prep(opts Options, eng *search.Engine) (device.Class, search.Eval, workload.Constraints, error) {
+	// Input validation already ran when the engine was built (in.engine()
+	// is the single gate every entry point passes through).
+	var zero search.Eval
+	if err := opts.validateSLA(); err != nil {
+		return 0, zero, workload.Constraints{}, err
 	}
-	feasible := l.CheckCapacity(in.Cat, in.Box) == nil && cons.Satisfied(m)
-	return m, toc, feasible, nil
+	l0Class := in.Box.MostExpensive().Class
+	ev0, err := eng.Evaluate(catalog.NewUniformLayout(in.Cat, l0Class))
+	if err != nil {
+		return 0, zero, workload.Constraints{}, fmt.Errorf("core: estimating baseline: %w", err)
+	}
+	baseline := ev0.Metrics
+	if opts.Baseline != nil {
+		baseline = *opts.Baseline
+	}
+	cons := workload.Constraints{Relative: opts.RelativeSLA, Baseline: baseline}
+	return l0Class, ev0, cons, nil
+}
+
+// enumerateMoves scores the move list for this input. The list depends
+// only on the input (never on Options or the SLA), so callers that run
+// several sweeps against one engine — OptimizeBest, the relaxing loop —
+// compute it once and pass it to every optimizeWith call.
+func (in Input) enumerateMoves(eng *search.Engine) ([]Move, error) {
+	if in.Profiles == nil {
+		return nil, fmt.Errorf("core: Optimize requires workload profiles (run the profiling phase)")
+	}
+	return EnumerateMoves(in.Cat, in.Box, in.Profiles, in.Box.MostExpensive().Class, in.conc(), eng.Workers())
 }
 
 // Optimize is Procedure 1, the DOT heuristic: start from L0 (every object
 // on the most expensive class), apply the scored moves in order, keep every
 // feasible layout, and return the one with the minimum estimated TOC.
 func Optimize(in Input, opts Options) (*Result, error) {
-	if err := in.validate(); err != nil {
+	eng, err := in.engine()
+	if err != nil {
 		return nil, err
 	}
-	if opts.RelativeSLA <= 0 || opts.RelativeSLA > 1 {
-		return nil, fmt.Errorf("core: relative SLA must be in (0, 1], got %g", opts.RelativeSLA)
+	// Fail on a bad SLA before scoring the move list.
+	if err := opts.validateSLA(); err != nil {
+		return nil, err
 	}
-	if in.Profiles == nil {
-		return nil, fmt.Errorf("core: Optimize requires workload profiles (run the profiling phase)")
-	}
-	start := time.Now()
-
-	l0Class := in.Box.MostExpensive().Class
-	l0 := catalog.NewUniformLayout(in.Cat, l0Class)
-
-	m0, err := in.Est.Estimate(l0)
+	moves, err := in.enumerateMoves(eng)
 	if err != nil {
-		return nil, fmt.Errorf("core: estimating baseline: %w", err)
+		return nil, err
 	}
-	baseline := m0
-	if opts.Baseline != nil {
-		baseline = *opts.Baseline
+	return optimizeWith(in, opts, eng, moves)
+}
+
+// optimizeWith is Optimize against a caller-supplied engine and move list,
+// so OptimizeBest's two sweeps and OptimizeRelaxing's SLA halvings share
+// one memo table and one scored move list instead of recomputing both.
+func optimizeWith(in Input, opts Options, eng *search.Engine, moves []Move) (*Result, error) {
+	start := time.Now()
+	stats0 := eng.Stats()
+	l0Class, ev0, cons, err := in.prep(opts, eng)
+	if err != nil {
+		return nil, err
 	}
-	cons := workload.Constraints{Relative: opts.RelativeSLA, Baseline: baseline}
 
 	res := &Result{Constraints: cons, Evaluated: 1}
-
 	// L0 is the first candidate (it may violate capacity).
-	toc0, err := in.toc(m0, l0)
-	if err != nil {
-		return nil, err
-	}
-	if l0.CheckCapacity(in.Cat, in.Box) == nil && cons.Satisfied(m0) {
-		res.Feasible = true
-		res.Layout = l0
-		res.TOCCents = toc0
-		res.Metrics = m0
-	}
+	res.consider(ev0, cons)
 
 	// Seed the candidates with the uniform ("All <class>") layouts. They
 	// cost M extra evaluations and anchor the search under cost models with
 	// consolidation discounts (the discrete-sized model of §5.2 prices any
-	// second storage class at a whole device).
+	// second storage class at a whole device). The seeds are independent, so
+	// they fan out across the engine's workers.
+	var seeds []catalog.Layout
 	for _, d := range in.Box.SortedByPrice() {
 		if d.Class == l0Class {
 			continue
 		}
-		lu := catalog.NewUniformLayout(in.Cat, d.Class)
-		metrics, toc, feasible, err := evaluate(in, cons, lu)
-		if err != nil {
-			return nil, err
-		}
-		res.Evaluated++
-		if feasible && (!res.Feasible || toc < res.TOCCents) {
-			res.Feasible = true
-			res.Layout = lu
-			res.TOCCents = toc
-			res.Metrics = metrics
-		}
+		seeds = append(seeds, catalog.NewUniformLayout(in.Cat, d.Class))
 	}
-
-	moves, err := EnumerateMoves(in.Cat, in.Box, in.Profiles, l0Class, in.conc())
+	seedEvs, err := eng.EvaluateAll(seeds)
 	if err != nil {
 		return nil, err
+	}
+	for _, ev := range seedEvs {
+		res.Evaluated++
+		res.consider(ev, cons)
 	}
 
 	passes := opts.Passes
 	if passes < 1 {
 		passes = 2
 	}
-	l := l0
-	curTOC := toc0
-	curFeasible := l0.CheckCapacity(in.Cat, in.Box) == nil && cons.Satisfied(m0)
+	l := ev0.Layout
+	curTOC := ev0.TOCCents
+	curFeasible := ev0.Feasible(cons)
 	for pass := 0; pass < passes; pass++ {
 		changed := false
 		for _, m := range moves {
@@ -186,31 +252,25 @@ func Optimize(in Input, opts Options) (*Result, error) {
 			if lnew.Equal(l) {
 				continue
 			}
-			metrics, toc, feasible, err := evaluate(in, cons, lnew)
+			ev, err := eng.Evaluate(lnew)
 			if err != nil {
 				return nil, err
 			}
 			res.Evaluated++
-			if !feasible {
+			if !res.consider(ev, cons) {
 				continue
 			}
 			// Guard: only walk to layouts that do not worsen the running
 			// TOC (unless reproducing the literal Procedure 1). Infeasible
 			// starting points (L0 over capacity) always accept the first
 			// feasible layout.
-			if !opts.GreedyApply && curFeasible && toc > curTOC {
+			if !opts.GreedyApply && curFeasible && ev.TOCCents > curTOC {
 				continue
 			}
 			l = lnew
-			curTOC = toc
+			curTOC = ev.TOCCents
 			curFeasible = true
 			changed = true
-			if !res.Feasible || toc < res.TOCCents {
-				res.Feasible = true
-				res.Layout = lnew
-				res.TOCCents = toc
-				res.Metrics = metrics
-			}
 		}
 		if !changed {
 			break
@@ -220,10 +280,14 @@ func Optimize(in Input, opts Options) (*Result, error) {
 		// No feasible layout found: report L0's numbers so the caller can
 		// decide how to relax the constraints (paper §3: "the performance
 		// constraints must be relaxed in order to compute a layout").
-		res.Layout = l0
-		res.TOCCents = toc0
-		res.Metrics = m0
+		res.Layout = ev0.Layout
+		res.TOCCents = ev0.TOCCents
+		res.Metrics = ev0.Metrics
 	}
+	// The engine's memo retains every evaluated layout; hand the caller a
+	// private copy so post-hoc mutation cannot reach shared state.
+	res.Layout = res.Layout.Clone()
+	res.EstimatorCalls = eng.Stats().Sub(stats0).EstimatorCalls
 	res.PlanTime = time.Since(start)
 	return res, nil
 }
@@ -235,18 +299,53 @@ func Optimize(in Input, opts Options) (*Result, error) {
 // cost model has valleys a monotonic walk cannot cross (e.g. the
 // discrete-sized model of §5.2, where using a second storage class
 // temporarily raises cost until the first one empties).
+//
+// Both sweeps share one search engine, so the second revisits the first's
+// memoized evaluations instead of re-estimating them; with Workers > 1 the
+// sweeps also run concurrently (the engine's semaphore still bounds
+// concurrent estimator calls at Workers). Evaluated and PlanTime report
+// the summed
+// work of both sweeps; EstimatorCalls reports the distinct layouts actually
+// estimated.
 func OptimizeBest(in Input, opts Options) (*Result, error) {
-	guarded := opts
-	guarded.GreedyApply = false
-	a, err := Optimize(in, guarded)
+	eng, err := in.engine()
 	if err != nil {
 		return nil, err
 	}
-	greedy := opts
-	greedy.GreedyApply = true
-	b, err := Optimize(in, greedy)
+	if err := opts.validateSLA(); err != nil {
+		return nil, err
+	}
+	moves, err := in.enumerateMoves(eng)
 	if err != nil {
 		return nil, err
+	}
+	guarded, greedy := opts, opts
+	guarded.GreedyApply = false
+	greedy.GreedyApply = true
+	var (
+		a, b       *Result
+		errA, errB error
+	)
+	if eng.Workers() > 1 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, errB = optimizeWith(in, greedy, eng, moves)
+		}()
+		a, errA = optimizeWith(in, guarded, eng, moves)
+		wg.Wait()
+	} else {
+		a, errA = optimizeWith(in, guarded, eng, moves)
+		if errA == nil {
+			b, errB = optimizeWith(in, greedy, eng, moves)
+		}
+	}
+	if errA != nil {
+		return nil, errA
+	}
+	if errB != nil {
+		return nil, errB
 	}
 	best := a
 	if b.Feasible && (!a.Feasible || b.TOCCents < a.TOCCents) {
@@ -254,19 +353,26 @@ func OptimizeBest(in Input, opts Options) (*Result, error) {
 	}
 	best.Evaluated = a.Evaluated + b.Evaluated
 	best.PlanTime = a.PlanTime + b.PlanTime
+	best.EstimatorCalls = eng.Stats().EstimatorCalls
 	return best, nil
 }
 
-// OptimizeRelaxing runs Optimize, halving the relative SLA until a feasible
-// layout appears (the paper's loop in §4.5.3: "we slightly relax the
-// relative SLA and repeat the optimization"). It returns the result and the
-// final SLA value.
-func OptimizeRelaxing(in Input, opts Options, minSLA float64) (*Result, float64, error) {
+// minSLAFloor guards the relaxing loops against a non-positive minSLA,
+// which could otherwise halve forever without ever clamping.
+const minSLAFloor = 1e-9
+
+// relaxing is the shared SLA-halving loop of §4.5.3: run the search,
+// halve the relative SLA while infeasible, clamp at minSLA, and stop at the
+// first feasible result (or at the clamp).
+func relaxing(opts Options, minSLA float64, run func(Options) (*Result, error)) (*Result, float64, error) {
+	if minSLA < minSLAFloor {
+		minSLA = minSLAFloor
+	}
 	sla := opts.RelativeSLA
 	for {
 		o := opts
 		o.RelativeSLA = sla
-		res, err := Optimize(in, o)
+		res, err := run(o)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -278,4 +384,26 @@ func OptimizeRelaxing(in Input, opts Options, minSLA float64) (*Result, float64,
 			sla = minSLA
 		}
 	}
+}
+
+// OptimizeRelaxing runs Optimize, halving the relative SLA until a feasible
+// layout appears (the paper's loop in §4.5.3: "we slightly relax the
+// relative SLA and repeat the optimization"). It returns the result and the
+// final SLA value. All rounds share one search engine: a layout estimated
+// at one SLA level is only re-checked, never re-estimated, at the next.
+func OptimizeRelaxing(in Input, opts Options, minSLA float64) (*Result, float64, error) {
+	eng, err := in.engine()
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := opts.validateSLA(); err != nil {
+		return nil, 0, err
+	}
+	moves, err := in.enumerateMoves(eng)
+	if err != nil {
+		return nil, 0, err
+	}
+	return relaxing(opts, minSLA, func(o Options) (*Result, error) {
+		return optimizeWith(in, o, eng, moves)
+	})
 }

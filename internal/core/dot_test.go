@@ -376,7 +376,7 @@ func TestEnumerateMovesOrdering(t *testing.T) {
 	f := newFix(t)
 	ps := NewProfileSet()
 	ps.SetSingle(f.prof)
-	moves, err := EnumerateMoves(f.cat, f.box, ps, device.HSSD, 1)
+	moves, err := EnumerateMoves(f.cat, f.box, ps, device.HSSD, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

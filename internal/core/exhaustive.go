@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"dotprov/internal/catalog"
-	"dotprov/internal/workload"
+	"dotprov/internal/search"
 )
 
 // MaxExhaustiveLayouts bounds the M^N enumeration. The paper estimates
@@ -15,20 +15,25 @@ const MaxExhaustiveLayouts = 5_000_000
 
 // Exhaustive enumerates every layout L: O -> D and returns the feasible one
 // with minimum estimated TOC, using the same estimator and constraints as
-// DOT. It is the quality yardstick of §4.4.3/§4.5.3.
+// DOT. It is the quality yardstick of §4.4.3/§4.5.3. Candidates fan out
+// across Input.Workers goroutines, and an Input.LowerBound hook prunes
+// assignment subtrees whose TOC floor already exceeds the incumbent; both
+// leave the result byte-identical to the sequential, unpruned enumeration.
 func Exhaustive(in Input, opts Options) (*Result, error) {
-	if err := in.validate(); err != nil {
+	eng, err := in.engine()
+	if err != nil {
 		return nil, err
 	}
-	if opts.RelativeSLA <= 0 || opts.RelativeSLA > 1 {
-		return nil, fmt.Errorf("core: relative SLA must be in (0, 1], got %g", opts.RelativeSLA)
-	}
-	start := time.Now()
+	return exhaustiveWith(in, opts, eng)
+}
 
+// exhaustiveWith is Exhaustive against a caller-supplied engine, so
+// ExhaustiveRelaxing's SLA halvings share one memo table: a layout
+// estimated at one SLA level is only re-checked, never re-estimated, at
+// the next.
+func exhaustiveWith(in Input, opts Options, eng *search.Engine) (*Result, error) {
 	objs := in.Cat.Objects()
-	classes := in.Box.Classes()
-	n := len(objs)
-	m := len(classes)
+	n, m := len(objs), len(in.Box.Classes())
 	total := 1.0
 	for i := 0; i < n; i++ {
 		total *= float64(m)
@@ -37,56 +42,11 @@ func Exhaustive(in Input, opts Options) (*Result, error) {
 				n, m, MaxExhaustiveLayouts)
 		}
 	}
-
-	l0 := catalog.NewUniformLayout(in.Cat, in.Box.MostExpensive().Class)
-	m0, err := in.Est.Estimate(l0)
-	if err != nil {
-		return nil, err
+	free := make([]catalog.ObjectID, n)
+	for i, o := range objs {
+		free[i] = o.ID
 	}
-	baseline := m0
-	if opts.Baseline != nil {
-		baseline = *opts.Baseline
-	}
-	cons := workload.Constraints{Relative: opts.RelativeSLA, Baseline: baseline}
-	res := &Result{Constraints: cons}
-
-	assign := make([]int, n)
-	l := make(catalog.Layout, n)
-	for {
-		for i, o := range objs {
-			l[o.ID] = classes[assign[i]]
-		}
-		metrics, toc, feasible, err := evaluate(in, cons, l)
-		if err != nil {
-			return nil, err
-		}
-		res.Evaluated++
-		if feasible && (!res.Feasible || toc < res.TOCCents) {
-			res.Feasible = true
-			res.Layout = l.Clone()
-			res.TOCCents = toc
-			res.Metrics = metrics
-		}
-		// Next assignment (odometer).
-		i := 0
-		for ; i < n; i++ {
-			assign[i]++
-			if assign[i] < m {
-				break
-			}
-			assign[i] = 0
-		}
-		if i == n {
-			break
-		}
-	}
-	if !res.Feasible {
-		res.Layout = l0
-		res.Metrics = m0
-		res.TOCCents, _ = in.toc(m0, l0)
-	}
-	res.PlanTime = time.Since(start)
-	return res, nil
+	return exhaustSpace(in, opts, eng, free, nil)
 }
 
 // ExhaustivePartial enumerates placements for only the given objects,
@@ -95,15 +55,11 @@ func Exhaustive(in Input, opts Options) (*Result, error) {
 // comparison of §4.5.3: we free the objects with the highest I/O pressure
 // and pin the tiny remainder).
 func ExhaustivePartial(in Input, opts Options, free []catalog.ObjectID, base catalog.Layout) (*Result, error) {
-	if err := in.validate(); err != nil {
+	eng, err := in.engine()
+	if err != nil {
 		return nil, err
 	}
-	if opts.RelativeSLA <= 0 || opts.RelativeSLA > 1 {
-		return nil, fmt.Errorf("core: relative SLA must be in (0, 1], got %g", opts.RelativeSLA)
-	}
-	start := time.Now()
-	classes := in.Box.Classes()
-	n, m := len(free), len(classes)
+	n, m := len(free), len(in.Box.Classes())
 	total := 1.0
 	for i := 0; i < n; i++ {
 		total *= float64(m)
@@ -111,74 +67,74 @@ func ExhaustivePartial(in Input, opts Options, free []catalog.ObjectID, base cat
 			return nil, fmt.Errorf("core: partial exhaustive search over %d objects exceeds the bound", n)
 		}
 	}
-	l0 := catalog.NewUniformLayout(in.Cat, in.Box.MostExpensive().Class)
-	m0, err := in.Est.Estimate(l0)
+	return exhaustSpace(in, opts, eng, free, base)
+}
+
+// exhaustSpace is the one enumeration loop behind Exhaustive and
+// ExhaustivePartial: derive the constraints from L0, sweep the assignment
+// space through the shared engine, and fall back to the pinned starting
+// point when nothing is feasible.
+func exhaustSpace(in Input, opts Options, eng *search.Engine, free []catalog.ObjectID, base catalog.Layout) (*Result, error) {
+	start := time.Now()
+	stats0 := eng.Stats()
+	_, ev0, cons, err := in.prep(opts, eng)
 	if err != nil {
 		return nil, err
 	}
-	baseline := m0
-	if opts.Baseline != nil {
-		baseline = *opts.Baseline
-	}
-	cons := workload.Constraints{Relative: opts.RelativeSLA, Baseline: baseline}
 	res := &Result{Constraints: cons}
-
-	assign := make([]int, n)
-	for {
-		l := base.Clone()
-		for i, id := range free {
-			l[id] = classes[assign[i]]
-		}
-		metrics, toc, feasible, err := evaluate(in, cons, l)
+	sp := search.Space{Base: base, Free: free, Classes: in.Box.Classes()}
+	lb := in.LowerBound
+	if ev0.Metrics.Throughput > 0 {
+		// Throughput (OLTP) workloads price TOC as C(L)/T, not C(L)*t, so
+		// elapsed-time floors like StorageFloorBound are not admissible
+		// there: pruning could silently discard the true optimum. Disable
+		// the hook rather than risk a wrong result.
+		lb = nil
+	}
+	best, found, evaluated, err := eng.Exhaustive(cons, sp, lb)
+	if err != nil {
+		return nil, err
+	}
+	res.Evaluated = evaluated
+	if found {
+		res.Feasible = true
+		res.Layout = best.Layout.Clone()
+		res.TOCCents = best.TOCCents
+		res.Metrics = best.Metrics
+	} else if base == nil {
+		// Full enumeration found nothing: report L0's numbers so the caller
+		// can decide how to relax the constraints.
+		res.Layout = ev0.Layout.Clone()
+		res.TOCCents = ev0.TOCCents
+		res.Metrics = ev0.Metrics
+	} else {
+		// Partial enumeration found nothing: report the pinned base, with
+		// metrics and TOC both evaluated under it (unless pruning skipped
+		// the base's subtree, this is a memo hit).
+		evBase, err := eng.Evaluate(base.Clone())
 		if err != nil {
 			return nil, err
 		}
-		res.Evaluated++
-		if feasible && (!res.Feasible || toc < res.TOCCents) {
-			res.Feasible = true
-			res.Layout = l
-			res.TOCCents = toc
-			res.Metrics = metrics
-		}
-		i := 0
-		for ; i < n; i++ {
-			assign[i]++
-			if assign[i] < m {
-				break
-			}
-			assign[i] = 0
-		}
-		if i == n {
-			break
-		}
+		res.Layout = evBase.Layout.Clone()
+		res.TOCCents = evBase.TOCCents
+		res.Metrics = evBase.Metrics
 	}
-	if !res.Feasible {
-		res.Layout = base.Clone()
-		res.Metrics = m0
-		res.TOCCents, _ = in.toc(m0, base)
-	}
+	res.EstimatorCalls = eng.Stats().Sub(stats0).EstimatorCalls
 	res.PlanTime = time.Since(start)
 	return res, nil
 }
 
 // ExhaustiveRelaxing mirrors OptimizeRelaxing for the ES baseline: halve
 // the SLA until ES finds a feasible layout (paper §4.5.3: "This process
-// stops when ES finds a feasible solution").
+// stops when ES finds a feasible solution"). All rounds share one search
+// engine, so each halving re-checks memoized evaluations instead of
+// re-estimating the whole space.
 func ExhaustiveRelaxing(in Input, opts Options, minSLA float64) (*Result, float64, error) {
-	sla := opts.RelativeSLA
-	for {
-		o := opts
-		o.RelativeSLA = sla
-		res, err := Exhaustive(in, o)
-		if err != nil {
-			return nil, 0, err
-		}
-		if res.Feasible || sla <= minSLA {
-			return res, sla, nil
-		}
-		sla /= 2
-		if sla < minSLA {
-			sla = minSLA
-		}
+	eng, err := in.engine()
+	if err != nil {
+		return nil, 0, err
 	}
+	return relaxing(opts, minSLA, func(o Options) (*Result, error) {
+		return exhaustiveWith(in, o, eng)
+	})
 }

@@ -7,6 +7,7 @@ import (
 
 	"dotprov/internal/catalog"
 	"dotprov/internal/device"
+	"dotprov/internal/search"
 )
 
 // Move is one candidate relocation m(g, p): place group g's objects with
@@ -36,15 +37,20 @@ func (m Move) Apply(l catalog.Layout) catalog.Layout {
 //
 // Moves that save nothing (DeltaCost <= 0) and don't improve performance
 // are dropped; free wins (faster and not more expensive) sort first.
-func EnumerateMoves(cat *catalog.Catalog, box *device.Box, ps *ProfileSet, l0 device.Class, concurrency int) ([]Move, error) {
+// Groups score independently, so scoring fans out across up to `workers`
+// goroutines; the flattened, stably-sorted move list is identical at any
+// width.
+func EnumerateMoves(cat *catalog.Catalog, box *device.Box, ps *ProfileSet, l0 device.Class, concurrency, workers int) ([]Move, error) {
 	l0Dev := box.Device(l0)
-	var moves []Move
-	for _, g := range cat.Groups() {
+	groups := cat.Groups()
+	perGroup := make([][]Move, len(groups))
+	if err := search.Parallel(workers, len(groups), func(gi int) error {
+		g := groups[gi]
 		k := g.Size()
 		p0 := Uniform(l0, k)
 		prof0, err := ps.For(p0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// T0[g]: the group's I/O time share under L0 (Eq. 1).
 		var t0 time.Duration
@@ -57,7 +63,7 @@ func EnumerateMoves(cat *catalog.Catalog, box *device.Box, ps *ProfileSet, l0 de
 			}
 			profP, err := ps.For(p)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			var tp time.Duration
 			var saving float64
@@ -81,8 +87,15 @@ func EnumerateMoves(cat *catalog.Catalog, box *device.Box, ps *ProfileSet, l0 de
 			default:
 				continue // dominated: no saving, no speedup
 			}
-			moves = append(moves, m)
+			perGroup[gi] = append(perGroup[gi], m)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var moves []Move
+	for _, gm := range perGroup {
+		moves = append(moves, gm...)
 	}
 	sort.SliceStable(moves, func(i, j int) bool {
 		if moves[i].Score != moves[j].Score {

@@ -54,6 +54,10 @@ func (p Pattern) String() string {
 //
 // The TPC-C path (§4.5) profiles a single layout because plans do not
 // change; SetSingle installs that profile as the answer for every pattern.
+//
+// A ProfileSet is safe for concurrent readers (For, MaxK, Patterns) once
+// populated; AddPattern/SetSingle must not race with reads. Parallel move
+// scoring relies on this.
 type ProfileSet struct {
 	byPattern map[string]iosim.Profile
 	single    iosim.Profile

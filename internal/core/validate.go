@@ -87,7 +87,10 @@ func OptimizeValidated(in Input, opts Options, runner Runner, maxRounds int) (*R
 		// The refined optimization stays in its own estimate space (its L0
 		// estimate is the reference); the follow-up validation is what
 		// checks reality. Mixing measured caps with frozen-plan repricing
-		// would wrongly rule out every layout.
+		// would wrongly rule out every layout. Each round swaps in a new
+		// estimator, so each round's Optimize builds a fresh engine:
+		// memoized evaluations are only valid for the estimator that
+		// produced them.
 		res, err = Optimize(in2, opts)
 		if err != nil {
 			return nil, nil, err

@@ -11,8 +11,11 @@ import (
 )
 
 // Optimizer plans queries against a box of storage devices. Tables register
-// their statistics (engine.Analyze feeds them); Plan is then pure and safe
-// for repeated use across candidate layouts.
+// their statistics (engine.Analyze feeds them); Plan is then a pure reader
+// of those statistics — all per-call state lives in the planner — so it is
+// safe for repeated AND concurrent use across candidate layouts (the
+// search engine's worker pool relies on this). AddTable must not be called
+// concurrently with Plan.
 type Optimizer struct {
 	Box         *device.Box
 	Concurrency int

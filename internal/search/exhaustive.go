@@ -1,0 +1,198 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/workload"
+)
+
+// Space is an assignment space for exhaustive enumeration: every Free
+// object ranges over Classes while Base pins everything else. Candidates
+// are generated in odometer order — Free[0] cycles fastest — matching the
+// paper's M^N enumeration.
+type Space struct {
+	Base    catalog.Layout
+	Free    []catalog.ObjectID
+	Classes []device.Class
+}
+
+// LowerBound returns an admissible lower bound on the TOC of every layout
+// that completes the partial assignment: `partial` holds Base plus the
+// already-assigned free objects, `unassigned` lists the free objects still
+// open. Enumeration prunes a subtree only when the bound strictly exceeds
+// the incumbent feasible TOC, so an admissible bound never changes the
+// result — only how many candidates are evaluated.
+type LowerBound func(partial catalog.Layout, unassigned []catalog.ObjectID) (float64, error)
+
+// incumbent tracks the best feasible evaluation with the deterministic
+// tie-break: lower TOC wins, equal TOC resolves to the lower enumeration
+// index (the sequential first-found-wins rule).
+type incumbent struct {
+	mu  sync.Mutex
+	ok  bool
+	idx int
+	ev  Eval
+}
+
+func (b *incumbent) offer(idx int, ev Eval) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.ok || ev.TOCCents < b.ev.TOCCents || (ev.TOCCents == b.ev.TOCCents && idx < b.idx) {
+		b.ok, b.idx, b.ev = true, idx, ev
+	}
+}
+
+func (b *incumbent) toc() (float64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ev.TOCCents, b.ok
+}
+
+func (b *incumbent) get() (Eval, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ev, b.ok
+}
+
+var errStopped = errors.New("search: enumeration stopped")
+
+// enumerate walks the space depth-first in odometer order, pruning subtrees
+// whose lower bound strictly exceeds the incumbent, and calls emit with each
+// surviving candidate (a fresh clone) and its enumeration index. It returns
+// the number of candidates emitted.
+func enumerate(sp Space, lb LowerBound, best *incumbent, emit func(idx int, l catalog.Layout) error) (int, error) {
+	partial := make(catalog.Layout)
+	if sp.Base != nil {
+		partial = sp.Base.Clone()
+	}
+	// Base may place the free objects too (ExhaustivePartial pins a full
+	// layout); strip them so `partial` holds exactly the pinned plus the
+	// already-assigned objects, as the LowerBound contract promises.
+	for _, id := range sp.Free {
+		delete(partial, id)
+	}
+	idx := 0
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i < 0 {
+			err := emit(idx, partial.Clone())
+			idx++
+			return err
+		}
+		obj := sp.Free[i]
+		defer delete(partial, obj)
+		for _, c := range sp.Classes {
+			partial[obj] = c
+			if lb != nil {
+				if inc, ok := best.toc(); ok {
+					floor, err := lb(partial, sp.Free[:i])
+					if err != nil {
+						return err
+					}
+					if floor > inc {
+						continue
+					}
+				}
+			}
+			if err := rec(i - 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := rec(len(sp.Free) - 1)
+	return idx, err
+}
+
+// Exhaustive enumerates the space and returns the feasible evaluation with
+// the minimum TOC (ties to the earliest candidate in enumeration order),
+// whether one exists, and how many candidates were evaluated. Candidates
+// fan out across the engine's worker pool; with a LowerBound the evaluated
+// count depends on how early the incumbent tightens (under parallel
+// evaluation that timing varies), but the returned best never does.
+func (e *Engine) Exhaustive(cons workload.Constraints, sp Space, lb LowerBound) (Eval, bool, int, error) {
+	if len(sp.Classes) == 0 {
+		return Eval{}, false, 0, fmt.Errorf("search: exhaustive space has no classes")
+	}
+	best := &incumbent{}
+	workers := e.Workers()
+	if workers < 2 {
+		count, err := enumerate(sp, lb, best, func(idx int, l catalog.Layout) error {
+			ev, err := e.Evaluate(l)
+			if err != nil {
+				return err
+			}
+			if ev.Feasible(cons) {
+				best.offer(idx, ev)
+			}
+			return nil
+		})
+		if err != nil {
+			return Eval{}, false, 0, err
+		}
+		ev, ok := best.get()
+		return ev, ok, count, nil
+	}
+
+	type job struct {
+		idx int
+		l   catalog.Layout
+	}
+	jobs := make(chan job, workers*2)
+	var (
+		stop  atomic.Bool
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		loErr error
+		loIdx = int(^uint(0) >> 1) // max int
+	)
+	fail := func(idx int, err error) {
+		errMu.Lock()
+		if err != nil && idx < loIdx {
+			loIdx, loErr = idx, err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				ev, err := e.Evaluate(j.l)
+				if err != nil {
+					fail(j.idx, err)
+					continue
+				}
+				if ev.Feasible(cons) {
+					best.offer(j.idx, ev)
+				}
+			}
+		}()
+	}
+	count, genErr := enumerate(sp, lb, best, func(idx int, l catalog.Layout) error {
+		if stop.Load() {
+			return errStopped
+		}
+		jobs <- job{idx: idx, l: l}
+		return nil
+	})
+	close(jobs)
+	wg.Wait()
+	errMu.Lock()
+	err := loErr
+	errMu.Unlock()
+	if err == nil && genErr != nil && genErr != errStopped {
+		err = genErr
+	}
+	if err != nil {
+		return Eval{}, false, 0, err
+	}
+	ev, ok := best.get()
+	return ev, ok, count, nil
+}

@@ -1,0 +1,269 @@
+// Package search is the shared layout-search engine behind DOT, exhaustive
+// search and the SLA-relaxing wrappers (paper §3, §4.4.3, §4.5.3). All of
+// them reduce to the same inner loop — estimate a candidate layout, price
+// it, check capacity and the SLA — which this package implements once, with
+//
+//   - a memo table keyed by the canonical layout hash (catalog.Layout.Key),
+//     so repeated sweeps (OptimizeBest's two policies, SLA halving) never
+//     estimate the same layout twice;
+//   - a bounded worker pool that fans independent candidate evaluations out
+//     across goroutines (estimators must be safe for concurrent use — see
+//     the workload.Estimator contract); and
+//   - an optional admissible lower-bound hook (LowerBound) that lets
+//     exhaustive enumeration prune whole assignment subtrees whose TOC
+//     floor already exceeds the incumbent.
+//
+// Results are deterministic regardless of worker count: candidates carry
+// their enumeration index, and ties on TOC resolve to the lowest index,
+// which reproduces the sequential first-found-wins rule exactly.
+package search
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/workload"
+)
+
+// Config assembles an Engine. Est and Cost are required; CapacityOK may be
+// nil (every layout then passes the capacity check).
+type Config struct {
+	// Est predicts workload metrics for a candidate layout. It is called at
+	// most once per distinct layout; when Workers > 1 it must be safe for
+	// concurrent use.
+	Est workload.Estimator
+	// Cost prices the estimated metrics under the layout (the TOC model).
+	Cost func(m workload.Metrics, l catalog.Layout) (float64, error)
+	// CapacityOK reports whether the layout fits the box.
+	CapacityOK func(l catalog.Layout) bool
+	// Workers bounds the evaluation fan-out. Values below 2 select the
+	// sequential path (no goroutines, no concurrent estimator use).
+	Workers int
+	// MemoLimit bounds the number of memo entries the engine retains, so a
+	// near-bound exhaustive enumeration (up to millions of distinct
+	// layouts, each entry holding a layout clone and metrics) cannot
+	// exhaust memory. Once full, further distinct layouts are evaluated
+	// without caching — results are unchanged, revisits just pay the
+	// estimator again. 0 selects DefaultMemoLimit; negative means
+	// unlimited.
+	MemoLimit int
+}
+
+// DefaultMemoLimit caps the memo at 2^18 entries — enough to fully cache a
+// 3^11 exhaustive space or any realistic DOT sweep, while bounding worst-
+// case retention to a few hundred MB.
+const DefaultMemoLimit = 1 << 18
+
+// Eval is one candidate's constraint-free evaluation: everything about the
+// layout that does not depend on the SLA. Feasibility against a concrete
+// constraint set is checked per use (Feasible), so a memoized Eval stays
+// valid across OptimizeBest's sweeps and the relaxing loops' SLA halvings.
+type Eval struct {
+	Layout     catalog.Layout
+	Metrics    workload.Metrics
+	TOCCents   float64
+	CapacityOK bool
+}
+
+// Feasible reports whether the evaluated layout fits the box and meets the
+// performance constraints.
+func (e Eval) Feasible(cons workload.Constraints) bool {
+	return e.CapacityOK && cons.Satisfied(e.Metrics)
+}
+
+// Stats summarises an engine's work so far.
+type Stats struct {
+	// Evaluated counts Evaluate requests (memo hits included): the
+	// "layouts investigated" number the paper reports.
+	Evaluated int
+	// EstimatorCalls counts actual estimator invocations (memo misses).
+	EstimatorCalls int
+}
+
+// MemoHits is the number of evaluations answered from the memo table.
+func (s Stats) MemoHits() int { return s.Evaluated - s.EstimatorCalls }
+
+// Sub returns the work done since an earlier snapshot.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{Evaluated: s.Evaluated - o.Evaluated, EstimatorCalls: s.EstimatorCalls - o.EstimatorCalls}
+}
+
+type entry struct {
+	once sync.Once
+	ev   Eval
+	err  error
+}
+
+// Engine evaluates candidate layouts through the memoized
+// estimate → price → check pipeline. An Engine is safe for concurrent use;
+// share one across sweeps to share its memo table. Layouts passed to an
+// Engine are retained in the memo and must not be mutated afterwards.
+type Engine struct {
+	cfg  Config
+	mu   sync.Mutex
+	memo map[string]*entry
+	// sem bounds concurrent estimator invocations at Workers across ALL
+	// concurrent operations on the engine — concurrent sweeps sharing one
+	// engine (OptimizeBest) cannot oversubscribe past the configured width.
+	sem       chan struct{}
+	evaluated atomic.Int64
+	estCalls  atomic.Int64
+}
+
+// New builds an engine. It returns an error when the config lacks the
+// estimator or the cost model.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Est == nil || cfg.Cost == nil {
+		return nil, fmt.Errorf("search: Config requires Est and Cost")
+	}
+	e := &Engine{cfg: cfg, memo: make(map[string]*entry)}
+	if w := e.Workers(); w > 1 {
+		e.sem = make(chan struct{}, w)
+	}
+	return e, nil
+}
+
+// Workers returns the effective fan-out width.
+func (e *Engine) Workers() int {
+	if e.cfg.Workers < 1 {
+		return 1
+	}
+	return e.cfg.Workers
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Evaluated:      int(e.evaluated.Load()),
+		EstimatorCalls: int(e.estCalls.Load()),
+	}
+}
+
+func (e *Engine) memoLimit() int {
+	switch {
+	case e.cfg.MemoLimit < 0:
+		return int(^uint(0) >> 1) // unlimited
+	case e.cfg.MemoLimit == 0:
+		return DefaultMemoLimit
+	default:
+		return e.cfg.MemoLimit
+	}
+}
+
+// measure runs the estimate → price → capacity pipeline once, uncached.
+func (e *Engine) measure(l catalog.Layout) (Eval, error) {
+	if e.sem != nil {
+		e.sem <- struct{}{}
+		defer func() { <-e.sem }()
+	}
+	e.estCalls.Add(1)
+	m, err := e.cfg.Est.Estimate(l)
+	if err != nil {
+		return Eval{}, err
+	}
+	toc, err := e.cfg.Cost(m, l)
+	if err != nil {
+		return Eval{}, err
+	}
+	return Eval{
+		Layout:     l,
+		Metrics:    m,
+		TOCCents:   toc,
+		CapacityOK: e.cfg.CapacityOK == nil || e.cfg.CapacityOK(l),
+	}, nil
+}
+
+// Evaluate runs one layout through the pipeline, answering from the memo
+// when the layout (by canonical key) has been seen before. Errors are
+// memoized too: a layout the estimator or cost model rejects once is
+// rejected on every revisit without re-invoking them. When the memo is at
+// its limit, new layouts are evaluated without being retained.
+func (e *Engine) Evaluate(l catalog.Layout) (Eval, error) {
+	e.evaluated.Add(1)
+	key := l.Key()
+	e.mu.Lock()
+	ent, ok := e.memo[key]
+	if !ok {
+		if len(e.memo) >= e.memoLimit() {
+			e.mu.Unlock()
+			return e.measure(l)
+		}
+		ent = &entry{}
+		e.memo[key] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		ent.ev, ent.err = e.measure(l)
+	})
+	return ent.ev, ent.err
+}
+
+// EvaluateAll evaluates the candidates, fanning out across the worker pool,
+// and returns the evaluations in input order. On error it returns the
+// lowest-index failure, so error reporting is deterministic too.
+func (e *Engine) EvaluateAll(layouts []catalog.Layout) ([]Eval, error) {
+	evs := make([]Eval, len(layouts))
+	errs := make([]error, len(layouts))
+	if err := Parallel(e.Workers(), len(layouts), func(i int) error {
+		evs[i], errs[i] = e.Evaluate(layouts[i])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return evs, nil
+}
+
+// Parallel runs fn(i) for every i in [0, n) on up to `workers` goroutines
+// and returns the lowest-index error. With workers < 2 it runs inline, in
+// order, stopping at the first error.
+func Parallel(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next int64 = -1
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	firstErr := error(nil)
+	firstIdx := n
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

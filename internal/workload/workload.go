@@ -32,6 +32,15 @@ type Metrics struct {
 
 // Estimator predicts workload metrics under a hypothetical layout. DOT
 // calls it once per candidate layout (Procedure 1's estimateTOC).
+//
+// Concurrency contract: the search engine fans candidate evaluations out
+// across a worker pool, so Estimate must be safe for concurrent use by
+// multiple goroutines once estimation starts. In practice this means
+// Estimate must not mutate shared state: the estimators in this repository
+// (ObservedEstimator, ProfileEstimator, and the DSS re-planning estimator)
+// all guarantee it by being pure readers of statistics frozen at
+// construction/Analyze time. Implementations that cannot meet the contract
+// must be driven with Workers <= 1.
 type Estimator interface {
 	Estimate(l catalog.Layout) (Metrics, error)
 }
@@ -223,7 +232,8 @@ func (w *DSS) RunDetailed(db *engine.DB) (Observation, error) {
 // ObservedEstimator prices measured per-query I/O counts under candidate
 // layouts. Because the counts come from a real run they include buffer-pool
 // effects; the plans are frozen at the observed layout (the validation
-// phase re-checks any recommendation built from it).
+// phase re-checks any recommendation built from it). Estimate only reads
+// the frozen observations, so it is safe for concurrent use.
 type ObservedEstimator struct {
 	Box         *device.Box
 	Concurrency int
@@ -248,7 +258,10 @@ func (e *ObservedEstimator) Estimate(l catalog.Layout) (Metrics, error) {
 // Estimator returns the extended-optimizer estimator for this workload:
 // per-query times come from planning each query under the candidate layout
 // (paper §3.5). The estimator re-plans per layout, so plan changes (e.g. HJ
-// -> INLJ) are reflected in the estimates.
+// -> INLJ) are reflected in the estimates. Planning keeps all per-call
+// state on the stack (optimizer.Plan is a pure reader of the Analyze-time
+// statistics), so Estimate is safe for concurrent use as long as nothing
+// re-runs Analyze or SetLayout concurrently.
 func (w *DSS) Estimator(db *engine.DB) Estimator {
 	return &dssEstimator{db: db, w: w}
 }
@@ -353,7 +366,8 @@ type RunStats struct {
 // single test-run profile (the paper's TPC-C path, §4.5: "we only need one
 // simple layout ... a test run can give actual I/O statistics"). The
 // estimated throughput scales inversely with the profile's I/O time under
-// the candidate layout (CPU time is layout-invariant).
+// the candidate layout (CPU time is layout-invariant). Estimate only reads
+// the frozen profile, so it is safe for concurrent use.
 type ProfileEstimator struct {
 	Box         *device.Box
 	Concurrency int
