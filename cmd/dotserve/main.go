@@ -1,0 +1,98 @@
+// Command dotserve runs the DOT advisor as a long-lived HTTP/JSON service:
+// the §5 provisioning sweep and the single-box advisor behind endpoints a
+// control plane can poll as workload profiles drift.
+//
+//	dotserve -addr :8080
+//
+// Endpoints:
+//
+//	POST /advise     — single-workload DOT on box1/box2 or a custom class list
+//	POST /provision  — full configuration sweep over a device grid
+//	GET  /healthz    — liveness + counters
+//
+// Example:
+//
+//	curl -s localhost:8080/provision -d '{
+//	  "workload": {
+//	    "objects": [{"name": "orders", "size_bytes": 10000000000},
+//	                {"name": "orders_pkey", "kind": "index", "table": "orders", "size_bytes": 1000000000}],
+//	    "io": [{"object": "orders", "seq_read": 1000000},
+//	           {"object": "orders_pkey", "rand_read": 10000}],
+//	    "cpu_millis": 2000
+//	  },
+//	  "grid": {"devices": [{"class": "hdd-raid0", "counts": [0, 1]},
+//	                       {"class": "lssd", "counts": [0, 1, 2]},
+//	                       {"class": "hssd", "counts": [1]}],
+//	           "alphas": [0, 1]},
+//	  "sla": 0.5
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dotprov/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		maxConc = flag.Int("max-concurrent", 4, "maximum simultaneous optimization requests (excess get 503)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request optimization timeout")
+		cache   = flag.Int("cache", 64, "sweep-result LRU entries")
+		workers = flag.Int("search-workers", 0, "layout-search worker budget per request (0 = all CPUs)")
+	)
+	flag.Parse()
+	if err := run(*addr, *maxConc, *timeout, *cache, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "dotserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, maxConc int, timeout time.Duration, cache, workers int) error {
+	s := serve.New(serve.Config{
+		MaxConcurrent:  maxConc,
+		RequestTimeout: timeout,
+		CacheEntries:   cache,
+		Workers:        workers,
+	})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout covers the body too: a trickled upload cannot hold a
+		// connection (or an optimization slot) open indefinitely.
+		ReadTimeout: time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("dotserve listening on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("dotserve: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

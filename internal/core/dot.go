@@ -26,6 +26,11 @@ type Input struct {
 	// Est to be safe for concurrent use (see workload.Estimator). Results
 	// are identical either way.
 	Workers int
+	// Budget optionally shares one evaluation worker budget across several
+	// inputs' engines (overriding Workers when set). Provisioning sweeps use
+	// it to bound total estimator concurrency while many candidate searches
+	// run at once. Results are identical with or without it.
+	Budget *search.Budget
 	// LayoutCost optionally overrides the layout cost model C(L) in
 	// cent/hour (default: the linear model of §2.1). The discrete-sized
 	// model of §5.2 plugs in here.
@@ -146,6 +151,7 @@ func (in Input) engine() (*search.Engine, error) {
 		Cost:       in.toc,
 		CapacityOK: func(l catalog.Layout) bool { return l.CheckCapacity(in.Cat, in.Box) == nil },
 		Workers:    in.Workers,
+		Budget:     in.Budget,
 	})
 }
 

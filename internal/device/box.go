@@ -92,6 +92,16 @@ func (b *Box) SetCapacity(c Class, bytes int64) error {
 	return nil
 }
 
+// TotalCapacityBytes returns the usable capacity summed over every device
+// in the box.
+func (b *Box) TotalCapacityBytes() int64 {
+	var total int64
+	for _, d := range b.Devices {
+		total += d.CapacityBytes
+	}
+	return total
+}
+
 // SortedByPrice returns the devices ordered from cheapest to most expensive.
 func (b *Box) SortedByPrice() []*Device {
 	out := append([]*Device(nil), b.Devices...)

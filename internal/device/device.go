@@ -237,6 +237,31 @@ func New(c Class) *Device {
 	return d
 }
 
+// NewScaled builds a device of the given class provisioned with `units`
+// physical units (paper §5.2: configurations buy devices in whole units).
+// Usable capacity scales with the unit count; the per-GB price and the
+// calibrated service times are those of a single unit — the paper's model
+// stripes capacity but keeps per-I/O times per class.
+func NewScaled(c Class, units int) *Device {
+	if units < 1 {
+		panic(fmt.Sprintf("device: NewScaled(%v, %d): units must be >= 1", c, units))
+	}
+	d := New(c)
+	d.CapacityBytes *= int64(units)
+	return d
+}
+
+// UnitCapacityBytes returns the capacity of ONE physical unit of the class,
+// derived from the hardware spec. It is independent of SetCapacity overrides
+// and of unit scaling, so discrete cost models can price whole devices even
+// on scaled or capacity-constrained boxes.
+func (d *Device) UnitCapacityBytes() int64 {
+	if b := int64(d.Spec.TotalCapacityGB() * 1e9); b > 0 {
+		return b
+	}
+	return d.CapacityBytes
+}
+
 // ServiceTime returns the per-operation service time for the given I/O type
 // under the given degree of concurrency (number of concurrent DB threads,
 // paper §3.5). Between the two calibration points the time is interpolated

@@ -12,6 +12,7 @@ import (
 	"dotprov/internal/catalog"
 	"dotprov/internal/core"
 	"dotprov/internal/device"
+	"dotprov/internal/search"
 )
 
 // Candidate is one storage configuration option f_i of §5.1: a box plus the
@@ -25,17 +26,35 @@ type Candidate struct {
 type Choice struct {
 	Best    int // index into Results; -1 if nothing feasible
 	Results []CandidateResult
+	// Evaluated sums the layouts investigated across every candidate's
+	// search (memoized revisits included).
+	Evaluated int
+	// EstimatorCalls counts underlying estimator invocations for sweeps that
+	// share a metrics memo across candidates (SweepConfigurations,
+	// CompareAlphas); 0 for ChooseConfiguration, whose candidates own
+	// independent estimators.
+	EstimatorCalls int
 }
 
 // CandidateResult pairs a candidate with its DOT recommendation.
 type CandidateResult struct {
 	Name   string
 	Result *core.Result
+	// Spec is the enumerated grid candidate behind this result
+	// (SweepConfigurations only; nil otherwise).
+	Spec *BoxSpec
+	// Failure explains why the candidate produced no feasible layout —
+	// over-capacity cases distinguished from SLA misses. Empty when the
+	// candidate is feasible.
+	Failure string
 }
 
 // ChooseConfiguration solves the generalized provisioning problem: run DOT
 // on every candidate configuration and pick the feasible recommendation
-// with the minimum TOC (paper §5.1.1).
+// with the minimum TOC (paper §5.1.1). Candidates are evaluated in order on
+// the calling goroutine (each candidate carries its own estimator, which
+// need not be safe for concurrent use); for the engine-backed parallel grid
+// sweep see SweepConfigurations.
 func ChooseConfiguration(cands []Candidate, opts core.Options) (*Choice, error) {
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("provision: no candidate configurations")
@@ -46,7 +65,12 @@ func ChooseConfiguration(cands []Candidate, opts core.Options) (*Choice, error) 
 		if err != nil {
 			return nil, fmt.Errorf("provision: candidate %q: %w", c.Name, err)
 		}
-		ch.Results = append(ch.Results, CandidateResult{Name: c.Name, Result: res})
+		cr := CandidateResult{Name: c.Name, Result: res}
+		if !res.Feasible {
+			cr.Failure = InfeasibilityReason(c.In.Cat, c.In.Box, opts)
+		}
+		ch.Results = append(ch.Results, cr)
+		ch.Evaluated += res.Evaluated
 		if !res.Feasible {
 			continue
 		}
@@ -79,10 +103,13 @@ func DiscreteCostModel(cat *catalog.Catalog, box *device.Box, alpha float64) (fu
 			if d == nil {
 				return 0, fmt.Errorf("provision: layout uses class %v absent from box %q", cls, box.Name)
 			}
-			capGB := float64(d.CapacityBytes) / 1e9
+			// One unit is one physical device of the class: scaled boxes
+			// (device.NewScaled) still buy — and price — whole units.
+			unitBytes := d.UnitCapacityBytes()
+			capGB := float64(unitBytes) / 1e9
 			unitCost := d.PriceCents * capGB // p_j * c_j, cent/hour for the whole device
 			// Units needed to hold S_j (devices are bought whole).
-			units := float64((bytes + d.CapacityBytes - 1) / d.CapacityBytes)
+			units := float64((bytes + unitBytes - 1) / unitBytes)
 			if units < 1 {
 				units = 1
 			}
@@ -95,21 +122,46 @@ func DiscreteCostModel(cat *catalog.Catalog, box *device.Box, alpha float64) (fu
 }
 
 // CompareAlphas runs DOT under the discrete model for each alpha and
-// returns the recommendations, for the §5.2 sensitivity sweep.
+// returns the recommendations, for the §5.2 sensitivity sweep. The alpha
+// points share one metrics memo (the estimator never re-prices a layout two
+// alphas both reach) and one worker budget of width in.Workers, under which
+// they run concurrently; results are deterministic and in alpha order. When
+// in.Workers > 1, in.Est must be safe for concurrent use.
 func CompareAlphas(in core.Input, opts core.Options, alphas []float64) ([]CandidateResult, error) {
-	var out []CandidateResult
-	for _, a := range alphas {
+	if in.Est == nil {
+		return nil, fmt.Errorf("provision: CompareAlphas requires an estimator")
+	}
+	models := make([]func(catalog.Layout) (float64, error), len(alphas))
+	for i, a := range alphas {
 		model, err := DiscreteCostModel(in.Cat, in.Box, a)
 		if err != nil {
 			return nil, err
 		}
+		models[i] = model
+	}
+	memoEst := search.Memoize(in.Est, 0)
+	budget := in.Budget
+	if budget == nil {
+		budget = search.NewBudget(in.Workers)
+	}
+	out := make([]CandidateResult, len(alphas))
+	err := search.Parallel(budget.Workers(), len(alphas), func(i int) error {
 		in2 := in
-		in2.LayoutCost = model
+		in2.Est = memoEst
+		in2.LayoutCost = models[i]
+		in2.Budget = budget
 		res, err := core.Optimize(in2, opts)
 		if err != nil {
-			return nil, fmt.Errorf("provision: alpha %g: %w", a, err)
+			return fmt.Errorf("provision: alpha %g: %w", alphas[i], err)
 		}
-		out = append(out, CandidateResult{Name: fmt.Sprintf("alpha=%g", a), Result: res})
+		out[i] = CandidateResult{Name: fmt.Sprintf("alpha=%g", alphas[i]), Result: res}
+		if !res.Feasible {
+			out[i].Failure = InfeasibilityReason(in.Cat, in.Box, opts)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

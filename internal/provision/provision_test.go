@@ -1,6 +1,7 @@
 package provision
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -90,6 +91,12 @@ func TestChooseConfigurationAllInfeasible(t *testing.T) {
 	}
 	if ch.Best != -1 {
 		t.Fatal("no configuration fits; Best should be -1")
+	}
+	if ch.Results[0].Failure == "" {
+		t.Fatal("infeasible candidate should carry a failure reason")
+	}
+	if !strings.Contains(ch.Results[0].Failure, "over capacity") {
+		t.Fatalf("failure %q should diagnose the capacity problem", ch.Results[0].Failure)
 	}
 }
 

@@ -1,0 +1,119 @@
+package provision
+
+import (
+	"fmt"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/core"
+	"dotprov/internal/device"
+	"dotprov/internal/search"
+)
+
+// SweepConfigurations solves the generalized provisioning problem over a
+// declarative grid (§5.1 + §5.2): every candidate box enumerated from the
+// grid is priced with its alpha blend point of the discrete-sized cost
+// model, and each candidate's inner layout search runs through the shared
+// layout-search engine (internal/search) under
+//
+//   - a per-sweep metrics memo: base.Est is wrapped in one
+//     search.MemoEstimator shared by every candidate, so a layout estimated
+//     while searching one box is never re-estimated for another (estimator
+//     metrics depend only on the layout's classes, not on unit counts or
+//     prices); and
+//   - a global worker budget: base.Budget (or a fresh budget of width
+//     base.Workers when unset) bounds concurrent estimator invocations
+//     across ALL in-flight candidate searches, not per candidate. Passing a
+//     budget shared with other sweeps extends the bound across them (e.g.
+//     one server-wide budget over all concurrent requests).
+//
+// base supplies Cat, Est, Profiles, Concurrency and the worker budget; its
+// Box and LayoutCost are ignored and rebound per candidate. base.Est must
+// be bound to a box covering every class in the grid (see Grid.Universe)
+// and, when the budget is wider than 1, safe for concurrent use (the
+// workload.Estimator contract).
+//
+// The sweep is deterministic at any worker count: candidates keep their
+// enumeration index, every inner search is itself deterministic, and TOC
+// ties break toward the lowest index — the sequential first-found-wins rule.
+// Infeasible candidates carry a Failure diagnosis; a candidate whose search
+// errors fails the sweep with the lowest-index error.
+func SweepConfigurations(base core.Input, grid Grid, opts core.Options) (*Choice, error) {
+	specs, err := grid.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	if base.Est == nil {
+		return nil, fmt.Errorf("provision: sweep requires an estimator")
+	}
+	memoEst := search.Memoize(base.Est, 0)
+	budget := base.Budget
+	if budget == nil {
+		budget = search.NewBudget(base.Workers)
+	}
+	results := make([]CandidateResult, len(specs))
+	err = search.Parallel(budget.Workers(), len(specs), func(i int) error {
+		spec := specs[i]
+		box := spec.Box()
+		model, err := DiscreteCostModel(base.Cat, box, spec.Alpha)
+		if err != nil {
+			return err
+		}
+		in := base
+		in.Box = box
+		in.Est = memoEst
+		in.LayoutCost = model
+		in.Budget = budget
+		// OptimizeBest (guarded + greedy sweeps) rather than Optimize: the
+		// discrete-sized model has cost valleys a monotonic walk cannot
+		// cross, and both sweeps share the engine memo anyway.
+		res, err := core.OptimizeBest(in, opts)
+		if err != nil {
+			return fmt.Errorf("provision: candidate %q: %w", spec.Name, err)
+		}
+		sp := spec
+		results[i] = CandidateResult{Name: spec.Name, Spec: &sp, Result: res}
+		if !res.Feasible {
+			results[i].Failure = InfeasibilityReason(base.Cat, box, opts)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ch := &Choice{Best: -1, Results: results, EstimatorCalls: memoEst.Calls()}
+	for i, r := range results {
+		ch.Evaluated += r.Result.Evaluated
+		if !r.Result.Feasible {
+			continue
+		}
+		if ch.Best < 0 || r.Result.TOCCents < results[ch.Best].Result.TOCCents {
+			ch.Best = i
+		}
+	}
+	return ch, nil
+}
+
+// InfeasibilityReason explains why a candidate produced no feasible layout:
+// the capacity cases (database larger than the box; one object larger than
+// every class) are distinguished from the SLA case, so Choice.Best == -1 is
+// diagnosable per candidate instead of a bare "nothing fit".
+func InfeasibilityReason(cat *catalog.Catalog, box *device.Box, opts core.Options) string {
+	need := cat.TotalSize()
+	have := box.TotalCapacityBytes()
+	if need >= have {
+		return fmt.Sprintf("over capacity: database needs %.2f GB, box holds %.2f GB", float64(need)/1e9, float64(have)/1e9)
+	}
+	var maxDev int64
+	for _, d := range box.Devices {
+		if d.CapacityBytes > maxDev {
+			maxDev = d.CapacityBytes
+		}
+	}
+	for _, o := range cat.Objects() {
+		if o.SizeBytes >= maxDev {
+			return fmt.Sprintf("over capacity: object %q (%.2f GB) exceeds every class in the box (largest %.2f GB)",
+				o.Name, float64(o.SizeBytes)/1e9, float64(maxDev)/1e9)
+		}
+	}
+	return fmt.Sprintf("SLA unmet: no evaluated layout satisfied the relative SLA %g within capacity — relax the SLA or add faster/larger classes", opts.RelativeSLA)
+}

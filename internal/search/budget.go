@@ -1,0 +1,32 @@
+package search
+
+// Budget is a worker budget shared across engines. A provisioning sweep
+// (paper §5) runs one inner layout search per candidate configuration; each
+// search owns an Engine, but the machine only has so many cores. Passing one
+// Budget to every engine's Config bounds the number of concurrent estimator
+// invocations across ALL of them at the budget's width, no matter how many
+// candidates are in flight.
+//
+// A Budget is safe for concurrent use. The zero value is not usable; call
+// NewBudget.
+type Budget struct {
+	workers int
+	sem     chan struct{}
+}
+
+// NewBudget returns a budget of the given width. Widths below 2 select the
+// sequential path: engines sharing the budget evaluate on their calling
+// goroutines only.
+func NewBudget(workers int) *Budget {
+	if workers < 1 {
+		workers = 1
+	}
+	b := &Budget{workers: workers}
+	if workers > 1 {
+		b.sem = make(chan struct{}, workers)
+	}
+	return b
+}
+
+// Workers returns the budget's width.
+func (b *Budget) Workers() int { return b.workers }

@@ -1,0 +1,176 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/types"
+	"dotprov/internal/workload"
+)
+
+// gaugeEstimator tracks the peak number of concurrent Estimate calls.
+type gaugeEstimator struct {
+	inFlight atomic.Int64
+	peak     atomic.Int64
+	calls    atomic.Int64
+}
+
+func (g *gaugeEstimator) Estimate(l catalog.Layout) (workload.Metrics, error) {
+	cur := g.inFlight.Add(1)
+	defer g.inFlight.Add(-1)
+	for {
+		p := g.peak.Load()
+		if cur <= p || g.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	g.calls.Add(1)
+	time.Sleep(100 * time.Microsecond) // widen the race window
+	return workload.Metrics{Elapsed: time.Millisecond}, nil
+}
+
+func budgetLayouts(t *testing.T, n int) []catalog.Layout {
+	t.Helper()
+	cat := catalog.New()
+	sch := types.NewSchema(types.Column{Name: "id", Kind: types.KindInt})
+	tab, err := cat.CreateTable("t", sch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []catalog.Layout
+	for i := 0; i < n; i++ {
+		out = append(out, catalog.Layout{tab.ID: device.AllClasses[i%len(device.AllClasses)]})
+	}
+	return out
+}
+
+func TestBudgetBoundsAcrossEngines(t *testing.T) {
+	const width = 3
+	b := NewBudget(width)
+	if b.Workers() != width {
+		t.Fatalf("Workers = %d, want %d", b.Workers(), width)
+	}
+	est := &gaugeEstimator{}
+	cost := func(m workload.Metrics, l catalog.Layout) (float64, error) { return 1, nil }
+	var engines []*Engine
+	for i := 0; i < 4; i++ {
+		e, err := New(Config{Est: est, Cost: cost, Budget: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Workers() != width {
+			t.Fatalf("engine Workers = %d, want budget width %d", e.Workers(), width)
+		}
+		engines = append(engines, e)
+	}
+	// Many distinct single-object layouts would collide in one engine's
+	// memo, so give each engine its own catalog's layouts.
+	batches := make([][]catalog.Layout, len(engines))
+	for i := range engines {
+		batches[i] = budgetLayouts(t, 64)
+	}
+	var wg sync.WaitGroup
+	for i, e := range engines {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.EvaluateAll(batches[i]); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := est.peak.Load(); got > width {
+		t.Fatalf("peak concurrent estimator calls = %d, want <= %d (shared budget)", got, width)
+	}
+}
+
+func TestNewBudgetSequential(t *testing.T) {
+	b := NewBudget(0)
+	if b.Workers() != 1 {
+		t.Fatalf("Workers = %d, want 1", b.Workers())
+	}
+	est := &gaugeEstimator{}
+	e, err := New(Config{Est: est, Cost: func(m workload.Metrics, l catalog.Layout) (float64, error) { return 1, nil }, Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Workers() != 1 {
+		t.Fatalf("engine Workers = %d, want 1", e.Workers())
+	}
+	if _, err := e.EvaluateAll(budgetLayouts(t, 8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoEstimator(t *testing.T) {
+	est := &gaugeEstimator{}
+	me := Memoize(est, 0)
+	ls := budgetLayouts(t, 10) // 10 layouts over 5 classes -> 5 distinct keys
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, l := range ls {
+				if _, err := me.Estimate(l); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := me.Calls(); got != 5 {
+		t.Fatalf("underlying calls = %d, want 5 (one per distinct layout)", got)
+	}
+	if got := est.calls.Load(); got != 5 {
+		t.Fatalf("estimator saw %d calls, want 5", got)
+	}
+}
+
+type errEstimator struct{ calls atomic.Int64 }
+
+func (e *errEstimator) Estimate(l catalog.Layout) (workload.Metrics, error) {
+	e.calls.Add(1)
+	return workload.Metrics{}, fmt.Errorf("boom")
+}
+
+func TestMemoEstimatorMemoizesErrors(t *testing.T) {
+	est := &errEstimator{}
+	me := Memoize(est, 0)
+	l := budgetLayouts(t, 1)[0]
+	for i := 0; i < 3; i++ {
+		if _, err := me.Estimate(l); err == nil {
+			t.Fatal("expected error")
+		}
+	}
+	if got := est.calls.Load(); got != 1 {
+		t.Fatalf("estimator called %d times, want 1 (errors memoized)", got)
+	}
+}
+
+func TestMemoEstimatorLimit(t *testing.T) {
+	est := &gaugeEstimator{}
+	me := Memoize(est, 2)
+	ls := budgetLayouts(t, 5) // 5 distinct keys
+	for _, l := range ls {
+		if _, err := me.Estimate(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Revisit: the two retained keys answer from the memo, the other three
+	// are re-estimated.
+	for _, l := range ls {
+		if _, err := me.Estimate(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := me.Calls(); got != 8 {
+		t.Fatalf("underlying calls = %d, want 8 (5 + 3 uncached revisits)", got)
+	}
+}

@@ -1,0 +1,73 @@
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/workload"
+)
+
+// MemoEstimator wraps an Estimator with a metrics memo keyed by the
+// canonical layout hash (catalog.Layout.Key). It is the sweep-level sibling
+// of the Engine's memo: an Engine caches full evaluations (metrics + TOC +
+// capacity), which are only valid for one box and one cost model, whereas
+// the estimator's metrics depend solely on the layout and the per-class
+// service times. A provisioning sweep therefore shares ONE MemoEstimator
+// across every candidate configuration's engine: a layout estimated while
+// searching candidate A is answered from the memo when candidate B's search
+// reaches it, even though the two candidates price and capacity-check it
+// differently.
+//
+// The wrapped estimator must be safe for concurrent use when the memo is
+// driven from multiple goroutines (the workload.Estimator contract). Errors
+// are memoized like results. A MemoEstimator is safe for concurrent use.
+type MemoEstimator struct {
+	est   workload.Estimator
+	limit int
+	mu    sync.Mutex
+	memo  map[string]*memoEntry
+	calls atomic.Int64
+}
+
+type memoEntry struct {
+	once sync.Once
+	m    workload.Metrics
+	err  error
+}
+
+// Memoize wraps est. The limit bounds retained entries as in
+// Config.MemoLimit: 0 selects DefaultMemoLimit, negative means unlimited;
+// once full, further distinct layouts are estimated without caching.
+func Memoize(est workload.Estimator, limit int) *MemoEstimator {
+	if limit == 0 {
+		limit = DefaultMemoLimit
+	}
+	return &MemoEstimator{est: est, limit: limit, memo: make(map[string]*memoEntry)}
+}
+
+// Estimate implements workload.Estimator.
+func (me *MemoEstimator) Estimate(l catalog.Layout) (workload.Metrics, error) {
+	key := l.Key()
+	me.mu.Lock()
+	ent, ok := me.memo[key]
+	if !ok {
+		if me.limit >= 0 && len(me.memo) >= me.limit {
+			me.mu.Unlock()
+			me.calls.Add(1)
+			return me.est.Estimate(l)
+		}
+		ent = &memoEntry{}
+		me.memo[key] = ent
+	}
+	me.mu.Unlock()
+	ent.once.Do(func() {
+		me.calls.Add(1)
+		ent.m, ent.err = me.est.Estimate(l)
+	})
+	return ent.m, ent.err
+}
+
+// Calls returns the number of underlying estimator invocations (memo
+// misses) so far.
+func (me *MemoEstimator) Calls() int { return int(me.calls.Load()) }

@@ -41,6 +41,12 @@ type Config struct {
 	// Workers bounds the evaluation fan-out. Values below 2 select the
 	// sequential path (no goroutines, no concurrent estimator use).
 	Workers int
+	// Budget optionally shares one worker budget across engines: when set it
+	// overrides Workers, and concurrent estimator invocations across every
+	// engine built on the same Budget are bounded at its width. Provisioning
+	// sweeps use this so N candidate searches in flight cannot oversubscribe
+	// the machine N-fold.
+	Budget *Budget
 	// MemoLimit bounds the number of memo entries the engine retains, so a
 	// near-bound exhaustive enumeration (up to millions of distinct
 	// layouts, each entry holding a layout clone and metrics) cannot
@@ -119,14 +125,20 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("search: Config requires Est and Cost")
 	}
 	e := &Engine{cfg: cfg, memo: make(map[string]*entry)}
-	if w := e.Workers(); w > 1 {
+	if cfg.Budget != nil {
+		e.sem = cfg.Budget.sem
+	} else if w := e.Workers(); w > 1 {
 		e.sem = make(chan struct{}, w)
 	}
 	return e, nil
 }
 
-// Workers returns the effective fan-out width.
+// Workers returns the effective fan-out width (the shared budget's width
+// when one is configured).
 func (e *Engine) Workers() int {
+	if e.cfg.Budget != nil {
+		return e.cfg.Budget.Workers()
+	}
 	if e.cfg.Workers < 1 {
 		return 1
 	}

@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/core"
+	"dotprov/internal/device"
+	"dotprov/internal/iosim"
+	"dotprov/internal/provision"
+	"dotprov/internal/search"
+	"dotprov/internal/types"
+	"dotprov/internal/workload"
+)
+
+// ObjectSpec declares one database object of the advised workload.
+type ObjectSpec struct {
+	Name string `json:"name"`
+	// Kind is "table" (default), "index", "temp" or "log". Indexes must name
+	// their owning table; DOT groups a table with its indexes (§3.2).
+	Kind      string `json:"kind,omitempty"`
+	Table     string `json:"table,omitempty"`
+	SizeBytes int64  `json:"size_bytes"`
+}
+
+// IOSpec is one object's I/O counts over the whole workload — the profile
+// chi_r[o] of §3.3: reads in page I/Os, writes in rows, as measured (or
+// estimated) on the profiled layout.
+type IOSpec struct {
+	Object    string  `json:"object"`
+	SeqRead   float64 `json:"seq_read,omitempty"`
+	RandRead  float64 `json:"rand_read,omitempty"`
+	SeqWrite  float64 `json:"seq_write,omitempty"`
+	RandWrite float64 `json:"rand_write,omitempty"`
+}
+
+// WorkloadSpec is the wire form of a profiled workload: the objects, the
+// observed I/O profile, CPU time, and the degree of concurrency. When Txns
+// is set the workload is transactional (OLTP) and the advisor optimizes
+// cents/transaction against a throughput SLA; otherwise it is a DSS
+// workload optimized for cents/run against an elapsed-time SLA.
+type WorkloadSpec struct {
+	Objects     []ObjectSpec `json:"objects"`
+	IO          []IOSpec     `json:"io"`
+	CPUMillis   float64      `json:"cpu_millis,omitempty"`
+	Concurrency int          `json:"concurrency,omitempty"`
+	// OLTP test-run numbers: committed transactions and elapsed virtual time
+	// of the profiled run (§4.5's single test run).
+	Txns          int64   `json:"txns,omitempty"`
+	ElapsedMillis float64 `json:"elapsed_millis,omitempty"`
+}
+
+// AdviseRequest asks for a single-workload DOT recommendation on a fixed
+// box.
+type AdviseRequest struct {
+	Workload WorkloadSpec `json:"workload"`
+	// Box selects a built-in configuration: "box1" (default) or "box2".
+	Box string `json:"box,omitempty"`
+	// Classes overrides Box with an explicit class list, e.g.
+	// ["hdd", "lssd", "hssd"] (see device.ParseClass for accepted names).
+	Classes []string `json:"classes,omitempty"`
+	SLA     float64  `json:"sla"`
+	// Alpha selects the §5.2 discrete-sized cost model blend; 0 (default)
+	// is the paper's linear model.
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// AdviseResponse reports the recommendation.
+type AdviseResponse struct {
+	Feasible          bool              `json:"feasible"`
+	Failure           string            `json:"failure,omitempty"`
+	Layout            map[string]string `json:"layout,omitempty"`
+	TOCCents          float64           `json:"toc_cents"`
+	ElapsedMillis     float64           `json:"elapsed_millis,omitempty"`
+	ThroughputPerHour float64           `json:"throughput_per_hour,omitempty"`
+	Evaluated         int               `json:"evaluated"`
+	EstimatorCalls    int               `json:"estimator_calls"`
+	PlanMillis        float64           `json:"plan_millis"`
+}
+
+// GridDeviceSpec is one axis of the provisioning grid: a storage class and
+// its allowed unit counts (0 = the class may be absent).
+type GridDeviceSpec struct {
+	Class  string `json:"class"`
+	Counts []int  `json:"counts"`
+}
+
+// GridSpec is the wire form of provision.Grid.
+type GridSpec struct {
+	Devices    []GridDeviceSpec `json:"devices"`
+	Alphas     []float64        `json:"alphas,omitempty"`
+	MaxClasses int              `json:"max_classes,omitempty"`
+}
+
+// ProvisionRequest asks for a full §5 configuration sweep.
+type ProvisionRequest struct {
+	Workload WorkloadSpec `json:"workload"`
+	Grid     GridSpec     `json:"grid"`
+	SLA      float64      `json:"sla"`
+}
+
+// CandidateOut is one sweep candidate's outcome.
+type CandidateOut struct {
+	Name     string            `json:"name"`
+	Alpha    float64           `json:"alpha"`
+	Feasible bool              `json:"feasible"`
+	Failure  string            `json:"failure,omitempty"`
+	TOCCents float64           `json:"toc_cents"`
+	Layout   map[string]string `json:"layout,omitempty"` // feasible candidates only
+}
+
+// ProvisionResponse reports the sweep: the winning candidate index (-1 when
+// nothing is feasible) and every candidate's outcome.
+type ProvisionResponse struct {
+	Best           int            `json:"best"`
+	Cached         bool           `json:"cached"`
+	Candidates     []CandidateOut `json:"candidates"`
+	Evaluated      int            `json:"evaluated"`
+	EstimatorCalls int            `json:"estimator_calls"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status        string `json:"status"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	Served        int64  `json:"served"`
+	CacheHits     int64  `json:"cache_hits"`
+	Rejected      int64  `json:"rejected"`
+}
+
+// compiled is a WorkloadSpec lowered onto the in-process model: a catalog,
+// the workload profile, and the name mapping for rendering layouts back.
+type compiled struct {
+	cat     *catalog.Catalog
+	profile iosim.Profile
+	names   map[catalog.ObjectID]string
+	spec    WorkloadSpec
+}
+
+// compileWorkload validates the spec and builds the catalog + profile.
+func compileWorkload(spec WorkloadSpec) (*compiled, error) {
+	if len(spec.Objects) == 0 {
+		return nil, fmt.Errorf("workload declares no objects")
+	}
+	if spec.Concurrency < 0 {
+		return nil, fmt.Errorf("concurrency must be >= 0")
+	}
+	if spec.Txns < 0 || spec.CPUMillis < 0 || spec.ElapsedMillis < 0 {
+		return nil, fmt.Errorf("txns, cpu_millis and elapsed_millis must be >= 0")
+	}
+	if spec.Txns > 0 && spec.ElapsedMillis <= 0 {
+		return nil, fmt.Errorf("transactional workloads (txns > 0) need elapsed_millis of the test run")
+	}
+	cat := catalog.New()
+	names := make(map[catalog.ObjectID]string)
+	// Synthetic single-column schema: serve placements care about object
+	// sizes and I/O counts, not row formats.
+	schema := types.NewSchema(types.Column{Name: "k", Kind: types.KindInt})
+	tables := make(map[string]*catalog.Table)
+	for _, o := range spec.Objects {
+		if o.SizeBytes < 0 {
+			return nil, fmt.Errorf("object %q: size_bytes must be >= 0", o.Name)
+		}
+		kind := o.Kind
+		if kind == "" {
+			kind = "table"
+		}
+		var id catalog.ObjectID
+		switch kind {
+		case "table":
+			t, err := cat.CreateTable(o.Name, schema, nil)
+			if err != nil {
+				return nil, err
+			}
+			tables[o.Name] = t
+			id = t.ID
+		case "index":
+			t, ok := tables[o.Table]
+			if !ok {
+				return nil, fmt.Errorf("index %q: owning table %q not declared before it", o.Name, o.Table)
+			}
+			ix, err := cat.CreateIndex(o.Name, t.ID, []string{"k"}, false)
+			if err != nil {
+				return nil, err
+			}
+			id = ix.ID
+		case "temp", "log":
+			k := catalog.KindTemp
+			if kind == "log" {
+				k = catalog.KindLog
+			}
+			aux, err := cat.CreateAux(o.Name, k, o.SizeBytes)
+			if err != nil {
+				return nil, err
+			}
+			id = aux.ID
+		default:
+			return nil, fmt.Errorf("object %q: unknown kind %q (want table, index, temp or log)", o.Name, kind)
+		}
+		cat.SetSize(id, o.SizeBytes)
+		names[id] = o.Name
+	}
+	profile := iosim.NewProfile()
+	for _, io := range spec.IO {
+		o := cat.Lookup(io.Object)
+		if o == nil {
+			return nil, fmt.Errorf("io entry references undeclared object %q", io.Object)
+		}
+		if io.SeqRead < 0 || io.RandRead < 0 || io.SeqWrite < 0 || io.RandWrite < 0 {
+			return nil, fmt.Errorf("io entry for %q has negative counts", io.Object)
+		}
+		profile.Add(o.ID, device.SeqRead, io.SeqRead)
+		profile.Add(o.ID, device.RandRead, io.RandRead)
+		profile.Add(o.ID, device.SeqWrite, io.SeqWrite)
+		profile.Add(o.ID, device.RandWrite, io.RandWrite)
+	}
+	return &compiled{cat: cat, profile: profile, names: names, spec: spec}, nil
+}
+
+func (c *compiled) concurrency() int {
+	if c.spec.Concurrency < 1 {
+		return 1
+	}
+	return c.spec.Concurrency
+}
+
+// estimator builds the workload's estimator bound to the given box: the
+// test-run-profile path (§4.5) for transactional specs, the observed-counts
+// path for DSS specs. Both are pure readers, so they satisfy the engine's
+// concurrency contract.
+func (c *compiled) estimator(box *device.Box) (workload.Estimator, error) {
+	if len(box.Devices) == 0 {
+		return nil, fmt.Errorf("box %q has no devices", box.Name)
+	}
+	cpu := time.Duration(c.spec.CPUMillis * float64(time.Millisecond))
+	if c.spec.Txns > 0 {
+		profiled := catalog.NewUniformLayout(c.cat, box.MostExpensive().Class)
+		return workload.NewProfileEstimator(box, c.concurrency(), c.profile, cpu,
+			workload.RunStats{
+				Txns:    c.spec.Txns,
+				Elapsed: time.Duration(c.spec.ElapsedMillis * float64(time.Millisecond)),
+			}, profiled)
+	}
+	return &workload.ObservedEstimator{
+		Box:         box,
+		Concurrency: c.concurrency(),
+		PerQuery:    []workload.QueryObservation{{Profile: c.profile, CPU: cpu}},
+	}, nil
+}
+
+// input assembles the core.Input for this workload on a box, under the
+// server-wide search worker budget.
+func (c *compiled) input(box *device.Box, budget *search.Budget) (core.Input, error) {
+	est, err := c.estimator(box)
+	if err != nil {
+		return core.Input{}, err
+	}
+	ps := core.NewProfileSet()
+	ps.SetSingle(c.profile)
+	return core.Input{
+		Cat:         c.cat,
+		Box:         box,
+		Est:         est,
+		Profiles:    ps,
+		Concurrency: c.concurrency(),
+		Budget:      budget,
+	}, nil
+}
+
+// renderLayout maps a layout back to object names -> class names.
+func (c *compiled) renderLayout(l catalog.Layout) map[string]string {
+	out := make(map[string]string, len(l))
+	for id, cls := range l {
+		if name, ok := c.names[id]; ok {
+			out[name] = cls.String()
+		}
+	}
+	return out
+}
+
+// fingerprint digests the estimator-relevant content of the spec for cache
+// keying: objects (name, kind, size, grouping), profile, CPU, concurrency
+// and test-run numbers.
+func (c *compiled) fingerprint() string {
+	f := workload.NewFingerprint()
+	f.Int(int64(len(c.spec.Objects)))
+	for _, o := range c.spec.Objects {
+		f.String(o.Name).String(o.Kind).String(o.Table).Int(o.SizeBytes)
+	}
+	f.Profile(c.profile)
+	f.Float(c.spec.CPUMillis)
+	f.Int(int64(c.concurrency()))
+	f.Int(c.spec.Txns)
+	f.Float(c.spec.ElapsedMillis)
+	return f.Sum()
+}
+
+// parseGrid lowers a GridSpec onto provision.Grid.
+func parseGrid(spec GridSpec) (provision.Grid, error) {
+	g := provision.Grid{Alphas: spec.Alphas, MaxClasses: spec.MaxClasses}
+	for _, d := range spec.Devices {
+		cls, err := device.ParseClass(d.Class)
+		if err != nil {
+			return provision.Grid{}, err
+		}
+		g.Devices = append(g.Devices, provision.DeviceOption{Class: cls, Counts: d.Counts})
+	}
+	if err := g.Validate(); err != nil {
+		return provision.Grid{}, err
+	}
+	return g, nil
+}
+
+// parseBox resolves an AdviseRequest's box selection.
+func parseBox(req AdviseRequest) (*device.Box, error) {
+	if len(req.Classes) > 0 {
+		b := &device.Box{Name: "custom"}
+		seen := make(map[device.Class]bool)
+		for _, s := range req.Classes {
+			cls, err := device.ParseClass(s)
+			if err != nil {
+				return nil, err
+			}
+			if seen[cls] {
+				return nil, fmt.Errorf("class %q listed twice", s)
+			}
+			seen[cls] = true
+			b.Devices = append(b.Devices, device.New(cls))
+		}
+		return b, nil
+	}
+	switch req.Box {
+	case "", "box1", "1":
+		return device.Box1(), nil
+	case "box2", "2":
+		return device.Box2(), nil
+	default:
+		return nil, fmt.Errorf("unknown box %q (want box1 or box2, or set classes)", req.Box)
+	}
+}

@@ -1,0 +1,302 @@
+// Package serve exposes the DOT advisor as a long-lived HTTP/JSON service —
+// the shape an HTAP control plane consumes placement decisions in: not one
+// offline run, but a stream of advise/provision requests against changing
+// workload profiles (cf. PAPERS.md on continuous placement).
+//
+// Endpoints:
+//
+//	POST /advise     — single-workload DOT on a fixed box (§3)
+//	POST /provision  — full configuration sweep over a device grid (§5)
+//	GET  /healthz    — liveness + counters
+//
+// The server bounds concurrent optimization requests (excess requests get
+// 503 immediately rather than queuing unboundedly), applies a per-request
+// timeout (504), and answers repeated provisioning sweeps from an LRU keyed
+// by (workload fingerprint, grid, SLA).
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"dotprov/internal/core"
+	"dotprov/internal/provision"
+	"dotprov/internal/search"
+)
+
+// Config tunes the server. Zero values select the documented defaults.
+type Config struct {
+	// MaxConcurrent bounds simultaneous optimization requests; further
+	// requests are rejected with 503 (default 4).
+	MaxConcurrent int
+	// RequestTimeout caps one optimization's wall time; on expiry the
+	// request gets 504 and the abandoned search finishes (and releases its
+	// concurrency slot) in the background (default 30s).
+	RequestTimeout time.Duration
+	// CacheEntries sizes the sweep-result LRU (default 64).
+	CacheEntries int
+	// Workers is the layout-search worker budget, shared by ALL in-flight
+	// requests (default: number of CPUs) — MaxConcurrent requests cannot
+	// oversubscribe the machine MaxConcurrent-fold. Results are identical
+	// at any width.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	return c
+}
+
+// Server is the advisor service. Create one with New; it is safe for
+// concurrent use.
+type Server struct {
+	cfg Config
+	sem chan struct{}
+	// budget is the layout-search worker budget shared across every
+	// request's engines, so concurrent requests split — not multiply — the
+	// configured evaluation width.
+	budget   *search.Budget
+	cache    *lruCache
+	start    time.Time
+	served   atomic.Int64
+	hits     atomic.Int64
+	rejected atomic.Int64
+}
+
+// New builds a server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		budget: search.NewBudget(cfg.Workers),
+		cache:  newLRU(cfg.CacheEntries),
+		start:  time.Now(),
+	}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /advise", s.bounded(s.handleAdvise))
+	mux.HandleFunc("POST /provision", s.bounded(s.handleProvision))
+	return mux
+}
+
+// maxBodyBytes caps request bodies; profiles are per-object aggregates, so
+// even wide schemas fit comfortably.
+const maxBodyBytes = 8 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// bounded wraps an optimization handler with the concurrency gate and the
+// per-request timeout. The request body is read on the request goroutine
+// (net/http forbids touching it once ServeHTTP returns); the optimization
+// then runs on a separate goroutine that owns the concurrency slot until it
+// finishes, so an abandoned (timed-out) search cannot stack unbounded work
+// behind the gate. Handler panics are contained to a 500 for that request.
+func (s *Server) bounded(fn func(body []byte) (any, int, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		// Read the body BEFORE taking a concurrency slot: a client trickling
+		// its upload must not park an optimization slot (the server's
+		// ReadTimeout bounds the upload itself).
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("reading request body: %v", err)})
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.rejected.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server saturated: too many concurrent optimizations"})
+			return
+		}
+		s.served.Add(1)
+		type outcome struct {
+			v      any
+			status int
+			err    error
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			defer func() { <-s.sem }()
+			defer func() {
+				if p := recover(); p != nil {
+					done <- outcome{status: http.StatusInternalServerError, err: fmt.Errorf("internal error: %v", p)}
+				}
+			}()
+			v, status, err := fn(body)
+			done <- outcome{v: v, status: status, err: err}
+		}()
+		timeout := time.NewTimer(s.cfg.RequestTimeout)
+		defer timeout.Stop()
+		select {
+		case out := <-done:
+			if out.err != nil {
+				writeJSON(w, out.status, apiError{Error: out.err.Error()})
+				return
+			}
+			writeJSON(w, out.status, out.v)
+		case <-timeout.C:
+			writeJSON(w, http.StatusGatewayTimeout, apiError{Error: fmt.Sprintf("optimization exceeded the %v request timeout", s.cfg.RequestTimeout)})
+		case <-r.Context().Done():
+			// Client went away; nothing useful to write.
+		}
+	}
+}
+
+func decode[T any](body []byte) (T, error) {
+	var v T
+	if err := json.Unmarshal(body, &v); err != nil {
+		return v, fmt.Errorf("bad request body: %w", err)
+	}
+	return v, nil
+}
+
+func validSLA(sla float64) error {
+	if sla <= 0 || sla > 1 {
+		return fmt.Errorf("sla must be in (0, 1], got %g", sla)
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Served:        s.served.Load(),
+		CacheHits:     s.hits.Load(),
+		Rejected:      s.rejected.Load(),
+	})
+}
+
+func (s *Server) handleAdvise(body []byte) (any, int, error) {
+	req, err := decode[AdviseRequest](body)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if err := validSLA(req.SLA); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	box, err := parseBox(req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	comp, err := compileWorkload(req.Workload)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	in, err := comp.input(box, s.budget)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if req.Alpha != 0 {
+		model, err := provision.DiscreteCostModel(comp.cat, box, req.Alpha)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		in.LayoutCost = model
+	}
+	opts := core.Options{RelativeSLA: req.SLA}
+	res, err := core.OptimizeBest(in, opts)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	resp := AdviseResponse{
+		Feasible:       res.Feasible,
+		TOCCents:       res.TOCCents,
+		Evaluated:      res.Evaluated,
+		EstimatorCalls: res.EstimatorCalls,
+		PlanMillis:     float64(res.PlanTime) / float64(time.Millisecond),
+	}
+	if res.Feasible {
+		resp.Layout = comp.renderLayout(res.Layout)
+		resp.ElapsedMillis = float64(res.Metrics.Elapsed) / float64(time.Millisecond)
+		resp.ThroughputPerHour = res.Metrics.Throughput
+	} else {
+		resp.Failure = provision.InfeasibilityReason(comp.cat, box, opts)
+	}
+	return resp, http.StatusOK, nil
+}
+
+func (s *Server) handleProvision(body []byte) (any, int, error) {
+	req, err := decode[ProvisionRequest](body)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if err := validSLA(req.SLA); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	grid, err := parseGrid(req.Grid)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	comp, err := compileWorkload(req.Workload)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	key := fmt.Sprintf("%s|%s|%g", comp.fingerprint(), grid.Key(), req.SLA)
+	if v, ok := s.cache.get(key); ok {
+		s.hits.Add(1)
+		resp := *v.(*ProvisionResponse)
+		resp.Cached = true
+		return resp, http.StatusOK, nil
+	}
+	base, err := comp.input(grid.Universe(), s.budget)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	opts := core.Options{RelativeSLA: req.SLA}
+	choice, err := provision.SweepConfigurations(base, grid, opts)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	resp := &ProvisionResponse{
+		Best:           choice.Best,
+		Evaluated:      choice.Evaluated,
+		EstimatorCalls: choice.EstimatorCalls,
+	}
+	for _, cr := range choice.Results {
+		out := CandidateOut{
+			Name:     cr.Name,
+			Feasible: cr.Result.Feasible,
+			Failure:  cr.Failure,
+			TOCCents: cr.Result.TOCCents,
+		}
+		if cr.Spec != nil {
+			out.Alpha = cr.Spec.Alpha
+		}
+		if cr.Result.Feasible {
+			out.Layout = comp.renderLayout(cr.Result.Layout)
+		}
+		resp.Candidates = append(resp.Candidates, out)
+	}
+	s.cache.put(key, resp)
+	return *resp, http.StatusOK, nil
+}

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/iosim"
+)
+
+func TestFingerprintStable(t *testing.T) {
+	build := func() string {
+		p := iosim.NewProfile()
+		p.Add(3, device.SeqRead, 100)
+		p.Add(1, device.RandWrite, 7)
+		return NewFingerprint().String("wl").Int(4).Float(1.5).
+			Duration(time.Second).Profile(p).Sum()
+	}
+	if build() != build() {
+		t.Fatal("identical inputs must produce identical fingerprints")
+	}
+}
+
+func TestFingerprintProfileCanonical(t *testing.T) {
+	// Profiles are maps; insertion order must not matter.
+	a := iosim.NewProfile()
+	a.Add(1, device.SeqRead, 10)
+	a.Add(2, device.RandRead, 20)
+	a.Add(3, device.SeqWrite, 30)
+	b := iosim.NewProfile()
+	b.Add(3, device.SeqWrite, 30)
+	b.Add(1, device.SeqRead, 10)
+	b.Add(2, device.RandRead, 20)
+	if NewFingerprint().Profile(a).Sum() != NewFingerprint().Profile(b).Sum() {
+		t.Fatal("profile fingerprint must be insertion-order independent")
+	}
+}
+
+func TestFingerprintSensitive(t *testing.T) {
+	base := func() *Fingerprint { return NewFingerprint().String("wl").Int(4) }
+	ref := base().Sum()
+	p := iosim.NewProfile()
+	p.Add(catalog.ObjectID(1), device.SeqRead, 1)
+	for name, fp := range map[string]string{
+		"extra int":     base().Int(0).Sum(),
+		"extra profile": base().Profile(p).Sum(),
+		"other string":  NewFingerprint().String("wl2").Int(4).Sum(),
+		"split string":  NewFingerprint().String("w").String("l").Int(4).Sum(),
+	} {
+		if fp == ref {
+			t.Fatalf("%s: fingerprint collided with the base", name)
+		}
+	}
+	// Length prefixes keep ("ab","c") distinct from ("a","bc").
+	if NewFingerprint().String("ab").String("c").Sum() == NewFingerprint().String("a").String("bc").Sum() {
+		t.Fatal("string boundaries must be encoded")
+	}
+}
