@@ -16,7 +16,6 @@ import (
 	"io"
 	"runtime"
 	"testing"
-	"time"
 
 	"dotprov/internal/bench"
 	"dotprov/internal/catalog"
@@ -76,9 +75,12 @@ func BenchmarkSec52_DiscreteCost(b *testing.B) {
 
 // ---- Algorithm microbenchmarks --------------------------------------------
 
-// synthetic builds an N-table catalog with a profile-driven estimator so
-// the optimizers can be benchmarked without engine overhead.
-func synthetic(n int) (core.Input, error) {
+// synthetic builds an N-table catalog with a profile-driven, compilable
+// estimator (workload.ObservedEstimator), so the optimizers benchmark both
+// evaluation paths: the compiled compact/delta pipeline by default, the
+// map pipeline under Input.NoCompile. It also returns the profile for the
+// pruning-bound and compiled-IOTime benchmarks.
+func synthetic(n int) (core.Input, iosim.Profile, error) {
 	cat := catalog.New()
 	sch := types.NewSchema(types.Column{Name: "id", Kind: types.KindInt})
 	prof := iosim.NewProfile()
@@ -86,11 +88,11 @@ func synthetic(n int) (core.Input, error) {
 		name := "t" + string(rune('a'+i%26)) + string(rune('0'+i/26))
 		tab, err := cat.CreateTable(name, sch, []string{"id"})
 		if err != nil {
-			return core.Input{}, err
+			return core.Input{}, nil, err
 		}
 		ix, err := cat.CreateIndex(name+"_pkey", tab.ID, []string{"id"}, true)
 		if err != nil {
-			return core.Input{}, err
+			return core.Input{}, nil, err
 		}
 		cat.SetSize(tab.ID, int64(1+i)*1e9)
 		cat.SetSize(ix.ID, int64(1+i)*1e8)
@@ -100,60 +102,79 @@ func synthetic(n int) (core.Input, error) {
 	box := device.Box1()
 	ps := core.NewProfileSet()
 	ps.SetSingle(prof)
+	// Compile the estimator once up front, as the production entry points do
+	// (serve compiles per request, sweeps per sweep) — the dense time tables
+	// are then shared by every Optimize/Exhaustive call on this input.
+	est := workload.CompileEstimator(&workload.ObservedEstimator{Box: box, Concurrency: 1,
+		PerQuery: []workload.QueryObservation{{Profile: prof}}}, cat)
 	return core.Input{
 		Cat: cat, Box: box,
-		Est:      &profileTimeEstimator{box: box, prof: prof},
+		Est:      est,
 		Profiles: ps, Concurrency: 1,
-	}, nil
+	}, prof, nil
 }
 
-type profileTimeEstimator struct {
-	box  *device.Box
-	prof iosim.Profile
-}
-
-func (e *profileTimeEstimator) Estimate(l catalog.Layout) (workload.Metrics, error) {
-	t, err := e.prof.IOTime(l, e.box, 1)
-	if err != nil {
-		return workload.Metrics{}, err
+// pathVariants runs a sub-benchmark on the map path (NoCompile) and the
+// compiled path, reporting est-calls and evaluated as custom metrics. The
+// two variants must report identical counts — the CI bench-regression step
+// asserts it — because the compiled path is a mechanical speedup, not a
+// different search.
+func pathVariants(b *testing.B, in core.Input, run func(core.Input) (*core.Result, error)) {
+	for _, v := range []struct {
+		name      string
+		noCompile bool
+	}{{"map", true}, {"compiled", false}} {
+		b.Run(v.name, func(b *testing.B) {
+			vin := in
+			vin.NoCompile = v.noCompile
+			b.ReportAllocs()
+			var res *core.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				if res, err = run(vin); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.EstimatorCalls), "est-calls")
+			b.ReportMetric(float64(res.Evaluated), "evaluated")
+		})
 	}
-	return workload.Metrics{Elapsed: t, PerQuery: []time.Duration{t}}, nil
 }
 
 // BenchmarkDOTOptimize measures DOT planning cost at the paper's catalog
-// sizes (TPC-H: 8 groups, TPC-C: 9+ groups) and beyond.
+// sizes (TPC-H: 8 groups, TPC-C: 9+ groups) and beyond, on both evaluation
+// paths: the compiled variant scores each candidate move by O(moves) delta
+// re-estimation on compact layouts; the map variant clones and re-walks
+// map layouts per candidate.
 func BenchmarkDOTOptimize(b *testing.B) {
 	for _, n := range []int{8, 16, 32} {
-		in, err := synthetic(n)
+		in, _, err := synthetic(n)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.Run(sizeName(n), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := core.Optimize(in, core.Options{RelativeSLA: 0.5}); err != nil {
-					b.Fatal(err)
-				}
-			}
+			pathVariants(b, in, func(in core.Input) (*core.Result, error) {
+				return core.Optimize(in, core.Options{RelativeSLA: 0.5})
+			})
 		})
 	}
 }
 
 // BenchmarkExhaustive measures the M^N baseline the paper contrasts DOT
-// against (§4.4.3: DOT in seconds vs ES in hundreds of seconds).
+// against (§4.4.3: DOT in seconds vs ES in hundreds of seconds). The
+// compiled variant enumerates by mutating one scratch compact layout and
+// re-estimates innermost siblings as one-move deltas; the map variant pays
+// a map clone, a sorted key and two per-class map walks per candidate.
 func BenchmarkExhaustive(b *testing.B) {
 	for _, n := range []int{4, 6} { // 3^8 and 3^12 layouts
-		in, err := synthetic(n)
+		in, _, err := synthetic(n)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.Run(sizeName(n), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := core.Exhaustive(in, core.Options{RelativeSLA: 0.5}); err != nil {
-					b.Fatal(err)
-				}
-			}
+			pathVariants(b, in, func(in core.Input) (*core.Result, error) {
+				return core.Exhaustive(in, core.Options{RelativeSLA: 0.5})
+			})
 		})
 	}
 }
@@ -164,7 +185,7 @@ func BenchmarkExhaustive(b *testing.B) {
 // defaults to. Lower TOC at equal feasibility is better; the benchmark
 // reports the achieved TOC as a custom metric.
 func BenchmarkAblation_MovePolicy(b *testing.B) {
-	in, err := synthetic(12)
+	in, _, err := synthetic(12)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -213,7 +234,7 @@ func sizeName(n int) string {
 // estimator bill: its two sweeps share one engine, so the reported
 // est-calls metric is well below the two-independent-sweeps variant.
 func BenchmarkOptimizeBestMemo(b *testing.B) {
-	in, err := synthetic(16)
+	in, _, err := synthetic(16)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -258,7 +279,7 @@ func BenchmarkExhaustiveWorkers(b *testing.B) {
 			continue
 		}
 		seen[w] = true
-		in, err := synthetic(6) // 3^12 layouts
+		in, _, err := synthetic(6) // 3^12 layouts
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -275,22 +296,31 @@ func BenchmarkExhaustiveWorkers(b *testing.B) {
 }
 
 // BenchmarkExhaustivePruned compares plain enumeration against the
-// storage-floor lower bound (Input.StorageFloorBound): the evaluated
-// metric records how many of the 3^12 candidates each variant visits.
+// storage-floor lower bound on both paths — the map-form closure
+// (Input.StorageFloorBound) and the compiled accumulator-fed form
+// (Input.StorageFloorBoundCompact) — over the 3^12 space. The evaluated
+// metric records how many candidates each variant visits.
 func BenchmarkExhaustivePruned(b *testing.B) {
-	base, err := synthetic(6)
+	base, prof, err := synthetic(6)
 	if err != nil {
 		b.Fatal(err)
 	}
-	pruned := base
-	pruned.LowerBound = pruned.StorageFloorBound(base.Est.(*profileTimeEstimator).prof)
-	if pruned.LowerBound == nil {
+	base.NoCompile = true
+	prunedMap := base
+	prunedMap.LowerBound = prunedMap.StorageFloorBound(prof)
+	if prunedMap.LowerBound == nil {
 		b.Fatal("expected a storage-floor bound under the linear cost model")
+	}
+	prunedCompiled := base
+	prunedCompiled.NoCompile = false
+	prunedCompiled.CompactBound = prunedCompiled.StorageFloorBoundCompact(prof)
+	if prunedCompiled.CompactBound == nil {
+		b.Fatal("expected a compact storage-floor bound under the linear cost model")
 	}
 	for _, c := range []struct {
 		name string
 		in   core.Input
-	}{{"plain", base}, {"pruned", pruned}} {
+	}{{"plain-map", base}, {"pruned-map", prunedMap}, {"pruned-compiled", prunedCompiled}} {
 		b.Run(c.name, func(b *testing.B) {
 			b.ReportAllocs()
 			var evaluated int
@@ -304,4 +334,88 @@ func BenchmarkExhaustivePruned(b *testing.B) {
 			b.ReportMetric(float64(evaluated), "evaluated")
 		})
 	}
+}
+
+// ---- Compiled-path microbenchmarks ----------------------------------------
+//
+// The three levers of the compiled cost model, measured in isolation: the
+// dense per-(object, class) time table vs the map-walking IOTime, the
+// compact memo key vs the sorted 5-bytes-per-object map key, and (above,
+// BenchmarkExhaustive/BenchmarkDOTOptimize) delta vs full evaluation.
+
+// BenchmarkIOTimeCompiledVsMap: one full-layout cost estimate, 64 objects.
+func BenchmarkIOTimeCompiledVsMap(b *testing.B) {
+	in, prof, err := synthetic(32) // 64 objects (table + pkey each)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := catalog.NewUniformLayout(in.Cat, device.HSSD)
+	cl, ok := catalog.CompactFromLayout(in.Cat, l)
+	if !ok {
+		b.Fatal("layout must encode")
+	}
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := prof.IOTime(l, in.Box, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cp := iosim.CompileProfile(prof, in.Box, 1, in.Cat.NumObjects())
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cp.IOTime(cl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled-delta", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cp.DeltaIOTime(1, device.HSSD, device.LSSD); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMemoKey: building the memo key for a 64-object layout — the
+// sorted, 5-bytes-per-object map key vs the compact layout's raw bytes.
+func BenchmarkMemoKey(b *testing.B) {
+	in, _, err := synthetic(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := catalog.NewUniformLayout(in.Cat, device.HSSD)
+	cl, _ := catalog.CompactFromLayout(in.Cat, l)
+	b.Run("map-string", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(l.Key()) == 0 {
+				b.Fatal("empty key")
+			}
+		}
+	})
+	b.Run("compact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(cl.Key()) == 0 {
+				b.Fatal("empty key")
+			}
+		}
+	})
+	b.Run("compact-probe", func(b *testing.B) {
+		// The engine's hot probe: map lookup via string(bytes) stays off the
+		// heap entirely. The map construction is setup, not probe cost.
+		m := map[string]int{cl.Key(): 1}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if m[string(cl.Bytes())] != 1 {
+				b.Fatal("probe missed")
+			}
+		}
+	})
 }

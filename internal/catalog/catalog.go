@@ -9,6 +9,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dotprov/internal/types"
 )
@@ -76,6 +77,13 @@ type Catalog struct {
 	indexes map[ObjectID]*Index
 	byName  map[string]ObjectID
 	nextID  ObjectID
+	// groups caches the Groups() partition; DDL invalidates it. Group
+	// enumeration sits on the move-scoring hot path, where rebuilding the
+	// partition per optimization run is pure allocation. groupsMu guards
+	// the cache: concurrent searches (a provisioning sweep's candidates)
+	// share one catalog and may race to populate it.
+	groupsMu sync.Mutex
+	groups   []Group
 }
 
 // New returns an empty catalog.
@@ -97,6 +105,10 @@ func (c *Catalog) register(name string, kind ObjectKind) (*Object, error) {
 	c.nextID++
 	c.objects[o.ID] = o
 	c.byName[name] = o.ID
+	// DDL invalidates the cached group partition.
+	c.groupsMu.Lock()
+	c.groups = nil
+	c.groupsMu.Unlock()
 	return o, nil
 }
 
@@ -265,7 +277,16 @@ func (g Group) Size() int { return len(g.Objects) }
 // Groups partitions the catalog's objects into object groups: one group per
 // table (the table followed by its indexes, in creation order), and a
 // singleton group per temp/log object. Paper §3.2.
+//
+// The partition is cached until the next DDL statement; callers must treat
+// the returned slice and its Group vectors as read-only.
 func (c *Catalog) Groups() []Group {
+	c.groupsMu.Lock()
+	cached := c.groups
+	c.groupsMu.Unlock()
+	if cached != nil {
+		return cached
+	}
 	var out []Group
 	for _, t := range c.Tables() {
 		g := Group{Objects: append([]ObjectID{t.ID}, t.Indexes...)}
@@ -276,5 +297,8 @@ func (c *Catalog) Groups() []Group {
 			out = append(out, Group{Objects: []ObjectID{o.ID}})
 		}
 	}
+	c.groupsMu.Lock()
+	c.groups = out
+	c.groupsMu.Unlock()
 	return out
 }

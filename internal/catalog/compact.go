@@ -1,0 +1,237 @@
+package catalog
+
+import (
+	"bytes"
+	"fmt"
+
+	"dotprov/internal/device"
+)
+
+// classUnset marks an object the compact layout does not place. It is
+// deliberately outside [0, device.NumClasses), so a compact key can never
+// confuse "absent" with a real class.
+const classUnset = 0xFF
+
+// CompactLayout is the dense form of a Layout: one byte per catalog object,
+// indexed by DenseIndex(id), holding the object's storage class (or the
+// unset sentinel). ObjectIDs are assigned densely by the catalog, so the
+// slice covers the whole object set with no hashing, cloning is a flat
+// memcpy, and the raw byte string is a canonical memo key — the compiled
+// layout-search hot path is built on these three properties.
+//
+// Two CompactLayouts over the same catalog have equal Keys iff their map
+// forms are Equal; conversion to and from the map form is lossless
+// (including partial layouts, which keep the sentinel in unset slots).
+type CompactLayout struct {
+	b []byte
+}
+
+// DenseIndex maps an ObjectID to its slot in dense per-object tables. The
+// catalog assigns IDs contiguously from 1, so slot = id-1.
+func DenseIndex(id ObjectID) int { return int(id) - 1 }
+
+// NumObjects returns the number of registered objects. ObjectIDs are dense
+// in [1, NumObjects], so NumObjects also sizes dense per-object tables.
+func (c *Catalog) NumObjects() int { return len(c.objects) }
+
+// DenseSizeBytes snapshots every object's size into a dense table indexed
+// by DenseIndex. The compiled cost model and capacity checks read this
+// snapshot instead of chasing the catalog's maps per candidate.
+func (c *Catalog) DenseSizeBytes() []int64 {
+	out := make([]int64, len(c.objects))
+	for id, o := range c.objects {
+		if i := DenseIndex(id); i >= 0 && i < len(out) {
+			out[i] = o.SizeBytes
+		}
+	}
+	return out
+}
+
+// NewCompactLayout returns an empty compact layout with n object slots.
+func NewCompactLayout(n int) CompactLayout {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = classUnset
+	}
+	return CompactLayout{b: b}
+}
+
+// CompactUniform places every object of the catalog on one class.
+func CompactUniform(c *Catalog, cls device.Class) CompactLayout {
+	if !device.ValidClass(cls) {
+		panic(fmt.Sprintf("catalog: CompactUniform with invalid class %v", cls))
+	}
+	b := make([]byte, c.NumObjects())
+	for i := range b {
+		b[i] = byte(cls)
+	}
+	return CompactLayout{b: b}
+}
+
+// CompactFromLayout converts a map layout to the compact form. It reports
+// ok=false when the layout cannot be encoded — an object ID outside the
+// catalog's dense range, or a class value outside the defined set — in
+// which case callers must stay on the map path.
+func CompactFromLayout(c *Catalog, l Layout) (CompactLayout, bool) {
+	cl := NewCompactLayout(c.NumObjects())
+	for id, cls := range l {
+		i := DenseIndex(id)
+		if i < 0 || i >= len(cl.b) || !device.ValidClass(cls) {
+			return CompactLayout{}, false
+		}
+		cl.b[i] = byte(cls)
+	}
+	return cl, true
+}
+
+// CompactFromBytes wraps a raw class-byte slice (as produced by Bytes or
+// AppendTo) without copying. The caller transfers ownership: the slice must
+// not be mutated afterwards. Intended for allocation-aware callers like the
+// search engine's memo arena.
+func CompactFromBytes(b []byte) CompactLayout { return CompactLayout{b: b} }
+
+// IsZero reports whether the layout is the zero value (no slots at all —
+// distinct from a layout with slots that are all unset).
+func (cl CompactLayout) IsZero() bool { return cl.b == nil }
+
+// Len returns the number of object slots.
+func (cl CompactLayout) Len() int { return len(cl.b) }
+
+// Bytes exposes the raw class bytes. Callers must treat the slice as
+// read-only; it doubles as the memo key (see Key).
+func (cl CompactLayout) Bytes() []byte { return cl.b }
+
+// Class returns the placement of an object and whether it is placed.
+func (cl CompactLayout) Class(id ObjectID) (device.Class, bool) {
+	return cl.ClassAt(DenseIndex(id))
+}
+
+// ClassAt is Class by dense slot index.
+func (cl CompactLayout) ClassAt(i int) (device.Class, bool) {
+	if i < 0 || i >= len(cl.b) || cl.b[i] == classUnset {
+		return 0, false
+	}
+	return device.Class(cl.b[i]), true
+}
+
+// Set places an object. The class must be a defined storage class and the
+// ID must be in the catalog's dense range; violations are programming
+// errors and panic.
+func (cl CompactLayout) Set(id ObjectID, cls device.Class) {
+	if !device.ValidClass(cls) {
+		panic(fmt.Sprintf("catalog: CompactLayout.Set with invalid class %v", cls))
+	}
+	cl.b[DenseIndex(id)] = byte(cls)
+}
+
+// Unset removes an object's placement.
+func (cl CompactLayout) Unset(id ObjectID) {
+	cl.b[DenseIndex(id)] = classUnset
+}
+
+// Clone returns an independent copy.
+func (cl CompactLayout) Clone() CompactLayout {
+	return CompactLayout{b: append([]byte(nil), cl.b...)}
+}
+
+// Key returns the canonical memo key: the raw class bytes. It is one byte
+// per object (the map form's Key is five), needs no sorting, and two
+// layouts over the same catalog have equal keys iff their map forms are
+// Equal. Allocation-sensitive callers probe maps with string(cl.Bytes())
+// instead, which the compiler keeps off the heap.
+func (cl CompactLayout) Key() string { return string(cl.b) }
+
+// Equal reports whether two compact layouts place every slot identically.
+func (cl CompactLayout) Equal(o CompactLayout) bool {
+	return bytes.Equal(cl.b, o.b)
+}
+
+// ToLayout materializes the map form. Unset slots stay absent, so a
+// CompactFromLayout/ToLayout round trip is lossless.
+func (cl CompactLayout) ToLayout() Layout {
+	out := make(Layout, len(cl.b))
+	for i, v := range cl.b {
+		if v != classUnset {
+			out[ObjectID(i+1)] = device.Class(v)
+		}
+	}
+	return out
+}
+
+// spaceDense accumulates S_j (bytes per class) and per-class usage flags
+// over a dense size table. A class is "used" as soon as any object —
+// including a zero-sized one — is placed on it, mirroring the map form's
+// SpaceByClass key set.
+func (cl CompactLayout) spaceDense(sizes []int64) (bytes [device.NumClasses]int64, used [device.NumClasses]bool) {
+	for i, v := range cl.b {
+		if v == classUnset {
+			continue
+		}
+		var sz int64
+		if i < len(sizes) {
+			sz = sizes[i]
+		}
+		bytes[v] += sz
+		used[v] = true
+	}
+	return bytes, used
+}
+
+// CostCentsPerHourDense computes the linear layout cost C(L) over a dense
+// size table (see Layout.CostCentsPerHour). Classes are summed in
+// ascending order — the same order as the map form — so the two paths
+// produce bit-identical floats.
+func (cl CompactLayout) CostCentsPerHourDense(sizes []int64, box *device.Box) (float64, error) {
+	bytes, used := cl.spaceDense(sizes)
+	var cost float64
+	for c := 0; c < device.NumClasses; c++ {
+		if !used[c] {
+			continue
+		}
+		d := box.Device(device.Class(c))
+		if d == nil {
+			return 0, fmt.Errorf("catalog: layout uses class %v not present in box %q", device.Class(c), box.Name)
+		}
+		cost += d.PriceCents * float64(bytes[c]) / 1e9
+	}
+	return cost, nil
+}
+
+// FitsCapacityDense reports whether the layout satisfies the capacity
+// constraints over a dense size table. It is CheckCapacityDense without
+// the diagnostic error — the search hot path only needs the verdict, and
+// over-capacity candidates are common enough that building a discarded
+// error per candidate shows up in profiles.
+func (cl CompactLayout) FitsCapacityDense(sizes []int64, box *device.Box) bool {
+	bytes, used := cl.spaceDense(sizes)
+	for c := 0; c < device.NumClasses; c++ {
+		if !used[c] {
+			continue
+		}
+		d := box.Device(device.Class(c))
+		if d == nil || bytes[c] >= d.CapacityBytes {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckCapacityDense validates the capacity constraints over a dense size
+// table (see Layout.CheckCapacity).
+func (cl CompactLayout) CheckCapacityDense(sizes []int64, box *device.Box) error {
+	bytes, used := cl.spaceDense(sizes)
+	for c := 0; c < device.NumClasses; c++ {
+		if !used[c] {
+			continue
+		}
+		d := box.Device(device.Class(c))
+		if d == nil {
+			return fmt.Errorf("catalog: layout uses class %v not present in box %q", device.Class(c), box.Name)
+		}
+		if bytes[c] >= d.CapacityBytes {
+			return fmt.Errorf("catalog: class %v over capacity: %d bytes placed, capacity %d",
+				device.Class(c), bytes[c], d.CapacityBytes)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package catalog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dotprov/internal/device"
+	"dotprov/internal/types"
+)
+
+// compactFixture builds a catalog of n tables (each with a pkey index) and
+// assorted sizes.
+func compactFixture(t *testing.T, n int) *Catalog {
+	t.Helper()
+	c := New()
+	sch := types.NewSchema(types.Column{Name: "id", Kind: types.KindInt})
+	for i := 0; i < n; i++ {
+		tab, err := c.CreateTable(string(rune('a'+i)), sch, []string{"id"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := c.CreateIndex(string(rune('a'+i))+"_pkey", tab.ID, []string{"id"}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetSize(tab.ID, int64(i+1)*1e9)
+		c.SetSize(ix.ID, int64(i+1)*1e8)
+	}
+	return c
+}
+
+// randomLayout draws a random (possibly partial) layout over the catalog.
+func randomLayout(rng *rand.Rand, c *Catalog, partial bool) Layout {
+	l := make(Layout)
+	for _, o := range c.Objects() {
+		if partial && rng.Intn(4) == 0 {
+			continue // leave unplaced
+		}
+		l[o.ID] = device.AllClasses[rng.Intn(len(device.AllClasses))]
+	}
+	return l
+}
+
+// TestCompactRoundTripProperty: CompactFromLayout/ToLayout is lossless on
+// random full and partial layouts, and compact keys agree with map-form
+// equality — equal keys iff Equal layouts.
+func TestCompactRoundTripProperty(t *testing.T) {
+	cat := compactFixture(t, 7)
+	rng := rand.New(rand.NewSource(42))
+	seen := map[string]Layout{}
+	for trial := 0; trial < 500; trial++ {
+		l := randomLayout(rng, cat, trial%2 == 0)
+		cl, ok := CompactFromLayout(cat, l)
+		if !ok {
+			t.Fatalf("trial %d: layout %v should be encodable", trial, l)
+		}
+		back := cl.ToLayout()
+		if !back.Equal(l) {
+			t.Fatalf("trial %d: round trip lost placements: %v -> %v", trial, l, back)
+		}
+		key := cl.Key()
+		if prev, dup := seen[key]; dup {
+			if !prev.Equal(l) {
+				t.Fatalf("trial %d: distinct layouts share compact key: %v vs %v", trial, prev, l)
+			}
+		} else {
+			seen[key] = l
+		}
+		// Same layout re-encoded must reproduce the key (keys are canonical).
+		cl2, _ := CompactFromLayout(cat, l.Clone())
+		if cl2.Key() != key {
+			t.Fatalf("trial %d: key not canonical", trial)
+		}
+	}
+}
+
+// TestCompactKeyAgreesWithEqual: two random layouts have equal compact keys
+// exactly when Layout.Equal holds (the memo-safety contract Layout.Key
+// documents, on the compact form).
+func TestCompactKeyAgreesWithEqual(t *testing.T) {
+	cat := compactFixture(t, 5)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		a := randomLayout(rng, cat, true)
+		b := randomLayout(rng, cat, true)
+		ca, _ := CompactFromLayout(cat, a)
+		cb, _ := CompactFromLayout(cat, b)
+		if (ca.Key() == cb.Key()) != a.Equal(b) {
+			t.Fatalf("trial %d: key equality %v but Equal %v (a=%v b=%v)",
+				trial, ca.Key() == cb.Key(), a.Equal(b), a, b)
+		}
+		if ca.Equal(cb) != a.Equal(b) {
+			t.Fatalf("trial %d: CompactLayout.Equal diverges from Layout.Equal", trial)
+		}
+	}
+}
+
+// TestCompactRejectsUnencodable: foreign object IDs and undefined classes
+// push conversion back to the map path instead of mis-encoding.
+func TestCompactRejectsUnencodable(t *testing.T) {
+	cat := compactFixture(t, 2)
+	if _, ok := CompactFromLayout(cat, Layout{ObjectID(99): device.HDD}); ok {
+		t.Fatal("foreign object ID must not encode")
+	}
+	if _, ok := CompactFromLayout(cat, Layout{1: device.Class(200)}); ok {
+		t.Fatal("undefined class must not encode")
+	}
+}
+
+// TestCompactDenseCostCapacityParity: the dense cost and capacity walks
+// must agree bit-for-bit with the map-form implementations on random
+// layouts.
+func TestCompactDenseCostCapacityParity(t *testing.T) {
+	cat := compactFixture(t, 6)
+	box := device.NewBox("Box 1", device.HDDRAID0, device.LSSD, device.HSSD)
+	sizes := cat.DenseSizeBytes()
+	rng := rand.New(rand.NewSource(99))
+	boxClasses := box.Classes()
+	for trial := 0; trial < 300; trial++ {
+		l := make(Layout)
+		for _, o := range cat.Objects() {
+			l[o.ID] = boxClasses[rng.Intn(len(boxClasses))]
+		}
+		cl, _ := CompactFromLayout(cat, l)
+		wantCost, wantErr := l.CostCentsPerHour(cat, box)
+		gotCost, gotErr := cl.CostCentsPerHourDense(sizes, box)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: cost error mismatch: %v vs %v", trial, wantErr, gotErr)
+		}
+		if math.Float64bits(wantCost) != math.Float64bits(gotCost) {
+			t.Fatalf("trial %d: cost %v != dense cost %v", trial, wantCost, gotCost)
+		}
+		if (l.CheckCapacity(cat, box) == nil) != (cl.CheckCapacityDense(sizes, box) == nil) {
+			t.Fatalf("trial %d: capacity verdict mismatch", trial)
+		}
+	}
+	// A class absent from the box must error on both paths, even when only
+	// zero-size objects use it (the map form keys SpaceByClass regardless).
+	l := NewUniformLayout(cat, device.HSSD)
+	l[1] = device.HDD // plain HDD absent from this box
+	cl, _ := CompactFromLayout(cat, l)
+	if _, err := l.CostCentsPerHour(cat, box); err == nil {
+		t.Fatal("map cost must reject a class absent from the box")
+	}
+	if _, err := cl.CostCentsPerHourDense(sizes, box); err == nil {
+		t.Fatal("dense cost must reject a class absent from the box")
+	}
+}
+
+// TestCompactMutators: Set/Unset/Clone behave like map writes.
+func TestCompactMutators(t *testing.T) {
+	cat := compactFixture(t, 3)
+	cl := CompactUniform(cat, device.HSSD)
+	if cl.Len() != cat.NumObjects() {
+		t.Fatalf("Len %d, want %d", cl.Len(), cat.NumObjects())
+	}
+	orig := cl.Clone()
+	cl.Set(2, device.HDD)
+	if c, ok := cl.Class(2); !ok || c != device.HDD {
+		t.Fatalf("Set did not take: %v %v", c, ok)
+	}
+	if c, _ := orig.Class(2); c != device.HSSD {
+		t.Fatal("Clone must be independent")
+	}
+	cl.Unset(2)
+	if _, ok := cl.Class(2); ok {
+		t.Fatal("Unset did not take")
+	}
+	if _, ok := cl.ToLayout()[2]; ok {
+		t.Fatal("unset slot must be absent from the map form")
+	}
+}

@@ -89,16 +89,31 @@ func (l Layout) SpaceByClass(c *Catalog) map[device.Class]int64 {
 	return out
 }
 
+// SortedClasses returns the keys of a per-class aggregate in ascending
+// class order. Float sums over classes iterate this order on both the map
+// and the compiled path, so the two produce bit-identical totals.
+func SortedClasses[V any](m map[device.Class]V) []device.Class {
+	out := make([]device.Class, 0, len(m))
+	for cls := range m {
+		out = append(out, cls)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // CostCentsPerHour computes the layout cost C(L) = sum_j p_j * S_j in
-// cents per hour (paper §2.1).
+// cents per hour (paper §2.1). Classes are summed in ascending order so the
+// float total is deterministic and matches CostCentsPerHourDense bit for
+// bit.
 func (l Layout) CostCentsPerHour(c *Catalog, box *device.Box) (float64, error) {
+	space := l.SpaceByClass(c)
 	var cost float64
-	for cls, bytes := range l.SpaceByClass(c) {
+	for _, cls := range SortedClasses(space) {
 		d := box.Device(cls)
 		if d == nil {
 			return 0, fmt.Errorf("catalog: layout uses class %v not present in box %q", cls, box.Name)
 		}
-		cost += d.PriceCents * float64(bytes) / 1e9
+		cost += d.PriceCents * float64(space[cls]) / 1e9
 	}
 	return cost, nil
 }
@@ -116,14 +131,15 @@ func (l Layout) TOCCents(c *Catalog, box *device.Box, elapsed time.Duration) (fl
 // CheckCapacity validates the capacity constraints sum_{o in Oj} s_i < c_j
 // (paper §2.2). It returns nil when the layout fits.
 func (l Layout) CheckCapacity(c *Catalog, box *device.Box) error {
-	for cls, bytes := range l.SpaceByClass(c) {
+	space := l.SpaceByClass(c)
+	for _, cls := range SortedClasses(space) {
 		d := box.Device(cls)
 		if d == nil {
 			return fmt.Errorf("catalog: layout uses class %v not present in box %q", cls, box.Name)
 		}
-		if bytes >= d.CapacityBytes {
+		if space[cls] >= d.CapacityBytes {
 			return fmt.Errorf("catalog: class %v over capacity: %d bytes placed, capacity %d",
-				cls, bytes, d.CapacityBytes)
+				cls, space[cls], d.CapacityBytes)
 		}
 	}
 	return nil

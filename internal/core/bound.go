@@ -29,7 +29,7 @@ import (
 // TOC as C(L)/T, which this floor cannot bound — the exhaustive entry
 // points detect that case from the baseline metrics and ignore the hook.
 func (in Input) StorageFloorBound(prof iosim.Profile) search.LowerBound {
-	if in.LayoutCost != nil {
+	if in.LayoutCost != nil || in.LayoutCostCompact != nil {
 		return nil
 	}
 	// Time floor: every profiled object on its fastest class for its own
@@ -66,5 +66,39 @@ func (in Input) StorageFloorBound(prof iosim.Profile) search.LowerBound {
 			perHour += minPrice * sizeGB(id)
 		}
 		return perHour * timeFloor.Hours(), nil
+	}
+}
+
+// StorageFloorBoundCompact is StorageFloorBound for the compiled DFS
+// (Input.CompactBound): the same admissible floor, but the assigned-objects
+// cost arrives pre-accumulated from the enumeration's running counter, so
+// each bound check only walks the unassigned tail. Like the map form it
+// applies only under the linear cost model; nil means no pruning.
+func (in Input) StorageFloorBoundCompact(prof iosim.Profile) search.CompactBound {
+	if in.LayoutCost != nil || in.LayoutCostCompact != nil {
+		return nil
+	}
+	var timeFloor time.Duration
+	conc := in.conc()
+	for id := range prof {
+		var best time.Duration
+		for i, d := range in.Box.SortedByPrice() {
+			t := prof.ObjectIOTime(id, d, conc)
+			if i == 0 || t < best {
+				best = t
+			}
+		}
+		timeFloor += best
+	}
+	minPrice := in.Box.Cheapest().PriceCents
+	sizes := in.Cat.DenseSizeBytes()
+	hours := timeFloor.Hours()
+	return func(perHour float64, unassigned []catalog.ObjectID) (float64, bool) {
+		for _, id := range unassigned {
+			if i := catalog.DenseIndex(id); i >= 0 && i < len(sizes) {
+				perHour += minPrice * float64(sizes[i]) / 1e9
+			}
+		}
+		return perHour * hours, true
 	}
 }

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/iosim"
+	"dotprov/internal/types"
+	"dotprov/internal/workload"
+)
+
+// compiledFix mirrors newFix but drives the search through a compilable
+// estimator (workload.ObservedEstimator), so the compiled fast path
+// engages; in.NoCompile selects the map baseline for equivalence checks.
+type compiledFix struct {
+	cat  *catalog.Catalog
+	box  *device.Box
+	prof iosim.Profile
+	est  workload.Estimator
+	ids  map[string]catalog.ObjectID
+}
+
+func newCompiledFix(t *testing.T) *compiledFix {
+	t.Helper()
+	cat := catalog.New()
+	sch := types.NewSchema(types.Column{Name: "id", Kind: types.KindInt})
+	mk := func(name string, tabGB, ixGB float64) (catalog.ObjectID, catalog.ObjectID) {
+		tab, err := cat.CreateTable(name, sch, []string{"id"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := cat.CreateIndex(name+"_pkey", tab.ID, []string{"id"}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.SetSize(tab.ID, int64(tabGB*1e9))
+		cat.SetSize(ix.ID, int64(ixGB*1e9))
+		return tab.ID, ix.ID
+	}
+	bigID, bigIx := mk("big", 20, 2)
+	smallID, smallIx := mk("small", 1, 0.1)
+	prof := iosim.NewProfile()
+	prof.Add(bigID, device.SeqRead, 2.5e6)
+	prof.Add(bigIx, device.RandRead, 1000)
+	prof.Add(smallID, device.RandRead, 200000)
+	prof.Add(smallIx, device.RandRead, 200000)
+	box := device.Box1()
+	return &compiledFix{
+		cat: cat, box: box, prof: prof,
+		est: &workload.ObservedEstimator{Box: box, Concurrency: 1,
+			PerQuery: []workload.QueryObservation{{Profile: prof, CPU: 0}}},
+		ids: map[string]catalog.ObjectID{
+			"big": bigID, "big_pkey": bigIx, "small": smallID, "small_pkey": smallIx,
+		},
+	}
+}
+
+func (f *compiledFix) input() Input {
+	ps := NewProfileSet()
+	ps.SetSingle(f.prof)
+	return Input{Cat: f.cat, Box: f.box, Est: f.est, Profiles: ps, Concurrency: 1}
+}
+
+// oltpInput builds a throughput-objective input over the same catalog.
+func (f *compiledFix) oltpInput(t *testing.T) Input {
+	t.Helper()
+	est, err := workload.NewProfileEstimator(f.box, 4, f.prof, time.Second,
+		workload.RunStats{Txns: 10000, Elapsed: 2 * time.Minute},
+		catalog.NewUniformLayout(f.cat, device.HSSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := f.input()
+	in.Est = est
+	in.Concurrency = 4
+	return in
+}
+
+func requireSameResult(t *testing.T, name string, a, b *Result) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: one result nil", name)
+	}
+	if a.Feasible != b.Feasible {
+		t.Fatalf("%s: feasibility %v vs %v", name, a.Feasible, b.Feasible)
+	}
+	if !a.Layout.Equal(b.Layout) {
+		t.Fatalf("%s: layouts differ:\n%v\nvs\n%v", name, a.Layout, b.Layout)
+	}
+	if math.Float64bits(a.TOCCents) != math.Float64bits(b.TOCCents) {
+		t.Fatalf("%s: TOC %v vs %v (not bit-identical)", name, a.TOCCents, b.TOCCents)
+	}
+	if a.Metrics.Elapsed != b.Metrics.Elapsed ||
+		math.Float64bits(a.Metrics.Throughput) != math.Float64bits(b.Metrics.Throughput) {
+		t.Fatalf("%s: metrics differ: %+v vs %+v", name, a.Metrics, b.Metrics)
+	}
+	if len(a.Metrics.PerQuery) != len(b.Metrics.PerQuery) {
+		t.Fatalf("%s: per-query lengths differ", name)
+	}
+	for i := range a.Metrics.PerQuery {
+		if a.Metrics.PerQuery[i] != b.Metrics.PerQuery[i] {
+			t.Fatalf("%s: per-query %d differs", name, i)
+		}
+	}
+	if a.Evaluated != b.Evaluated {
+		t.Fatalf("%s: evaluated %d vs %d", name, a.Evaluated, b.Evaluated)
+	}
+	if a.EstimatorCalls != b.EstimatorCalls {
+		t.Fatalf("%s: estimator calls %d vs %d", name, a.EstimatorCalls, b.EstimatorCalls)
+	}
+}
+
+// TestCompiledPathMatchesMapPath is the tentpole's safety net: every search
+// entry point must return byte-identical results (layout, TOC bits,
+// metrics, evaluated and estimator-call counts) on the compiled path vs the
+// map path, for DSS and OLTP objectives, sequential and parallel.
+func TestCompiledPathMatchesMapPath(t *testing.T) {
+	type variant struct {
+		name string
+		oltp bool
+	}
+	for _, v := range []variant{{"dss", false}, {"oltp", true}} {
+		for _, workers := range []int{1, 8} {
+			run := func(noCompile bool) map[string]*Result {
+				f := newCompiledFix(t)
+				var in Input
+				if v.oltp {
+					in = f.oltpInput(t)
+				} else {
+					in = f.input()
+				}
+				in.Workers = workers
+				in.NoCompile = noCompile
+				out := map[string]*Result{}
+				rec := func(name string, res *Result, err error) {
+					if err != nil {
+						t.Fatalf("%s/%s workers=%d: %v", v.name, name, workers, err)
+					}
+					out[name] = res
+				}
+				for _, sla := range []float64{0.5, 0.25} {
+					opts := Options{RelativeSLA: sla}
+					res, err := Optimize(in, opts)
+					rec("optimize", res, err)
+					res, err = OptimizeBest(in, opts)
+					rec("best", res, err)
+					res, err = Exhaustive(in, opts)
+					rec("exhaustive", res, err)
+					res, err = ExhaustivePartial(in, opts,
+						[]catalog.ObjectID{f.ids["big"], f.ids["big_pkey"]},
+						catalog.NewUniformLayout(f.cat, device.HSSD))
+					rec("partial", res, err)
+				}
+				res, _, err := OptimizeRelaxing(in, Options{RelativeSLA: 0.9}, 0.01)
+				rec("relaxing", res, err)
+				res, _, err = ExhaustiveRelaxing(in, Options{RelativeSLA: 0.9}, 0.01)
+				rec("es-relaxing", res, err)
+				return out
+			}
+			compiled := run(false)
+			mapped := run(true)
+			for name, want := range mapped {
+				requireSameResult(t, v.name+"/"+name+"/workers="+string(rune('0'+workers)), compiled[name], want)
+			}
+		}
+	}
+}
+
+// TestCompiledEngineEngages: the fixture's estimator really does put the
+// engine on the compiled path (guarding against silent fallback, which
+// would make the equivalence suite vacuous).
+func TestCompiledEngineEngages(t *testing.T) {
+	f := newCompiledFix(t)
+	in := f.input()
+	if in.compiledConfig() == nil {
+		t.Fatal("ObservedEstimator input should enable the compiled path")
+	}
+	in.NoCompile = true
+	if in.compiledConfig() != nil {
+		t.Fatal("NoCompile must disable the compiled path")
+	}
+	in = f.input()
+	in.LayoutCost = func(l catalog.Layout) (float64, error) { return 1, nil }
+	if in.compiledConfig() != nil {
+		t.Fatal("a LayoutCost without its compact mirror must disable the compiled path")
+	}
+	in.LayoutCostCompact = func(cl catalog.CompactLayout) (float64, error) { return 1, nil }
+	if in.compiledConfig() == nil {
+		t.Fatal("a LayoutCost with its compact mirror keeps the compiled path")
+	}
+}
+
+// TestCompiledPrunedExhaustive: the compact storage-floor bound must leave
+// the result identical to the unpruned compiled run while evaluating no
+// more candidates, and the pruned compiled run must agree with the pruned
+// map run.
+func TestCompiledPrunedExhaustive(t *testing.T) {
+	f := newCompiledFix(t)
+	plain, err := Exhaustive(f.input(), Options{RelativeSLA: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := f.input()
+	in.CompactBound = in.StorageFloorBoundCompact(f.prof)
+	if in.CompactBound == nil {
+		t.Fatal("linear cost model should yield a compact bound")
+	}
+	in.LowerBound = in.StorageFloorBound(f.prof)
+	pruned, err := Exhaustive(in, Options{RelativeSLA: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pruned.Layout.Equal(plain.Layout) ||
+		math.Float64bits(pruned.TOCCents) != math.Float64bits(plain.TOCCents) ||
+		pruned.Feasible != plain.Feasible {
+		t.Fatalf("pruned compiled ES result differs: %.6g vs %.6g", pruned.TOCCents, plain.TOCCents)
+	}
+	if pruned.Evaluated > plain.Evaluated {
+		t.Fatalf("pruning evaluated more candidates (%d) than plain (%d)", pruned.Evaluated, plain.Evaluated)
+	}
+	t.Logf("compiled pruned ES evaluated %d of %d candidates", pruned.Evaluated, plain.Evaluated)
+
+	// A map-form LowerBound without its compact mirror falls back to the map
+	// enumeration — pruning still happens, result still identical.
+	in2 := f.input()
+	in2.LowerBound = in2.StorageFloorBound(f.prof)
+	fallback, err := Exhaustive(in2, Options{RelativeSLA: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fallback.Layout.Equal(plain.Layout) ||
+		math.Float64bits(fallback.TOCCents) != math.Float64bits(plain.TOCCents) {
+		t.Fatal("map-bound fallback diverged")
+	}
+	// A custom cost model disables the compact floor like the map floor.
+	in3 := f.input()
+	in3.LayoutCostCompact = func(cl catalog.CompactLayout) (float64, error) { return 1, nil }
+	if in3.StorageFloorBoundCompact(f.prof) != nil {
+		t.Fatal("custom cost model must disable the compact storage floor")
+	}
+}
+
+// TestObjectAdvisorExactFit: an object that exactly fills the fast class's
+// remaining budget is admitted (the >= off-by-one rejected it).
+func TestObjectAdvisorExactFit(t *testing.T) {
+	cat := catalog.New()
+	sch := types.NewSchema(types.Column{Name: "id", Kind: types.KindInt})
+	tab, err := cat.CreateTable("hot", sch, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.SetSize(tab.ID, 2e9)
+	prof := iosim.NewProfile()
+	prof.Add(tab.ID, device.RandRead, 1e6)
+	box := device.Box1()
+	if err := box.SetCapacity(device.HSSD, 2e9); err != nil {
+		t.Fatal(err)
+	}
+	ps := NewProfileSet()
+	ps.SetSingle(prof)
+	in := Input{Cat: cat, Box: box,
+		Est:      &workload.ObservedEstimator{Box: box, Concurrency: 1, PerQuery: []workload.QueryObservation{{Profile: prof}}},
+		Profiles: ps, Concurrency: 1}
+	layout, err := ObjectAdvisor(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout[tab.ID] != device.HSSD {
+		t.Fatalf("exact-fit object landed on %v, want the fast class", layout[tab.ID])
+	}
+}

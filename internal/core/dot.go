@@ -35,6 +35,11 @@ type Input struct {
 	// cent/hour (default: the linear model of §2.1). The discrete-sized
 	// model of §5.2 plugs in here.
 	LayoutCost func(l catalog.Layout) (float64, error)
+	// LayoutCostCompact optionally mirrors LayoutCost for compact layouts
+	// (provision.DiscreteCostModels builds the pair). It must price exactly
+	// like LayoutCost; setting LayoutCost without it disables the compiled
+	// fast path rather than risk divergent pricing.
+	LayoutCostCompact func(cl catalog.CompactLayout) (float64, error)
 	// LowerBound optionally supplies an admissible TOC lower bound for
 	// partial assignments, letting Exhaustive/ExhaustivePartial prune whole
 	// subtrees whose floor already exceeds the incumbent (see
@@ -43,6 +48,15 @@ type Input struct {
 	// candidates evaluated. The hook is ignored for throughput (OLTP)
 	// workloads, whose C(L)/T objective elapsed-time floors cannot bound.
 	LowerBound search.LowerBound
+	// CompactBound mirrors LowerBound on the compiled path, fed by the
+	// DFS's running storage-cost accumulator (Input.StorageFloorBoundCompact
+	// builds one). When LowerBound is set without it, exhaustive search
+	// stays on the map enumeration so pruning is preserved.
+	CompactBound search.CompactBound
+	// NoCompile disables the compiled (compact/delta) evaluation fast path,
+	// forcing map-based evaluation everywhere. Results are bit-identical
+	// either way; the switch exists for benchmarks and equivalence tests.
+	NoCompile bool
 }
 
 // Options controls one optimization run.
@@ -90,6 +104,11 @@ type Result struct {
 	// memo-miss share of Evaluated.
 	EstimatorCalls int
 	PlanTime       time.Duration // wall-clock optimization time
+	// best holds the incumbent evaluation; the Layout field is materialized
+	// from it once at the end of the run (materializing a map per
+	// improvement is pure allocation on the compiled path).
+	best     search.Eval
+	haveBest bool
 }
 
 // consider adopts the evaluation when it is feasible and improves on the
@@ -100,7 +119,8 @@ func (r *Result) consider(ev search.Eval, cons workload.Constraints) bool {
 	}
 	if !r.Feasible || ev.TOCCents < r.TOCCents {
 		r.Feasible = true
-		r.Layout = ev.Layout
+		r.best = ev
+		r.haveBest = true
 		r.TOCCents = ev.TOCCents
 		r.Metrics = ev.Metrics
 	}
@@ -141,7 +161,10 @@ func (in Input) toc(m workload.Metrics, l catalog.Layout) (float64, error) {
 
 // engine builds the shared candidate-evaluation engine for this input: the
 // single estimate → price → check pipeline every search entry point runs
-// through, memoized by catalog.Layout.Key and fanned out over in.Workers.
+// through, memoized by the canonical layout key and fanned out over
+// in.Workers. When the estimator is compact-capable the engine also gets
+// the compiled evaluation path (see compiledConfig); results are
+// bit-identical on either path.
 func (in Input) engine() (*search.Engine, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
@@ -152,7 +175,56 @@ func (in Input) engine() (*search.Engine, error) {
 		CapacityOK: func(l catalog.Layout) bool { return l.CheckCapacity(in.Cat, in.Box) == nil },
 		Workers:    in.Workers,
 		Budget:     in.Budget,
+		Compiled:   in.compiledConfig(),
 	})
+}
+
+// compiledConfig assembles the engine's compiled path when the input
+// supports it: the estimator must be compact-capable (the profile-driven
+// estimators compile themselves via workload.CompileEstimator; plan-aware
+// estimators do not, and transparently stay on the map path), and a custom
+// LayoutCost needs its compact mirror. Returns nil when the compiled path
+// cannot engage.
+func (in Input) compiledConfig() *search.CompiledConfig {
+	if in.NoCompile {
+		return nil
+	}
+	if in.LayoutCost != nil && in.LayoutCostCompact == nil {
+		return nil
+	}
+	est := workload.CompileEstimator(in.Est, in.Cat)
+	ce, ok := est.(workload.CompactEstimator)
+	if !ok {
+		return nil
+	}
+	de, _ := est.(workload.DeltaEstimator)
+	// Sizes are frozen per engine, like the estimators' statistics; the
+	// dense snapshot keeps cost and capacity checks off the catalog's maps.
+	sizes := in.Cat.DenseSizeBytes()
+	perHour := func(cl catalog.CompactLayout) (float64, error) {
+		if in.LayoutCostCompact != nil {
+			return in.LayoutCostCompact(cl)
+		}
+		return cl.CostCentsPerHourDense(sizes, in.Box)
+	}
+	return &search.CompiledConfig{
+		Cat:   in.Cat,
+		Est:   ce,
+		Delta: de,
+		Cost: func(m workload.Metrics, cl catalog.CompactLayout) (float64, error) {
+			ph, err := perHour(cl)
+			if err != nil {
+				return 0, err
+			}
+			if m.Throughput > 0 {
+				return ph / m.Throughput, nil
+			}
+			return ph * m.Elapsed.Hours(), nil
+		},
+		CapacityOK: func(cl catalog.CompactLayout) bool {
+			return cl.FitsCapacityDense(sizes, in.Box)
+		},
+	}
 }
 
 // prep evaluates the starting layout L0 (every object on the most expensive
@@ -166,7 +238,7 @@ func (in Input) prep(opts Options, eng *search.Engine) (device.Class, search.Eva
 		return 0, zero, workload.Constraints{}, err
 	}
 	l0Class := in.Box.MostExpensive().Class
-	ev0, err := eng.Evaluate(catalog.NewUniformLayout(in.Cat, l0Class))
+	ev0, err := in.evaluateUniform(eng, l0Class)
 	if err != nil {
 		return 0, zero, workload.Constraints{}, fmt.Errorf("core: estimating baseline: %w", err)
 	}
@@ -176,6 +248,15 @@ func (in Input) prep(opts Options, eng *search.Engine) (device.Class, search.Eva
 	}
 	cons := workload.Constraints{Relative: opts.RelativeSLA, Baseline: baseline}
 	return l0Class, ev0, cons, nil
+}
+
+// evaluateUniform evaluates the "all objects on cls" layout through the
+// engine, staying compact on the compiled path.
+func (in Input) evaluateUniform(eng *search.Engine, cls device.Class) (search.Eval, error) {
+	if eng.Compiled() {
+		return eng.EvaluateCompact(catalog.CompactUniform(in.Cat, cls))
+	}
+	return eng.Evaluate(catalog.NewUniformLayout(in.Cat, cls))
 }
 
 // enumerateMoves scores the move list for this input. The list depends
@@ -226,29 +307,72 @@ func optimizeWith(in Input, opts Options, eng *search.Engine, moves []Move) (*Re
 	// Seed the candidates with the uniform ("All <class>") layouts. They
 	// cost M extra evaluations and anchor the search under cost models with
 	// consolidation discounts (the discrete-sized model of §5.2 prices any
-	// second storage class at a whole device). The seeds are independent, so
-	// they fan out across the engine's workers.
-	var seeds []catalog.Layout
-	for _, d := range in.Box.SortedByPrice() {
-		if d.Class == l0Class {
-			continue
+	// second storage class at a whole device). On the map path the seeds
+	// fan out across the engine's workers; on the compiled path they are a
+	// handful of flat-table estimates, evaluated inline.
+	if eng.Compiled() {
+		for _, d := range in.Box.SortedByPrice() {
+			if d.Class == l0Class {
+				continue
+			}
+			ev, err := eng.EvaluateCompact(catalog.CompactUniform(in.Cat, d.Class))
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluated++
+			res.consider(ev, cons)
 		}
-		seeds = append(seeds, catalog.NewUniformLayout(in.Cat, d.Class))
-	}
-	seedEvs, err := eng.EvaluateAll(seeds)
-	if err != nil {
-		return nil, err
-	}
-	for _, ev := range seedEvs {
-		res.Evaluated++
-		res.consider(ev, cons)
+	} else {
+		var seeds []catalog.Layout
+		for _, d := range in.Box.SortedByPrice() {
+			if d.Class == l0Class {
+				continue
+			}
+			seeds = append(seeds, catalog.NewUniformLayout(in.Cat, d.Class))
+		}
+		seedEvs, err := eng.EvaluateAll(seeds)
+		if err != nil {
+			return nil, err
+		}
+		for _, ev := range seedEvs {
+			res.Evaluated++
+			res.consider(ev, cons)
+		}
 	}
 
 	passes := opts.Passes
 	if passes < 1 {
 		passes = 2
 	}
-	l := ev0.Layout
+	if eng.Compiled() && !ev0.Compact.IsZero() {
+		err = dotSweepCompact(opts, eng, moves, ev0, cons, res, passes)
+	} else {
+		err = dotSweepMap(opts, eng, moves, ev0, cons, res, passes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !res.Feasible {
+		// No feasible layout found: report L0's numbers so the caller can
+		// decide how to relax the constraints (paper §3: "the performance
+		// constraints must be relaxed in order to compute a layout").
+		res.best = ev0
+		res.haveBest = true
+		res.TOCCents = ev0.TOCCents
+		res.Metrics = ev0.Metrics
+	}
+	// The engine's memo retains every evaluated layout; hand the caller a
+	// private copy so post-hoc mutation cannot reach shared state.
+	res.Layout = res.best.LayoutClone()
+	res.EstimatorCalls = eng.Stats().Sub(stats0).EstimatorCalls
+	res.PlanTime = time.Since(start)
+	return res, nil
+}
+
+// dotSweepMap is Procedure 1's move sweep on the map path: every candidate
+// is a cloned map layout run through Engine.Evaluate.
+func dotSweepMap(opts Options, eng *search.Engine, moves []Move, ev0 search.Eval, cons workload.Constraints, res *Result, passes int) error {
+	l := ev0.LayoutMap()
 	curTOC := ev0.TOCCents
 	curFeasible := ev0.Feasible(cons)
 	for pass := 0; pass < passes; pass++ {
@@ -260,7 +384,7 @@ func optimizeWith(in Input, opts Options, eng *search.Engine, moves []Move) (*Re
 			}
 			ev, err := eng.Evaluate(lnew)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res.Evaluated++
 			if !res.consider(ev, cons) {
@@ -282,20 +406,76 @@ func optimizeWith(in Input, opts Options, eng *search.Engine, moves []Move) (*Re
 			break
 		}
 	}
-	if !res.Feasible {
-		// No feasible layout found: report L0's numbers so the caller can
-		// decide how to relax the constraints (paper §3: "the performance
-		// constraints must be relaxed in order to compute a layout").
-		res.Layout = ev0.Layout
-		res.TOCCents = ev0.TOCCents
-		res.Metrics = ev0.Metrics
+	return nil
+}
+
+// dotSweepCompact is the compiled move sweep: the running layout is one
+// scratch compact layout mutated in place, each candidate move is scored by
+// delta re-estimation from the current evaluation (Engine.EvaluateDelta),
+// and rejected moves are reverted exactly. Candidate order, skip rules and
+// accept rules mirror dotSweepMap move for move, so the walk — and the
+// result — is identical.
+func dotSweepCompact(opts Options, eng *search.Engine, moves []Move, ev0 search.Eval, cons workload.Constraints, res *Result, passes int) error {
+	cur := ev0
+	curTOC := ev0.TOCCents
+	curFeasible := ev0.Feasible(cons)
+	scratch := ev0.Compact.Clone()
+	var changes []workload.ObjectMove
+	for pass := 0; pass < passes; pass++ {
+		changed := false
+		for _, m := range moves {
+			changes = changes[:0]
+			deltaable := true
+			for i, obj := range m.Group.Objects {
+				from, placed := scratch.Class(obj)
+				if !placed {
+					// DOT starts from the total layout L0, so this is
+					// unreachable; degrade to full evaluation rather than
+					// delta from an unknown class.
+					deltaable = false
+				}
+				if !placed || from != m.Placement[i] {
+					changes = append(changes, workload.ObjectMove{Obj: obj, From: from, To: m.Placement[i]})
+				}
+			}
+			if len(changes) == 0 {
+				continue // identity move, as on the map path
+			}
+			for _, ch := range changes {
+				scratch.Set(ch.Obj, ch.To)
+			}
+			var ev search.Eval
+			var err error
+			if deltaable {
+				ev, err = eng.EvaluateDelta(cur, scratch, changes)
+			} else {
+				ev, err = eng.EvaluateCompact(scratch)
+			}
+			if err != nil {
+				return err
+			}
+			res.Evaluated++
+			accepted := res.consider(ev, cons)
+			if !accepted || (!opts.GreedyApply && curFeasible && ev.TOCCents > curTOC) {
+				if deltaable {
+					for _, ch := range changes {
+						scratch.Set(ch.Obj, ch.From)
+					}
+				} else {
+					scratch = cur.Compact.Clone()
+				}
+				continue
+			}
+			cur = ev
+			curTOC = ev.TOCCents
+			curFeasible = true
+			changed = true
+		}
+		if !changed {
+			break
+		}
 	}
-	// The engine's memo retains every evaluated layout; hand the caller a
-	// private copy so post-hoc mutation cannot reach shared state.
-	res.Layout = res.Layout.Clone()
-	res.EstimatorCalls = eng.Stats().Sub(stats0).EstimatorCalls
-	res.PlanTime = time.Since(start)
-	return res, nil
+	return nil
 }
 
 // OptimizeBest runs both application policies — the guarded sweep and the

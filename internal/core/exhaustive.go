@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dotprov/internal/catalog"
+	"dotprov/internal/device"
 	"dotprov/internal/search"
 )
 
@@ -72,8 +73,10 @@ func ExhaustivePartial(in Input, opts Options, free []catalog.ObjectID, base cat
 
 // exhaustSpace is the one enumeration loop behind Exhaustive and
 // ExhaustivePartial: derive the constraints from L0, sweep the assignment
-// space through the shared engine, and fall back to the pinned starting
-// point when nothing is feasible.
+// space through the shared engine — the compiled DFS with its running
+// accumulators when the engine carries the compact path, the map
+// enumeration otherwise — and fall back to the pinned starting point when
+// nothing is feasible.
 func exhaustSpace(in Input, opts Options, eng *search.Engine, free []catalog.ObjectID, base catalog.Layout) (*Result, error) {
 	start := time.Now()
 	stats0 := eng.Stats()
@@ -82,29 +85,40 @@ func exhaustSpace(in Input, opts Options, eng *search.Engine, free []catalog.Obj
 		return nil, err
 	}
 	res := &Result{Constraints: cons}
-	sp := search.Space{Base: base, Free: free, Classes: in.Box.Classes()}
-	lb := in.LowerBound
-	if ev0.Metrics.Throughput > 0 {
-		// Throughput (OLTP) workloads price TOC as C(L)/T, not C(L)*t, so
-		// elapsed-time floors like StorageFloorBound are not admissible
-		// there: pruning could silently discard the true optimum. Disable
-		// the hook rather than risk a wrong result.
-		lb = nil
+	throughput := ev0.Metrics.Throughput > 0
+
+	var (
+		best      search.Eval
+		found     bool
+		evaluated int
+	)
+	if csp, ok := in.compactSpace(eng, free, base, throughput); ok {
+		best, found, evaluated, err = eng.ExhaustiveCompact(cons, csp)
+	} else {
+		sp := search.Space{Base: base, Free: free, Classes: in.Box.Classes()}
+		lb := in.LowerBound
+		if throughput {
+			// Throughput (OLTP) workloads price TOC as C(L)/T, not C(L)*t, so
+			// elapsed-time floors like StorageFloorBound are not admissible
+			// there: pruning could silently discard the true optimum. Disable
+			// the hook rather than risk a wrong result.
+			lb = nil
+		}
+		best, found, evaluated, err = eng.Exhaustive(cons, sp, lb)
 	}
-	best, found, evaluated, err := eng.Exhaustive(cons, sp, lb)
 	if err != nil {
 		return nil, err
 	}
 	res.Evaluated = evaluated
 	if found {
 		res.Feasible = true
-		res.Layout = best.Layout.Clone()
+		res.Layout = best.LayoutClone()
 		res.TOCCents = best.TOCCents
 		res.Metrics = best.Metrics
 	} else if base == nil {
 		// Full enumeration found nothing: report L0's numbers so the caller
 		// can decide how to relax the constraints.
-		res.Layout = ev0.Layout.Clone()
+		res.Layout = ev0.LayoutClone()
 		res.TOCCents = ev0.TOCCents
 		res.Metrics = ev0.Metrics
 	} else {
@@ -115,13 +129,53 @@ func exhaustSpace(in Input, opts Options, eng *search.Engine, free []catalog.Obj
 		if err != nil {
 			return nil, err
 		}
-		res.Layout = evBase.Layout.Clone()
+		res.Layout = evBase.LayoutClone()
 		res.TOCCents = evBase.TOCCents
 		res.Metrics = evBase.Metrics
 	}
 	res.EstimatorCalls = eng.Stats().Sub(stats0).EstimatorCalls
 	res.PlanTime = time.Since(start)
 	return res, nil
+}
+
+// compactSpace assembles the compiled DFS's assignment space. It reports
+// ok=false when the enumeration must stay on the map path: the engine is
+// not compiled, the base layout cannot be encoded, or a map-form LowerBound
+// is installed without its compact mirror (falling back preserves pruning).
+func (in Input) compactSpace(eng *search.Engine, free []catalog.ObjectID, base catalog.Layout, throughput bool) (search.CompactSpace, bool) {
+	if !eng.Compiled() {
+		return search.CompactSpace{}, false
+	}
+	if in.LowerBound != nil && in.CompactBound == nil && !throughput {
+		return search.CompactSpace{}, false
+	}
+	csp := search.CompactSpace{Free: free, Classes: in.Box.Classes()}
+	if base != nil {
+		bc, ok := catalog.CompactFromLayout(in.Cat, base)
+		if !ok {
+			return search.CompactSpace{}, false
+		}
+		csp.Base = bc
+	} else {
+		csp.Base = catalog.NewCompactLayout(in.Cat.NumObjects())
+	}
+	// The elapsed-time floor is inadmissible for throughput objectives,
+	// exactly as on the map path.
+	if in.CompactBound != nil && !throughput {
+		sizes := in.Cat.DenseSizeBytes()
+		gb := make([]float64, len(sizes))
+		for i, s := range sizes {
+			gb[i] = float64(s) / 1e9
+		}
+		csp.SizeGB = gb
+		for _, d := range in.Box.Devices {
+			if int(d.Class) < device.NumClasses {
+				csp.PriceCents[d.Class] = d.PriceCents
+			}
+		}
+		csp.Bound = in.CompactBound
+	}
+	return csp, true
 }
 
 // ExhaustiveRelaxing mirrors OptimizeRelaxing for the ES baseline: halve

@@ -44,6 +44,16 @@ func EnumerateMoves(cat *catalog.Catalog, box *device.Box, ps *ProfileSet, l0 de
 	l0Dev := box.Device(l0)
 	groups := cat.Groups()
 	perGroup := make([][]Move, len(groups))
+	// Patterns depend only on the group size; enumerate each size once up
+	// front instead of per group (k is typically uniform across groups, so
+	// this also keeps pattern slices off the scoring loop's profile).
+	classes := box.Classes()
+	patternsByK := make(map[int][]Pattern)
+	for _, g := range groups {
+		if _, ok := patternsByK[g.Size()]; !ok {
+			patternsByK[g.Size()] = enumeratePatterns(classes, g.Size())
+		}
+	}
 	if err := search.Parallel(workers, len(groups), func(gi int) error {
 		g := groups[gi]
 		k := g.Size()
@@ -57,8 +67,8 @@ func EnumerateMoves(cat *catalog.Catalog, box *device.Box, ps *ProfileSet, l0 de
 		for _, obj := range g.Objects {
 			t0 += prof0.ObjectIOTime(obj, l0Dev, concurrency)
 		}
-		for _, p := range enumeratePatterns(box.Classes(), k) {
-			if p.key() == p0.key() {
+		for _, p := range patternsByK[k] {
+			if p.equal(p0) {
 				continue // identity move
 			}
 			profP, err := ps.For(p)

@@ -64,7 +64,15 @@ func ObjectAdvisor(in Input) (catalog.Layout, error) {
 		if s.benefit <= 0 {
 			break
 		}
-		if used+s.size >= fast.CapacityBytes {
+		// Strictly-greater: an object that exactly fills the remaining fast
+		// budget is still admitted (>= used to reject the exact fit). Note
+		// the deliberate semantic difference from DOT's capacity constraint:
+		// OA's prior-work greedy treats the fast device as an inclusive
+		// byte budget (sum <= c), whereas the paper's layout constraint is
+		// strict (sum < c_j, CheckCapacity) — an exact-fit OA layout is
+		// therefore one the TOC-aware search would refuse, which is part of
+		// the §6 contrast the baseline exists to show.
+		if used+s.size > fast.CapacityBytes {
 			continue
 		}
 		layout[s.obj] = fast.Class

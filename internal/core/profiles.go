@@ -27,6 +27,19 @@ func (p Pattern) key() string {
 	return string(b)
 }
 
+// equal reports element-wise equality without materializing keys.
+func (p Pattern) equal(q Pattern) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i, c := range p {
+		if q[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
 // Uniform returns a pattern of k copies of one class.
 func Uniform(c device.Class, k int) Pattern {
 	p := make(Pattern, k)
@@ -93,6 +106,14 @@ func (ps *ProfileSet) Patterns() int { return len(ps.byPattern) }
 // objects do not depend on the suffix classes). Falls back to the single
 // profile when pattern profiles are absent.
 func (ps *ProfileSet) For(p Pattern) (iosim.Profile, error) {
+	if len(ps.byPattern) == 0 {
+		// Test-run path: one profile answers every pattern; skip the key
+		// materialization entirely (it is pure allocation on this path).
+		if ps.single != nil {
+			return ps.single, nil
+		}
+		return nil, fmt.Errorf("core: no workload profile for pattern %v", p)
+	}
 	if prof, ok := ps.byPattern[p.key()]; ok {
 		return prof, nil
 	}

@@ -34,6 +34,14 @@ const (
 // AllClasses lists every storage class in Table 1 order (cheapest first).
 var AllClasses = []Class{HDD, HDDRAID0, LSSD, LSSDRAID0, HSSD}
 
+// NumClasses is the number of storage classes. Class values are dense in
+// [0, NumClasses), so they can index fixed-width tables (the compiled cost
+// model's per-(object, class) time tables and per-class byte accumulators).
+const NumClasses = int(numClasses)
+
+// ValidClass reports whether c is one of the defined storage classes.
+func ValidClass(c Class) bool { return c < numClasses }
+
 func (c Class) String() string {
 	switch c {
 	case HDD:

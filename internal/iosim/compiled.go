@@ -1,0 +1,125 @@
+package iosim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+)
+
+// CompiledProfile is a Profile compiled against one (box, concurrency)
+// pair: a dense per-(object, class) table of the object's total I/O time on
+// that class. IOTime over a compact layout becomes a flat array sum, and
+// DeltaIOTime re-costs a single object move in O(1) — the building blocks
+// of the search engine's allocation-free evaluation path.
+//
+// The table is a pure function of data frozen at compile time, so a
+// CompiledProfile is safe for concurrent use. Every per-(object, class)
+// entry is the same integer sum of per-type terms the map-form
+// Profile.IOTime accumulates, so the two paths return bit-identical
+// durations.
+type CompiledProfile struct {
+	boxName string
+	// objs lists the profiled ObjectIDs in ascending order; rows holds their
+	// per-class time subtotals, row k at rows[k*device.NumClasses:].
+	objs []catalog.ObjectID
+	rows []time.Duration
+	// rowOf maps DenseIndex(id) -> row index, -1 for unprofiled objects.
+	// Profiled IDs beyond the table (foreign to the catalog) are handled by
+	// the placement check, which fails before any row lookup.
+	rowOf []int32
+	// absent marks classes the box does not carry: placing a profiled object
+	// there is an error, exactly as on the map path.
+	absent [device.NumClasses]bool
+}
+
+// CompileProfile builds the dense table. n is the catalog's object count
+// (catalog.Catalog.NumObjects); profiled objects outside [1, n] are kept —
+// they surface the same "not placed by layout" error the map path reports.
+func CompileProfile(p Profile, box *device.Box, concurrency, n int) *CompiledProfile {
+	cp := &CompiledProfile{
+		boxName: box.Name,
+		objs:    make([]catalog.ObjectID, 0, len(p)),
+		rowOf:   make([]int32, n),
+	}
+	for i := range cp.rowOf {
+		cp.rowOf[i] = -1
+	}
+	for id := range p {
+		cp.objs = append(cp.objs, id)
+	}
+	sort.Slice(cp.objs, func(i, j int) bool { return cp.objs[i] < cp.objs[j] })
+	// Per-class service times, resolved once.
+	var svc [device.NumClasses][device.NumIOTypes]time.Duration
+	for c := 0; c < device.NumClasses; c++ {
+		d := box.Device(device.Class(c))
+		if d == nil {
+			cp.absent[c] = true
+			continue
+		}
+		for _, t := range device.AllIOTypes {
+			svc[c][t] = d.ServiceTime(t, concurrency)
+		}
+	}
+	cp.rows = make([]time.Duration, len(cp.objs)*device.NumClasses)
+	for k, id := range cp.objs {
+		v := p[id]
+		row := cp.rows[k*device.NumClasses : (k+1)*device.NumClasses]
+		for c := 0; c < device.NumClasses; c++ {
+			if cp.absent[c] {
+				continue
+			}
+			var total time.Duration
+			for _, t := range device.AllIOTypes {
+				if n := v[t]; n > 0 {
+					total += time.Duration(n * float64(svc[c][t]))
+				}
+			}
+			row[c] = total
+		}
+		if i := catalog.DenseIndex(id); i >= 0 && i < len(cp.rowOf) {
+			cp.rowOf[i] = int32(k)
+		}
+	}
+	return cp
+}
+
+// IOTime computes the profile's accumulated I/O time under a compact
+// layout: the compiled form of Profile.IOTime, with identical results and
+// identical error cases (profiled object not placed; profiled object on a
+// class absent from the box).
+func (cp *CompiledProfile) IOTime(cl catalog.CompactLayout) (time.Duration, error) {
+	var total time.Duration
+	for k, id := range cp.objs {
+		cls, ok := cl.Class(id)
+		if !ok {
+			return 0, fmt.Errorf("iosim: object %d not placed by layout", id)
+		}
+		if int(cls) >= device.NumClasses || cp.absent[cls] {
+			return 0, fmt.Errorf("iosim: layout places object %d on class %v absent from box %q", id, cls, cp.boxName)
+		}
+		total += cp.rows[k*device.NumClasses+int(cls)]
+	}
+	return total, nil
+}
+
+// DeltaIOTime returns the change in the profile's I/O time when object id
+// moves from one class to another. Unprofiled objects contribute nothing;
+// moving a profiled object to (or from) a class absent from the box is an
+// error, matching IOTime.
+func (cp *CompiledProfile) DeltaIOTime(id catalog.ObjectID, from, to device.Class) (time.Duration, error) {
+	i := catalog.DenseIndex(id)
+	if i < 0 || i >= len(cp.rowOf) || cp.rowOf[i] < 0 {
+		return 0, nil
+	}
+	if int(from) >= device.NumClasses || cp.absent[from] {
+		return 0, fmt.Errorf("iosim: layout places object %d on class %v absent from box %q", id, from, cp.boxName)
+	}
+	if int(to) >= device.NumClasses || cp.absent[to] {
+		return 0, fmt.Errorf("iosim: layout places object %d on class %v absent from box %q", id, to, cp.boxName)
+	}
+	row := cp.rows[int(cp.rowOf[i])*device.NumClasses:]
+	return row[to] - row[from], nil
+}

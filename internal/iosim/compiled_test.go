@@ -1,0 +1,143 @@
+package iosim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/types"
+)
+
+func compiledFixture(t *testing.T) (*catalog.Catalog, Profile) {
+	t.Helper()
+	cat := catalog.New()
+	sch := types.NewSchema(types.Column{Name: "id", Kind: types.KindInt})
+	prof := NewProfile()
+	for i := 0; i < 5; i++ {
+		tab, err := cat.CreateTable(string(rune('a'+i)), sch, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.SetSize(tab.ID, int64(i+1)*1e9)
+		prof.Add(tab.ID, device.SeqRead, float64(1000*(i+1)))
+		prof.Add(tab.ID, device.RandRead, float64(10*(i+1)))
+		prof.Add(tab.ID, device.RandWrite, float64(3*i))
+	}
+	return cat, prof
+}
+
+// TestCompiledIOTimeMatchesMap: the compiled table must reproduce the
+// map-form Profile.IOTime exactly on random layouts and concurrency levels.
+func TestCompiledIOTimeMatchesMap(t *testing.T) {
+	cat, prof := compiledFixture(t)
+	box := device.Box1()
+	rng := rand.New(rand.NewSource(5))
+	for _, conc := range []int{1, 30, 300} {
+		cp := CompileProfile(prof, box, conc, cat.NumObjects())
+		for trial := 0; trial < 200; trial++ {
+			l := make(catalog.Layout)
+			classes := box.Classes()
+			for _, o := range cat.Objects() {
+				l[o.ID] = classes[rng.Intn(len(classes))]
+			}
+			want, err := prof.IOTime(l, box, conc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl, _ := catalog.CompactFromLayout(cat, l)
+			got, err := cp.IOTime(cl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("conc %d trial %d: compiled IOTime %v, map %v", conc, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestCompiledDeltaMatchesFull: DeltaIOTime must equal the difference of
+// two full evaluations for every object and class pair.
+func TestCompiledDeltaMatchesFull(t *testing.T) {
+	cat, prof := compiledFixture(t)
+	box := device.Box1()
+	cp := CompileProfile(prof, box, 1, cat.NumObjects())
+	base := catalog.CompactUniform(cat, device.HSSD)
+	baseTime, err := cp.IOTime(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range cat.Objects() {
+		for _, to := range box.Classes() {
+			moved := base.Clone()
+			moved.Set(o.ID, to)
+			want, err := cp.IOTime(moved)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := cp.DeltaIOTime(o.ID, device.HSSD, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if baseTime+d != want {
+				t.Fatalf("obj %d -> %v: delta %v gives %v, full %v", o.ID, to, d, baseTime+d, want)
+			}
+		}
+	}
+	// Unprofiled objects move for free.
+	if d, err := cp.DeltaIOTime(catalog.ObjectID(200), device.HSSD, device.LSSD); err != nil || d != 0 {
+		t.Fatalf("unprofiled delta = %v, %v; want 0, nil", d, err)
+	}
+}
+
+// TestIOTimeErrorPaths covers the two failure modes of the map and the
+// compiled evaluators: a profiled object the layout does not place, and a
+// profiled object placed on a class the box does not carry.
+func TestIOTimeErrorPaths(t *testing.T) {
+	cat, prof := compiledFixture(t)
+	box := device.Box1() // HDD RAID 0, L-SSD, H-SSD: plain HDD absent
+	cp := CompileProfile(prof, box, 1, cat.NumObjects())
+
+	// Object missing from the layout.
+	missing := catalog.NewUniformLayout(cat, device.HSSD)
+	delete(missing, 1)
+	if _, err := prof.IOTime(missing, box, 1); err == nil || !strings.Contains(err.Error(), "not placed") {
+		t.Fatalf("map path: want a not-placed error, got %v", err)
+	}
+	cl, _ := catalog.CompactFromLayout(cat, missing)
+	if _, err := cp.IOTime(cl); err == nil || !strings.Contains(err.Error(), "not placed") {
+		t.Fatalf("compiled path: want a not-placed error, got %v", err)
+	}
+
+	// Profiled object on a class absent from the box.
+	absent := catalog.NewUniformLayout(cat, device.HSSD)
+	absent[1] = device.HDD
+	if _, err := prof.IOTime(absent, box, 1); err == nil || !strings.Contains(err.Error(), "absent from box") {
+		t.Fatalf("map path: want an absent-class error, got %v", err)
+	}
+	cla, _ := catalog.CompactFromLayout(cat, absent)
+	if _, err := cp.IOTime(cla); err == nil || !strings.Contains(err.Error(), "absent from box") {
+		t.Fatalf("compiled path: want an absent-class error, got %v", err)
+	}
+	// Delta into or out of an absent class errors too.
+	if _, err := cp.DeltaIOTime(1, device.HSSD, device.HDD); err == nil {
+		t.Fatal("delta into an absent class must error")
+	}
+	if _, err := cp.DeltaIOTime(1, device.HDD, device.HSSD); err == nil {
+		t.Fatal("delta out of an absent class must error")
+	}
+
+	// An all-zero I/O vector still demands placement, as on the map path.
+	zero := NewProfile()
+	zero.Add(2, device.SeqRead, 0)
+	zcp := CompileProfile(zero, box, 1, cat.NumObjects())
+	empty := catalog.NewCompactLayout(cat.NumObjects())
+	if _, err := zcp.IOTime(empty); err == nil {
+		t.Fatal("zero-vector profiled object still requires placement")
+	}
+	if _, err := zero.IOTime(catalog.Layout{}, box, 1); err == nil {
+		t.Fatal("map path: zero-vector profiled object still requires placement")
+	}
+}

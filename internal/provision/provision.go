@@ -13,6 +13,7 @@ import (
 	"dotprov/internal/core"
 	"dotprov/internal/device"
 	"dotprov/internal/search"
+	"dotprov/internal/workload"
 )
 
 // Candidate is one storage configuration option f_i of §5.1: a box plus the
@@ -81,6 +82,25 @@ func ChooseConfiguration(cands []Candidate, opts core.Options) (*Choice, error) 
 	return ch, nil
 }
 
+// discreteClassCost prices one class holding `bytes` bytes under the §5.2
+// blend. Both forms of the model call it per class in ascending class
+// order, so the map and compact paths produce bit-identical totals.
+func discreteClassCost(d *device.Device, bytes int64, alpha float64) float64 {
+	// One unit is one physical device of the class: scaled boxes
+	// (device.NewScaled) still buy — and price — whole units.
+	unitBytes := d.UnitCapacityBytes()
+	capGB := float64(unitBytes) / 1e9
+	unitCost := d.PriceCents * capGB // p_j * c_j, cent/hour for the whole device
+	// Units needed to hold S_j (devices are bought whole).
+	units := float64((bytes + unitBytes - 1) / unitBytes)
+	if units < 1 {
+		units = 1
+	}
+	discrete := unitCost * units
+	linear := d.PriceCents * float64(bytes) / 1e9
+	return alpha*discrete + (1-alpha)*linear
+}
+
 // DiscreteCostModel returns the layout cost function of §5.2:
 //
 //	C(L) = sum_j [ alpha * (p_j * c_j) + (1-alpha) * (S_j/c_j) * (p_j * c_j) ]
@@ -90,12 +110,23 @@ func ChooseConfiguration(cands []Candidate, opts core.Options) (*Choice, error) 
 // proportional cost; alpha in [0, 1] blends them. alpha = 0 degenerates to
 // the paper's linear model of §2.1.
 func DiscreteCostModel(cat *catalog.Catalog, box *device.Box, alpha float64) (func(catalog.Layout) (float64, error), error) {
+	m, _, err := DiscreteCostModels(cat, box, alpha)
+	return m, err
+}
+
+// DiscreteCostModels returns the §5.2 model in both forms — the map-layout
+// function for Input.LayoutCost and its compact mirror for
+// Input.LayoutCostCompact — so the compiled search path prices candidates
+// without materializing map layouts. The two price bit-identically.
+func DiscreteCostModels(cat *catalog.Catalog, box *device.Box, alpha float64) (func(catalog.Layout) (float64, error), func(catalog.CompactLayout) (float64, error), error) {
 	if alpha < 0 || alpha > 1 {
-		return nil, fmt.Errorf("provision: alpha must be in [0, 1], got %g", alpha)
+		return nil, nil, fmt.Errorf("provision: alpha must be in [0, 1], got %g", alpha)
 	}
-	return func(l catalog.Layout) (float64, error) {
+	mapModel := func(l catalog.Layout) (float64, error) {
+		space := l.SpaceByClass(cat)
 		var total float64
-		for cls, bytes := range l.SpaceByClass(cat) {
+		for _, cls := range catalog.SortedClasses(space) {
+			bytes := space[cls]
 			if bytes == 0 {
 				continue
 			}
@@ -103,22 +134,34 @@ func DiscreteCostModel(cat *catalog.Catalog, box *device.Box, alpha float64) (fu
 			if d == nil {
 				return 0, fmt.Errorf("provision: layout uses class %v absent from box %q", cls, box.Name)
 			}
-			// One unit is one physical device of the class: scaled boxes
-			// (device.NewScaled) still buy — and price — whole units.
-			unitBytes := d.UnitCapacityBytes()
-			capGB := float64(unitBytes) / 1e9
-			unitCost := d.PriceCents * capGB // p_j * c_j, cent/hour for the whole device
-			// Units needed to hold S_j (devices are bought whole).
-			units := float64((bytes + unitBytes - 1) / unitBytes)
-			if units < 1 {
-				units = 1
-			}
-			discrete := unitCost * units
-			linear := d.PriceCents * float64(bytes) / 1e9
-			total += alpha*discrete + (1-alpha)*linear
+			total += discreteClassCost(d, bytes, alpha)
 		}
 		return total, nil
-	}, nil
+	}
+	sizes := cat.DenseSizeBytes()
+	compactModel := func(cl catalog.CompactLayout) (float64, error) {
+		var byClass [device.NumClasses]int64
+		b := cl.Bytes()
+		for i, v := range b {
+			if int(v) < device.NumClasses && i < len(sizes) {
+				byClass[v] += sizes[i]
+			}
+		}
+		var total float64
+		for c := 0; c < device.NumClasses; c++ {
+			bytes := byClass[c]
+			if bytes == 0 {
+				continue
+			}
+			d := box.Device(device.Class(c))
+			if d == nil {
+				return 0, fmt.Errorf("provision: layout uses class %v absent from box %q", device.Class(c), box.Name)
+			}
+			total += discreteClassCost(d, bytes, alpha)
+		}
+		return total, nil
+	}
+	return mapModel, compactModel, nil
 }
 
 // CompareAlphas runs DOT under the discrete model for each alpha and
@@ -132,14 +175,18 @@ func CompareAlphas(in core.Input, opts core.Options, alphas []float64) ([]Candid
 		return nil, fmt.Errorf("provision: CompareAlphas requires an estimator")
 	}
 	models := make([]func(catalog.Layout) (float64, error), len(alphas))
+	compactModels := make([]func(catalog.CompactLayout) (float64, error), len(alphas))
 	for i, a := range alphas {
-		model, err := DiscreteCostModel(in.Cat, in.Box, a)
+		model, compactModel, err := DiscreteCostModels(in.Cat, in.Box, a)
 		if err != nil {
 			return nil, err
 		}
-		models[i] = model
+		models[i], compactModels[i] = model, compactModel
 	}
-	memoEst := search.Memoize(in.Est, 0)
+	// One compilation of the estimator serves every alpha point; the memo
+	// keeps compact/delta capability, so each point's engine stays on the
+	// compiled path.
+	memoEst := search.Memoize(workload.CompileEstimator(in.Est, in.Cat), 0)
 	budget := in.Budget
 	if budget == nil {
 		budget = search.NewBudget(in.Workers)
@@ -149,6 +196,7 @@ func CompareAlphas(in core.Input, opts core.Options, alphas []float64) ([]Candid
 		in2 := in
 		in2.Est = memoEst
 		in2.LayoutCost = models[i]
+		in2.LayoutCostCompact = compactModels[i]
 		in2.Budget = budget
 		res, err := core.Optimize(in2, opts)
 		if err != nil {

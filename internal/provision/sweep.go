@@ -7,6 +7,7 @@ import (
 	"dotprov/internal/core"
 	"dotprov/internal/device"
 	"dotprov/internal/search"
+	"dotprov/internal/workload"
 )
 
 // SweepConfigurations solves the generalized provisioning problem over a
@@ -45,7 +46,12 @@ func SweepConfigurations(base core.Input, grid Grid, opts core.Options) (*Choice
 	if base.Est == nil {
 		return nil, fmt.Errorf("provision: sweep requires an estimator")
 	}
-	memoEst := search.Memoize(base.Est, 0)
+	// Compile the estimator ONCE for the whole sweep: the compiled
+	// per-(object, class) time tables depend only on the class service times
+	// (identical across candidate boxes), so every candidate's engine reuses
+	// one compilation, and the shared memo answers compact probes across
+	// candidates. Estimators without a compiled form pass through unchanged.
+	memoEst := search.Memoize(workload.CompileEstimator(base.Est, base.Cat), 0)
 	budget := base.Budget
 	if budget == nil {
 		budget = search.NewBudget(base.Workers)
@@ -54,7 +60,7 @@ func SweepConfigurations(base core.Input, grid Grid, opts core.Options) (*Choice
 	err = search.Parallel(budget.Workers(), len(specs), func(i int) error {
 		spec := specs[i]
 		box := spec.Box()
-		model, err := DiscreteCostModel(base.Cat, box, spec.Alpha)
+		model, compactModel, err := DiscreteCostModels(base.Cat, box, spec.Alpha)
 		if err != nil {
 			return err
 		}
@@ -62,6 +68,7 @@ func SweepConfigurations(base core.Input, grid Grid, opts core.Options) (*Choice
 		in.Box = box
 		in.Est = memoEst
 		in.LayoutCost = model
+		in.LayoutCostCompact = compactModel
 		in.Budget = budget
 		// OptimizeBest (guarded + greedy sweeps) rather than Optimize: the
 		// discrete-sized model has cost valleys a monotonic walk cannot

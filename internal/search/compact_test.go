@@ -1,0 +1,247 @@
+package search
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/iosim"
+	"dotprov/internal/types"
+	"dotprov/internal/workload"
+)
+
+// compactFix builds a catalog, a profile-backed compiled estimator, and a
+// pair of engines over the same inputs: one map-only, one compiled.
+type compactFix struct {
+	cat   *catalog.Catalog
+	box   *device.Box
+	sizes []int64
+	est   workload.Estimator // compiled (compact/delta-capable)
+}
+
+func newCompactFix(t *testing.T, n int) *compactFix {
+	t.Helper()
+	cat := catalog.New()
+	sch := types.NewSchema(types.Column{Name: "id", Kind: types.KindInt})
+	prof := iosim.NewProfile()
+	for i := 0; i < n; i++ {
+		tab, err := cat.CreateTable(string(rune('a'+i)), sch, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.SetSize(tab.ID, int64(i+1)*1e9)
+		prof.Add(tab.ID, device.SeqRead, float64(1000*(i+1)))
+		prof.Add(tab.ID, device.RandRead, float64(50*(i+1)))
+	}
+	box := device.Box1()
+	src := &workload.ObservedEstimator{Box: box, Concurrency: 1,
+		PerQuery: []workload.QueryObservation{{Profile: prof, CPU: 100 * time.Millisecond}}}
+	return &compactFix{
+		cat:   cat,
+		box:   box,
+		sizes: cat.DenseSizeBytes(),
+		est:   workload.CompileEstimator(src, cat),
+	}
+}
+
+func (f *compactFix) config(compiled bool, workers int) Config {
+	cfg := Config{
+		Est: f.est,
+		Cost: func(m workload.Metrics, l catalog.Layout) (float64, error) {
+			return workload.TOCCents(m, l, f.cat, f.box)
+		},
+		CapacityOK: func(l catalog.Layout) bool { return l.CheckCapacity(f.cat, f.box) == nil },
+		Workers:    workers,
+	}
+	if compiled {
+		ce := f.est.(workload.CompactEstimator)
+		de, _ := f.est.(workload.DeltaEstimator)
+		cfg.Compiled = &CompiledConfig{
+			Cat:   f.cat,
+			Est:   ce,
+			Delta: de,
+			Cost: func(m workload.Metrics, cl catalog.CompactLayout) (float64, error) {
+				perHour, err := cl.CostCentsPerHourDense(f.sizes, f.box)
+				if err != nil {
+					return 0, err
+				}
+				return perHour * m.Elapsed.Hours(), nil
+			},
+			CapacityOK: func(cl catalog.CompactLayout) bool {
+				return cl.CheckCapacityDense(f.sizes, f.box) == nil
+			},
+		}
+	}
+	return cfg
+}
+
+func evalEqual(a, b Eval) bool {
+	return math.Float64bits(a.TOCCents) == math.Float64bits(b.TOCCents) &&
+		a.CapacityOK == b.CapacityOK &&
+		a.Metrics.Elapsed == b.Metrics.Elapsed &&
+		a.LayoutMap().Equal(b.LayoutMap())
+}
+
+// TestCompactEvaluateSharesMemoWithMap: on a compiled engine, Evaluate(map)
+// and EvaluateCompact of the same layout hit one memo entry — the
+// estimator runs once.
+func TestCompactEvaluateSharesMemoWithMap(t *testing.T) {
+	f := newCompactFix(t, 4)
+	eng, err := New(f.config(true, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := catalog.NewUniformLayout(f.cat, device.HSSD)
+	ev1, err := eng.Evaluate(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := catalog.CompactFromLayout(f.cat, l)
+	ev2, err := eng.EvaluateCompact(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !evalEqual(ev1, ev2) {
+		t.Fatalf("map and compact evaluations diverge: %+v vs %+v", ev1, ev2)
+	}
+	st := eng.Stats()
+	if st.Evaluated != 2 || st.EstimatorCalls != 1 {
+		t.Fatalf("stats %+v: want 2 evaluated, 1 estimator call (shared memo)", st)
+	}
+}
+
+// TestEvaluateDeltaMatchesFull: delta evaluation from a base must produce
+// the same Eval (bit-identical TOC) as a fresh full evaluation, and memo
+// revisits must not re-estimate.
+func TestEvaluateDeltaMatchesFull(t *testing.T) {
+	f := newCompactFix(t, 5)
+	engA, err := New(f.config(true, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, err := New(f.config(true, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := catalog.CompactUniform(f.cat, device.HSSD)
+	evBase, err := engA.EvaluateCompact(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engB.EvaluateCompact(base); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range f.cat.Objects() {
+		for _, to := range f.box.Classes() {
+			if to == device.HSSD {
+				continue
+			}
+			moved := base.Clone()
+			moved.Set(o.ID, to)
+			dv, err := engA.EvaluateDelta(evBase, moved, []workload.ObjectMove{{Obj: o.ID, From: device.HSSD, To: to}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fv, err := engB.EvaluateCompact(moved)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !evalEqual(dv, fv) {
+				t.Fatalf("obj %d -> %v: delta eval %+v, full eval %+v", o.ID, to, dv, fv)
+			}
+		}
+	}
+	// Re-evaluating a delta-estimated layout answers from the memo.
+	calls := engA.Stats().EstimatorCalls
+	moved := base.Clone()
+	moved.Set(1, device.LSSD)
+	if _, err := engA.EvaluateCompact(moved); err != nil {
+		t.Fatal(err)
+	}
+	if got := engA.Stats().EstimatorCalls; got != calls {
+		t.Fatalf("memo revisit re-estimated: %d -> %d calls", calls, got)
+	}
+}
+
+// TestExhaustiveCompactMatchesMap: the compiled DFS must reproduce the map
+// enumeration bit for bit — same winner, same TOC, same evaluated count —
+// at any worker width, with and without a pinned base.
+func TestExhaustiveCompactMatchesMap(t *testing.T) {
+	f := newCompactFix(t, 4)
+	free := []catalog.ObjectID{1, 2, 3, 4}
+	baseline, err := f.est.Estimate(catalog.NewUniformLayout(f.cat, device.HSSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := workload.Constraints{Relative: 0.25, Baseline: baseline}
+
+	mapEng, err := New(f.config(false, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEv, wantOK, wantCount, err := mapEng.Exhaustive(cons, Space{Free: free, Classes: f.box.Classes()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		eng, err := New(f.config(true, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, ok, count, err := eng.ExhaustiveCompact(cons, CompactSpace{
+			Base:    catalog.NewCompactLayout(f.cat.NumObjects()),
+			Free:    free,
+			Classes: f.box.Classes(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != wantOK || count != wantCount || !evalEqual(ev, wantEv) {
+			t.Fatalf("workers=%d: compact ES (ok=%v count=%d toc=%v) != map ES (ok=%v count=%d toc=%v)",
+				workers, ok, count, ev.TOCCents, wantOK, wantCount, wantEv.TOCCents)
+		}
+		// Sequential delta path and parallel full path agree with each other
+		// through the engine stats: every distinct candidate estimated once.
+		st := eng.Stats()
+		if st.EstimatorCalls != wantCount {
+			t.Fatalf("workers=%d: %d estimator calls for %d distinct candidates", workers, st.EstimatorCalls, wantCount)
+		}
+	}
+}
+
+// TestExhaustiveCompactPartialBase: a pinned base layout restricts the
+// compact enumeration exactly like the map Space.Base.
+func TestExhaustiveCompactPartialBase(t *testing.T) {
+	f := newCompactFix(t, 4)
+	base := catalog.NewUniformLayout(f.cat, device.HSSD)
+	free := []catalog.ObjectID{2}
+	baseline, err := f.est.Estimate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := workload.Constraints{Relative: 0.25, Baseline: baseline}
+
+	mapEng, _ := New(f.config(false, 1))
+	wantEv, wantOK, wantCount, err := mapEng.Exhaustive(cons, Space{Base: base, Free: free, Classes: f.box.Classes()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, _ := New(f.config(true, 1))
+	bc, ok := catalog.CompactFromLayout(f.cat, base)
+	if !ok {
+		t.Fatal("base must encode")
+	}
+	ev, found, count, err := eng.ExhaustiveCompact(cons, CompactSpace{Base: bc, Free: free, Classes: f.box.Classes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found != wantOK || count != wantCount || !evalEqual(ev, wantEv) {
+		t.Fatalf("compact partial ES diverges: count=%d want %d", count, wantCount)
+	}
+	// Pinned objects stay put in the winner.
+	if c, _ := ev.Compact.Class(1); c != device.HSSD {
+		t.Fatalf("pinned object moved to %v", c)
+	}
+}

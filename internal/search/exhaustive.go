@@ -29,6 +29,25 @@ type Space struct {
 // result — only how many candidates are evaluated.
 type LowerBound func(partial catalog.Layout, unassigned []catalog.ObjectID) (float64, error)
 
+// CompactBound is the compiled path's admissible lower bound. Instead of
+// re-walking a partial layout per node, it receives the DFS's running
+// per-hour storage cost of the base plus every assigned object (maintained
+// incrementally per assignment) and the free objects still unassigned.
+// ok=false declines to bound (no pruning at that node).
+type CompactBound func(perHourCents float64, unassigned []catalog.ObjectID) (floor float64, ok bool)
+
+// CompactSpace is Space for the compiled DFS. SizeGB (dense, indexed by
+// catalog.DenseIndex) and PriceCents (per class) feed the running
+// storage-cost accumulator; both are required when Bound is set.
+type CompactSpace struct {
+	Base       catalog.CompactLayout
+	Free       []catalog.ObjectID
+	Classes    []device.Class
+	SizeGB     []float64
+	PriceCents [device.NumClasses]float64
+	Bound      CompactBound
+}
+
 // incumbent tracks the best feasible evaluation with the deterministic
 // tie-break: lower TOC wins, equal TOC resolves to the lower enumeration
 // index (the sequential first-found-wins rule).
@@ -195,4 +214,229 @@ func (e *Engine) Exhaustive(cons workload.Constraints, sp Space, lb LowerBound) 
 	}
 	ev, ok := best.get()
 	return ev, ok, count, nil
+}
+
+// compactWalk drives the compiled DFS over a CompactSpace in the same
+// odometer order as the map-path enumerate (Free[0] cycles fastest),
+// maintaining the running per-hour storage-cost accumulator per assignment
+// and pruning against it through sp.Bound. scratch is the shared in-place
+// partial assignment; leaf calls emit with it fully assigned.
+type compactWalk struct {
+	sp       CompactSpace
+	scratch  catalog.CompactLayout
+	best     *incumbent
+	bounding bool
+	idx      int
+	emit     func(idx int, leafObj catalog.ObjectID, leafClass device.Class, first bool) error
+}
+
+func (w *compactWalk) run() error {
+	if len(w.sp.Free) == 0 {
+		err := w.emit(w.idx, 0, 0, true)
+		w.idx++
+		return err
+	}
+	var basePerHour float64
+	if w.bounding {
+		for i := 0; i < w.scratch.Len(); i++ {
+			if c, ok := w.scratch.ClassAt(i); ok {
+				basePerHour += w.sp.PriceCents[c] * w.sp.SizeGB[i]
+			}
+		}
+	}
+	return w.rec(len(w.sp.Free)-1, basePerHour)
+}
+
+// prune reports whether the subtree under the running cost can be cut.
+func (w *compactWalk) prune(perHour float64, unassigned []catalog.ObjectID) bool {
+	inc, ok := w.best.toc()
+	if !ok {
+		return false
+	}
+	floor, bounded := w.sp.Bound(perHour, unassigned)
+	return bounded && floor > inc
+}
+
+func (w *compactWalk) rec(i int, perHour float64) error {
+	obj := w.sp.Free[i]
+	defer w.scratch.Unset(obj)
+	size := 0.0
+	if w.bounding {
+		size = w.sp.SizeGB[catalog.DenseIndex(obj)]
+	}
+	if i == 0 {
+		// Innermost level: siblings differ only in obj's class, so emit
+		// carries the move for delta evaluation.
+		first := true
+		for _, c := range w.sp.Classes {
+			w.scratch.Set(obj, c)
+			if w.bounding && w.prune(perHour+w.sp.PriceCents[c]*size, w.sp.Free[:0]) {
+				continue
+			}
+			if err := w.emit(w.idx, obj, c, first); err != nil {
+				return err
+			}
+			w.idx++
+			first = false
+		}
+		return nil
+	}
+	for _, c := range w.sp.Classes {
+		w.scratch.Set(obj, c)
+		ph := perHour
+		if w.bounding {
+			ph += w.sp.PriceCents[c] * size
+			if w.prune(ph, w.sp.Free[:i]) {
+				continue
+			}
+		}
+		if err := w.rec(i-1, ph); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExhaustiveCompact is Exhaustive on the compiled path: candidates are
+// generated by mutating one scratch compact layout (no per-node cloning),
+// the storage-cost accumulator feeds the bound incrementally, and on the
+// sequential path each innermost sibling is re-estimated as a one-move
+// delta from its predecessor. Results are bit-identical to the map path at
+// any worker count; with a Bound the evaluated count depends on how early
+// the incumbent tightens, exactly as for Exhaustive.
+func (e *Engine) ExhaustiveCompact(cons workload.Constraints, sp CompactSpace) (Eval, bool, int, error) {
+	if e.cfg.Compiled == nil {
+		return Eval{}, false, 0, fmt.Errorf("search: ExhaustiveCompact on an engine without a compiled config")
+	}
+	if len(sp.Classes) == 0 {
+		return Eval{}, false, 0, fmt.Errorf("search: exhaustive space has no classes")
+	}
+	if sp.Bound != nil && sp.SizeGB == nil {
+		return Eval{}, false, 0, fmt.Errorf("search: CompactSpace.Bound requires SizeGB/PriceCents")
+	}
+	scratch := sp.Base.Clone()
+	if scratch.IsZero() {
+		scratch = catalog.NewCompactLayout(e.cfg.Compiled.Cat.NumObjects())
+	}
+	// Base may place the free objects too; strip them so the accumulator
+	// covers exactly the pinned objects, as on the map path.
+	for _, id := range sp.Free {
+		scratch.Unset(id)
+	}
+	best := &incumbent{}
+	w := &compactWalk{sp: sp, scratch: scratch, best: best, bounding: sp.Bound != nil}
+
+	if e.Workers() < 2 {
+		var (
+			prev    Eval
+			prevOK  bool
+			prevCls device.Class
+			moves   [1]workload.ObjectMove
+		)
+		w.emit = func(idx int, leafObj catalog.ObjectID, leafCls device.Class, first bool) error {
+			// The first candidate of each innermost sibling group gets a full
+			// compiled estimate (levels above Free[0] changed); its siblings
+			// differ from it by one move and are re-estimated as deltas.
+			if first {
+				prevOK = false
+			}
+			var ev Eval
+			var err error
+			if prevOK {
+				moves[0] = workload.ObjectMove{Obj: leafObj, From: prevCls, To: leafCls}
+				ev, err = e.EvaluateDelta(prev, scratch, moves[:])
+			} else {
+				ev, err = e.EvaluateCompact(scratch)
+			}
+			if err != nil {
+				return err
+			}
+			if ev.Feasible(cons) {
+				best.offer(idx, ev)
+			}
+			prev, prevOK, prevCls = ev, true, leafCls
+			return nil
+		}
+		if err := w.run(); err != nil {
+			return Eval{}, false, 0, err
+		}
+		ev, ok := best.get()
+		return ev, ok, w.idx, nil
+	}
+
+	type job struct {
+		idx int
+		cl  catalog.CompactLayout
+	}
+	workers := e.Workers()
+	jobs := make(chan job, workers*2)
+	var (
+		stop  atomic.Bool
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		loErr error
+		loIdx = int(^uint(0) >> 1) // max int
+	)
+	fail := func(idx int, err error) {
+		errMu.Lock()
+		if err != nil && idx < loIdx {
+			loIdx, loErr = idx, err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				ev, err := e.evaluateCompact(j.cl, true, workload.Metrics{}, nil, nil)
+				if err != nil {
+					fail(j.idx, err)
+					continue
+				}
+				if ev.Feasible(cons) {
+					best.offer(j.idx, ev)
+				}
+			}
+		}()
+	}
+	// Generator-local clone arena: the generator is a single goroutine, so
+	// candidate copies are carved lock-free from chunks.
+	var arena []byte
+	cloneScratch := func() catalog.CompactLayout {
+		b := scratch.Bytes()
+		if len(arena) < len(b) {
+			n := 1 << 16
+			if n < len(b) {
+				n = len(b)
+			}
+			arena = make([]byte, n)
+		}
+		out := arena[:len(b):len(b)]
+		arena = arena[len(b):]
+		copy(out, b)
+		return catalog.CompactFromBytes(out)
+	}
+	w.emit = func(idx int, _ catalog.ObjectID, _ device.Class, _ bool) error {
+		if stop.Load() {
+			return errStopped
+		}
+		jobs <- job{idx: idx, cl: cloneScratch()}
+		return nil
+	}
+	genErr := w.run()
+	close(jobs)
+	wg.Wait()
+	errMu.Lock()
+	err := loErr
+	errMu.Unlock()
+	if err == nil && genErr != nil && genErr != errStopped {
+		err = genErr
+	}
+	if err != nil {
+		return Eval{}, false, 0, err
+	}
+	ev, ok := best.get()
+	return ev, ok, w.idx, nil
 }

@@ -31,9 +31,10 @@ type MemoEstimator struct {
 }
 
 type memoEntry struct {
-	once sync.Once
-	m    workload.Metrics
-	err  error
+	once  sync.Once
+	m     workload.Metrics
+	state workload.DeltaState
+	err   error
 }
 
 // Memoize wraps est. The limit bounds retained entries as in
@@ -46,26 +47,98 @@ func Memoize(est workload.Estimator, limit int) *MemoEstimator {
 	return &MemoEstimator{est: est, limit: limit, memo: make(map[string]*memoEntry)}
 }
 
-// Estimate implements workload.Estimator.
-func (me *MemoEstimator) Estimate(l catalog.Layout) (workload.Metrics, error) {
-	key := l.Key()
+// lookup returns the memo entry for a key, or nil when the memo is full
+// and the key unseen (caller then estimates uncached).
+func (me *MemoEstimator) lookup(key string) *memoEntry {
 	me.mu.Lock()
+	defer me.mu.Unlock()
 	ent, ok := me.memo[key]
 	if !ok {
 		if me.limit >= 0 && len(me.memo) >= me.limit {
-			me.mu.Unlock()
-			me.calls.Add(1)
-			return me.est.Estimate(l)
+			return nil
 		}
 		ent = &memoEntry{}
 		me.memo[key] = ent
 	}
-	me.mu.Unlock()
+	return ent
+}
+
+// Map-form and compact-form keys live in one memo but disjoint key spaces
+// (the prefixes), so the two access paths can never conflate layouts.
+func mapKey(l catalog.Layout) string             { return "m" + l.Key() }
+func compactKey(cl catalog.CompactLayout) string { return "c" + cl.Key() }
+
+// Estimate implements workload.Estimator.
+func (me *MemoEstimator) Estimate(l catalog.Layout) (workload.Metrics, error) {
+	ent := me.lookup(mapKey(l))
+	if ent == nil {
+		me.calls.Add(1)
+		return me.est.Estimate(l)
+	}
 	ent.once.Do(func() {
 		me.calls.Add(1)
 		ent.m, ent.err = me.est.Estimate(l)
 	})
 	return ent.m, ent.err
+}
+
+// EstimateCompact implements workload.CompactEstimator: compact-capable
+// inner estimators answer directly, others through a one-time map
+// materialization per distinct layout (memoized like everything else).
+func (me *MemoEstimator) EstimateCompact(cl catalog.CompactLayout) (workload.Metrics, error) {
+	m, _, err := me.EstimateCompactState(cl)
+	return m, err
+}
+
+// estimateCompactUncached runs the inner estimator for a compact layout.
+func (me *MemoEstimator) estimateCompactUncached(cl catalog.CompactLayout) (workload.Metrics, workload.DeltaState, error) {
+	me.calls.Add(1)
+	if de, ok := me.est.(workload.DeltaEstimator); ok {
+		return de.EstimateCompactState(cl)
+	}
+	if ce, ok := me.est.(workload.CompactEstimator); ok {
+		m, err := ce.EstimateCompact(cl)
+		return m, nil, err
+	}
+	m, err := me.est.Estimate(cl.ToLayout())
+	return m, nil, err
+}
+
+// EstimateCompactState implements workload.DeltaEstimator.
+func (me *MemoEstimator) EstimateCompactState(cl catalog.CompactLayout) (workload.Metrics, workload.DeltaState, error) {
+	ent := me.lookup(compactKey(cl))
+	if ent == nil {
+		return me.estimateCompactUncached(cl)
+	}
+	ent.once.Do(func() {
+		// The layout may outlive the caller's scratch: snapshot it.
+		ent.m, ent.state, ent.err = me.estimateCompactUncached(cl.Clone())
+	})
+	return ent.m, ent.state, ent.err
+}
+
+// EstimateDelta implements workload.DeltaEstimator. The memo answers
+// revisits (e.g. a layout another sweep candidate already reached) without
+// touching the inner estimator; misses delegate the delta when the inner
+// estimator supports it and fall back to a full compact estimate otherwise.
+func (me *MemoEstimator) EstimateDelta(cl catalog.CompactLayout, base workload.Metrics, state workload.DeltaState, moves []workload.ObjectMove) (workload.Metrics, workload.DeltaState, error) {
+	ent := me.lookup(compactKey(cl))
+	if ent == nil {
+		if de, ok := me.est.(workload.DeltaEstimator); ok {
+			me.calls.Add(1)
+			return de.EstimateDelta(cl, base, state, moves)
+		}
+		return me.estimateCompactUncached(cl)
+	}
+	ent.once.Do(func() {
+		if de, ok := me.est.(workload.DeltaEstimator); ok {
+			me.calls.Add(1)
+			ent.m, ent.state, ent.err = de.EstimateDelta(cl.Clone(), base, state, moves)
+			return
+		}
+		ent.m, ent.state, ent.err = me.estimateCompactUncached(cl.Clone())
+	})
+	return ent.m, ent.state, ent.err
 }
 
 // Calls returns the number of underlying estimator invocations (memo

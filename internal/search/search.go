@@ -3,15 +3,20 @@
 // them reduce to the same inner loop — estimate a candidate layout, price
 // it, check capacity and the SLA — which this package implements once, with
 //
-//   - a memo table keyed by the canonical layout hash (catalog.Layout.Key),
-//     so repeated sweeps (OptimizeBest's two policies, SLA halving) never
-//     estimate the same layout twice;
+//   - a memo table keyed by the canonical layout encoding (the raw bytes of
+//     a catalog.CompactLayout on the compiled path, catalog.Layout.Key on
+//     the map path), so repeated sweeps (OptimizeBest's two policies, SLA
+//     halving) never estimate the same layout twice;
 //   - a bounded worker pool that fans independent candidate evaluations out
 //     across goroutines (estimators must be safe for concurrent use — see
-//     the workload.Estimator contract); and
-//   - an optional admissible lower-bound hook (LowerBound) that lets
-//     exhaustive enumeration prune whole assignment subtrees whose TOC
-//     floor already exceeds the incumbent.
+//     the workload.Estimator contract);
+//   - an optional admissible lower-bound hook (LowerBound / CompactBound)
+//     that lets exhaustive enumeration prune whole assignment subtrees
+//     whose TOC floor already exceeds the incumbent; and
+//   - an optional compiled evaluation path (Config.Compiled): compact
+//     layouts, dense per-(object, class) cost tables, and O(moves) delta
+//     re-estimation (EvaluateDelta) make the per-candidate hot path
+//     allocation-free while returning bit-identical results.
 //
 // Results are deterministic regardless of worker count: candidates carry
 // their enumeration index, and ties on TOC resolve to the lowest index,
@@ -19,6 +24,7 @@
 package search
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -26,6 +32,29 @@ import (
 	"dotprov/internal/catalog"
 	"dotprov/internal/workload"
 )
+
+// CompiledConfig enables the engine's compiled evaluation path: candidates
+// are compact layouts (dense class bytes), the memo is keyed by their raw
+// byte strings, and metrics come from a CompactEstimator — with O(moves)
+// delta re-estimation when the estimator supports it. The compiled hooks
+// must price and capacity-check exactly like their map-path siblings in
+// Config; results are bit-identical either way, the compiled path just
+// stops allocating per candidate.
+type CompiledConfig struct {
+	// Cat anchors dense object indexing for map <-> compact conversion.
+	Cat *catalog.Catalog
+	// Est evaluates compact layouts. Required.
+	Est workload.CompactEstimator
+	// Delta optionally re-estimates single/grouped object moves in O(moves)
+	// from a base evaluation. Nil falls back to full compact estimation.
+	Delta workload.DeltaEstimator
+	// Cost prices the estimated metrics under a compact layout. Required;
+	// must agree bit-for-bit with Config.Cost.
+	Cost func(m workload.Metrics, cl catalog.CompactLayout) (float64, error)
+	// CapacityOK reports whether the compact layout fits the box; nil passes
+	// every layout. Must agree with Config.CapacityOK.
+	CapacityOK func(cl catalog.CompactLayout) bool
+}
 
 // Config assembles an Engine. Est and Cost are required; CapacityOK may be
 // nil (every layout then passes the capacity check).
@@ -55,6 +84,9 @@ type Config struct {
 	// estimator again. 0 selects DefaultMemoLimit; negative means
 	// unlimited.
 	MemoLimit int
+	// Compiled optionally enables the allocation-free compact evaluation
+	// path. See CompiledConfig.
+	Compiled *CompiledConfig
 }
 
 // DefaultMemoLimit caps the memo at 2^18 entries — enough to fully cache a
@@ -67,16 +99,49 @@ const DefaultMemoLimit = 1 << 18
 // constraint set is checked per use (Feasible), so a memoized Eval stays
 // valid across OptimizeBest's sweeps and the relaxing loops' SLA halvings.
 type Eval struct {
-	Layout     catalog.Layout
+	// Layout is the map form of the evaluated layout. On the compiled path
+	// it is nil — the layout lives in Compact — so callers that need the map
+	// form use LayoutMap/LayoutClone.
+	Layout catalog.Layout
+	// Compact is the dense form; set on the compiled path only.
+	Compact    catalog.CompactLayout
 	Metrics    workload.Metrics
 	TOCCents   float64
 	CapacityOK bool
+	// state is the estimator's delta snapshot (compiled path, delta-capable
+	// estimators only); EvaluateDelta derives moved layouts from it.
+	state workload.DeltaState
 }
 
 // Feasible reports whether the evaluated layout fits the box and meets the
 // performance constraints.
 func (e Eval) Feasible(cons workload.Constraints) bool {
 	return e.CapacityOK && cons.Satisfied(e.Metrics)
+}
+
+// LayoutMap returns the evaluated layout in map form, materializing it from
+// the compact form on the compiled path. The map-path result aliases the
+// memoized layout and must not be mutated; use LayoutClone for a private
+// copy.
+func (e Eval) LayoutMap() catalog.Layout {
+	if e.Layout != nil {
+		return e.Layout
+	}
+	if !e.Compact.IsZero() {
+		return e.Compact.ToLayout()
+	}
+	return nil
+}
+
+// LayoutClone returns a private map-form copy of the evaluated layout.
+func (e Eval) LayoutClone() catalog.Layout {
+	if e.Layout != nil {
+		return e.Layout.Clone()
+	}
+	if !e.Compact.IsZero() {
+		return e.Compact.ToLayout()
+	}
+	return nil
 }
 
 // Stats summarises an engine's work so far.
@@ -98,8 +163,29 @@ func (s Stats) Sub(o Stats) Stats {
 
 type entry struct {
 	once sync.Once
+	// done mirrors once's completion so memo hits can return without
+	// building the once.Do closure (a per-call allocation on the hot path).
+	done atomic.Bool
+	// cl is the stable (engine-owned) compact layout of the entry, set at
+	// insert time on the compiled path so whichever goroutine runs the
+	// measurement works from engine-owned bytes, never a caller's scratch.
+	// It doubles as the memo key: the compact memo chains entries per
+	// 64-bit hash and resolves collisions by comparing these bytes, so no
+	// key string is ever materialized on the hot path.
+	cl   catalog.CompactLayout
+	next *entry // hash-chain sibling in the compact memo
 	ev   Eval
 	err  error
+}
+
+// hashBytes is FNV-1a over the compact layout's class bytes.
+func hashBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Engine evaluates candidate layouts through the memoized
@@ -110,6 +196,17 @@ type Engine struct {
 	cfg  Config
 	mu   sync.Mutex
 	memo map[string]*entry
+	// memoC is the compiled path's memo: entries chained per FNV-1a hash of
+	// the compact layout bytes, resolved by byte comparison — probing and
+	// inserting never build a key string. memoCount tracks retained entries
+	// across both memos for the MemoLimit.
+	memoC     map[uint64]*entry
+	memoCount int
+	// Memo-insert arenas (guarded by mu): distinct candidates are the hot
+	// allocation site of an exhaustive run, so entries and compact-layout
+	// clones are carved from chunks instead of allocated one by one.
+	entArena  []entry
+	byteArena []byte
 	// sem bounds concurrent estimator invocations at Workers across ALL
 	// concurrent operations on the engine — concurrent sweeps sharing one
 	// engine (OptimizeBest) cannot oversubscribe past the configured width.
@@ -119,18 +216,53 @@ type Engine struct {
 }
 
 // New builds an engine. It returns an error when the config lacks the
-// estimator or the cost model.
+// estimator or the cost model, or when the compiled config is incomplete.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Est == nil || cfg.Cost == nil {
 		return nil, fmt.Errorf("search: Config requires Est and Cost")
 	}
+	if cc := cfg.Compiled; cc != nil && (cc.Cat == nil || cc.Est == nil || cc.Cost == nil) {
+		return nil, fmt.Errorf("search: CompiledConfig requires Cat, Est and Cost")
+	}
 	e := &Engine{cfg: cfg, memo: make(map[string]*entry)}
+	if cfg.Compiled != nil {
+		e.memoC = make(map[uint64]*entry)
+	}
 	if cfg.Budget != nil {
 		e.sem = cfg.Budget.sem
 	} else if w := e.Workers(); w > 1 {
 		e.sem = make(chan struct{}, w)
 	}
 	return e, nil
+}
+
+// Compiled reports whether the engine evaluates through the compiled
+// (compact/delta) path.
+func (e *Engine) Compiled() bool { return e.cfg.Compiled != nil }
+
+// newEntry carves a memo entry from the arena. Callers hold e.mu.
+func (e *Engine) newEntry() *entry {
+	if len(e.entArena) == 0 {
+		e.entArena = make([]entry, 256)
+	}
+	ent := &e.entArena[0]
+	e.entArena = e.entArena[1:]
+	return ent
+}
+
+// cloneBytes copies b into the byte arena. Callers hold e.mu.
+func (e *Engine) cloneBytes(b []byte) []byte {
+	if len(e.byteArena) < len(b) {
+		n := 1 << 16
+		if n < len(b) {
+			n = len(b)
+		}
+		e.byteArena = make([]byte, n)
+	}
+	out := e.byteArena[:len(b):len(b)]
+	e.byteArena = e.byteArena[len(b):]
+	copy(out, b)
+	return out
 }
 
 // Workers returns the effective fan-out width (the shared budget's width
@@ -192,24 +324,149 @@ func (e *Engine) measure(l catalog.Layout) (Eval, error) {
 // memoized too: a layout the estimator or cost model rejects once is
 // rejected on every revisit without re-invoking them. When the memo is at
 // its limit, new layouts are evaluated without being retained.
+//
+// On a compiled engine the layout is converted to its compact form and
+// evaluated through the compiled pipeline, sharing the compact memo — so
+// mixing Evaluate with EvaluateCompact never estimates a layout twice.
 func (e *Engine) Evaluate(l catalog.Layout) (Eval, error) {
+	if cc := e.cfg.Compiled; cc != nil {
+		if cl, ok := catalog.CompactFromLayout(cc.Cat, l); ok {
+			return e.evaluateCompact(cl, true, workload.Metrics{}, nil, nil)
+		}
+		// Unencodable layouts (IDs or classes outside the catalog's dense
+		// ranges) stay on the map pipeline; the marker prefix keeps their
+		// memo keys disjoint from the compact key space.
+		return e.evaluateMap("m"+l.Key(), l)
+	}
+	return e.evaluateMap(l.Key(), l)
+}
+
+// EvaluateCompact is Evaluate for compact layouts: the compiled hot path.
+// The engine clones cl if it needs to retain it, so callers may pass a
+// scratch layout they mutate afterwards. Only valid on compiled engines.
+func (e *Engine) EvaluateCompact(cl catalog.CompactLayout) (Eval, error) {
+	if e.cfg.Compiled == nil {
+		return Eval{}, fmt.Errorf("search: EvaluateCompact on an engine without a compiled config")
+	}
+	return e.evaluateCompact(cl, false, workload.Metrics{}, nil, nil)
+}
+
+// EvaluateDelta evaluates cl, which differs from base's layout by moves.
+// With a delta-capable estimator a memo miss re-estimates in O(moves)
+// instead of O(objects); results are bit-identical to EvaluateCompact. The
+// moves slice is only read during the call, so callers may reuse it.
+func (e *Engine) EvaluateDelta(base Eval, cl catalog.CompactLayout, moves []workload.ObjectMove) (Eval, error) {
+	if e.cfg.Compiled == nil {
+		return Eval{}, fmt.Errorf("search: EvaluateDelta on an engine without a compiled config")
+	}
+	if len(moves) == 0 {
+		return e.evaluateCompact(cl, false, workload.Metrics{}, nil, nil)
+	}
+	return e.evaluateCompact(cl, false, base.Metrics, base.state, moves)
+}
+
+// evaluateMap is the memoized map-form pipeline.
+func (e *Engine) evaluateMap(key string, l catalog.Layout) (Eval, error) {
 	e.evaluated.Add(1)
-	key := l.Key()
 	e.mu.Lock()
 	ent, ok := e.memo[key]
 	if !ok {
-		if len(e.memo) >= e.memoLimit() {
+		if e.memoCount >= e.memoLimit() {
 			e.mu.Unlock()
 			return e.measure(l)
 		}
-		ent = &entry{}
+		ent = e.newEntry()
 		e.memo[key] = ent
+		e.memoCount++
 	}
 	e.mu.Unlock()
+	if ent.done.Load() {
+		return ent.ev, ent.err
+	}
 	ent.once.Do(func() {
 		ent.ev, ent.err = e.measure(l)
+		ent.done.Store(true)
 	})
 	return ent.ev, ent.err
+}
+
+// evaluateCompact is the memoized compiled pipeline. owned marks cl as
+// transferable (already a private copy), letting the engine retain it
+// without another clone; moves != nil requests delta estimation from the
+// supplied base metrics/state.
+func (e *Engine) evaluateCompact(cl catalog.CompactLayout, owned bool, baseM workload.Metrics, baseState workload.DeltaState, moves []workload.ObjectMove) (Eval, error) {
+	e.evaluated.Add(1)
+	b := cl.Bytes()
+	h := hashBytes(b)
+	e.mu.Lock()
+	ent := e.memoC[h]
+	for ent != nil && !bytes.Equal(ent.cl.Bytes(), b) {
+		ent = ent.next
+	}
+	if ent == nil {
+		if e.memoCount >= e.memoLimit() {
+			e.mu.Unlock()
+			if !owned {
+				cl = cl.Clone()
+			}
+			return e.measureCompact(cl, baseM, baseState, moves)
+		}
+		ent = e.newEntry()
+		if !owned {
+			cl = catalog.CompactFromBytes(e.cloneBytes(b))
+		}
+		ent.cl = cl
+		ent.next = e.memoC[h]
+		e.memoC[h] = ent
+		e.memoCount++
+	}
+	e.mu.Unlock()
+	if ent.done.Load() {
+		return ent.ev, ent.err
+	}
+	ent.once.Do(func() {
+		ent.ev, ent.err = e.measureCompact(ent.cl, baseM, baseState, moves)
+		ent.done.Store(true)
+	})
+	return ent.ev, ent.err
+}
+
+// measureCompact runs the compiled estimate → price → capacity pipeline
+// once, uncached.
+func (e *Engine) measureCompact(cl catalog.CompactLayout, baseM workload.Metrics, baseState workload.DeltaState, moves []workload.ObjectMove) (Eval, error) {
+	if e.sem != nil {
+		e.sem <- struct{}{}
+		defer func() { <-e.sem }()
+	}
+	e.estCalls.Add(1)
+	cc := e.cfg.Compiled
+	var (
+		m   workload.Metrics
+		st  workload.DeltaState
+		err error
+	)
+	switch {
+	case cc.Delta != nil && moves != nil:
+		m, st, err = cc.Delta.EstimateDelta(cl, baseM, baseState, moves)
+	case cc.Delta != nil:
+		m, st, err = cc.Delta.EstimateCompactState(cl)
+	default:
+		m, err = cc.Est.EstimateCompact(cl)
+	}
+	if err != nil {
+		return Eval{}, err
+	}
+	toc, err := cc.Cost(m, cl)
+	if err != nil {
+		return Eval{}, err
+	}
+	return Eval{
+		Compact:    cl,
+		Metrics:    m,
+		TOCCents:   toc,
+		CapacityOK: cc.CapacityOK == nil || cc.CapacityOK(cl),
+		state:      st,
+	}, nil
 }
 
 // EvaluateAll evaluates the candidates, fanning out across the worker pool,

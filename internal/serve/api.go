@@ -250,12 +250,16 @@ func (c *compiled) estimator(box *device.Box) (workload.Estimator, error) {
 }
 
 // input assembles the core.Input for this workload on a box, under the
-// server-wide search worker budget.
+// server-wide search worker budget. The estimator is compiled here — once
+// per request — so every engine the request fans out to (OptimizeBest's
+// sweeps, a provisioning sweep's candidates) reuses the same dense time
+// tables on the search engine's compact/delta fast path.
 func (c *compiled) input(box *device.Box, budget *search.Budget) (core.Input, error) {
 	est, err := c.estimator(box)
 	if err != nil {
 		return core.Input{}, err
 	}
+	est = workload.CompileEstimator(est, c.cat)
 	ps := core.NewProfileSet()
 	ps.SetSingle(c.profile)
 	return core.Input{

@@ -217,11 +217,12 @@ func (s *Server) handleAdvise(body []byte) (any, int, error) {
 		return nil, http.StatusBadRequest, err
 	}
 	if req.Alpha != 0 {
-		model, err := provision.DiscreteCostModel(comp.cat, box, req.Alpha)
+		model, compactModel, err := provision.DiscreteCostModels(comp.cat, box, req.Alpha)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
 		in.LayoutCost = model
+		in.LayoutCostCompact = compactModel
 	}
 	opts := core.Options{RelativeSLA: req.SLA}
 	res, err := core.OptimizeBest(in, opts)

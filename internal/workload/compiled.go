@@ -1,0 +1,212 @@
+// Compiled estimators: the allocation-free evaluation path behind the
+// search engine's compact/delta pipeline. Profile-driven estimators
+// (ObservedEstimator, ProfileEstimator) compile their profiles into dense
+// per-(object, class) time tables (iosim.CompiledProfile) so a candidate
+// layout is estimated by flat array sums, and a candidate differing from an
+// evaluated base by a few object moves is re-estimated in O(moves).
+//
+// Every compiled path reuses the exact arithmetic of its map-path sibling
+// — integer I/O-time sums regrouped associatively, floats derived through
+// the same shared expression — so results are bit-identical. Plan-aware
+// estimators (the DSS re-planning estimator) do not compile; the search
+// engine transparently falls back to their full map-form Estimate.
+package workload
+
+import (
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/iosim"
+)
+
+// ObjectMove describes one object changing storage class — the unit of
+// delta evaluation.
+type ObjectMove struct {
+	Obj      catalog.ObjectID
+	From, To device.Class
+}
+
+// CompactEstimator is implemented by estimators that can evaluate a
+// compact layout directly, without materializing the map form.
+type CompactEstimator interface {
+	Estimator
+	// EstimateCompact must return exactly what Estimate returns for the
+	// layout's map form.
+	EstimateCompact(cl catalog.CompactLayout) (Metrics, error)
+}
+
+// DeltaState is an opaque, estimator-owned snapshot attached to an
+// evaluation, from which a DeltaEstimator can derive a moved layout's
+// metrics without re-reading the whole layout. Estimators whose metrics
+// already determine their internal state (e.g. per-query I/O times
+// recoverable from PerQuery) return nil and work from the base Metrics
+// alone.
+type DeltaState any
+
+// DeltaEstimator extends CompactEstimator with O(moves) re-estimation of a
+// layout that differs from an evaluated base by a set of object moves.
+type DeltaEstimator interface {
+	CompactEstimator
+	// EstimateCompactState is EstimateCompact plus the delta state for the
+	// evaluated layout.
+	EstimateCompactState(cl catalog.CompactLayout) (Metrics, DeltaState, error)
+	// EstimateDelta estimates cl, which differs from a previously evaluated
+	// layout (metrics base, state from that evaluation) by moves. The result
+	// must be bit-identical to EstimateCompact(cl).
+	EstimateDelta(cl catalog.CompactLayout, base Metrics, state DeltaState, moves []ObjectMove) (Metrics, DeltaState, error)
+}
+
+// Compilable is implemented by estimators that can build a compiled
+// (compact/delta-capable) equivalent of themselves for a catalog.
+type Compilable interface {
+	// CompileFor returns an estimator whose Estimate matches the receiver's
+	// bit for bit and which additionally implements CompactEstimator (and
+	// usually DeltaEstimator).
+	CompileFor(cat *catalog.Catalog) (Estimator, error)
+}
+
+// CompileEstimator returns the compiled form of est when it supports one,
+// and est unchanged otherwise (including on compile errors — the map path
+// always works). It is idempotent: already-compiled estimators pass
+// through.
+func CompileEstimator(est Estimator, cat *catalog.Catalog) Estimator {
+	if c, ok := est.(Compilable); ok {
+		if ce, err := c.CompileFor(cat); err == nil {
+			return ce
+		}
+	}
+	return est
+}
+
+// ---- ObservedEstimator (DSS per-query counts) -----------------------------
+
+// compiledObserved is the compiled form of ObservedEstimator: one dense
+// time table per observed query. Its delta state is nil — per-query I/O
+// times are recoverable exactly from the base Metrics (PerQuery minus CPU).
+type compiledObserved struct {
+	src     *ObservedEstimator
+	queries []*iosim.CompiledProfile
+	cpu     []time.Duration
+}
+
+// CompileFor implements Compilable.
+func (e *ObservedEstimator) CompileFor(cat *catalog.Catalog) (Estimator, error) {
+	c := &compiledObserved{src: e}
+	n := cat.NumObjects()
+	for _, q := range e.PerQuery {
+		c.queries = append(c.queries, iosim.CompileProfile(q.Profile, e.Box, e.Concurrency, n))
+		c.cpu = append(c.cpu, q.CPU)
+	}
+	return c, nil
+}
+
+// Estimate delegates to the map-path source, byte for byte.
+func (e *compiledObserved) Estimate(l catalog.Layout) (Metrics, error) { return e.src.Estimate(l) }
+
+// EstimateCompact implements CompactEstimator.
+func (e *compiledObserved) EstimateCompact(cl catalog.CompactLayout) (Metrics, error) {
+	m := Metrics{PerQuery: make([]time.Duration, 0, len(e.queries))}
+	for i, q := range e.queries {
+		io, err := q.IOTime(cl)
+		if err != nil {
+			return Metrics{}, err
+		}
+		t := io + e.cpu[i]
+		m.PerQuery = append(m.PerQuery, t)
+		m.Elapsed += t
+	}
+	return m, nil
+}
+
+// EstimateCompactState implements DeltaEstimator.
+func (e *compiledObserved) EstimateCompactState(cl catalog.CompactLayout) (Metrics, DeltaState, error) {
+	m, err := e.EstimateCompact(cl)
+	return m, nil, err
+}
+
+// EstimateDelta implements DeltaEstimator: each query's base I/O time is
+// PerQuery[i] - CPU[i] (exact — durations are integers), adjusted by the
+// moves' per-query time deltas.
+func (e *compiledObserved) EstimateDelta(cl catalog.CompactLayout, base Metrics, _ DeltaState, moves []ObjectMove) (Metrics, DeltaState, error) {
+	if len(base.PerQuery) != len(e.queries) {
+		m, err := e.EstimateCompact(cl)
+		return m, nil, err
+	}
+	m := Metrics{PerQuery: make([]time.Duration, 0, len(e.queries))}
+	for i, q := range e.queries {
+		io := base.PerQuery[i] - e.cpu[i]
+		for _, mv := range moves {
+			d, err := q.DeltaIOTime(mv.Obj, mv.From, mv.To)
+			if err != nil {
+				return Metrics{}, nil, err
+			}
+			io += d
+		}
+		t := io + e.cpu[i]
+		m.PerQuery = append(m.PerQuery, t)
+		m.Elapsed += t
+	}
+	return m, nil, nil
+}
+
+// ---- ProfileEstimator (OLTP test-run profile) -----------------------------
+
+// throughputState carries the exact profile I/O time of an evaluated
+// layout; the elapsed/throughput floats are lossy, so the state is needed
+// to delta from.
+type throughputState time.Duration
+
+// compiledThroughput is the compiled form of ProfileEstimator.
+type compiledThroughput struct {
+	src *ProfileEstimator
+	cp  *iosim.CompiledProfile
+}
+
+// CompileFor implements Compilable.
+func (e *ProfileEstimator) CompileFor(cat *catalog.Catalog) (Estimator, error) {
+	return &compiledThroughput{
+		src: e,
+		cp:  iosim.CompileProfile(e.Profile, e.Box, e.Concurrency, cat.NumObjects()),
+	}, nil
+}
+
+// Estimate delegates to the map-path source, byte for byte.
+func (e *compiledThroughput) Estimate(l catalog.Layout) (Metrics, error) { return e.src.Estimate(l) }
+
+// EstimateCompact implements CompactEstimator.
+func (e *compiledThroughput) EstimateCompact(cl catalog.CompactLayout) (Metrics, error) {
+	io, err := e.cp.IOTime(cl)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return e.src.metricsFromIOTime(io)
+}
+
+// EstimateCompactState implements DeltaEstimator.
+func (e *compiledThroughput) EstimateCompactState(cl catalog.CompactLayout) (Metrics, DeltaState, error) {
+	io, err := e.cp.IOTime(cl)
+	if err != nil {
+		return Metrics{}, nil, err
+	}
+	m, err := e.src.metricsFromIOTime(io)
+	return m, throughputState(io), err
+}
+
+// EstimateDelta implements DeltaEstimator.
+func (e *compiledThroughput) EstimateDelta(cl catalog.CompactLayout, _ Metrics, state DeltaState, moves []ObjectMove) (Metrics, DeltaState, error) {
+	st, ok := state.(throughputState)
+	if !ok {
+		return e.EstimateCompactState(cl)
+	}
+	io := time.Duration(st)
+	for _, mv := range moves {
+		d, err := e.cp.DeltaIOTime(mv.Obj, mv.From, mv.To)
+		if err != nil {
+			return Metrics{}, nil, err
+		}
+		io += d
+	}
+	m, err := e.src.metricsFromIOTime(io)
+	return m, throughputState(io), err
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/iosim"
+	"dotprov/internal/types"
+)
+
+func estFixture(t *testing.T) (*catalog.Catalog, iosim.Profile, iosim.Profile) {
+	t.Helper()
+	cat := catalog.New()
+	sch := types.NewSchema(types.Column{Name: "id", Kind: types.KindInt})
+	p1, p2 := iosim.NewProfile(), iosim.NewProfile()
+	for i := 0; i < 6; i++ {
+		tab, err := cat.CreateTable(string(rune('a'+i)), sch, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.SetSize(tab.ID, int64(i+1)*1e9)
+		p1.Add(tab.ID, device.SeqRead, float64(500*(i+1)))
+		p1.Add(tab.ID, device.RandRead, float64(20*i))
+		p2.Add(tab.ID, device.RandRead, float64(300*(i+1)))
+		p2.Add(tab.ID, device.RandWrite, float64(7*i))
+	}
+	return cat, p1, p2
+}
+
+func metricsEqual(a, b Metrics) bool {
+	if a.Elapsed != b.Elapsed || len(a.PerQuery) != len(b.PerQuery) {
+		return false
+	}
+	if math.Float64bits(a.Throughput) != math.Float64bits(b.Throughput) {
+		return false
+	}
+	for i := range a.PerQuery {
+		if a.PerQuery[i] != b.PerQuery[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompiledObservedParity: the compiled ObservedEstimator must return
+// bit-identical metrics through Estimate, EstimateCompact and chained
+// EstimateDelta calls.
+func TestCompiledObservedParity(t *testing.T) {
+	cat, p1, p2 := estFixture(t)
+	box := device.Box1()
+	src := &ObservedEstimator{Box: box, Concurrency: 1, PerQuery: []QueryObservation{
+		{Profile: p1, CPU: 250 * time.Millisecond},
+		{Profile: p2, CPU: 40 * time.Millisecond},
+	}}
+	ce := CompileEstimator(src, cat)
+	if ce == Estimator(src) {
+		t.Fatal("ObservedEstimator should compile to a new estimator")
+	}
+	de, ok := ce.(DeltaEstimator)
+	if !ok {
+		t.Fatal("compiled ObservedEstimator must be delta-capable")
+	}
+	rng := rand.New(rand.NewSource(11))
+	classes := box.Classes()
+
+	cur := catalog.CompactUniform(cat, device.HSSD)
+	curM, curState, err := de.EstimateCompactState(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		// Random single-object move, applied as a delta and checked against
+		// both full paths.
+		obj := catalog.ObjectID(1 + rng.Intn(cat.NumObjects()))
+		to := classes[rng.Intn(len(classes))]
+		from, _ := cur.Class(obj)
+		next := cur.Clone()
+		next.Set(obj, to)
+
+		want, err := src.Estimate(next.ToLayout())
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := de.EstimateCompact(next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !metricsEqual(full, want) {
+			t.Fatalf("trial %d: EstimateCompact diverges from map Estimate: %+v vs %+v", trial, full, want)
+		}
+		if from != to {
+			dm, dstate, err := de.EstimateDelta(next, curM, curState, []ObjectMove{{Obj: obj, From: from, To: to}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !metricsEqual(dm, want) {
+				t.Fatalf("trial %d: EstimateDelta diverges: %+v vs %+v", trial, dm, want)
+			}
+			curM, curState = dm, dstate
+		} else {
+			curM, curState = full, nil
+		}
+		cur = next
+	}
+}
+
+// TestCompiledProfileEstimatorParity: same contract for the OLTP
+// ProfileEstimator, whose throughput floats are derived — the delta chain
+// must keep them bit-identical across hundreds of hops.
+func TestCompiledProfileEstimatorParity(t *testing.T) {
+	cat, p1, _ := estFixture(t)
+	box := device.Box1()
+	profiled := catalog.NewUniformLayout(cat, device.HSSD)
+	src, err := NewProfileEstimator(box, 8, p1, 2*time.Second,
+		RunStats{Txns: 5000, Elapsed: 90 * time.Second}, profiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	de, ok := CompileEstimator(src, cat).(DeltaEstimator)
+	if !ok {
+		t.Fatal("compiled ProfileEstimator must be delta-capable")
+	}
+	rng := rand.New(rand.NewSource(23))
+	classes := box.Classes()
+	cur := catalog.CompactUniform(cat, device.HSSD)
+	curM, curState, err := de.EstimateCompactState(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := src.Estimate(cur.ToLayout()); !metricsEqual(curM, want) {
+		t.Fatalf("base metrics diverge: %+v vs %+v", curM, want)
+	}
+	for trial := 0; trial < 300; trial++ {
+		obj := catalog.ObjectID(1 + rng.Intn(cat.NumObjects()))
+		to := classes[rng.Intn(len(classes))]
+		from, _ := cur.Class(obj)
+		if from == to {
+			continue
+		}
+		next := cur.Clone()
+		next.Set(obj, to)
+		want, err := src.Estimate(next.ToLayout())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm, dstate, err := de.EstimateDelta(next, curM, curState, []ObjectMove{{Obj: obj, From: from, To: to}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !metricsEqual(dm, want) {
+			t.Fatalf("trial %d: delta chain diverged: %+v vs %+v", trial, dm, want)
+		}
+		cur, curM, curState = next, dm, dstate
+	}
+}
+
+// TestCompileEstimatorFallback: estimators without a compiled form pass
+// through CompileEstimator unchanged (the plan-aware case).
+func TestCompileEstimatorFallback(t *testing.T) {
+	cat, _, _ := estFixture(t)
+	plain := &plainEst{}
+	if got := CompileEstimator(plain, cat); got != Estimator(plain) {
+		t.Fatal("non-compilable estimator must pass through unchanged")
+	}
+}
+
+type plainEst struct{}
+
+func (*plainEst) Estimate(l catalog.Layout) (Metrics, error) { return Metrics{}, nil }

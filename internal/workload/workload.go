@@ -82,17 +82,18 @@ func (c Constraints) ThroughputFloor() float64 {
 }
 
 // Satisfied reports whether the metrics meet the constraints (every query
-// under its cap; throughput above the floor).
+// under its cap; throughput above the floor). It computes each cap in
+// place rather than materializing the QueryCaps slice: feasibility is
+// checked once per candidate on the search hot path.
 func (c Constraints) Satisfied(m Metrics) bool {
 	if c.Baseline.Throughput > 0 {
 		return m.Throughput >= c.ThroughputFloor()
 	}
-	caps := c.QueryCaps()
-	if len(m.PerQuery) != len(caps) {
+	if len(m.PerQuery) != len(c.Baseline.PerQuery) {
 		return false
 	}
 	for i, d := range m.PerQuery {
-		if d > caps[i] {
+		if d > time.Duration(float64(c.Baseline.PerQuery[i])/c.Relative) {
 			return false
 		}
 	}
@@ -397,6 +398,13 @@ func (e *ProfileEstimator) Estimate(l catalog.Layout) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
+	return e.metricsFromIOTime(io)
+}
+
+// metricsFromIOTime derives the metrics from a candidate layout's profile
+// I/O time. The map path and the compiled path both funnel through this one
+// arithmetic, so their floats are bit-identical.
+func (e *ProfileEstimator) metricsFromIOTime(io time.Duration) (Metrics, error) {
 	// Scale the measured elapsed time by the predicted change in total work.
 	base := e.baseTime + e.CPUTime
 	cand := io + e.CPUTime

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# benchguard.sh — compiled-path benchmark regression gate.
+#
+# Runs the map-vs-compiled microbenchmarks (DOT planning, M^N exhaustive,
+# compiled IOTime, memo keys), converts the results to JSON (first
+# argument, default bench.json), and asserts the map and compiled variants
+# of each benchmark report IDENTICAL est-calls and evaluated metrics: the
+# compiled path is a mechanical speedup, not a different search, so any
+# count drift is a correctness regression, not noise.
+#
+# BENCHTIME controls -benchtime (default 1x: CI smoke; use e.g. 20x for a
+# recorded snapshot).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-bench.json}"
+benchtime="${BENCHTIME:-1x}"
+
+raw=$(go test -run '^$' \
+  -bench 'BenchmarkDOTOptimize|BenchmarkExhaustive$|BenchmarkExhaustivePruned|BenchmarkIOTimeCompiledVsMap|BenchmarkMemoKey' \
+  -benchmem -benchtime "$benchtime" .)
+echo "$raw"
+
+echo "$raw" | awk '
+/^Benchmark/ {
+  name=$1; sub(/-[0-9]+$/, "", name)
+  rec = "{\"name\":\"" name "\",\"iterations\":" $2
+  for (i=3; i<NF; i++) {
+    u=$(i+1)
+    if (u=="ns/op" || u=="B/op" || u=="allocs/op" || u=="est-calls" || u=="evaluated") {
+      key=u; gsub(/\//, "_per_", key); gsub(/-/, "_", key)
+      rec = rec ",\"" key "\":" $i
+      i++
+    }
+  }
+  recs[n++] = rec "}"
+}
+END {
+  printf("[\n")
+  for (i=0; i<n; i++) printf("  %s%s\n", recs[i], i<n-1 ? "," : "")
+  printf("]\n")
+}' > "$out"
+echo "wrote $out"
+
+echo "$raw" | awk '
+/^Benchmark/ {
+  name=$1; sub(/-[0-9]+$/, "", name)
+  est=""; ev=""
+  for (i=3; i<NF; i++) {
+    if ($(i+1)=="est-calls") est=$i
+    if ($(i+1)=="evaluated") ev=$i
+  }
+  if (est=="" && ev=="") next
+  base=name
+  if (name ~ /\/map$/)      { sub(/\/map$/, "", base); estmap[base]=est; evmap[base]=ev }
+  if (name ~ /\/compiled$/) { sub(/\/compiled$/, "", base); estcomp[base]=est; evcomp[base]=ev }
+}
+END {
+  bad=0; pairs=0
+  for (b in estmap) {
+    if (!(b in estcomp)) continue
+    pairs++
+    if (estmap[b] != estcomp[b]) { printf("MISMATCH est-calls %s: map=%s compiled=%s\n", b, estmap[b], estcomp[b]); bad=1 }
+    if (evmap[b]  != evcomp[b])  { printf("MISMATCH evaluated %s: map=%s compiled=%s\n", b, evmap[b],  evcomp[b]);  bad=1 }
+  }
+  if (pairs == 0) { print "benchguard: no map/compiled pairs found — benchmark names changed?"; exit 1 }
+  if (bad) exit 1
+  printf("benchguard OK: est-calls/evaluated identical across %d map/compiled pairs\n", pairs)
+}'
