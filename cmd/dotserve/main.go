@@ -8,6 +8,8 @@
 //
 //	POST /advise     — single-workload DOT on box1/box2 or a custom class list
 //	POST /provision  — full configuration sweep over a device grid
+//	POST /observe    — ingest a live profile window for an online stream
+//	POST /readvise   — drift-gated incremental re-advise of a stream
 //	GET  /healthz    — liveness + counters
 //
 // Example:
@@ -45,26 +47,32 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		maxConc = flag.Int("max-concurrent", 4, "maximum simultaneous optimization requests (excess get 503)")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request optimization timeout")
-		cache   = flag.Int("cache", 64, "sweep-result LRU entries")
-		workers = flag.Int("search-workers", 0, "layout-search worker budget per request (0 = all CPUs)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		maxConc  = flag.Int("max-concurrent", 4, "maximum simultaneous optimization requests (excess get 503)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request optimization timeout")
+		cache    = flag.Int("cache", 64, "sweep-result LRU entries")
+		workers  = flag.Int("search-workers", 0, "layout-search worker budget per request (0 = all CPUs)")
+		streams  = flag.Int("max-streams", 8, "maximum online streams /observe may define")
+		readvise = flag.Duration("readvise-every", 0, "background re-advise interval for online streams (0 disables the ticker)")
 	)
 	flag.Parse()
-	if err := run(*addr, *maxConc, *timeout, *cache, *workers); err != nil {
+	if err := run(*addr, *maxConc, *timeout, *cache, *workers, *streams, *readvise); err != nil {
 		fmt.Fprintf(os.Stderr, "dotserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxConc int, timeout time.Duration, cache, workers int) error {
+func run(addr string, maxConc int, timeout time.Duration, cache, workers, streams int, readvise time.Duration) error {
 	s := serve.New(serve.Config{
 		MaxConcurrent:  maxConc,
 		RequestTimeout: timeout,
 		CacheEntries:   cache,
 		Workers:        workers,
+		MaxStreams:     streams,
+		ReadviseEvery:  readvise,
+		Logf:           log.Printf,
 	})
+	defer s.Close()
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           s.Handler(),

@@ -24,6 +24,8 @@ const InvalidObject ObjectID = 0
 // ObjectKind classifies database objects.
 type ObjectKind uint8
 
+// The object kinds: base tables and their indexes form placement groups
+// (§3.2); temp space and the log are standalone auxiliary objects.
 const (
 	KindTable ObjectKind = iota
 	KindIndex
@@ -31,6 +33,7 @@ const (
 	KindLog  // write-ahead log
 )
 
+// String renders the kind as its wire name ("table", "index", ...).
 func (k ObjectKind) String() string {
 	switch k {
 	case KindTable:

@@ -345,9 +345,9 @@ func optimizeWith(in Input, opts Options, eng *search.Engine, moves []Move) (*Re
 		passes = 2
 	}
 	if eng.Compiled() && !ev0.Compact.IsZero() {
-		err = dotSweepCompact(opts, eng, moves, ev0, cons, res, passes)
+		err = dotSweepCompact(opts, eng, moves, ev0, cons, res, passes, nil)
 	} else {
-		err = dotSweepMap(opts, eng, moves, ev0, cons, res, passes)
+		err = dotSweepMap(opts, eng, moves, ev0, cons, res, passes, nil)
 	}
 	if err != nil {
 		return nil, err
@@ -370,8 +370,10 @@ func optimizeWith(in Input, opts Options, eng *search.Engine, moves []Move) (*Re
 }
 
 // dotSweepMap is Procedure 1's move sweep on the map path: every candidate
-// is a cloned map layout run through Engine.Evaluate.
-func dotSweepMap(opts Options, eng *search.Engine, moves []Move, ev0 search.Eval, cons workload.Constraints, res *Result, passes int) error {
+// is a cloned map layout run through Engine.Evaluate. A non-nil gate vets
+// candidates before they can be adopted or walked to (OptimizeIncremental's
+// migration budget plugs in here); the plain sweeps pass nil.
+func dotSweepMap(opts Options, eng *search.Engine, moves []Move, ev0 search.Eval, cons workload.Constraints, res *Result, passes int, gate func(search.Eval, workload.Constraints) bool) error {
 	l := ev0.LayoutMap()
 	curTOC := ev0.TOCCents
 	curFeasible := ev0.Feasible(cons)
@@ -387,6 +389,9 @@ func dotSweepMap(opts Options, eng *search.Engine, moves []Move, ev0 search.Eval
 				return err
 			}
 			res.Evaluated++
+			if gate != nil && !gate(ev, cons) {
+				continue
+			}
 			if !res.consider(ev, cons) {
 				continue
 			}
@@ -413,9 +418,9 @@ func dotSweepMap(opts Options, eng *search.Engine, moves []Move, ev0 search.Eval
 // scratch compact layout mutated in place, each candidate move is scored by
 // delta re-estimation from the current evaluation (Engine.EvaluateDelta),
 // and rejected moves are reverted exactly. Candidate order, skip rules and
-// accept rules mirror dotSweepMap move for move, so the walk — and the
-// result — is identical.
-func dotSweepCompact(opts Options, eng *search.Engine, moves []Move, ev0 search.Eval, cons workload.Constraints, res *Result, passes int) error {
+// accept rules mirror dotSweepMap move for move (including the optional
+// admission gate), so the walk — and the result — is identical.
+func dotSweepCompact(opts Options, eng *search.Engine, moves []Move, ev0 search.Eval, cons workload.Constraints, res *Result, passes int, gate func(search.Eval, workload.Constraints) bool) error {
 	cur := ev0
 	curTOC := ev0.TOCCents
 	curFeasible := ev0.Feasible(cons)
@@ -455,7 +460,7 @@ func dotSweepCompact(opts Options, eng *search.Engine, moves []Move, ev0 search.
 				return err
 			}
 			res.Evaluated++
-			accepted := res.consider(ev, cons)
+			accepted := (gate == nil || gate(ev, cons)) && res.consider(ev, cons)
 			if !accepted || (!opts.GreedyApply && curFeasible && ev.TOCCents > curTOC) {
 				if deltaable {
 					for _, ch := range changes {

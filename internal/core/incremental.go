@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/search"
+	"dotprov/internal/workload"
+)
+
+// IncrementalOptions parameterizes OptimizeIncremental: the regular search
+// options plus the deployed layout to start from and an optional candidate
+// admission gate.
+type IncrementalOptions struct {
+	Options
+	// Seed is the currently deployed layout. The sweep starts from it (not
+	// from L0), so under a mildly drifted profile most groups keep their
+	// placement and the recommendation is a small set of object moves.
+	Seed catalog.Layout
+	// Accept optionally vets a candidate before it can be adopted or walked
+	// to, on top of capacity and the SLA. It receives the constraint set
+	// derived from the L0 baseline so gates can reason about SLA headroom.
+	// Online re-advising installs the migration budget here: a candidate
+	// whose migration time (bytes moved off Seed — read sequentially at
+	// the source class, rewritten at the destination class's write rate)
+	// exceeds the headroom is rejected even if its steady-state TOC is
+	// lower. Nil admits every candidate.
+	Accept func(ev search.Eval, cons workload.Constraints) bool
+}
+
+// OptimizeIncremental is the online variant of Optimize: instead of walking
+// down from L0 (every object on the most expensive class), it seeds the
+// sweep with the layout currently deployed and looks for gated, TOC-
+// improving group moves away from it.
+//
+// The procedure evaluates the L0 baseline once (the relative SLA is defined
+// against it, exactly as in the offline search), evaluates Seed, and then
+// runs a single guarded move sweep (Options.Passes overrides; default 1)
+// from Seed on the engine's compiled/delta path when available. Compared to
+// a cold OptimizeBest this skips the uniform-layout anchors and the second
+// (greedy) policy sweep, so it evaluates strictly fewer candidates — the
+// point of re-advising online is that a small profile drift should cost a
+// small search.
+//
+// When no gated feasible candidate exists — Seed violates the drifted SLA
+// and every admissible move does too — the result reports Feasible=false
+// with Seed's numbers, and the caller decides whether to relax the gate or
+// fall back to a full cold search (online.Manager does the latter).
+func OptimizeIncremental(in Input, opts IncrementalOptions) (*Result, error) {
+	eng, err := in.engine()
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.validateSLA(); err != nil {
+		return nil, err
+	}
+	if len(opts.Seed) == 0 {
+		return nil, fmt.Errorf("core: OptimizeIncremental requires a seed layout")
+	}
+	moves, err := in.enumerateMoves(eng)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	stats0 := eng.Stats()
+	_, _, cons, err := in.prep(opts.Options, eng)
+	if err != nil {
+		return nil, err
+	}
+	evSeed, err := in.evaluateSeed(eng, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: estimating seed layout: %w", err)
+	}
+	res := &Result{Constraints: cons, Evaluated: 2} // L0 baseline + seed
+	// Staying put moves zero bytes, so the seed bypasses the gate; L0 is a
+	// constraint anchor only, never an incremental candidate (adopting it
+	// would be a full-database migration).
+	res.consider(evSeed, cons)
+
+	passes := opts.Passes
+	if passes < 1 {
+		passes = 1
+	}
+	sweepOpts := opts.Options
+	sweepOpts.GreedyApply = false
+	if eng.Compiled() && !evSeed.Compact.IsZero() {
+		err = dotSweepCompact(sweepOpts, eng, moves, evSeed, cons, res, passes, opts.Accept)
+	} else {
+		err = dotSweepMap(sweepOpts, eng, moves, evSeed, cons, res, passes, opts.Accept)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !res.Feasible {
+		// No gated feasible layout: report the seed's numbers (not L0's) so
+		// the caller sees what the deployed layout costs under the drifted
+		// profile while deciding how to proceed.
+		res.best = evSeed
+		res.haveBest = true
+		res.TOCCents = evSeed.TOCCents
+		res.Metrics = evSeed.Metrics
+	}
+	res.Layout = res.best.LayoutClone()
+	res.EstimatorCalls = eng.Stats().Sub(stats0).EstimatorCalls
+	res.PlanTime = time.Since(start)
+	return res, nil
+}
+
+// evaluateSeed runs the seed layout through the engine, staying compact on
+// the compiled path. The layout is cloned before the engine can retain it,
+// so the caller's map stays private.
+func (in Input) evaluateSeed(eng *search.Engine, seed catalog.Layout) (search.Eval, error) {
+	if eng.Compiled() {
+		if cl, ok := catalog.CompactFromLayout(in.Cat, seed); ok {
+			return eng.EvaluateCompact(cl)
+		}
+	}
+	return eng.Evaluate(seed.Clone())
+}

@@ -22,6 +22,9 @@ import (
 // Class identifies one of the storage classes.
 type Class uint8
 
+// The five storage classes of Table 1, cheapest first: single HDD,
+// two-disk HDD RAID 0, low-end MLC SATA SSD, two-drive L-SSD RAID 0, and
+// the high-end PCIe SLC H-SSD.
 const (
 	HDD Class = iota
 	HDDRAID0
@@ -42,6 +45,7 @@ const NumClasses = int(numClasses)
 // ValidClass reports whether c is one of the defined storage classes.
 func ValidClass(c Class) bool { return c < numClasses }
 
+// String renders the class under its Table 1 name (e.g. "H-SSD").
 func (c Class) String() string {
 	switch c {
 	case HDD:
@@ -86,6 +90,7 @@ func ParseClass(s string) (Class, error) {
 // the units of Table 1.
 type IOType uint8
 
+// The four access patterns; NumIOTypes sizes dense per-type tables.
 const (
 	SeqRead IOType = iota
 	RandRead
@@ -97,6 +102,8 @@ const (
 // AllIOTypes lists the I/O types in Table 1 order.
 var AllIOTypes = []IOType{SeqRead, RandRead, SeqWrite, RandWrite}
 
+// String renders the I/O type under its Table 1 abbreviation (SR, RR,
+// SW, RW).
 func (t IOType) String() string {
 	switch t {
 	case SeqRead:

@@ -3,6 +3,29 @@
 // storage-aware optimizer, and it executes queries on behalf of simulated
 // workers (sessions). It stands in for the paper's PostgreSQL 9.0 with the
 // extended, storage-class-aware cost estimation module (§3.5).
+//
+// Lifecycle: create a DB with New, declare objects (CreateTable,
+// CreateIndex), bulk-load uncharged with Load, install a data layout with
+// SetLayout, then Analyze to gather planner statistics. Measured execution
+// happens in sessions (NewSession): each session owns an iosim.Accountant
+// whose virtual clock accumulates the device service times of every
+// buffer-pool miss and row write, so Metrics read off a session are the
+// simulated wall time of that worker. Planning for hypothetical layouts —
+// the estimation entry point DOT drives — goes through PlanUnder without
+// touching the installed layout.
+//
+// Invariants and contracts:
+//
+//   - SetLayout validates that the layout is total over the catalog and
+//     only uses classes present in the box; capacity is the optimizer's
+//     concern, not the engine's.
+//   - Sessions bind the layout and concurrency at creation; re-create
+//     sessions after SetLayout/SetConcurrency.
+//   - DML invalidates Analyze-time statistics; Analyze must run again
+//     before planning (Plan/PlanUnder error otherwise).
+//   - SetTap installs a live I/O observer mirrored into every later
+//     session's accountant — the online advisor's profile capture point
+//     (see internal/online).
 package engine
 
 import (
@@ -37,6 +60,7 @@ type DB struct {
 	concurrency int
 	opt         *optimizer.Optimizer
 	analyzed    bool
+	tap         iosim.Charger
 }
 
 // New creates an empty database on a box. poolPages <= 0 selects the
@@ -229,6 +253,15 @@ type Session struct {
 	acct *iosim.Accountant
 }
 
+// SetTap installs a live I/O observer on the engine: every device charge a
+// session makes from now on (buffer-pool misses, row writes) is mirrored to
+// tap, keyed by object and I/O type. Sessions capture the tap at creation,
+// so install it before NewSession. The tap must be safe for concurrent use
+// when sessions are driven from multiple goroutines (online.Collector is).
+// Nil uninstalls. This is the capture point of the online advising loop:
+// the running workload profiles itself as a side effect of execution.
+func (db *DB) SetTap(tap iosim.Charger) { db.tap = tap }
+
 // NewSession creates a worker session against the current layout and
 // concurrency. Sessions become stale when SetLayout changes placements;
 // create sessions after installing the layout under test.
@@ -237,6 +270,7 @@ func (db *DB) NewSession() (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	acct.SetTap(db.tap)
 	return &Session{db: db, acct: acct}, nil
 }
 

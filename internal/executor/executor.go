@@ -3,7 +3,16 @@
 // hash tables are built, index probes descend actual trees — while device
 // time is charged through the buffer pool to the storage class holding each
 // object, and CPU time is charged with the same constants the optimizer
-// uses for its estimates.
+// uses for its estimates (plan.CPUPerTuple and friends), so estimated and
+// measured times stay mutually consistent.
+//
+// The entry point is Run: it walks the plan tree (sequential scan, index
+// scan/probe, hash join, indexed nested-loop join, aggregation) pushing
+// tuples through a callback, charging every page touch to the worker's
+// accountant via the shared buffer pool. The executor holds no state of
+// its own between runs; all device accounting flows through the
+// iosim.Accountant it is handed, which is what makes profiles captured
+// during execution exact (the online collector taps that same stream).
 package executor
 
 import (

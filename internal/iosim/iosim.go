@@ -132,19 +132,37 @@ func (p Profile) ObjectIOTime(id catalog.ObjectID, d *device.Device, concurrency
 	return total
 }
 
+// Charger receives per-object device charges. It is the same method set as
+// bufferpool.IOCharger, restated here so observers (e.g. the online
+// advisor's live profile collector) can be attached to an Accountant
+// without iosim depending on the buffer pool.
+type Charger interface {
+	ChargeIO(id catalog.ObjectID, t device.IOType, n int64)
+}
+
 // Accountant charges I/O and CPU time for one simulated DB worker. It is
 // constructed against a fixed box + layout + concurrency so the per-object
 // service times can be resolved up front; Charge is then allocation-free.
 //
 // An Accountant is not safe for concurrent use; each simulated worker owns
-// its own and results are merged afterwards.
+// its own and results are merged afterwards. A tap installed with SetTap
+// may however be shared across accountants — it must then be safe for
+// concurrent use itself (online.Collector is).
 type Accountant struct {
 	clock   *vclock.Clock
 	svc     map[catalog.ObjectID]*[device.NumIOTypes]time.Duration
 	profile Profile
 	ioTime  time.Duration
 	cpuTime time.Duration
+	tap     Charger
 }
+
+// SetTap installs a live observer that every subsequent ChargeIO is
+// mirrored to, in addition to the accountant's own profile. Nil removes
+// the tap. The engine uses this to stream per-object I/O charges into the
+// online advisor's rolling profile windows without touching the measured
+// accounting.
+func (a *Accountant) SetTap(t Charger) { a.tap = t }
 
 // NewAccountant validates that the layout places every object on a device
 // present in the box and resolves service times at the given degree of
@@ -188,6 +206,9 @@ func (a *Accountant) ChargeIO(id catalog.ObjectID, t device.IOType, n int64) {
 	a.clock.Advance(d)
 	a.ioTime += d
 	a.profile.Add(id, t, float64(n))
+	if a.tap != nil {
+		a.tap.ChargeIO(id, t, n)
+	}
 }
 
 // ChargeCPU advances the virtual clock by pure compute time.

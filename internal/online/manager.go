@@ -1,0 +1,357 @@
+package online
+
+import (
+	"fmt"
+	"sync"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/core"
+	"dotprov/internal/device"
+	"dotprov/internal/search"
+	"dotprov/internal/workload"
+)
+
+// Config assembles a Manager. Cat, Box and SLA are required; zero values
+// elsewhere select the documented defaults.
+type Config struct {
+	Cat *catalog.Catalog
+	Box *device.Box
+	// Concurrency is the degree of concurrency the advisor optimizes for
+	// (resolves device service times, paper §3.5). 0 selects 1.
+	Concurrency int
+	// SLA is the relative performance constraint in (0, 1] (§2.4), applied
+	// to every advise and re-advise.
+	SLA float64
+	// Deployed is the layout the engine currently runs — the layout live
+	// profiles are captured under and re-advising migrates from. Nil
+	// selects the all-most-expensive uniform layout L0 (the paper's
+	// profiling default).
+	Deployed catalog.Layout
+	// Windows is the collector's ring capacity (0 selects
+	// DefaultWindows).
+	Windows int
+	// AggregateWindows is how many of the most recent closed windows merge
+	// into the profile each drift check and re-advise sees (0 selects 1:
+	// judge the latest window alone).
+	AggregateWindows int
+	// DriftThreshold is the relative I/O-time divergence that triggers
+	// re-advising (0 selects DefaultDriftThreshold).
+	DriftThreshold float64
+	// MinWindowIOs is the aggregate I/O floor below which a check abstains
+	// (0 selects 1).
+	MinWindowIOs float64
+	// HeadroomFraction caps a candidate's migration time at this share of
+	// the SLA headroom (0 selects DefaultHeadroomFraction).
+	HeadroomFraction float64
+	// Workers bounds the layout-search fan-out; Budget, when set, shares
+	// one worker budget across managers and other engines (dotserve wires
+	// its server-wide budget here).
+	Workers int
+	Budget  *search.Budget
+	// LayoutCost / LayoutCostCompact optionally install the §5.2
+	// discrete-sized cost model pair (provision.DiscreteCostModels).
+	LayoutCost        func(l catalog.Layout) (float64, error)
+	LayoutCostCompact func(cl catalog.CompactLayout) (float64, error)
+}
+
+// Stats counts the manager's lifetime activity (healthz fodder).
+type Stats struct {
+	WindowsClosed int64 // windows the collector has closed or ingested
+	Checks        int64 // drift checks run
+	Drifts        int64 // checks that reported drift
+	ReAdvises     int64 // ReAdvise decisions that adopted a changed layout (the initial Advise is not counted)
+	Fallbacks     int64 // re-advises that fell back to a full cold search
+}
+
+// Decision reports one advise or re-advise outcome.
+type Decision struct {
+	// Drift is the drift check that led here (zero-valued on the initial
+	// Advise, which has no reference profile yet).
+	Drift Drift
+	// WindowsMerged is how many closed windows the decision's profile
+	// aggregated.
+	WindowsMerged int
+	// ReAdvised reports that a changed layout was adopted. False with
+	// Feasible=true means the search confirmed the deployed layout (the
+	// reference profile is re-anchored so the same drift does not re-fire).
+	ReAdvised bool
+	// Incremental reports the adopted result came from the seeded
+	// incremental search; false means the migration-gated search found no
+	// feasible layout and the manager fell back to a full cold search.
+	Incremental bool
+	// Feasible mirrors Result.Feasible. When false the deployed layout is
+	// left unchanged and the reference profile is NOT re-anchored, so the
+	// next check fires again and the manager keeps retrying.
+	Feasible bool
+	// From and To are the deployed layouts before and after the decision
+	// (To is nil when nothing was adopted).
+	From, To catalog.Layout
+	// Migration prices the adopted transition (empty when none).
+	Migration MigrationPlan
+	// Result is the underlying search result (evaluation counts, metrics,
+	// plan time).
+	Result *core.Result
+}
+
+// Manager runs the online advising loop for one workload stream: it owns
+// the rolling profile collector, the drift detector, the deployed layout,
+// and the reference profile that layout was optimized for. All methods are
+// safe for concurrent use.
+type Manager struct {
+	cfg Config
+	det Detector
+	mig MigrationModel
+	col *Collector
+
+	mu     sync.Mutex
+	cur    catalog.Layout
+	ref    Window
+	hasRef bool
+	stats  Stats
+}
+
+// NewManager validates the config and builds the manager.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Cat == nil || cfg.Box == nil {
+		return nil, fmt.Errorf("online: Config requires Cat and Box")
+	}
+	if len(cfg.Box.Devices) == 0 {
+		return nil, fmt.Errorf("online: box %q has no devices", cfg.Box.Name)
+	}
+	if cfg.SLA <= 0 || cfg.SLA > 1 {
+		return nil, fmt.Errorf("online: SLA must be in (0, 1], got %g", cfg.SLA)
+	}
+	if (cfg.LayoutCost == nil) != (cfg.LayoutCostCompact == nil) {
+		return nil, fmt.Errorf("online: LayoutCost and LayoutCostCompact must be set together")
+	}
+	deployed := cfg.Deployed
+	if deployed == nil {
+		deployed = catalog.NewUniformLayout(cfg.Cat, cfg.Box.MostExpensive().Class)
+	}
+	m := &Manager{
+		cfg: cfg,
+		det: Detector{
+			Box:         cfg.Box,
+			Concurrency: cfg.Concurrency,
+			Threshold:   cfg.DriftThreshold,
+			MinIOs:      cfg.MinWindowIOs,
+		},
+		mig: MigrationModel{Cat: cfg.Cat, Box: cfg.Box},
+		col: NewCollector(cfg.Windows),
+		cur: deployed.Clone(),
+	}
+	return m, nil
+}
+
+// Collector returns the manager's profile collector — install it as the
+// engine's tap (engine.DB.SetTap) or feed it windows via Observe.
+func (m *Manager) Collector() *Collector { return m.col }
+
+// Observe ingests a window closed elsewhere (the /observe wire path).
+func (m *Manager) Observe(w Window) { m.col.Observe(w) }
+
+// CurrentLayout returns a copy of the deployed layout the manager advises
+// from.
+func (m *Manager) CurrentLayout() catalog.Layout {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur.Clone()
+}
+
+// Advised reports whether an initial Advise has anchored a reference
+// profile (ReAdvise requires it).
+func (m *Manager) Advised() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hasRef
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	s := m.stats
+	m.mu.Unlock()
+	s.WindowsClosed = m.col.Total()
+	return s
+}
+
+func (m *Manager) conc() int {
+	if m.cfg.Concurrency < 1 {
+		return 1
+	}
+	return m.cfg.Concurrency
+}
+
+func (m *Manager) aggWindows() int {
+	if m.cfg.AggregateWindows < 1 {
+		return 1
+	}
+	return m.cfg.AggregateWindows
+}
+
+// input lowers an observed window onto a core.Input: the profile becomes
+// the estimator (throughput path when the window carries transactions,
+// observed-counts path otherwise — both captured under the deployed
+// layout) and the single-profile set DOT's move scoring reads. Callers
+// hold m.mu.
+func (m *Manager) input(w Window) (core.Input, error) {
+	var est workload.Estimator
+	if w.Txns > 0 {
+		if w.Elapsed <= 0 {
+			return core.Input{}, fmt.Errorf("online: transactional window (txns=%d) without elapsed time", w.Txns)
+		}
+		pe, err := workload.NewProfileEstimator(m.cfg.Box, m.conc(), w.Profile, w.CPU,
+			workload.RunStats{Txns: w.Txns, Elapsed: w.Elapsed}, m.cur)
+		if err != nil {
+			return core.Input{}, err
+		}
+		est = pe
+	} else {
+		est = &workload.ObservedEstimator{
+			Box:         m.cfg.Box,
+			Concurrency: m.conc(),
+			PerQuery:    []workload.QueryObservation{{Profile: w.Profile, CPU: w.CPU}},
+		}
+	}
+	est = workload.CompileEstimator(est, m.cfg.Cat)
+	ps := core.NewProfileSet()
+	ps.SetSingle(w.Profile)
+	return core.Input{
+		Cat:               m.cfg.Cat,
+		Box:               m.cfg.Box,
+		Est:               est,
+		Profiles:          ps,
+		Concurrency:       m.conc(),
+		Workers:           m.cfg.Workers,
+		Budget:            m.cfg.Budget,
+		LayoutCost:        m.cfg.LayoutCost,
+		LayoutCostCompact: m.cfg.LayoutCostCompact,
+	}, nil
+}
+
+// Advise runs the initial cold optimization off the collected profile and,
+// when feasible, adopts the layout and anchors the reference profile that
+// subsequent drift checks compare against.
+func (m *Manager) Advise() (*Decision, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	agg, n := m.col.Aggregate(m.aggWindows())
+	if n == 0 || agg.IOs() < m.det.minIOs() {
+		return nil, fmt.Errorf("online: no usable observations to advise from (windows=%d, ios=%g)", n, agg.IOs())
+	}
+	in, err := m.input(agg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.OptimizeBest(in, core.Options{RelativeSLA: m.cfg.SLA})
+	if err != nil {
+		return nil, err
+	}
+	dec := &Decision{WindowsMerged: n, From: m.cur.Clone(), Result: res, Feasible: res.Feasible}
+	if !res.Feasible {
+		return dec, nil
+	}
+	dec.Migration = m.mig.Plan(m.cur, res.Layout)
+	dec.To = res.Layout.Clone()
+	dec.ReAdvised = len(dec.Migration.Moves) > 0
+	m.cur = res.Layout.Clone()
+	m.ref = agg
+	m.hasRef = true
+	return dec, nil
+}
+
+// Check runs one drift check of the latest aggregate against the reference
+// profile under the deployed layout, without re-advising.
+func (m *Manager) Check() (Drift, int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dr, _, n, err := m.checkLocked()
+	return dr, n, err
+}
+
+// checkLocked judges the latest aggregate and returns it alongside the
+// verdict, so a re-advise optimizes and re-anchors EXACTLY the profile the
+// drift decision was made on (the collector keeps ingesting concurrently;
+// re-aggregating later could see different windows).
+func (m *Manager) checkLocked() (Drift, Window, int, error) {
+	if !m.hasRef {
+		return Drift{}, Window{}, 0, fmt.Errorf("online: drift check before an initial Advise")
+	}
+	agg, n := m.col.Aggregate(m.aggWindows())
+	if n == 0 {
+		return Drift{Thin: true}, agg, 0, nil
+	}
+	dr, err := m.det.Compare(m.ref, agg, m.cur)
+	if err != nil {
+		return Drift{}, Window{}, n, err
+	}
+	m.stats.Checks++
+	if dr.Drifted {
+		m.stats.Drifts++
+	}
+	return dr, agg, n, nil
+}
+
+// ReAdvise runs the drift check and, when drift is detected (or force is
+// set), re-optimizes incrementally: the search is seeded with the deployed
+// layout and candidates are admitted through the migration gate, so a
+// small drift yields a small set of moves. When the gated search finds no
+// feasible layout the manager falls back to a full cold search. Adopting a
+// result (changed or confirmed) re-anchors the reference profile; an
+// infeasible outcome leaves both layout and reference untouched so the
+// next call retries.
+func (m *Manager) ReAdvise(force bool) (*Decision, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dr, agg, n, err := m.checkLocked()
+	if err != nil {
+		return nil, err
+	}
+	dec := &Decision{Drift: dr, WindowsMerged: n, From: m.cur.Clone()}
+	// Thin aggregates are never actionable, forced or not: optimizing for
+	// a near-empty profile would find every layout trivially "feasible"
+	// and migrate the database onto whatever is cheapest.
+	if n == 0 || dr.Thin || (!force && !dr.Drifted) {
+		return dec, nil
+	}
+	in, err := m.input(agg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.OptimizeIncremental(in, core.IncrementalOptions{
+		Options: core.Options{RelativeSLA: m.cfg.SLA},
+		Seed:    m.cur,
+		Accept:  m.mig.Gate(m.cur, m.cfg.HeadroomFraction),
+	})
+	if err != nil {
+		return nil, err
+	}
+	dec.Result = res
+	dec.Incremental = true
+	if !res.Feasible {
+		// The migration budget admits no feasible layout near the deployed
+		// one; re-solve from scratch (full migration is then priced, not
+		// gated — the operator sees it in the decision).
+		cold, err := core.OptimizeBest(in, core.Options{RelativeSLA: m.cfg.SLA})
+		if err != nil {
+			return nil, err
+		}
+		dec.Result = cold
+		dec.Incremental = false
+		m.stats.Fallbacks++
+		res = cold
+	}
+	dec.Feasible = res.Feasible
+	if !res.Feasible {
+		return dec, nil
+	}
+	dec.Migration = m.mig.Plan(m.cur, res.Layout)
+	dec.To = res.Layout.Clone()
+	dec.ReAdvised = len(dec.Migration.Moves) > 0
+	m.cur = res.Layout.Clone()
+	m.ref = agg
+	if dec.ReAdvised {
+		m.stats.ReAdvises++
+	}
+	return dec, nil
+}

@@ -1,0 +1,133 @@
+package online
+
+import (
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/pagestore"
+	"dotprov/internal/search"
+	"dotprov/internal/workload"
+)
+
+// DefaultHeadroomFraction is the share of the SLA headroom a candidate's
+// migration may consume when Config.HeadroomFraction is 0: moving data is
+// allowed to eat at most half the slack between the candidate's estimated
+// elapsed time and what the SLA permits.
+const DefaultHeadroomFraction = 0.5
+
+// MigrationPlan prices moving the database from one layout to another:
+// every object whose class changes is read sequentially from its source
+// class and rewritten, page at a time, at its destination class's
+// sequential-write rate — the "bytes moved × class write cost" of the
+// online objective.
+type MigrationPlan struct {
+	// Moves lists the objects changing class.
+	Moves []workload.ObjectMove
+	// Bytes is the total size of the moved objects (bytes rewritten at
+	// their destination classes).
+	Bytes int64
+	// Time is the estimated migration time on the virtual clock: per moved
+	// object, pages × τ(SR, source) + pages × τ(SW, destination).
+	Time time.Duration
+}
+
+// MigrationModel prices layout transitions against a box. It is a pure
+// reader and safe for concurrent use.
+type MigrationModel struct {
+	Cat *catalog.Catalog
+	Box *device.Box
+	// Concurrency resolves the service times migration I/O is charged at;
+	// 0 selects 1 (migration as a single background stream).
+	Concurrency int
+}
+
+func (m MigrationModel) conc() int {
+	if m.Concurrency < 1 {
+		return 1
+	}
+	return m.Concurrency
+}
+
+// moveTime prices relocating size bytes from one class to another.
+func (m MigrationModel) moveTime(size int64, from, to device.Class) time.Duration {
+	if size <= 0 {
+		return 0
+	}
+	pages := (size + pagestore.PageSize - 1) / pagestore.PageSize
+	var t time.Duration
+	if d := m.Box.Device(from); d != nil {
+		t += time.Duration(pages) * d.ServiceTime(device.SeqRead, m.conc())
+	}
+	if d := m.Box.Device(to); d != nil {
+		t += time.Duration(pages) * d.ServiceTime(device.SeqWrite, m.conc())
+	}
+	return t
+}
+
+// Plan diffs two layouts and prices the transition. Objects absent from
+// either layout are ignored (a layout must be total over the catalog for
+// the engine to run it; partial inputs here would be a caller bug surfaced
+// elsewhere).
+func (m MigrationModel) Plan(from, to catalog.Layout) MigrationPlan {
+	var p MigrationPlan
+	for _, o := range m.Cat.Objects() {
+		src, okFrom := from[o.ID]
+		dst, okTo := to[o.ID]
+		if !okFrom || !okTo || src == dst {
+			continue
+		}
+		p.Moves = append(p.Moves, workload.ObjectMove{Obj: o.ID, From: src, To: dst})
+		p.Bytes += o.SizeBytes
+		p.Time += m.moveTime(o.SizeBytes, src, dst)
+	}
+	return p
+}
+
+// Gate builds the admission hook for core.OptimizeIncremental: a candidate
+// is admitted only when its migration time off the seed layout fits within
+// frac of the SLA headroom — allowed elapsed (baseline / relative SLA)
+// minus the candidate's own estimated elapsed. Candidates that move
+// nothing always pass; when the constraints carry no baseline elapsed
+// (nothing to budget against), the gate admits and the SLA check alone
+// governs. On the compiled path the diff is a flat byte comparison against
+// the seed's compact form; no maps are materialized per candidate.
+func (m MigrationModel) Gate(seed catalog.Layout, frac float64) func(search.Eval, workload.Constraints) bool {
+	if frac <= 0 {
+		frac = DefaultHeadroomFraction
+	}
+	sizes := m.Cat.DenseSizeBytes()
+	seedCompact, compactOK := catalog.CompactFromLayout(m.Cat, seed)
+	return func(ev search.Eval, cons workload.Constraints) bool {
+		var mig time.Duration
+		if compactOK && !ev.Compact.IsZero() {
+			sb, cb := seedCompact.Bytes(), ev.Compact.Bytes()
+			for i := 0; i < len(cb) && i < len(sb); i++ {
+				if sb[i] != cb[i] && i < len(sizes) {
+					mig += m.moveTime(sizes[i], device.Class(sb[i]), device.Class(cb[i]))
+				}
+			}
+		} else {
+			cand := ev.LayoutMap()
+			for _, o := range m.Cat.Objects() {
+				src, okFrom := seed[o.ID]
+				dst, okTo := cand[o.ID]
+				if okFrom && okTo && src != dst {
+					mig += m.moveTime(o.SizeBytes, src, dst)
+				}
+			}
+		}
+		if mig == 0 {
+			return true
+		}
+		if cons.Baseline.Elapsed <= 0 || cons.Relative <= 0 {
+			return true
+		}
+		allowed := time.Duration(float64(cons.Baseline.Elapsed) / cons.Relative)
+		headroom := allowed - ev.Metrics.Elapsed
+		if headroom <= 0 {
+			return false
+		}
+		return float64(mig) <= frac*float64(headroom)
+	}
+}

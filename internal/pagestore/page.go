@@ -2,6 +2,16 @@
 // table storage of the mini engine. Pages are real byte arrays with a slot
 // directory; device time for touching them is charged through the buffer
 // pool against whatever storage class the layout assigns to the object.
+//
+// A Page is PostgreSQL-shaped: an 8 KiB buffer with a header, records
+// growing from the front, and a slot directory growing from the back, so
+// records are addressed by stable (page, slot) RIDs across in-place
+// compaction. A HeapFile is an append-only sequence of pages belonging to
+// one catalog object: Insert appends (charging one sequential row write),
+// Scan walks pages in order (charging sequential page reads on buffer
+// misses), and Fetch reads one RID (charging a random read on a miss).
+// The charging granularity — reads per page, writes per row — matches the
+// units the paper's Table 1 calibrates.
 package pagestore
 
 import (

@@ -27,11 +27,14 @@ const (
 // JoinAlgo enumerates join algorithms.
 type JoinAlgo uint8
 
+// The two join algorithms the optimizer chooses between (§3.5's HJ vs
+// INLJ plan change is the layout-sensitivity the estimator must track).
 const (
 	HashJoin JoinAlgo = iota
 	IndexNLJoin
 )
 
+// String renders the algorithm as the paper abbreviates it.
 func (a JoinAlgo) String() string {
 	switch a {
 	case HashJoin:

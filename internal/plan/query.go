@@ -3,6 +3,19 @@
 // plan nodes the optimizer produces, and the CPU cost constants shared by
 // the optimizer's estimates and the executor's charging so that estimated
 // and measured times are mutually consistent.
+//
+// A Query is declarative — which tables, which predicates, which joins,
+// which aggregates — and is what workloads are written in (the TPC-H/TPC-C
+// substrates and the SQL front end both compile to it). A Plan is the
+// optimizer's executable answer: a tree of physical nodes (Node) with the
+// chosen access paths and join algorithms, plus the per-plan cost estimate
+// (Est) whose I/O profile is the estimator's unit of currency. Queries
+// validate themselves (Check) so malformed workloads fail before planning.
+//
+// The CPU constants at the bottom of this package are the single source of
+// truth for compute costs: the optimizer prices plans with them and the
+// executor charges them per tuple at runtime, which is why estimated and
+// measured elapsed times are comparable without calibration fudge.
 package plan
 
 import (
@@ -15,6 +28,7 @@ import (
 // CmpOp is a comparison operator in a table predicate.
 type CmpOp uint8
 
+// The comparison operators predicates support.
 const (
 	Eq CmpOp = iota
 	Lt
@@ -24,6 +38,7 @@ const (
 	Between // Lo <= col <= Hi
 )
 
+// String renders the operator in SQL spelling.
 func (o CmpOp) String() string {
 	switch o {
 	case Eq:
@@ -99,6 +114,7 @@ func (j EquiJoin) String() string {
 // AggFunc enumerates the supported aggregate functions.
 type AggFunc uint8
 
+// The supported aggregate functions.
 const (
 	Count AggFunc = iota
 	Sum
@@ -107,6 +123,7 @@ const (
 	Avg
 )
 
+// String renders the function in SQL spelling.
 func (f AggFunc) String() string {
 	switch f {
 	case Count:

@@ -105,6 +105,18 @@ func SweepConfigurations(base core.Input, grid Grid, opts core.Options) (*Choice
 // every class) are distinguished from the SLA case, so Choice.Best == -1 is
 // diagnosable per candidate instead of a bare "nothing fit".
 func InfeasibilityReason(cat *catalog.Catalog, box *device.Box, opts core.Options) string {
+	if r := CapacityInfeasibility(cat, box); r != "" {
+		return r
+	}
+	return fmt.Sprintf("SLA unmet: no evaluated layout satisfied the relative SLA %g within capacity — relax the SLA or add faster/larger classes", opts.RelativeSLA)
+}
+
+// CapacityInfeasibility reports the structural capacity problems a box has
+// with a catalog — the database outsizing the box, or a single object no
+// class can hold — and "" when capacity fits. It is the capacity-only
+// slice of InfeasibilityReason, for callers (serve's error bodies) that
+// must not imply anything about SLA evaluation.
+func CapacityInfeasibility(cat *catalog.Catalog, box *device.Box) string {
 	need := cat.TotalSize()
 	have := box.TotalCapacityBytes()
 	if need >= have {
@@ -122,5 +134,5 @@ func InfeasibilityReason(cat *catalog.Catalog, box *device.Box, opts core.Option
 				o.Name, float64(o.SizeBytes)/1e9, float64(maxDev)/1e9)
 		}
 	}
-	return fmt.Sprintf("SLA unmet: no evaluated layout satisfied the relative SLA %g within capacity — relax the SLA or add faster/larger classes", opts.RelativeSLA)
+	return ""
 }

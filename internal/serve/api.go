@@ -127,6 +127,11 @@ type HealthResponse struct {
 	Served        int64  `json:"served"`
 	CacheHits     int64  `json:"cache_hits"`
 	Rejected      int64  `json:"rejected"`
+	// Online advising counters: defined streams, profile windows ingested
+	// via /observe, and re-advise decisions that adopted a changed layout.
+	Streams   int   `json:"streams"`
+	Observed  int64 `json:"observed"`
+	ReAdvised int64 `json:"readvised"`
 }
 
 // compiled is a WorkloadSpec lowered onto the in-process model: a catalog,
@@ -281,6 +286,18 @@ func (c *compiled) renderLayout(l catalog.Layout) map[string]string {
 		}
 	}
 	return out
+}
+
+// objectsFingerprint digests only the object list (name, kind, grouping,
+// size). Online streams pin it at definition time: later /observe windows
+// must ship the identical schema, only the observation varies.
+func (c *compiled) objectsFingerprint() string {
+	f := workload.NewFingerprint()
+	f.Int(int64(len(c.spec.Objects)))
+	for _, o := range c.spec.Objects {
+		f.String(o.Name).String(o.Kind).String(o.Table).Int(o.SizeBytes)
+	}
+	return f.Sum()
 }
 
 // fingerprint digests the estimator-relevant content of the spec for cache

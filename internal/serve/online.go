@@ -1,0 +1,434 @@
+// Online advising endpoints: /observe ingests live profile windows into
+// per-stream online.Managers, /readvise runs the drift-gated incremental
+// re-optimization, and an optional background ticker re-advises every
+// stream on an interval — the serve-side half of the profile → drift →
+// re-advise loop (see internal/online).
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"dotprov/internal/core"
+	"dotprov/internal/device"
+	"dotprov/internal/iosim"
+	"dotprov/internal/online"
+	"dotprov/internal/provision"
+)
+
+// ObserveRequest ships one observed profile window for a stream. The first
+// observe for a stream defines it — objects, box, SLA, tuning — runs the
+// initial cold advise, and returns the layout to deploy; every subsequent
+// observe must re-send the identical object list (cheap, and it keeps the
+// endpoint stateless to operate) with the new window's I/O counts, CPU,
+// elapsed time and transaction count, and returns the drift verdict.
+type ObserveRequest struct {
+	// Stream names the workload stream; "" selects "default".
+	Stream string `json:"stream,omitempty"`
+	// Workload carries the object list (fixed per stream) and this window's
+	// observation: IO counts, cpu_millis, elapsed_millis, txns.
+	Workload WorkloadSpec `json:"workload"`
+	// Box / Classes / SLA / Alpha configure the stream on first observe
+	// (same semantics as AdviseRequest); ignored afterwards.
+	Box     string   `json:"box,omitempty"`
+	Classes []string `json:"classes,omitempty"`
+	SLA     float64  `json:"sla,omitempty"`
+	Alpha   float64  `json:"alpha,omitempty"`
+	// DriftThreshold, AggregateWindows and HeadroomFraction tune the
+	// stream's online manager on first observe (0 selects the online
+	// package defaults).
+	DriftThreshold   float64 `json:"drift_threshold,omitempty"`
+	AggregateWindows int     `json:"aggregate_windows,omitempty"`
+	HeadroomFraction float64 `json:"headroom_fraction,omitempty"`
+}
+
+// DriftOut is the wire form of online.Drift.
+type DriftOut struct {
+	Divergence     float64 `json:"divergence"`
+	Drifted        bool    `json:"drifted"`
+	Thin           bool    `json:"thin,omitempty"`
+	RefFingerprint string  `json:"ref_fingerprint,omitempty"`
+	ObsFingerprint string  `json:"obs_fingerprint,omitempty"`
+}
+
+// ObserveResponse reports an observe outcome. Initialized is true on the
+// first observe of a stream, and Layout then carries the initial
+// recommendation; later observes carry the drift verdict of the window
+// against the stream's reference profile.
+type ObserveResponse struct {
+	Stream      string            `json:"stream"`
+	Initialized bool              `json:"initialized"`
+	Windows     int64             `json:"windows"` // lifetime windows ingested
+	Feasible    bool              `json:"feasible"`
+	Failure     string            `json:"failure,omitempty"`
+	Layout      map[string]string `json:"layout,omitempty"`
+	TOCCents    float64           `json:"toc_cents,omitempty"`
+	Drift       *DriftOut         `json:"drift,omitempty"`
+}
+
+// ReadviseRequest asks a stream to re-advise now. Without Force the layout
+// only changes when the drift detector fires.
+type ReadviseRequest struct {
+	Stream string `json:"stream,omitempty"`
+	Force  bool   `json:"force,omitempty"`
+}
+
+// ReadviseResponse reports one re-advise decision.
+type ReadviseResponse struct {
+	Stream string   `json:"stream"`
+	Drift  DriftOut `json:"drift"`
+	// ReAdvised is true when a changed layout was adopted; Incremental
+	// marks it came from the seeded migration-gated search rather than the
+	// cold fallback.
+	ReAdvised   bool              `json:"readvised"`
+	Incremental bool              `json:"incremental,omitempty"`
+	Feasible    bool              `json:"feasible"`
+	Failure     string            `json:"failure,omitempty"`
+	Layout      map[string]string `json:"layout,omitempty"`
+	// Migration prices the adopted transition.
+	MovedObjects    int     `json:"moved_objects,omitempty"`
+	MovedBytes      int64   `json:"moved_bytes,omitempty"`
+	MigrationMillis float64 `json:"migration_millis,omitempty"`
+	// Search statistics of the decision (absent when no search ran).
+	Evaluated         int     `json:"evaluated,omitempty"`
+	EstimatorCalls    int     `json:"estimator_calls,omitempty"`
+	PlanMillis        float64 `json:"plan_millis,omitempty"`
+	TOCCents          float64 `json:"toc_cents,omitempty"`
+	ElapsedMillis     float64 `json:"elapsed_millis,omitempty"`
+	ThroughputPerHour float64 `json:"throughput_per_hour,omitempty"`
+}
+
+// stream is one online-advised workload: the compiled object mapping
+// (frozen at initialization) and its manager. Its mutex serializes
+// initialization against observation.
+type stream struct {
+	mu    sync.Mutex
+	name  string
+	objFP string
+	comp  *compiled
+	mgr   *online.Manager
+}
+
+// getStream returns the named stream, creating it (uninitialized) when
+// absent and capacity allows.
+func (s *Server) getStream(name string) (*stream, error) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	if st, ok := s.streams[name]; ok {
+		return st, nil
+	}
+	if len(s.streams) >= s.cfg.MaxStreams {
+		return nil, fmt.Errorf("stream capacity reached (%d); reuse an existing stream or restart dotserve with a larger -max-streams", s.cfg.MaxStreams)
+	}
+	st := &stream{name: name}
+	s.streams[name] = st
+	return st, nil
+}
+
+// dropStream unregisters a stream if the registry still maps its name to
+// this exact instance (a racing re-definition may have replaced it).
+func (s *Server) dropStream(st *stream) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	if cur, ok := s.streams[st.name]; ok && cur == st {
+		delete(s.streams, st.name)
+	}
+}
+
+// registerStream (re-)inserts an initialized stream. The slot was reserved
+// by getStream; re-inserting after a successful init also heals the rare
+// race where a failed concurrent definition dropped the entry while this
+// one was waiting on st.mu. If a racing definition already re-took the
+// name with a DIFFERENT instance, that one wins — never clobber a
+// registered stream's manager and window history.
+func (s *Server) registerStream(st *stream) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	if cur, ok := s.streams[st.name]; ok && cur != st {
+		return
+	}
+	s.streams[st.name] = st
+}
+
+// snapshotStreams copies the stream list for the ticker (never hold
+// streamMu across a re-advise).
+func (s *Server) snapshotStreams() []*stream {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	out := make([]*stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		out = append(out, st)
+	}
+	return out
+}
+
+func streamName(name string) string {
+	if name == "" {
+		return "default"
+	}
+	return name
+}
+
+// window lowers the spec's observation onto an online.Window over the
+// stream's object IDs (object lists are identical, so the freshly compiled
+// profile's IDs align with the stream catalog's).
+func (c *compiled) window() online.Window {
+	return online.Window{
+		Profile: c.profile,
+		CPU:     time.Duration(c.spec.CPUMillis * float64(time.Millisecond)),
+		Elapsed: time.Duration(c.spec.ElapsedMillis * float64(time.Millisecond)),
+		Txns:    c.spec.Txns,
+	}
+}
+
+func driftOut(d online.Drift) DriftOut {
+	return DriftOut{
+		Divergence:     d.Divergence,
+		Drifted:        d.Drifted,
+		Thin:           d.Thin,
+		RefFingerprint: d.RefFingerprint,
+		ObsFingerprint: d.ObsFingerprint,
+	}
+}
+
+func (s *Server) handleObserve(body []byte) (any, int, error) {
+	req, err := decode[ObserveRequest](body)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	name := streamName(req.Stream)
+	comp, err := compileWorkload(req.Workload)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	st, err := s.getStream(name)
+	if err != nil {
+		return nil, http.StatusTooManyRequests, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.mgr == nil {
+		v, status, err := s.initStream(st, req, comp)
+		if st.mgr == nil {
+			// Initialization did not complete (bad config, infeasible
+			// advise): release the stream slot so failed definitions cannot
+			// exhaust MaxStreams. We still hold st.mu, so a concurrent
+			// definer of the same name re-registers via initStream's
+			// success path after us.
+			s.dropStream(st)
+		}
+		return v, status, err
+	}
+	if fp := comp.objectsFingerprint(); fp != st.objFP {
+		return nil, http.StatusConflict,
+			fmt.Errorf("stream %q: object list differs from the stream's definition (got %s, want %s); use a new stream for a changed schema", name, fp[:12], st.objFP[:12])
+	}
+	// Translate the incoming profile onto the stream's object IDs by name:
+	// IDs are assigned in declaration order so they coincide, but mapping
+	// by name keeps the stream correct even if that invariant ever bends.
+	w := comp.window()
+	w.Profile = st.comp.renameProfile(comp, w.Profile)
+	st.mgr.Observe(w)
+	s.observed.Add(1)
+	dr, _, err := st.mgr.Check()
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	d := driftOut(dr)
+	return ObserveResponse{
+		Stream:   name,
+		Windows:  st.mgr.Stats().WindowsClosed,
+		Feasible: true,
+		Drift:    &d,
+	}, http.StatusOK, nil
+}
+
+// initStream defines a stream from its first observe: builds the manager,
+// ingests the first window and runs the initial cold advise. Callers hold
+// st.mu.
+func (s *Server) initStream(st *stream, req ObserveRequest, comp *compiled) (any, int, error) {
+	if err := validSLA(req.SLA); err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("first observe for stream %q must configure the stream: %w", st.name, err)
+	}
+	box, err := parseBox(AdviseRequest{Box: req.Box, Classes: req.Classes})
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	cfg := online.Config{
+		Cat:              comp.cat,
+		Box:              box,
+		Concurrency:      comp.concurrency(),
+		SLA:              req.SLA,
+		AggregateWindows: req.AggregateWindows,
+		DriftThreshold:   req.DriftThreshold,
+		HeadroomFraction: req.HeadroomFraction,
+		Budget:           s.budget,
+	}
+	if req.Alpha != 0 {
+		model, compactModel, err := provision.DiscreteCostModels(comp.cat, box, req.Alpha)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		cfg.LayoutCost = model
+		cfg.LayoutCostCompact = compactModel
+	}
+	mgr, err := online.NewManager(cfg)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	mgr.Observe(comp.window())
+	s.observed.Add(1)
+	dec, err := mgr.Advise()
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	resp := ObserveResponse{
+		Stream:      st.name,
+		Initialized: true,
+		Windows:     mgr.Stats().WindowsClosed,
+		Feasible:    dec.Feasible,
+	}
+	if !dec.Feasible {
+		// The stream stays UNDEFINED — the next observe must re-send the
+		// configuration (e.g. at a corrected SLA) — so the wire flag must
+		// say so.
+		resp.Initialized = false
+		resp.Failure = provision.InfeasibilityReason(comp.cat, box, coreOptions(req.SLA))
+		return resp, http.StatusOK, nil
+	}
+	resp.Layout = comp.renderLayout(dec.To)
+	resp.TOCCents = dec.Result.TOCCents
+	st.comp = comp
+	st.objFP = comp.objectsFingerprint()
+	st.mgr = mgr
+	s.registerStream(st)
+	return resp, http.StatusOK, nil
+}
+
+func (s *Server) handleReadvise(body []byte) (any, int, error) {
+	req, err := decode[ReadviseRequest](body)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	name := streamName(req.Stream)
+	s.streamMu.Lock()
+	st, ok := s.streams[name]
+	s.streamMu.Unlock()
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown stream %q (define it with /observe first)", name)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.mgr == nil {
+		return nil, http.StatusConflict, fmt.Errorf("stream %q has no feasible initial advise yet", name)
+	}
+	dec, err := st.mgr.ReAdvise(req.Force)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	resp := s.readviseResponse(st, dec)
+	return resp, http.StatusOK, nil
+}
+
+// readviseResponse lowers a decision onto the wire form. Callers hold
+// st.mu.
+func (s *Server) readviseResponse(st *stream, dec *online.Decision) ReadviseResponse {
+	resp := ReadviseResponse{
+		Stream:      st.name,
+		Drift:       driftOut(dec.Drift),
+		ReAdvised:   dec.ReAdvised,
+		Incremental: dec.Incremental,
+		// A decision that ran no search (no drift, thin window) makes no
+		// feasibility claim: the deployed layout stands, report it fine.
+		Feasible: dec.Feasible || dec.Result == nil,
+	}
+	if dec.Result != nil {
+		resp.Evaluated = dec.Result.Evaluated
+		resp.EstimatorCalls = dec.Result.EstimatorCalls
+		resp.PlanMillis = float64(dec.Result.PlanTime) / float64(time.Millisecond)
+		resp.TOCCents = dec.Result.TOCCents
+		resp.ElapsedMillis = float64(dec.Result.Metrics.Elapsed) / float64(time.Millisecond)
+		resp.ThroughputPerHour = dec.Result.Metrics.Throughput
+		if !dec.Feasible {
+			resp.Failure = "no feasible layout under the drifted profile — SLA unmet even by a full re-search; the deployed layout is unchanged"
+		}
+	}
+	if dec.ReAdvised {
+		resp.Layout = st.comp.renderLayout(dec.To)
+		resp.MovedObjects = len(dec.Migration.Moves)
+		resp.MovedBytes = dec.Migration.Bytes
+		resp.MigrationMillis = float64(dec.Migration.Time) / float64(time.Millisecond)
+		s.readvised.Add(1)
+	}
+	return resp
+}
+
+// readviseTicker is the background loop: every interval, re-advise every
+// initialized stream (drift-gated, never forced) and log the decisions.
+func (s *Server) readviseTicker(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			for _, st := range s.snapshotStreams() {
+				st.mu.Lock()
+				if st.mgr == nil {
+					st.mu.Unlock()
+					continue
+				}
+				dec, err := st.mgr.ReAdvise(false)
+				if err != nil {
+					s.logf("readvise stream=%s error: %v", st.name, err)
+					st.mu.Unlock()
+					continue
+				}
+				resp := s.readviseResponse(st, dec)
+				st.mu.Unlock()
+				if dec.ReAdvised {
+					s.logf("readvise stream=%s drifted divergence=%.3f moved=%d bytes=%d migration=%v toc=%.4e evaluated=%d incremental=%v",
+						st.name, dec.Drift.Divergence, resp.MovedObjects, resp.MovedBytes,
+						dec.Migration.Time.Round(time.Millisecond), resp.TOCCents, resp.Evaluated, dec.Incremental)
+				} else if dec.Drift.Drifted {
+					s.logf("readvise stream=%s drifted divergence=%.3f but layout confirmed (evaluated=%d feasible=%v)",
+						st.name, dec.Drift.Divergence, resp.Evaluated, dec.Feasible)
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// renameProfile maps a profile compiled against other's catalog onto the
+// receiver's object IDs by object name.
+func (c *compiled) renameProfile(other *compiled, p iosim.Profile) iosim.Profile {
+	out := iosim.NewProfile()
+	for id, v := range p {
+		name, ok := other.names[id]
+		if !ok {
+			continue
+		}
+		o := c.cat.Lookup(name)
+		if o == nil {
+			continue
+		}
+		for _, t := range device.AllIOTypes {
+			if v[t] > 0 {
+				out.Add(o.ID, t, v[t])
+			}
+		}
+	}
+	return out
+}
+
+// coreOptions is the shared lowering of a request SLA onto core.Options.
+func coreOptions(sla float64) core.Options { return core.Options{RelativeSLA: sla} }

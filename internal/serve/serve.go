@@ -7,6 +7,8 @@
 //
 //	POST /advise     — single-workload DOT on a fixed box (§3)
 //	POST /provision  — full configuration sweep over a device grid (§5)
+//	POST /observe    — ingest a live profile window for an online stream
+//	POST /readvise   — drift-gated incremental re-advise of a stream
 //	GET  /healthz    — liveness + counters
 //
 // The server bounds concurrent optimization requests (excess requests get
@@ -17,14 +19,17 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"dotprov/internal/core"
+	"dotprov/internal/device"
 	"dotprov/internal/provision"
 	"dotprov/internal/search"
 )
@@ -45,6 +50,18 @@ type Config struct {
 	// oversubscribe the machine MaxConcurrent-fold. Results are identical
 	// at any width.
 	Workers int
+	// MaxStreams bounds how many online streams /observe may define
+	// (default 8); each stream retains rolling profile windows and a
+	// deployed layout.
+	MaxStreams int
+	// ReadviseEvery, when positive, starts the background re-advise
+	// ticker: every interval each initialized stream runs a drift-gated
+	// (never forced) re-advise, sharing the server's search worker budget.
+	// Stop it with Close.
+	ReadviseEvery time.Duration
+	// Logf, when set, receives one line per background re-advise decision
+	// (cmd/dotserve wires log.Printf). Nil silences the ticker.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 8
 	}
 	return c
 }
@@ -77,18 +97,40 @@ type Server struct {
 	served   atomic.Int64
 	hits     atomic.Int64
 	rejected atomic.Int64
+
+	// Online streams (see online.go): defined by /observe, re-advised by
+	// /readvise and the background ticker.
+	streamMu  sync.Mutex
+	streams   map[string]*stream
+	observed  atomic.Int64
+	readvised atomic.Int64
+	stop      chan struct{}
+	closeOnce sync.Once
 }
 
-// New builds a server.
+// New builds a server. When cfg.ReadviseEvery is positive the background
+// re-advise ticker starts immediately; stop it with Close.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
-		cfg:    cfg,
-		sem:    make(chan struct{}, cfg.MaxConcurrent),
-		budget: search.NewBudget(cfg.Workers),
-		cache:  newLRU(cfg.CacheEntries),
-		start:  time.Now(),
+	s := &Server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		budget:  search.NewBudget(cfg.Workers),
+		cache:   newLRU(cfg.CacheEntries),
+		start:   time.Now(),
+		streams: make(map[string]*stream),
+		stop:    make(chan struct{}),
 	}
+	if cfg.ReadviseEvery > 0 {
+		go s.readviseTicker(cfg.ReadviseEvery)
+	}
+	return s
+}
+
+// Close stops the background re-advise ticker (if any). The HTTP handler
+// itself stays usable; Close is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.stop) })
 }
 
 // Handler returns the routed HTTP handler.
@@ -97,6 +139,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /advise", s.bounded(s.handleAdvise))
 	mux.HandleFunc("POST /provision", s.bounded(s.handleProvision))
+	mux.HandleFunc("POST /observe", s.bounded(s.handleObserve))
+	mux.HandleFunc("POST /readvise", s.bounded(s.handleReadvise))
 	return mux
 }
 
@@ -112,7 +156,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 type apiError struct {
 	Error string `json:"error"`
+	// Failure carries the advisor's infeasibility diagnostic when one is
+	// known — the same provision.InfeasibilityReason text sweeps attach per
+	// candidate — so clients of a failed optimization see WHY (over
+	// capacity vs SLA unmet), not just that it failed.
+	Failure string `json:"failure,omitempty"`
 }
+
+// failureError pairs an error with the client-visible infeasibility
+// diagnostic; bounded() lifts it into apiError.Failure.
+type failureError struct {
+	err     error
+	failure string
+}
+
+func (e *failureError) Error() string { return e.err.Error() }
+func (e *failureError) Unwrap() error { return e.err }
 
 // bounded wraps an optimization handler with the concurrency gate and the
 // per-request timeout. The request body is read on the request goroutine
@@ -159,7 +218,12 @@ func (s *Server) bounded(fn func(body []byte) (any, int, error)) http.HandlerFun
 		select {
 		case out := <-done:
 			if out.err != nil {
-				writeJSON(w, out.status, apiError{Error: out.err.Error()})
+				e := apiError{Error: out.err.Error()}
+				var fe *failureError
+				if errors.As(out.err, &fe) {
+					e.Failure = fe.failure
+				}
+				writeJSON(w, out.status, e)
 				return
 			}
 			writeJSON(w, out.status, out.v)
@@ -169,6 +233,17 @@ func (s *Server) bounded(fn func(body []byte) (any, int, error)) http.HandlerFun
 			// Client went away; nothing useful to write.
 		}
 	}
+}
+
+// capacityDiagnostic returns the advisor's infeasibility diagnosis for a
+// FAILED (errored) optimization, but only when it identifies a concrete
+// capacity problem. The SLA-unmet diagnosis is deliberately not attached
+// here: it claims "no evaluated layout satisfied the relative SLA", which
+// is not something an errored run established — there the error itself is
+// the diagnosis. (Infeasible but successful runs report the full
+// InfeasibilityReason in their 200 body.)
+func capacityDiagnostic(comp *compiled, box *device.Box, _ core.Options) string {
+	return provision.CapacityInfeasibility(comp.cat, box)
 }
 
 func decode[T any](body []byte) (T, error) {
@@ -187,12 +262,18 @@ func validSLA(sla float64) error {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.streamMu.Lock()
+	streams := len(s.streams)
+	s.streamMu.Unlock()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
 		Served:        s.served.Load(),
 		CacheHits:     s.hits.Load(),
 		Rejected:      s.rejected.Load(),
+		Streams:       streams,
+		Observed:      s.observed.Load(),
+		ReAdvised:     s.readvised.Load(),
 	})
 }
 
@@ -227,7 +308,8 @@ func (s *Server) handleAdvise(body []byte) (any, int, error) {
 	opts := core.Options{RelativeSLA: req.SLA}
 	res, err := core.OptimizeBest(in, opts)
 	if err != nil {
-		return nil, http.StatusUnprocessableEntity, err
+		return nil, http.StatusUnprocessableEntity,
+			&failureError{err: err, failure: capacityDiagnostic(comp, box, opts)}
 	}
 	resp := AdviseResponse{
 		Feasible:       res.Feasible,
@@ -276,7 +358,8 @@ func (s *Server) handleProvision(body []byte) (any, int, error) {
 	opts := core.Options{RelativeSLA: req.SLA}
 	choice, err := provision.SweepConfigurations(base, grid, opts)
 	if err != nil {
-		return nil, http.StatusUnprocessableEntity, err
+		return nil, http.StatusUnprocessableEntity,
+			&failureError{err: err, failure: capacityDiagnostic(comp, grid.Universe(), opts)}
 	}
 	resp := &ProvisionResponse{
 		Best:           choice.Best,

@@ -21,6 +21,7 @@ const (
 	KindDate               // days since 1970-01-01, stored as int64
 )
 
+// String renders the kind as its SQL type name.
 func (k Kind) String() string {
 	switch k {
 	case KindInt:

@@ -2,11 +2,17 @@
 # benchguard.sh — compiled-path benchmark regression gate.
 #
 # Runs the map-vs-compiled microbenchmarks (DOT planning, M^N exhaustive,
-# compiled IOTime, memo keys), converts the results to JSON (first
-# argument, default bench.json), and asserts the map and compiled variants
-# of each benchmark report IDENTICAL est-calls and evaluated metrics: the
-# compiled path is a mechanical speedup, not a different search, so any
-# count drift is a correctness regression, not noise.
+# compiled IOTime, memo keys, online re-advise), converts the results to
+# JSON (first argument, default bench.json), and asserts
+#
+#   1. the map and compiled variants of each benchmark report IDENTICAL
+#      est-calls and evaluated metrics: the compiled path is a mechanical
+#      speedup, not a different search, so any count drift is a
+#      correctness regression, not noise; and
+#   2. the seeded incremental re-advise (BenchmarkReAdvise) evaluates
+#      STRICTLY FEWER candidates than the cold re-search of the same
+#      drifted profile (BenchmarkReAdviseCold) — the point of online
+#      re-advising is that a small drift costs a small search.
 #
 # BENCHTIME controls -benchtime (default 1x: CI smoke; use e.g. 20x for a
 # recorded snapshot).
@@ -17,7 +23,7 @@ out="${1:-bench.json}"
 benchtime="${BENCHTIME:-1x}"
 
 raw=$(go test -run '^$' \
-  -bench 'BenchmarkDOTOptimize|BenchmarkExhaustive$|BenchmarkExhaustivePruned|BenchmarkIOTimeCompiledVsMap|BenchmarkMemoKey' \
+  -bench 'BenchmarkDOTOptimize|BenchmarkExhaustive$|BenchmarkExhaustivePruned|BenchmarkIOTimeCompiledVsMap|BenchmarkMemoKey|BenchmarkReAdvise' \
   -benchmem -benchtime "$benchtime" .)
 echo "$raw"
 
@@ -66,4 +72,26 @@ END {
   if (pairs == 0) { print "benchguard: no map/compiled pairs found — benchmark names changed?"; exit 1 }
   if (bad) exit 1
   printf("benchguard OK: est-calls/evaluated identical across %d map/compiled pairs\n", pairs)
+}'
+
+echo "$raw" | awk '
+/^BenchmarkReAdvise/ {
+  name=$1; sub(/-[0-9]+$/, "", name)
+  if (name !~ /\/compiled$/) next
+  ev=""
+  for (i=3; i<NF; i++) if ($(i+1)=="evaluated") ev=$i
+  if (ev=="") next
+  size=name; sub(/^BenchmarkReAdviseCold\//, "", size); sub(/^BenchmarkReAdvise\//, "", size); sub(/\/compiled$/, "", size)
+  if (name ~ /^BenchmarkReAdviseCold\//) cold[size]=ev; else inc[size]=ev
+}
+END {
+  pairs=0; bad=0
+  for (s in inc) {
+    if (!(s in cold)) continue
+    pairs++
+    if (inc[s]+0 >= cold[s]+0) { printf("REGRESSION: incremental re-advise %s evaluated %s, cold %s\n", s, inc[s], cold[s]); bad=1 }
+  }
+  if (pairs == 0) { print "benchguard: no ReAdvise incremental/cold pairs found — benchmark names changed?"; exit 1 }
+  if (bad) exit 1
+  printf("benchguard OK: incremental re-advise evaluates fewer candidates than cold across %d sizes\n", pairs)
 }'

@@ -1,0 +1,174 @@
+// Command godoclint is the repository's godoc lint: it fails when an
+// exported identifier (or a package) lacks a doc comment, the same
+// contract as revive's "exported" rule, implemented on the standard
+// library only so CI needs no third-party tools.
+//
+//	go run ./scripts/godoclint <dir> [dir...]
+//
+// Each argument is walked recursively; every directory containing
+// non-test Go files is checked as a package. Violations print one line
+// each (file:line: message) and the exit status is 1 when any exist.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: godoclint <dir> [dir...]")
+		os.Exit(2)
+	}
+	dirs := map[string]bool{}
+	for _, root := range os.Args[1:] {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				dirs[filepath.Dir(path)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "godoclint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	bad := 0
+	for _, dir := range sorted {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "godoclint: %d undocumented exported identifiers\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir checks one directory's package and reports the violation count.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "godoclint: %v\n", err)
+		return 1
+	}
+	var files []*ast.File
+	hasPkgDoc := false
+	pkgName := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "godoclint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+		pkgName = f.Name.Name
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			hasPkgDoc = true
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	bad := 0
+	if !hasPkgDoc {
+		fmt.Printf("%s: package %s has no package comment\n", dir, pkgName)
+		bad++
+	}
+	for _, f := range files {
+		bad += lintFile(fset, f)
+	}
+	return bad
+}
+
+// lintFile reports exported declarations without doc comments in one file.
+func lintFile(fset *token.FileSet, f *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, format string, args ...any) {
+		fmt.Printf("%s: %s\n", fset.Position(pos), fmt.Sprintf(format, args...))
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil {
+				// Methods: only exported receivers form API surface.
+				if recv := receiverName(d.Recv); recv != "" && !ast.IsExported(recv) {
+					continue
+				}
+				report(d.Pos(), "exported method %s.%s has no doc comment", receiverName(d.Recv), d.Name.Name)
+				continue
+			}
+			report(d.Pos(), "exported function %s has no doc comment", d.Name.Name)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil {
+						report(sp.Pos(), "exported type %s has no doc comment", sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A doc comment on the const/var block covers every
+					// name in it (the grouped-constants idiom).
+					if d.Doc != nil || sp.Doc != nil || sp.Comment != nil {
+						continue
+					}
+					for _, n := range sp.Names {
+						if n.IsExported() {
+							report(n.Pos(), "exported %s %s has no doc comment", d.Tok, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// receiverName extracts the receiver's base type name.
+func receiverName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}

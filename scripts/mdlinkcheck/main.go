@@ -1,0 +1,62 @@
+// Command mdlinkcheck validates the repository's markdown cross-links: for
+// every inline link [text](target) in the given files, relative targets
+// must resolve to an existing file or directory (fragments are stripped;
+// http/https/mailto links are not fetched). Standard library only, so CI
+// needs no third-party tools.
+//
+//	go run ./scripts/mdlinkcheck README.md ARCHITECTURE.md ...
+//
+// Violations print one line each and the exit status is 1 when any exist.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links, skipping images. The target group
+// stops at the first closing parenthesis, which is fine for this
+// repository's plain file links.
+var linkRE = regexp.MustCompile(`[^!]\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdlinkcheck <file.md> [file.md...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		content, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdlinkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		dir := filepath.Dir(path)
+		for i, line := range strings.Split(string(content), "\n") {
+			for _, m := range linkRE.FindAllStringSubmatch(" "+line, -1) {
+				target := m[1]
+				if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+					strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+					fmt.Printf("%s:%d: broken link %q\n", path, i+1, m[1])
+					bad++
+				}
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "mdlinkcheck: %d broken links\n", bad)
+		os.Exit(1)
+	}
+}
