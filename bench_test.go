@@ -502,3 +502,78 @@ func BenchmarkReAdviseCold(b *testing.B) {
 		})
 	}
 }
+
+// ---- Partition-granularity benchmarks -------------------------------------
+//
+// The Zipf hot/cold fixture (workload.Skewed via bench.SkewFixtureInput)
+// advised at object vs partition granularity on the same box and SLA. Both
+// report the layout storage cost as a custom metric; benchguard asserts
+// the partitioned cost stays at or below the object-granular cost at equal
+// SLA, and that the unit path's map and compiled variants report identical
+// est-calls/evaluated (the compact/delta machinery is granularity-blind).
+
+// skewVariants runs the fixture's optimization on the map and compiled
+// paths, reporting search counts plus the achieved storage cost.
+func skewVariants(b *testing.B, run func(core.Input, *workload.SkewedFixture) (*core.Result, float64, error)) {
+	in, fx, err := bench.SkewFixtureInput(device.Box2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		name      string
+		noCompile bool
+	}{{"map", true}, {"compiled", false}} {
+		b.Run(v.name, func(b *testing.B) {
+			vin := in
+			vin.NoCompile = v.noCompile
+			b.ReportAllocs()
+			var res *core.Result
+			var storage float64
+			for i := 0; i < b.N; i++ {
+				if res, storage, err = run(vin, fx); err != nil {
+					b.Fatal(err)
+				}
+				if !res.Feasible {
+					// An infeasible result would price a nil layout as 0
+					// cents and let benchguard's skew gate pass vacuously;
+					// fail with the real cause instead.
+					b.Fatalf("skew fixture infeasible at SLA %g", bench.SkewSLA)
+				}
+			}
+			b.ReportMetric(float64(res.EstimatorCalls), "est-calls")
+			b.ReportMetric(float64(res.Evaluated), "evaluated")
+			b.ReportMetric(storage*1e6, "microcents-storage")
+		})
+	}
+}
+
+// BenchmarkObjectGranularDOT is the object-granular yardstick on the skew
+// fixture.
+func BenchmarkObjectGranularDOT(b *testing.B) {
+	skewVariants(b, func(in core.Input, _ *workload.SkewedFixture) (*core.Result, float64, error) {
+		res, err := core.OptimizeBest(in, core.Options{RelativeSLA: bench.SkewSLA})
+		if err != nil {
+			return nil, 0, err
+		}
+		cost, err := res.Layout.CostCentsPerHour(in.Cat, in.Box)
+		return res, cost, err
+	})
+}
+
+// BenchmarkPartitionedDOT advises the same fixture at partition
+// granularity: the catalog splits into heat-based units and DOT places
+// them independently.
+func BenchmarkPartitionedDOT(b *testing.B) {
+	skewVariants(b, func(in core.Input, fx *workload.SkewedFixture) (*core.Result, float64, error) {
+		pt, err := catalog.BuildPartitioning(fx.Cat, fx.Stats, catalog.PartitionOptions{})
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err := core.OptimizePartitioned(in, pt, core.Options{RelativeSLA: bench.SkewSLA})
+		if err != nil {
+			return nil, 0, err
+		}
+		cost, err := res.Layout.CostCentsPerHour(pt.UnitCatalog(), in.Box)
+		return res.Result, cost, err
+	})
+}

@@ -8,9 +8,14 @@
 //	dotadvisor -workload tpch -box 1 -sla 0.5
 //	dotadvisor -workload tpch-mod -box 2 -sla 0.25 -sf 0.01
 //	dotadvisor -workload tpcc -box 2 -sla 0.125 -workers 16
+//	dotadvisor -workload tpcc -granularity partition -sla 0.25
 //
 // -search-workers controls the layout-search engine's evaluation fan-out
 // (default: all CPUs); results are identical at any width.
+// -granularity partition (tpcc only) splits objects into heat-based
+// page-range units from the test run's live extent statistics and places
+// the units independently, so a hot head can stay on fast storage while
+// its cold tail ships to a cheap class.
 package main
 
 import (
@@ -18,12 +23,15 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"dotprov/internal/catalog"
 	"dotprov/internal/core"
 	"dotprov/internal/device"
 	"dotprov/internal/engine"
+	"dotprov/internal/online"
 	"dotprov/internal/profiler"
 	"dotprov/internal/sql"
 	"dotprov/internal/tpcc"
@@ -42,15 +50,16 @@ func main() {
 		seed      = flag.Int64("seed", 42, "generation seed")
 		schemaSQL = flag.String("schema", "", "sql workload: path to a script with CREATE TABLE/INDEX and INSERT statements")
 		queries   = flag.String("queries", "", "sql workload: path to a script of SELECT statements")
+		gran      = flag.String("granularity", "object", "placement granularity: object, or partition (tpcc only: per-unit placement from the test run's extent heat)")
 	)
 	flag.Parse()
-	if err := run(*wl, *boxNo, *sla, *sf, *workers, *searchW, *seed, *schemaSQL, *queries); err != nil {
+	if err := run(*wl, *boxNo, *sla, *sf, *workers, *searchW, *seed, *schemaSQL, *queries, *gran); err != nil {
 		fmt.Fprintf(os.Stderr, "dotadvisor: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl string, boxNo int, sla, sf float64, workers, searchWorkers int, seed int64, schemaSQL, queries string) error {
+func run(wl string, boxNo int, sla, sf float64, workers, searchWorkers int, seed int64, schemaSQL, queries, granularity string) error {
 	var box *device.Box
 	switch boxNo {
 	case 1:
@@ -60,12 +69,23 @@ func run(wl string, boxNo int, sla, sf float64, workers, searchWorkers int, seed
 	default:
 		return fmt.Errorf("unknown box %d (want 1 or 2)", boxNo)
 	}
+	partitioned := false
+	switch granularity {
+	case "", "object":
+	case "partition":
+		partitioned = true
+		if wl != "tpcc" {
+			return fmt.Errorf("partition granularity needs the profile-driven tpcc workload (the DSS paths re-plan per layout and cannot apportion)")
+		}
+	default:
+		return fmt.Errorf("unknown granularity %q (want object or partition)", granularity)
+	}
 	fmt.Printf("box: %s — %v\n", box.Name, box.Classes())
 	switch wl {
 	case "tpch", "tpch-mod":
 		return adviseTPCH(box, wl == "tpch-mod", sla, sf, seed, searchWorkers)
 	case "tpcc":
-		return adviseTPCC(box, sla, workers, searchWorkers, seed)
+		return adviseTPCC(box, sla, workers, searchWorkers, seed, partitioned)
 	case "sql":
 		if schemaSQL == "" || queries == "" {
 			return fmt.Errorf("the sql workload needs -schema and -queries files")
@@ -170,7 +190,7 @@ func (r *runner) Run(l catalog.Layout) (workload.Observation, error) {
 	return r.w.RunDetailed(r.db)
 }
 
-func adviseTPCC(box *device.Box, sla float64, workers, searchWorkers int, seed int64) error {
+func adviseTPCC(box *device.Box, sla float64, workers, searchWorkers int, seed int64, partitioned bool) error {
 	db := engine.New(box, engine.DefaultPoolPages)
 	cfg := tpcc.DefaultConfig()
 	cfg.Seed = seed
@@ -182,12 +202,23 @@ func adviseTPCC(box *device.Box, sla float64, workers, searchWorkers int, seed i
 	if err := db.SetLayout(catalog.NewUniformLayout(db.Cat, device.HSSD)); err != nil {
 		return err
 	}
+	// At partition granularity the collector tap captures the test run's
+	// page-located charges — the per-extent heat statistics the partitioner
+	// splits on. Object-granular runs skip the tap: mirroring every charge
+	// through the collector's mutex would be pure contention for data the
+	// object path never reads.
+	var col *online.Collector
+	if partitioned {
+		col = online.NewCollector(1)
+		db.SetTap(col)
+	}
 	driver := &tpcc.Driver{Cfg: cfg, Workers: workers, Period: 500 * time.Millisecond, Seed: seed}
 	fmt.Printf("test run on All H-SSD (%d workers)...\n", workers)
 	probe, err := driver.Run(db)
 	if err != nil {
 		return err
 	}
+	db.SetTap(nil)
 	fmt.Printf("baseline: %.0f tpmC over %d transactions\n", probe.TpmC, probe.TotalTxns)
 	est, err := driver.Estimator(db, probe)
 	if err != nil {
@@ -196,7 +227,11 @@ func adviseTPCC(box *device.Box, sla float64, workers, searchWorkers int, seed i
 	ps := core.NewProfileSet()
 	ps.SetSingle(probe.Profile)
 	in := core.Input{Cat: db.Cat, Box: box, Est: est, Profiles: ps, Concurrency: workers, Workers: searchWorkers}
-	res, err := core.OptimizeBest(in, core.Options{RelativeSLA: sla, Baseline: &probe.Metrics})
+	opts := core.Options{RelativeSLA: sla, Baseline: &probe.Metrics}
+	if partitioned {
+		return adviseTPCCPartitioned(db, box, in, opts, col)
+	}
+	res, err := core.OptimizeBest(in, opts)
 	if err != nil {
 		return err
 	}
@@ -216,13 +251,58 @@ func adviseTPCC(box *device.Box, sla float64, workers, searchWorkers int, seed i
 	return nil
 }
 
+// adviseTPCCPartitioned is the partition-granular tail of adviseTPCC: the
+// catalog is split on the test run's extent heat and the search places the
+// units independently. The execution engine applies object-granular
+// layouts, so the recommendation is reported (with its storage saving over
+// the object-granular optimum) rather than validated in place.
+func adviseTPCCPartitioned(db *engine.DB, box *device.Box, in core.Input, opts core.Options, col *online.Collector) error {
+	pt, err := catalog.BuildPartitioning(db.Cat, col.ExtentStats(), catalog.PartitionOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("partitioned %d objects into %d placement units from live extent heat\n",
+		db.Cat.NumObjects(), pt.NumUnits())
+	obj, err := core.OptimizeBest(in, opts)
+	if err != nil {
+		return err
+	}
+	pres, err := core.OptimizePartitioned(in, pt, opts)
+	if err != nil {
+		return err
+	}
+	if !pres.Feasible {
+		fmt.Println("NO FEASIBLE PARTITIONED LAYOUT — relax the SLA or add capacity")
+		return nil
+	}
+	fmt.Printf("\nrecommended unit layout (optimized in %v over %d candidates, %d objects split):\n",
+		pres.PlanTime.Round(time.Millisecond), pres.Evaluated, pres.SplitObjects())
+	fmt.Print(flatLayout(pres.Layout, pt.UnitCatalog()))
+	fmt.Printf("estimated TOC: %.4e cents per transaction (%.0f tasks/hour)\n",
+		pres.TOCCents, pres.Metrics.Throughput)
+	pcost, err := pres.Layout.CostCentsPerHour(pt.UnitCatalog(), box)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("layout storage cost: %.4e cents/hour\n", pcost)
+	if obj.Feasible {
+		ocost, err := obj.Layout.CostCentsPerHour(db.Cat, box)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("object-granular optimum at the same SLA: %.4e cents/hour (%.2fx)\n",
+			ocost, ocost/pcost)
+	}
+	return nil
+}
+
 func report(cat *catalog.Catalog, box *device.Box, res *core.Result) {
 	if !res.Feasible {
 		fmt.Println("NO FEASIBLE LAYOUT — relax the SLA or add capacity")
 		return
 	}
 	fmt.Printf("\nrecommended layout (optimized in %v over %d candidates):\n%s",
-		res.PlanTime.Round(time.Millisecond), res.Evaluated, res.Layout.String(cat))
+		res.PlanTime.Round(time.Millisecond), res.Evaluated, flatLayout(res.Layout, cat))
 	fmt.Printf("estimated TOC: %.4e cents", res.TOCCents)
 	if res.Metrics.Throughput > 0 {
 		fmt.Printf(" per transaction (%.0f tasks/hour)", res.Metrics.Throughput)
@@ -234,6 +314,24 @@ func report(cat *catalog.Catalog, box *device.Box, res *core.Result) {
 	if err == nil {
 		fmt.Printf("layout storage cost: %.4e cents/hour\n", cost)
 	}
+}
+
+// flatLayout renders a layout one line per placement unit, sorted by
+// object/unit name — a stable, diffable order regardless of map iteration.
+func flatLayout(l catalog.Layout, cat *catalog.Catalog) string {
+	type row struct{ name, class string }
+	rows := make([]row, 0, len(l))
+	for id, cls := range l {
+		if o := cat.Object(id); o != nil {
+			rows = append(rows, row{o.Name, cls.String()})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-28s %s\n", r.name, r.class)
+	}
+	return b.String()
 }
 
 func max32(n int) int {

@@ -8,6 +8,14 @@
 //
 //	go run ./cmd/dotlive
 //	go run ./cmd/dotlive -windows 8 -shift-at 4 -sla 0.25 -box 1
+//	go run ./cmd/dotlive -skew -sla 0.2
+//
+// With -skew the demo instead replays the Zipf hot/cold fixture
+// (workload.Skewed) and contrasts object-granular DOT with
+// partition-granular DOT on the same hardware and SLA: the partitioned
+// search keeps only each table's hot head on expensive storage and ships
+// the cold tail to a cheap class, meeting the same SLA at a fraction of
+// the storage cost.
 //
 // Expected shape of the output: the OLTP windows confirm the initial
 // layout (divergence ≈ 0, no re-advise); the first HTAP window trips the
@@ -23,7 +31,9 @@ import (
 	"log"
 	"time"
 
+	"dotprov/internal/bench"
 	"dotprov/internal/catalog"
+	"dotprov/internal/core"
 	"dotprov/internal/device"
 	"dotprov/internal/engine"
 	"dotprov/internal/online"
@@ -42,11 +52,67 @@ func main() {
 		period    = flag.Duration("period", 2*time.Second, "virtual measured period per window and worker")
 		poolPages = flag.Int("pool-pages", 512, "buffer pool pages")
 		threshold = flag.Float64("drift-threshold", 0.2, "relative I/O-time divergence that triggers re-advising")
+		skew      = flag.Bool("skew", false, "replay the Zipf hot/cold fixture and contrast object- vs partition-granular DOT")
 	)
 	flag.Parse()
+	if *skew {
+		if err := runSkew(*boxNo, *sla); err != nil {
+			log.Fatalf("dotlive: %v", err)
+		}
+		return
+	}
 	if err := run(*boxNo, *sla, *windows, *shiftAt, *workers, *period, *poolPages, *threshold); err != nil {
 		log.Fatalf("dotlive: %v", err)
 	}
+}
+
+// runSkew is the partition-granularity demo: the Zipf hot/cold fixture is
+// advised twice on the same box and SLA — once placing whole objects, once
+// placing heat-based partitions — and the layouts and storage costs are
+// printed side by side.
+func runSkew(boxNo int, sla float64) error {
+	box := device.Box1()
+	if boxNo == 2 {
+		box = device.Box2()
+	}
+	// The demo runs the exact fixture input the CI-gated experiment and
+	// benchmarks use; at -sla 0.2 (bench.SkewSLA, the gated setting) its
+	// numbers reproduce BENCH_5.json/EXPERIMENTS.md.
+	in, fx, err := bench.SkewFixtureInput(box)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dotlive -skew: Zipf hot/cold fixture on %s, SLA %g\n", box.Name, sla)
+	opts := core.Options{RelativeSLA: sla}
+	obj, err := core.OptimizeBest(in, opts)
+	if err != nil {
+		return err
+	}
+	pt, err := catalog.BuildPartitioning(fx.Cat, fx.Stats, catalog.PartitionOptions{})
+	if err != nil {
+		return err
+	}
+	pres, err := core.OptimizePartitioned(in, pt, opts)
+	if err != nil {
+		return err
+	}
+	if !obj.Feasible || !pres.Feasible {
+		return fmt.Errorf("fixture infeasible at SLA %g (object=%v partitioned=%v)", sla, obj.Feasible, pres.Feasible)
+	}
+	ocost, err := obj.Layout.CostCentsPerHour(fx.Cat, box)
+	if err != nil {
+		return err
+	}
+	pcost, err := pres.Layout.CostCentsPerHour(pt.UnitCatalog(), box)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nobject-granular DOT (%d candidates): storage %.4e cents/h\n%s",
+		obj.Evaluated, ocost, obj.Layout.String(fx.Cat))
+	fmt.Printf("\npartition-granular DOT (%d units, %d candidates, %d objects split): storage %.4e cents/h\n%s",
+		pt.NumUnits(), pres.Evaluated, pres.SplitObjects(), pcost, pres.Layout.String(pt.UnitCatalog()))
+	fmt.Printf("\nsame SLA, %.1fx cheaper storage with partition-granular placement\n", ocost/pcost)
+	return nil
 }
 
 // analyticsMix is the TPC-H-style read side of the HTAP phase: full scans

@@ -62,6 +62,10 @@ func Experiments() map[string]Experiment {
 			ID: "provision", Title: "Sec 5.1: generalized provisioning",
 			Run: wrap(Provision),
 		},
+		"skew": {
+			ID: "skew", Title: "Partition granularity: object vs partitioned DOT on the Zipf hot/cold fixture",
+			Run: wrap(Skew),
+		},
 		"discrete": {
 			ID: "discrete", Title: "Sec 5.2: discrete-sized storage cost model",
 			Run: func(w io.Writer, o Options) error {

@@ -20,6 +20,26 @@ type IOCharger interface {
 	ChargeIO(id catalog.ObjectID, t device.IOType, n int64)
 }
 
+// PageIOCharger is an IOCharger that also accepts page-located charges
+// (the method set of iosim.PageCharger). Charge sites that know the page —
+// the pool's miss path, the heap files' row writes — prefer it, so
+// observers can maintain the per-extent access statistics heat-based
+// partitioning splits on.
+type PageIOCharger interface {
+	IOCharger
+	ChargePageIO(id catalog.ObjectID, t device.IOType, page int64, n int64)
+}
+
+// ChargePage charges n I/Os of type t on a known page: through ChargePageIO
+// when the charger is page-aware, through plain ChargeIO otherwise.
+func ChargePage(ch IOCharger, id catalog.ObjectID, t device.IOType, page int64, n int64) {
+	if pc, ok := ch.(PageIOCharger); ok {
+		pc.ChargePageIO(id, t, page, n)
+		return
+	}
+	ch.ChargeIO(id, t, n)
+}
+
 // NopCharger discards charges; useful for loading data outside measurement.
 type NopCharger struct{}
 
@@ -103,7 +123,7 @@ func (p *Pool) Access(ch IOCharger, obj catalog.ObjectID, pageNo uint32, t devic
 		return true
 	}
 	p.stats.Misses++
-	ch.ChargeIO(obj, t, 1)
+	ChargePage(ch, obj, t, int64(pageNo), 1)
 	p.admit(key)
 	return false
 }

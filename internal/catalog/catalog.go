@@ -165,6 +165,20 @@ func (c *Catalog) CreateAux(name string, kind ObjectKind, size int64) (*Object, 
 	return o, nil
 }
 
+// CreateStandalone registers a placement-only object of any kind: it takes
+// part in layouts, groups (as a singleton) and sizing, but carries no
+// table/index bookkeeping. Partitionings build their unit catalogs from
+// standalone objects so each unit keeps its parent's kind (split layouts
+// still see "index" units) while being placeable independently.
+func (c *Catalog) CreateStandalone(name string, kind ObjectKind, size int64) (*Object, error) {
+	o, err := c.register(name, kind)
+	if err != nil {
+		return nil, err
+	}
+	o.SizeBytes = size
+	return o, nil
+}
+
 // Object returns the object with the given ID, or nil.
 func (c *Catalog) Object(id ObjectID) *Object { return c.objects[id] }
 
@@ -279,7 +293,9 @@ func (g Group) Size() int { return len(g.Objects) }
 
 // Groups partitions the catalog's objects into object groups: one group per
 // table (the table followed by its indexes, in creation order), and a
-// singleton group per temp/log object. Paper §3.2.
+// singleton group per standalone object — temp/log auxiliaries and
+// placement units of a partitioned catalog. Paper §3.2; singleton unit
+// groups are what lets DOT move a hot extent without dragging its table.
 //
 // The partition is cached until the next DDL statement; callers must treat
 // the returned slice and its Group vectors as read-only.
@@ -296,7 +312,7 @@ func (c *Catalog) Groups() []Group {
 		out = append(out, g)
 	}
 	for _, o := range c.Objects() {
-		if o.Kind == KindTemp || o.Kind == KindLog {
+		if c.tables[o.ID] == nil && c.indexes[o.ID] == nil {
 			out = append(out, Group{Objects: []ObjectID{o.ID}})
 		}
 	}

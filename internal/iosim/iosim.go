@@ -140,6 +140,17 @@ type Charger interface {
 	ChargeIO(id catalog.ObjectID, t device.IOType, n int64)
 }
 
+// PageCharger is a Charger that additionally accepts page-located charges.
+// Call sites that know WHICH page an I/O touched (the buffer pool's miss
+// path, the heap files' row writes) charge through ChargePageIO, giving
+// observers the page-range locality that heat-based partitioning is built
+// on; page-blind call sites keep using ChargeIO and contribute counts
+// without locality.
+type PageCharger interface {
+	Charger
+	ChargePageIO(id catalog.ObjectID, t device.IOType, page int64, n int64)
+}
+
 // Accountant charges I/O and CPU time for one simulated DB worker. It is
 // constructed against a fixed box + layout + concurrency so the per-object
 // service times can be resolved up front; Charge is then allocation-free.
@@ -155,14 +166,22 @@ type Accountant struct {
 	ioTime  time.Duration
 	cpuTime time.Duration
 	tap     Charger
+	// pageTap is tap's page-aware view, resolved once at SetTap so the
+	// charge hot path never type-asserts.
+	pageTap PageCharger
 }
 
 // SetTap installs a live observer that every subsequent ChargeIO is
 // mirrored to, in addition to the accountant's own profile. Nil removes
 // the tap. The engine uses this to stream per-object I/O charges into the
 // online advisor's rolling profile windows without touching the measured
-// accounting.
-func (a *Accountant) SetTap(t Charger) { a.tap = t }
+// accounting. A tap that also implements PageCharger additionally receives
+// the page-located charges (ChargePageIO), the locality feed for
+// heat-based partitioning.
+func (a *Accountant) SetTap(t Charger) {
+	a.tap = t
+	a.pageTap, _ = t.(PageCharger)
+}
 
 // NewAccountant validates that the layout places every object on a device
 // present in the box and resolves service times at the given degree of
@@ -191,6 +210,21 @@ func NewAccountant(box *device.Box, layout catalog.Layout, concurrency int, cloc
 	return a, nil
 }
 
+// account is the shared measured-accounting core of ChargeIO and
+// ChargePageIO: resolve service times, advance the clock, tally I/O time
+// and the profile. Both entry points MUST funnel through it so page-blind
+// and page-located charges can never diverge in what they measure.
+func (a *Accountant) account(id catalog.ObjectID, t device.IOType, n int64) {
+	times := a.svc[id]
+	if times == nil {
+		panic(fmt.Sprintf("iosim: charge on object %d not covered by layout", id))
+	}
+	d := time.Duration(n) * times[t]
+	a.clock.Advance(d)
+	a.ioTime += d
+	a.profile.Add(id, t, float64(n))
+}
+
 // ChargeIO records n I/Os of type t against object id, advancing the
 // virtual clock by n service times. Objects unknown to the layout panic:
 // that is a programming error (the layout must be total over O).
@@ -198,15 +232,24 @@ func (a *Accountant) ChargeIO(id catalog.ObjectID, t device.IOType, n int64) {
 	if n <= 0 {
 		return
 	}
-	times := a.svc[id]
-	if times == nil {
-		panic(fmt.Sprintf("iosim: ChargeIO on object %d not covered by layout", id))
-	}
-	d := time.Duration(n) * times[t]
-	a.clock.Advance(d)
-	a.ioTime += d
-	a.profile.Add(id, t, float64(n))
+	a.account(id, t, n)
 	if a.tap != nil {
+		a.tap.ChargeIO(id, t, n)
+	}
+}
+
+// ChargePageIO is ChargeIO for a charge whose page is known: the measured
+// accounting is identical, and a page-aware tap additionally receives the
+// page so it can maintain per-extent access statistics. It implements
+// PageCharger.
+func (a *Accountant) ChargePageIO(id catalog.ObjectID, t device.IOType, page int64, n int64) {
+	if n <= 0 {
+		return
+	}
+	a.account(id, t, n)
+	if a.pageTap != nil {
+		a.pageTap.ChargePageIO(id, t, page, n)
+	} else if a.tap != nil {
 		a.tap.ChargeIO(id, t, n)
 	}
 }

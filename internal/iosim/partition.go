@@ -1,0 +1,42 @@
+package iosim
+
+import (
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+)
+
+// ApportionProfile lowers an object-granular profile onto a partitioning's
+// unit catalog: each object's I/O counts are split across its units in
+// proportion to their heat (the observed share of the parent's accesses).
+// A whole-object unit receives its parent's counts unchanged — the weight
+// is exactly 1.0 — so an identity partitioning's unit profile prices
+// bit-identically to the object profile under corresponding layouts.
+//
+// Profiled objects unknown to the partitioning's base catalog are dropped:
+// their IDs would collide with unit IDs, and the unit-granular problem has
+// no placement for them anyway (the base search surfaces them as errors).
+func ApportionProfile(p Profile, pt *catalog.Partitioning) Profile {
+	out := make(Profile, pt.NumUnits())
+	for id, v := range p {
+		us := pt.UnitsOf(id)
+		if len(us) == 0 {
+			continue
+		}
+		if len(us) == 1 {
+			cp := *v
+			out[us[0]] = &cp
+			continue
+		}
+		for _, u := range us {
+			w := pt.Unit(u).Heat
+			uv := &IOVector{}
+			for _, t := range device.AllIOTypes {
+				if v[t] != 0 {
+					uv[t] = v[t] * w
+				}
+			}
+			out[u] = uv
+		}
+	}
+	return out
+}

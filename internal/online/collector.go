@@ -7,6 +7,7 @@ import (
 	"dotprov/internal/catalog"
 	"dotprov/internal/device"
 	"dotprov/internal/iosim"
+	"dotprov/internal/pagestore"
 	"dotprov/internal/workload"
 )
 
@@ -76,17 +77,34 @@ func (w Window) Fingerprint() string {
 // into engine.DB.SetTap — until Roll closes the window into the ring;
 // alternatively, Observe ingests windows closed elsewhere (the /observe
 // wire path). A Collector is safe for concurrent use.
+//
+// Page-located charges (iosim.PageCharger, fed by the buffer pool's miss
+// path and the heap files' row writes) additionally accumulate into
+// per-object extent histograms — the per-extent access statistics that
+// heat-based partitioning (catalog.BuildPartitioning) splits and merges
+// on. Unlike windows, the histograms are cumulative over the collector's
+// lifetime: partition boundaries should reflect long-run locality, not one
+// window's noise. Reset them with ResetExtents.
 type Collector struct {
 	mu     sync.Mutex
 	max    int
 	closed []Window // ring of closed windows, oldest first
 	cur    Window
 	total  int64 // windows closed over the collector's lifetime
+	// extPages is the extent-histogram bucket width in pages; ext holds the
+	// per-object access counts per bucket.
+	extPages int64
+	ext      map[catalog.ObjectID][]float64
 }
 
 // DefaultWindows is the ring capacity when Config.Windows is 0: enough
 // history to aggregate a few windows while bounding retained profiles.
 const DefaultWindows = 8
+
+// DefaultExtentPages is the extent-histogram bucket width: 128 pages
+// (1 MiB at the engine's 8 KiB page size) — fine enough to isolate a hot
+// page range, coarse enough to bound the histograms.
+const DefaultExtentPages = 128
 
 // NewCollector returns a collector retaining up to max closed windows
 // (values < 1 select DefaultWindows).
@@ -94,7 +112,24 @@ func NewCollector(max int) *Collector {
 	if max < 1 {
 		max = DefaultWindows
 	}
-	return &Collector{max: max, cur: Window{Profile: iosim.NewProfile()}}
+	return &Collector{
+		max:      max,
+		cur:      Window{Profile: iosim.NewProfile()},
+		extPages: DefaultExtentPages,
+		ext:      make(map[catalog.ObjectID][]float64),
+	}
+}
+
+// SetExtentPages overrides the extent-histogram bucket width in pages
+// (values < 1 keep the default). Call before charging; changing the width
+// mid-capture would mix bucket scales.
+func (c *Collector) SetExtentPages(pages int64) {
+	if pages < 1 {
+		return
+	}
+	c.mu.Lock()
+	c.extPages = pages
+	c.mu.Unlock()
 }
 
 // ChargeIO streams one device charge into the current window. It
@@ -105,6 +140,55 @@ func (c *Collector) ChargeIO(id catalog.ObjectID, t device.IOType, n int64) {
 	}
 	c.mu.Lock()
 	c.cur.Profile.Add(id, t, float64(n))
+	c.mu.Unlock()
+}
+
+// ChargePageIO streams one page-located device charge: the window profile
+// accumulates exactly as for ChargeIO, and the page lands in the object's
+// extent histogram. It implements iosim.PageCharger and
+// bufferpool.PageIOCharger.
+func (c *Collector) ChargePageIO(id catalog.ObjectID, t device.IOType, page int64, n int64) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.cur.Profile.Add(id, t, float64(n))
+	b := int(page / c.extPages)
+	h := c.ext[id]
+	for len(h) <= b {
+		h = append(h, 0)
+	}
+	h[b] += float64(n)
+	c.ext[id] = h
+	c.mu.Unlock()
+}
+
+// ExtentStats snapshots the per-object extent histograms in the form
+// catalog.BuildPartitioning consumes. The histograms only cover objects
+// that produced page-located charges; everything else partitions as a
+// single cold unit.
+func (c *Collector) ExtentStats() catalog.ExtentStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := catalog.ExtentStats{
+		PageBytes: pagestore.PageSize,
+		ByObject:  make(map[catalog.ObjectID][]catalog.Extent, len(c.ext)),
+	}
+	for id, h := range c.ext {
+		exts := make([]catalog.Extent, len(h))
+		for i, n := range h {
+			exts[i] = catalog.Extent{Pages: c.extPages, Count: n}
+		}
+		out.ByObject[id] = exts
+	}
+	return out
+}
+
+// ResetExtents clears the extent histograms (e.g. after a partitioning has
+// been adopted, to judge the next one on fresh locality).
+func (c *Collector) ResetExtents() {
+	c.mu.Lock()
+	c.ext = make(map[catalog.ObjectID][]float64)
 	c.mu.Unlock()
 }
 

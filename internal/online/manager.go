@@ -7,6 +7,7 @@ import (
 	"dotprov/internal/catalog"
 	"dotprov/internal/core"
 	"dotprov/internal/device"
+	"dotprov/internal/iosim"
 	"dotprov/internal/search"
 	"dotprov/internal/workload"
 )
@@ -49,9 +50,18 @@ type Config struct {
 	Workers int
 	Budget  *search.Budget
 	// LayoutCost / LayoutCostCompact optionally install the §5.2
-	// discrete-sized cost model pair (provision.DiscreteCostModels).
+	// discrete-sized cost model pair (provision.DiscreteCostModels). With a
+	// Partitioning they must be built over its unit catalog — layouts the
+	// manager prices are unit-granular.
 	LayoutCost        func(l catalog.Layout) (float64, error)
 	LayoutCostCompact func(cl catalog.CompactLayout) (float64, error)
+	// Partitioning, when set, advises at partition granularity: observed
+	// profiles are apportioned onto the partitioning's units by extent
+	// heat, searches run over the unit catalog, and the deployed layout,
+	// decisions and migration plans are unit-granular — a drifted hot tail
+	// migrates alone instead of dragging its whole table. The partitioning
+	// must be built from Cat.
+	Partitioning *catalog.Partitioning
 }
 
 // Stats counts the manager's lifetime activity (healthz fodder).
@@ -99,6 +109,9 @@ type Decision struct {
 // safe for concurrent use.
 type Manager struct {
 	cfg Config
+	// cat is the catalog layouts are keyed by: the partitioning's unit
+	// catalog at partition granularity, cfg.Cat otherwise.
+	cat *catalog.Catalog
 	det Detector
 	mig MigrationModel
 	col *Collector
@@ -124,23 +137,52 @@ func NewManager(cfg Config) (*Manager, error) {
 	if (cfg.LayoutCost == nil) != (cfg.LayoutCostCompact == nil) {
 		return nil, fmt.Errorf("online: LayoutCost and LayoutCostCompact must be set together")
 	}
+	cat := cfg.Cat
+	if cfg.Partitioning != nil {
+		if cfg.Partitioning.Base() != cfg.Cat {
+			return nil, fmt.Errorf("online: Partitioning was not built from Config.Cat")
+		}
+		cat = cfg.Partitioning.UnitCatalog()
+	}
 	deployed := cfg.Deployed
-	if deployed == nil {
-		deployed = catalog.NewUniformLayout(cfg.Cat, cfg.Box.MostExpensive().Class)
+	switch {
+	case deployed == nil:
+		deployed = catalog.NewUniformLayout(cat, cfg.Box.MostExpensive().Class)
+	case cfg.Partitioning != nil:
+		// A configured deployed layout is object-granular (the engine runs
+		// objects); lift it onto the units.
+		deployed = cfg.Partitioning.ExpandLayout(deployed)
 	}
 	m := &Manager{
 		cfg: cfg,
+		cat: cat,
 		det: Detector{
 			Box:         cfg.Box,
 			Concurrency: cfg.Concurrency,
 			Threshold:   cfg.DriftThreshold,
 			MinIOs:      cfg.MinWindowIOs,
 		},
-		mig: MigrationModel{Cat: cfg.Cat, Box: cfg.Box},
+		mig: MigrationModel{Cat: cat, Box: cfg.Box},
 		col: NewCollector(cfg.Windows),
 		cur: deployed.Clone(),
 	}
 	return m, nil
+}
+
+// Partitioning returns the manager's partitioning, or nil at object
+// granularity.
+func (m *Manager) Partitioning() *catalog.Partitioning { return m.cfg.Partitioning }
+
+// lower apportions an aggregated window onto the unit catalog when the
+// manager advises at partition granularity; at object granularity it is
+// the identity.
+func (m *Manager) lower(w Window) Window {
+	if m.cfg.Partitioning == nil || w.Profile == nil {
+		return w
+	}
+	out := w
+	out.Profile = iosim.ApportionProfile(w.Profile, m.cfg.Partitioning)
+	return out
 }
 
 // Collector returns the manager's profile collector — install it as the
@@ -151,7 +193,8 @@ func (m *Manager) Collector() *Collector { return m.col }
 func (m *Manager) Observe(w Window) { m.col.Observe(w) }
 
 // CurrentLayout returns a copy of the deployed layout the manager advises
-// from.
+// from. At partition granularity it is unit-granular (keyed by the
+// partitioning's unit catalog).
 func (m *Manager) CurrentLayout() catalog.Layout {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -213,11 +256,11 @@ func (m *Manager) input(w Window) (core.Input, error) {
 			PerQuery:    []workload.QueryObservation{{Profile: w.Profile, CPU: w.CPU}},
 		}
 	}
-	est = workload.CompileEstimator(est, m.cfg.Cat)
+	est = workload.CompileEstimator(est, m.cat)
 	ps := core.NewProfileSet()
 	ps.SetSingle(w.Profile)
 	return core.Input{
-		Cat:               m.cfg.Cat,
+		Cat:               m.cat,
 		Box:               m.cfg.Box,
 		Est:               est,
 		Profiles:          ps,
@@ -239,6 +282,7 @@ func (m *Manager) Advise() (*Decision, error) {
 	if n == 0 || agg.IOs() < m.det.minIOs() {
 		return nil, fmt.Errorf("online: no usable observations to advise from (windows=%d, ios=%g)", n, agg.IOs())
 	}
+	agg = m.lower(agg)
 	in, err := m.input(agg)
 	if err != nil {
 		return nil, err
@@ -281,6 +325,7 @@ func (m *Manager) checkLocked() (Drift, Window, int, error) {
 	if n == 0 {
 		return Drift{Thin: true}, agg, 0, nil
 	}
+	agg = m.lower(agg)
 	dr, err := m.det.Compare(m.ref, agg, m.cur)
 	if err != nil {
 		return Drift{}, Window{}, n, err

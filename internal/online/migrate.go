@@ -17,12 +17,15 @@ import (
 const DefaultHeadroomFraction = 0.5
 
 // MigrationPlan prices moving the database from one layout to another:
-// every object whose class changes is read sequentially from its source
-// class and rewritten, page at a time, at its destination class's
+// every placement unit whose class changes is read sequentially from its
+// source class and rewritten, page at a time, at its destination class's
 // sequential-write rate — the "bytes moved × class write cost" of the
-// online objective.
+// online objective. At partition granularity (a MigrationModel over a
+// partitioning's unit catalog) the moves are per-partition: re-advising a
+// drifted hot tail prices only the tail's extents, not its whole table.
 type MigrationPlan struct {
-	// Moves lists the objects changing class.
+	// Moves lists the placement units (objects, or partitions at partition
+	// granularity) changing class.
 	Moves []workload.ObjectMove
 	// Bytes is the total size of the moved objects (bytes rewritten at
 	// their destination classes).
@@ -35,6 +38,8 @@ type MigrationPlan struct {
 // MigrationModel prices layout transitions against a box. It is a pure
 // reader and safe for concurrent use.
 type MigrationModel struct {
+	// Cat is the catalog the priced layouts are keyed by — the unit catalog
+	// when pricing partition-granular transitions.
 	Cat *catalog.Catalog
 	Box *device.Box
 	// Concurrency resolves the service times migration I/O is charged at;

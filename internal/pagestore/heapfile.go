@@ -67,7 +67,7 @@ func (h *HeapFile) Insert(pool *bufferpool.Pool, ch bufferpool.IOCharger, rec []
 	}
 	h.pages = append(h.pages, p)
 	h.insertHint = len(h.pages) - 1
-	ch.ChargeIO(h.obj, device.SeqWrite, 1)
+	bufferpool.ChargePage(ch, h.obj, device.SeqWrite, int64(h.insertHint), 1)
 	pool.Touch(h.obj, uint32(h.insertHint))
 	h.rows++
 	return RID{Page: uint32(h.insertHint), Slot: uint16(slot)}, nil
@@ -92,7 +92,7 @@ func (h *HeapFile) Update(pool *bufferpool.Pool, ch bufferpool.IOCharger, rid RI
 	if err := h.pages[rid.Page].Update(int(rid.Slot), rec); err != nil {
 		return err
 	}
-	ch.ChargeIO(h.obj, device.RandWrite, 1)
+	bufferpool.ChargePage(ch, h.obj, device.RandWrite, int64(rid.Page), 1)
 	pool.Touch(h.obj, rid.Page)
 	return nil
 }
@@ -105,7 +105,7 @@ func (h *HeapFile) Delete(pool *bufferpool.Pool, ch bufferpool.IOCharger, rid RI
 	if err := h.pages[rid.Page].Delete(int(rid.Slot)); err != nil {
 		return err
 	}
-	ch.ChargeIO(h.obj, device.RandWrite, 1)
+	bufferpool.ChargePage(ch, h.obj, device.RandWrite, int64(rid.Page), 1)
 	h.rows--
 	return nil
 }

@@ -100,6 +100,21 @@ func SweepConfigurations(base core.Input, grid Grid, opts core.Options) (*Choice
 	return ch, nil
 }
 
+// SweepConfigurationsPartitioned is SweepConfigurations at partition
+// granularity: the base input is lowered once onto the partitioning's unit
+// catalog (estimator apportioned by extent heat, profile set rebuilt), and
+// the whole grid sweeps over per-unit placements. Each candidate's §5.2
+// discrete-sized cost model is rebuilt over the unit catalog inside the
+// sweep, so whole-device pricing sees unit-granular class usage. The
+// partitioning must be built from base.Cat.
+func SweepConfigurationsPartitioned(base core.Input, pt *catalog.Partitioning, grid Grid, opts core.Options) (*Choice, error) {
+	ubase, err := base.Partitioned(pt)
+	if err != nil {
+		return nil, err
+	}
+	return SweepConfigurations(ubase, grid, opts)
+}
+
 // InfeasibilityReason explains why a candidate produced no feasible layout:
 // the capacity cases (database larger than the box; one object larger than
 // every class) are distinguished from the SLA case, so Choice.Best == -1 is

@@ -22,6 +22,18 @@ type ObjectSpec struct {
 	Kind      string `json:"kind,omitempty"`
 	Table     string `json:"table,omitempty"`
 	SizeBytes int64  `json:"size_bytes"`
+	// Extents optionally declares the object's access-locality histogram:
+	// contiguous byte runs from offset 0 with their relative access heat.
+	// Partition-granular requests split objects on these extents; objects
+	// without extents stay whole. Ignored at object granularity.
+	Extents []ExtentSpec `json:"extents,omitempty"`
+}
+
+// ExtentSpec is one contiguous slice of an object with its observed access
+// heat (a relative weight; only ratios matter).
+type ExtentSpec struct {
+	SizeBytes int64   `json:"size_bytes"`
+	Heat      float64 `json:"heat"`
 }
 
 // IOSpec is one object's I/O counts over the whole workload — the profile
@@ -64,12 +76,25 @@ type AdviseRequest struct {
 	// Alpha selects the §5.2 discrete-sized cost model blend; 0 (default)
 	// is the paper's linear model.
 	Alpha float64 `json:"alpha,omitempty"`
+	// Granularity selects the unit of placement: "object" (default) places
+	// whole objects; "partition" splits objects into heat-based page-range
+	// units on the declared extents, so a hot head can land on a fast
+	// class while the cold tail ships to a cheap one.
+	Granularity string `json:"granularity,omitempty"`
 }
 
 // AdviseResponse reports the recommendation.
 type AdviseResponse struct {
-	Feasible          bool              `json:"feasible"`
-	Failure           string            `json:"failure,omitempty"`
+	Feasible bool   `json:"feasible"`
+	Failure  string `json:"failure,omitempty"`
+	// Granularity echoes the effective placement granularity; at
+	// "partition" the layout keys are unit names ("orders[0:1024)").
+	Granularity string `json:"granularity,omitempty"`
+	// Units is the number of placement units searched (partition
+	// granularity only); SplitObjects counts objects whose units landed on
+	// more than one class.
+	Units             int               `json:"units,omitempty"`
+	SplitObjects      int               `json:"split_objects,omitempty"`
 	Layout            map[string]string `json:"layout,omitempty"`
 	TOCCents          float64           `json:"toc_cents"`
 	ElapsedMillis     float64           `json:"elapsed_millis,omitempty"`
@@ -98,6 +123,9 @@ type ProvisionRequest struct {
 	Workload WorkloadSpec `json:"workload"`
 	Grid     GridSpec     `json:"grid"`
 	SLA      float64      `json:"sla"`
+	// Granularity selects the unit of placement for every candidate's
+	// inner search (see AdviseRequest.Granularity).
+	Granularity string `json:"granularity,omitempty"`
 }
 
 // CandidateOut is one sweep candidate's outcome.
@@ -166,6 +194,19 @@ func compileWorkload(spec WorkloadSpec) (*compiled, error) {
 	for _, o := range spec.Objects {
 		if o.SizeBytes < 0 {
 			return nil, fmt.Errorf("object %q: size_bytes must be >= 0", o.Name)
+		}
+		var extBytes int64
+		for i, e := range o.Extents {
+			if e.SizeBytes <= 0 || e.Heat < 0 {
+				return nil, fmt.Errorf("object %q extent %d: size_bytes must be > 0 and heat >= 0", o.Name, i)
+			}
+			extBytes += e.SizeBytes
+		}
+		// Extents may under-cover the object (the remainder partitions as a
+		// cold tail) but never over-declare it: silently clamping would skew
+		// the heat attribution the client asked for.
+		if extBytes > o.SizeBytes {
+			return nil, fmt.Errorf("object %q: extents declare %d bytes but the object has %d", o.Name, extBytes, o.SizeBytes)
 		}
 		kind := o.Kind
 		if kind == "" {
@@ -288,15 +329,28 @@ func (c *compiled) renderLayout(l catalog.Layout) map[string]string {
 	return out
 }
 
-// objectsFingerprint digests only the object list (name, kind, grouping,
-// size). Online streams pin it at definition time: later /observe windows
-// must ship the identical schema, only the observation varies.
-func (c *compiled) objectsFingerprint() string {
-	f := workload.NewFingerprint()
+// hashObjects digests the object list (name, kind, grouping, size,
+// extents) into f. It is the single definition both fingerprints build
+// on, so the stream-pinning and cache-keying digests can never diverge on
+// a future ObjectSpec field.
+func (c *compiled) hashObjects(f *workload.Fingerprint) {
 	f.Int(int64(len(c.spec.Objects)))
 	for _, o := range c.spec.Objects {
 		f.String(o.Name).String(o.Kind).String(o.Table).Int(o.SizeBytes)
+		f.Int(int64(len(o.Extents)))
+		for _, e := range o.Extents {
+			f.Int(e.SizeBytes).Float(e.Heat)
+		}
 	}
+}
+
+// objectsFingerprint digests only the object list (name, kind, grouping,
+// size, extents). Online streams pin it at definition time: later
+// /observe windows must ship the identical schema, only the observation
+// varies.
+func (c *compiled) objectsFingerprint() string {
+	f := workload.NewFingerprint()
+	c.hashObjects(f)
 	return f.Sum()
 }
 
@@ -305,16 +359,88 @@ func (c *compiled) objectsFingerprint() string {
 // and test-run numbers.
 func (c *compiled) fingerprint() string {
 	f := workload.NewFingerprint()
-	f.Int(int64(len(c.spec.Objects)))
-	for _, o := range c.spec.Objects {
-		f.String(o.Name).String(o.Kind).String(o.Table).Int(o.SizeBytes)
-	}
+	c.hashObjects(f)
 	f.Profile(c.profile)
 	f.Float(c.spec.CPUMillis)
 	f.Int(int64(c.concurrency()))
 	f.Int(c.spec.Txns)
 	f.Float(c.spec.ElapsedMillis)
 	return f.Sum()
+}
+
+// searchCatalog returns the catalog a request's search actually runs on:
+// the partitioning's unit catalog at partition granularity, the compiled
+// object catalog otherwise. Cost models and infeasibility diagnostics must
+// be computed over this catalog — at partition granularity an object too
+// big for every class may still fit split.
+func searchCatalog(comp *compiled, pt *catalog.Partitioning) *catalog.Catalog {
+	if pt != nil {
+		return pt.UnitCatalog()
+	}
+	return comp.cat
+}
+
+// partitioning builds the heat-based partitioning from the spec's declared
+// extents (objects without extents stay whole).
+func (c *compiled) partitioning() (*catalog.Partitioning, error) {
+	stats := catalog.ExtentStats{
+		PageBytes: catalog.DefaultPageBytes,
+		ByObject:  make(map[catalog.ObjectID][]catalog.Extent),
+	}
+	for _, o := range c.spec.Objects {
+		if len(o.Extents) == 0 {
+			continue
+		}
+		obj := c.cat.Lookup(o.Name)
+		if obj == nil {
+			continue
+		}
+		// Page boundaries come from cumulative byte offsets, so per-extent
+		// rounding cannot inflate boundaries and push later extents (and
+		// their declared heat) off the end of the object. A slice too small
+		// to cross a page boundary folds its heat into the extent that owns
+		// that page instead of occupying a page of its own.
+		var offset, page int64
+		for _, e := range o.Extents {
+			offset += e.SizeBytes
+			end := (offset + stats.PageBytes - 1) / stats.PageBytes
+			exts := stats.ByObject[obj.ID]
+			if end <= page {
+				// offset > 0 makes end >= 1, so the first extent always
+				// emits; a non-advancing slice therefore has a predecessor.
+				exts[len(exts)-1].Count += e.Heat
+				continue
+			}
+			stats.ByObject[obj.ID] = append(exts, catalog.Extent{Pages: end - page, Count: e.Heat})
+			page = end
+		}
+	}
+	return catalog.BuildPartitioning(c.cat, stats, catalog.PartitionOptions{})
+}
+
+// renderUnitLayout maps a unit-granular layout to unit names -> class
+// names.
+func renderUnitLayout(pt *catalog.Partitioning, l catalog.Layout) map[string]string {
+	out := make(map[string]string, len(l))
+	for id, cls := range l {
+		if u := pt.Unit(id); u.Name != "" {
+			out[u.Name] = cls.String()
+		}
+	}
+	return out
+}
+
+// parseGranularity validates a wire granularity value and reports whether
+// partition-granular placement was requested.
+func parseGranularity(s string) (bool, error) {
+	switch s {
+	case "", "object":
+		return false, nil
+	case "partition":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown granularity %q (want object or partition)", s)
+	}
 }
 
 // parseGrid lowers a GridSpec onto provision.Grid.

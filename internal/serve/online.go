@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"dotprov/internal/catalog"
 	"dotprov/internal/core"
 	"dotprov/internal/device"
 	"dotprov/internal/iosim"
@@ -42,6 +43,12 @@ type ObserveRequest struct {
 	DriftThreshold   float64 `json:"drift_threshold,omitempty"`
 	AggregateWindows int     `json:"aggregate_windows,omitempty"`
 	HeadroomFraction float64 `json:"headroom_fraction,omitempty"`
+	// Granularity selects the stream's unit of placement on first observe
+	// ("object" default, "partition" splits objects on the declared
+	// extents — see AdviseRequest.Granularity). At partition granularity
+	// observed profiles are apportioned onto the units by extent heat, and
+	// re-advises migrate per partition: a drifted hot tail moves alone.
+	Granularity string `json:"granularity,omitempty"`
 }
 
 // DriftOut is the wire form of online.Drift.
@@ -59,6 +66,7 @@ type DriftOut struct {
 // against the stream's reference profile.
 type ObserveResponse struct {
 	Stream      string            `json:"stream"`
+	Granularity string            `json:"granularity,omitempty"`
 	Initialized bool              `json:"initialized"`
 	Windows     int64             `json:"windows"` // lifetime windows ingested
 	Feasible    bool              `json:"feasible"`
@@ -77,8 +85,9 @@ type ReadviseRequest struct {
 
 // ReadviseResponse reports one re-advise decision.
 type ReadviseResponse struct {
-	Stream string   `json:"stream"`
-	Drift  DriftOut `json:"drift"`
+	Stream      string   `json:"stream"`
+	Granularity string   `json:"granularity,omitempty"`
+	Drift       DriftOut `json:"drift"`
 	// ReAdvised is true when a changed layout was adopted; Incremental
 	// marks it came from the seeded migration-gated search rather than the
 	// cold fallback.
@@ -87,7 +96,10 @@ type ReadviseResponse struct {
 	Feasible    bool              `json:"feasible"`
 	Failure     string            `json:"failure,omitempty"`
 	Layout      map[string]string `json:"layout,omitempty"`
-	// Migration prices the adopted transition.
+	// Migration prices the adopted transition. At partition granularity
+	// MovedObjects counts the placement units (partitions) that change
+	// class, and MovedBytes sums only the moved extents — the per-unit
+	// migration accounting that makes a hot-tail move cheap.
 	MovedObjects    int     `json:"moved_objects,omitempty"`
 	MovedBytes      int64   `json:"moved_bytes,omitempty"`
 	MigrationMillis float64 `json:"migration_millis,omitempty"`
@@ -109,6 +121,27 @@ type stream struct {
 	objFP string
 	comp  *compiled
 	mgr   *online.Manager
+	// pt is the stream's partitioning at partition granularity (nil at
+	// object granularity); decisions' layouts are then unit-granular and
+	// rendered under unit names.
+	pt *catalog.Partitioning
+}
+
+// granularity returns the stream's wire granularity label.
+func (st *stream) granularity() string {
+	if st.pt != nil {
+		return "partition"
+	}
+	return "object"
+}
+
+// render maps a decision layout onto wire names at the stream's
+// granularity.
+func (st *stream) render(l catalog.Layout) map[string]string {
+	if st.pt != nil {
+		return renderUnitLayout(st.pt, l)
+	}
+	return st.comp.renderLayout(l)
 }
 
 // getStream returns the named stream, creating it (uninitialized) when
@@ -238,10 +271,11 @@ func (s *Server) handleObserve(body []byte) (any, int, error) {
 	}
 	d := driftOut(dr)
 	return ObserveResponse{
-		Stream:   name,
-		Windows:  st.mgr.Stats().WindowsClosed,
-		Feasible: true,
-		Drift:    &d,
+		Stream:      name,
+		Granularity: st.granularity(),
+		Windows:     st.mgr.Stats().WindowsClosed,
+		Feasible:    true,
+		Drift:       &d,
 	}, http.StatusOK, nil
 }
 
@@ -256,6 +290,16 @@ func (s *Server) initStream(st *stream, req ObserveRequest, comp *compiled) (any
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	partitioned, err := parseGranularity(req.Granularity)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	var pt *catalog.Partitioning
+	if partitioned {
+		if pt, err = comp.partitioning(); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	}
 	cfg := online.Config{
 		Cat:              comp.cat,
 		Box:              box,
@@ -265,9 +309,10 @@ func (s *Server) initStream(st *stream, req ObserveRequest, comp *compiled) (any
 		DriftThreshold:   req.DriftThreshold,
 		HeadroomFraction: req.HeadroomFraction,
 		Budget:           s.budget,
+		Partitioning:     pt,
 	}
 	if req.Alpha != 0 {
-		model, compactModel, err := provision.DiscreteCostModels(comp.cat, box, req.Alpha)
+		model, compactModel, err := provision.DiscreteCostModels(searchCatalog(comp, pt), box, req.Alpha)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
@@ -286,23 +331,32 @@ func (s *Server) initStream(st *stream, req ObserveRequest, comp *compiled) (any
 	}
 	resp := ObserveResponse{
 		Stream:      st.name,
+		Granularity: req.Granularity,
 		Initialized: true,
 		Windows:     mgr.Stats().WindowsClosed,
 		Feasible:    dec.Feasible,
 	}
+	if resp.Granularity == "" {
+		resp.Granularity = "object"
+	}
 	if !dec.Feasible {
 		// The stream stays UNDEFINED — the next observe must re-send the
 		// configuration (e.g. at a corrected SLA) — so the wire flag must
-		// say so.
+		// say so. Diagnose against the catalog the search actually ran on.
 		resp.Initialized = false
-		resp.Failure = provision.InfeasibilityReason(comp.cat, box, coreOptions(req.SLA))
+		resp.Failure = provision.InfeasibilityReason(searchCatalog(comp, pt), box, coreOptions(req.SLA))
 		return resp, http.StatusOK, nil
 	}
-	resp.Layout = comp.renderLayout(dec.To)
+	if pt != nil {
+		resp.Layout = renderUnitLayout(pt, dec.To)
+	} else {
+		resp.Layout = comp.renderLayout(dec.To)
+	}
 	resp.TOCCents = dec.Result.TOCCents
 	st.comp = comp
 	st.objFP = comp.objectsFingerprint()
 	st.mgr = mgr
+	st.pt = pt
 	s.registerStream(st)
 	return resp, http.StatusOK, nil
 }
@@ -337,6 +391,7 @@ func (s *Server) handleReadvise(body []byte) (any, int, error) {
 func (s *Server) readviseResponse(st *stream, dec *online.Decision) ReadviseResponse {
 	resp := ReadviseResponse{
 		Stream:      st.name,
+		Granularity: st.granularity(),
 		Drift:       driftOut(dec.Drift),
 		ReAdvised:   dec.ReAdvised,
 		Incremental: dec.Incremental,
@@ -356,7 +411,7 @@ func (s *Server) readviseResponse(st *stream, dec *online.Decision) ReadviseResp
 		}
 	}
 	if dec.ReAdvised {
-		resp.Layout = st.comp.renderLayout(dec.To)
+		resp.Layout = st.render(dec.To)
 		resp.MovedObjects = len(dec.Migration.Moves)
 		resp.MovedBytes = dec.Migration.Bytes
 		resp.MigrationMillis = float64(dec.Migration.Time) / float64(time.Millisecond)

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dotprov/internal/catalog"
 	"dotprov/internal/core"
 	"dotprov/internal/device"
 	"dotprov/internal/provision"
@@ -241,9 +242,11 @@ func (s *Server) bounded(fn func(body []byte) (any, int, error)) http.HandlerFun
 // here: it claims "no evaluated layout satisfied the relative SLA", which
 // is not something an errored run established — there the error itself is
 // the diagnosis. (Infeasible but successful runs report the full
-// InfeasibilityReason in their 200 body.)
-func capacityDiagnostic(comp *compiled, box *device.Box, _ core.Options) string {
-	return provision.CapacityInfeasibility(comp.cat, box)
+// InfeasibilityReason in their 200 body.) cat must be the catalog the
+// search actually ran on — the unit catalog at partition granularity,
+// where an object too big for every class may still fit split.
+func capacityDiagnostic(cat *catalog.Catalog, box *device.Box, _ core.Options) string {
+	return provision.CapacityInfeasibility(cat, box)
 }
 
 func decode[T any](body []byte) (T, error) {
@@ -293,9 +296,17 @@ func (s *Server) handleAdvise(body []byte) (any, int, error) {
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	partitioned, err := parseGranularity(req.Granularity)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
 	in, err := comp.input(box, s.budget)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
+	}
+	opts := core.Options{RelativeSLA: req.SLA}
+	if partitioned {
+		return s.advisePartitioned(req, comp, box, in, opts)
 	}
 	if req.Alpha != 0 {
 		model, compactModel, err := provision.DiscreteCostModels(comp.cat, box, req.Alpha)
@@ -305,14 +316,14 @@ func (s *Server) handleAdvise(body []byte) (any, int, error) {
 		in.LayoutCost = model
 		in.LayoutCostCompact = compactModel
 	}
-	opts := core.Options{RelativeSLA: req.SLA}
 	res, err := core.OptimizeBest(in, opts)
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity,
-			&failureError{err: err, failure: capacityDiagnostic(comp, box, opts)}
+			&failureError{err: err, failure: capacityDiagnostic(comp.cat, box, opts)}
 	}
 	resp := AdviseResponse{
 		Feasible:       res.Feasible,
+		Granularity:    "object",
 		TOCCents:       res.TOCCents,
 		Evaluated:      res.Evaluated,
 		EstimatorCalls: res.EstimatorCalls,
@@ -324,6 +335,53 @@ func (s *Server) handleAdvise(body []byte) (any, int, error) {
 		resp.ThroughputPerHour = res.Metrics.Throughput
 	} else {
 		resp.Failure = provision.InfeasibilityReason(comp.cat, box, opts)
+	}
+	return resp, http.StatusOK, nil
+}
+
+// advisePartitioned is handleAdvise's partition-granular tail: the input
+// is lowered onto the heat-based unit catalog built from the request's
+// declared extents, the search runs over per-unit placements, and the
+// layout is rendered under unit names.
+func (s *Server) advisePartitioned(req AdviseRequest, comp *compiled, box *device.Box, in core.Input, opts core.Options) (any, int, error) {
+	pt, err := comp.partitioning()
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	uin, err := in.Partitioned(pt)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if req.Alpha != 0 {
+		model, compactModel, err := provision.DiscreteCostModels(pt.UnitCatalog(), box, req.Alpha)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		uin.LayoutCost = model
+		uin.LayoutCostCompact = compactModel
+	}
+	res, err := core.OptimizeBest(uin, opts)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity,
+			&failureError{err: err, failure: capacityDiagnostic(searchCatalog(comp, pt), box, opts)}
+	}
+	pres := &core.PartitionedResult{Result: res, Partitioning: pt}
+	resp := AdviseResponse{
+		Feasible:       res.Feasible,
+		Granularity:    "partition",
+		Units:          pt.NumUnits(),
+		TOCCents:       res.TOCCents,
+		Evaluated:      res.Evaluated,
+		EstimatorCalls: res.EstimatorCalls,
+		PlanMillis:     float64(res.PlanTime) / float64(time.Millisecond),
+	}
+	if res.Feasible {
+		resp.Layout = renderUnitLayout(pt, res.Layout)
+		resp.SplitObjects = pres.SplitObjects()
+		resp.ElapsedMillis = float64(res.Metrics.Elapsed) / float64(time.Millisecond)
+		resp.ThroughputPerHour = res.Metrics.Throughput
+	} else {
+		resp.Failure = provision.InfeasibilityReason(pt.UnitCatalog(), box, opts)
 	}
 	return resp, http.StatusOK, nil
 }
@@ -344,7 +402,17 @@ func (s *Server) handleProvision(body []byte) (any, int, error) {
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	key := fmt.Sprintf("%s|%s|%g", comp.fingerprint(), grid.Key(), req.SLA)
+	partitioned, err := parseGranularity(req.Granularity)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	// Key on the parsed granularity, not the raw string: "" and "object"
+	// are the same request and must share a cache entry.
+	gran := "object"
+	if partitioned {
+		gran = "partition"
+	}
+	key := fmt.Sprintf("%s|%s|%g|%s", comp.fingerprint(), grid.Key(), req.SLA, gran)
 	if v, ok := s.cache.get(key); ok {
 		s.hits.Add(1)
 		resp := *v.(*ProvisionResponse)
@@ -356,10 +424,21 @@ func (s *Server) handleProvision(body []byte) (any, int, error) {
 		return nil, http.StatusBadRequest, err
 	}
 	opts := core.Options{RelativeSLA: req.SLA}
-	choice, err := provision.SweepConfigurations(base, grid, opts)
+	var pt *catalog.Partitioning
+	if partitioned {
+		if pt, err = comp.partitioning(); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	}
+	var choice *provision.Choice
+	if pt != nil {
+		choice, err = provision.SweepConfigurationsPartitioned(base, pt, grid, opts)
+	} else {
+		choice, err = provision.SweepConfigurations(base, grid, opts)
+	}
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity,
-			&failureError{err: err, failure: capacityDiagnostic(comp, grid.Universe(), opts)}
+			&failureError{err: err, failure: capacityDiagnostic(searchCatalog(comp, pt), grid.Universe(), opts)}
 	}
 	resp := &ProvisionResponse{
 		Best:           choice.Best,
@@ -377,7 +456,11 @@ func (s *Server) handleProvision(body []byte) (any, int, error) {
 			out.Alpha = cr.Spec.Alpha
 		}
 		if cr.Result.Feasible {
-			out.Layout = comp.renderLayout(cr.Result.Layout)
+			if pt != nil {
+				out.Layout = renderUnitLayout(pt, cr.Result.Layout)
+			} else {
+				out.Layout = comp.renderLayout(cr.Result.Layout)
+			}
 		}
 		resp.Candidates = append(resp.Candidates, out)
 	}

@@ -1,0 +1,187 @@
+// Skewed is the Zipf hot/cold fixture generator: a synthetic TPC-C-shaped
+// catalog whose access profile follows a Zipf law over each object's pages
+// — the skewed access pattern that dominates HTAP mixes, where a small hot
+// head of a fact table absorbs most of the I/O while the long tail sits
+// cold. It is the fixture partition-granular placement is evaluated on:
+// object-granular DOT must keep a whole hot-headed table on expensive
+// storage to hold the SLA, while partitioned DOT places only the hot head
+// there and ships the cold tail to a cheap class at the same SLA.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/iosim"
+	"dotprov/internal/types"
+)
+
+// SkewedConfig scales the Zipf hot/cold fixture. Zero values select the
+// documented defaults.
+type SkewedConfig struct {
+	// Tables is the number of fact tables (default 3). Table k is named
+	// "fact<k>" and sized SizeBytes >> k (each successive table half the
+	// previous), with a "fact<k>_pkey" index at 1/8 of the table's size.
+	Tables int
+	// SizeBytes is the largest table's size (default 24 GB).
+	SizeBytes int64
+	// PageBytes is the page size heat is expressed in (default
+	// catalog.DefaultPageBytes).
+	PageBytes int64
+	// Extents is the number of equal page runs each object's heat histogram
+	// uses (default 16).
+	Extents int
+	// Theta is the Zipf exponent over pages (default 1.1). Higher
+	// concentrates more of the I/O in the first extents.
+	Theta float64
+	// ReadsPerGB scales the random page reads per GB of table (default
+	// 20000); a 1/20 share of sequential reads and a 1/50 share of row
+	// writes ride along, mirroring a transactional mix with occasional
+	// scans.
+	ReadsPerGB float64
+	// CPUMillis is the workload's CPU time in milliseconds (default 50);
+	// layout-invariant.
+	CPUMillis float64
+}
+
+func (c SkewedConfig) withDefaults() SkewedConfig {
+	if c.Tables < 1 {
+		c.Tables = 3
+	}
+	if c.SizeBytes <= 0 {
+		c.SizeBytes = 24e9
+	}
+	if c.PageBytes <= 0 {
+		c.PageBytes = catalog.DefaultPageBytes
+	}
+	if c.Extents < 1 {
+		c.Extents = 16
+	}
+	if c.Theta <= 0 {
+		c.Theta = 1.1
+	}
+	if c.ReadsPerGB <= 0 {
+		c.ReadsPerGB = 20000
+	}
+	if c.CPUMillis < 0 {
+		c.CPUMillis = 0
+	} else if c.CPUMillis == 0 {
+		c.CPUMillis = 50
+	}
+	return c
+}
+
+// SkewedFixture is the generated fixture: the catalog, the Zipf-skewed
+// workload profile, the per-extent access statistics the partitioner
+// consumes, and the workload's CPU time.
+type SkewedFixture struct {
+	Cat     *catalog.Catalog
+	Profile iosim.Profile
+	Stats   catalog.ExtentStats
+	CPU     time.Duration
+}
+
+// Estimator returns the fixture's observed-counts estimator bound to a box
+// (one synthetic query carrying the whole profile — the §4.5-style
+// test-run path, which is partition-capable).
+func (f *SkewedFixture) Estimator(box *device.Box, concurrency int) Estimator {
+	return &ObservedEstimator{
+		Box:         box,
+		Concurrency: concurrency,
+		PerQuery:    []QueryObservation{{Profile: f.Profile, CPU: f.CPU}},
+	}
+}
+
+// Skewed generates the Zipf hot/cold fixture deterministically: equal
+// configs yield bit-identical catalogs, profiles and statistics (the heat
+// law is computed analytically, no sampling).
+func Skewed(cfg SkewedConfig) (*SkewedFixture, error) {
+	cfg = cfg.withDefaults()
+	cat := catalog.New()
+	profile := iosim.NewProfile()
+	stats := catalog.ExtentStats{
+		PageBytes: cfg.PageBytes,
+		ByObject:  make(map[catalog.ObjectID][]catalog.Extent),
+	}
+	schema := types.NewSchema(types.Column{Name: "k", Kind: types.KindInt})
+	size := cfg.SizeBytes
+	for k := 0; k < cfg.Tables; k++ {
+		name := fmt.Sprintf("fact%d", k)
+		tab, err := cat.CreateTable(name, schema, []string{"k"})
+		if err != nil {
+			return nil, err
+		}
+		ix, err := cat.CreateIndex(name+"_pkey", tab.ID, []string{"k"}, true)
+		if err != nil {
+			return nil, err
+		}
+		cat.SetSize(tab.ID, size)
+		cat.SetSize(ix.ID, size/8)
+		reads := cfg.ReadsPerGB * float64(size) / 1e9
+		if err := skewObject(cat, tab.ID, cfg, reads, &stats, profile); err != nil {
+			return nil, err
+		}
+		// Index traffic is uniform random reads: B+-tree descents hit root
+		// and inner pages everywhere; indexes stay unsplit (cold histogram).
+		profile.Add(ix.ID, device.RandRead, reads/4)
+		size /= 2
+	}
+	return &SkewedFixture{
+		Cat:     cat,
+		Profile: profile,
+		Stats:   stats,
+		CPU:     time.Duration(cfg.CPUMillis * float64(time.Millisecond)),
+	}, nil
+}
+
+// skewObject lays the Zipf access law over one object: extent e of E equal
+// page runs receives the analytic Zipf mass of its page range,
+// sum_{p in extent} p^-theta, so the first extent is the hot head and the
+// tail decays. The object's profile rows and its extent histogram are
+// driven by the same law, keeping heat and I/O consistent.
+func skewObject(cat *catalog.Catalog, id catalog.ObjectID, cfg SkewedConfig, reads float64, stats *catalog.ExtentStats, profile iosim.Profile) error {
+	o := cat.Object(id)
+	pages := (o.SizeBytes + cfg.PageBytes - 1) / cfg.PageBytes
+	if pages < int64(cfg.Extents) {
+		return fmt.Errorf("workload: skewed object %q too small for %d extents", o.Name, cfg.Extents)
+	}
+	per := pages / int64(cfg.Extents)
+	weights := make([]float64, cfg.Extents)
+	var total float64
+	for e := 0; e < cfg.Extents; e++ {
+		lo := int64(e) * per
+		hi := lo + per
+		if e == cfg.Extents-1 {
+			hi = pages
+		}
+		// Analytic Zipf mass of pages (lo, hi]: integral of x^-theta.
+		weights[e] = zipfMass(float64(lo+1), float64(hi+1), cfg.Theta)
+		total += weights[e]
+		stats.ByObject[id] = append(stats.ByObject[id], catalog.Extent{Pages: hi - lo})
+	}
+	exts := stats.ByObject[id]
+	for e := range exts {
+		share := weights[e] / total
+		exts[e].Count = reads * share
+	}
+	// The profile carries the object's totals: the random reads, a 1/20
+	// share of sequential scan reads and a 1/50 share of row writes. All
+	// follow the same heat law, which apportioning re-applies per unit.
+	profile.Add(id, device.RandRead, reads)
+	profile.Add(id, device.SeqRead, reads/20)
+	profile.Add(id, device.SeqWrite, reads/50)
+	return nil
+}
+
+// zipfMass integrates x^-theta over [lo, hi] — the closed-form Zipf weight
+// of a page range, exact and sampling-free.
+func zipfMass(lo, hi, theta float64) float64 {
+	if theta == 1 {
+		return math.Log(hi) - math.Log(lo)
+	}
+	e := 1 - theta
+	return (math.Pow(hi, e) - math.Pow(lo, e)) / e
+}

@@ -376,6 +376,9 @@ type ProfileEstimator struct {
 	CPUTime     time.Duration // measured CPU time of the test run
 	Stats       RunStats
 	baseTime    time.Duration // I/O time of the profile under the profiled layout
+	// profiledLayout is the layout of the test run, kept so the estimator
+	// can re-derive itself at partition granularity (PartitionFor).
+	profiledLayout catalog.Layout
 }
 
 // NewProfileEstimator builds the estimator; profiledLayout is the layout of
@@ -388,7 +391,8 @@ func NewProfileEstimator(box *device.Box, concurrency int, profile iosim.Profile
 	return &ProfileEstimator{
 		Box: box, Concurrency: concurrency,
 		Profile: profile, CPUTime: cpu, Stats: stats,
-		baseTime: base,
+		baseTime:       base,
+		profiledLayout: profiledLayout.Clone(),
 	}, nil
 }
 

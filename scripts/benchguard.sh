@@ -12,7 +12,15 @@
 #   2. the seeded incremental re-advise (BenchmarkReAdvise) evaluates
 #      STRICTLY FEWER candidates than the cold re-search of the same
 #      drifted profile (BenchmarkReAdviseCold) — the point of online
-#      re-advising is that a small drift costs a small search.
+#      re-advising is that a small drift costs a small search; and
+#
+#   3. on the Zipf skew fixture, partition-granular DOT
+#      (BenchmarkPartitionedDOT) reports a storage cost AT OR BELOW the
+#      object-granular optimum (BenchmarkObjectGranularDOT) at the same
+#      SLA, per evaluation path — heat-based partitioning must never pay
+#      more for the same constraint. The map/compiled count parity of
+#      check 1 covers the unit path too: both new benchmarks run as
+#      map/compiled pairs.
 #
 # BENCHTIME controls -benchtime (default 1x: CI smoke; use e.g. 20x for a
 # recorded snapshot).
@@ -23,7 +31,7 @@ out="${1:-bench.json}"
 benchtime="${BENCHTIME:-1x}"
 
 raw=$(go test -run '^$' \
-  -bench 'BenchmarkDOTOptimize|BenchmarkExhaustive$|BenchmarkExhaustivePruned|BenchmarkIOTimeCompiledVsMap|BenchmarkMemoKey|BenchmarkReAdvise' \
+  -bench 'BenchmarkDOTOptimize|BenchmarkExhaustive$|BenchmarkExhaustivePruned|BenchmarkIOTimeCompiledVsMap|BenchmarkMemoKey|BenchmarkReAdvise|BenchmarkObjectGranularDOT|BenchmarkPartitionedDOT' \
   -benchmem -benchtime "$benchtime" .)
 echo "$raw"
 
@@ -33,7 +41,7 @@ echo "$raw" | awk '
   rec = "{\"name\":\"" name "\",\"iterations\":" $2
   for (i=3; i<NF; i++) {
     u=$(i+1)
-    if (u=="ns/op" || u=="B/op" || u=="allocs/op" || u=="est-calls" || u=="evaluated") {
+    if (u=="ns/op" || u=="B/op" || u=="allocs/op" || u=="est-calls" || u=="evaluated" || u=="microcents-storage") {
       key=u; gsub(/\//, "_per_", key); gsub(/-/, "_", key)
       rec = rec ",\"" key "\":" $i
       i++
@@ -94,4 +102,25 @@ END {
   if (pairs == 0) { print "benchguard: no ReAdvise incremental/cold pairs found — benchmark names changed?"; exit 1 }
   if (bad) exit 1
   printf("benchguard OK: incremental re-advise evaluates fewer candidates than cold across %d sizes\n", pairs)
+}'
+
+echo "$raw" | awk '
+/^BenchmarkObjectGranularDOT\/|^BenchmarkPartitionedDOT\// {
+  name=$1; sub(/-[0-9]+$/, "", name)
+  cost=""
+  for (i=3; i<NF; i++) if ($(i+1)=="microcents-storage") cost=$i
+  if (cost=="") next
+  path=name; sub(/^Benchmark[A-Za-z]+DOT\//, "", path)
+  if (name ~ /^BenchmarkObjectGranularDOT\//) obj[path]=cost; else part[path]=cost
+}
+END {
+  pairs=0; bad=0
+  for (p in part) {
+    if (!(p in obj)) continue
+    pairs++
+    if (part[p]+0 > obj[p]+0) { printf("REGRESSION: partitioned storage %s=%s exceeds object-granular %s at equal SLA\n", p, part[p], obj[p]); bad=1 }
+  }
+  if (pairs == 0) { print "benchguard: no object/partitioned skew pairs found — benchmark names changed?"; exit 1 }
+  if (bad) exit 1
+  printf("benchguard OK: partitioned storage cost <= object-granular at equal SLA across %d paths\n", pairs)
 }'
