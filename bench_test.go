@@ -171,6 +171,10 @@ func BenchmarkExhaustive(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		// Pin the legacy full enumeration: benchguard asserts map/compiled
+		// count parity here, and the default branch-and-bound walk evaluates
+		// fewer candidates by design (measured in BenchmarkExhaustiveBnB).
+		in.Search.DisableBnB = true
 		b.Run(sizeName(n), func(b *testing.B) {
 			pathVariants(b, in, func(in core.Input) (*core.Result, error) {
 				return core.Exhaustive(in, core.Options{RelativeSLA: 0.5})
@@ -270,7 +274,9 @@ func BenchmarkOptimizeBestMemo(b *testing.B) {
 }
 
 // BenchmarkExhaustiveWorkers scales the M^N enumeration across the worker
-// pool (sequential vs all cores).
+// pool (sequential vs all cores). On the default compiled path this is now
+// the branch-and-bound walk, so the scaling measured is the work-stealing
+// frontier's, not the fixed odometer split's.
 func BenchmarkExhaustiveWorkers(b *testing.B) {
 	widths := []int{1, 2, runtime.NumCPU()}
 	seen := map[int]bool{}
@@ -296,31 +302,35 @@ func BenchmarkExhaustiveWorkers(b *testing.B) {
 }
 
 // BenchmarkExhaustivePruned compares plain enumeration against the
-// storage-floor lower bound on both paths — the map-form closure
-// (Input.StorageFloorBound) and the compiled accumulator-fed form
-// (Input.StorageFloorBoundCompact) — over the 3^12 space. The evaluated
-// metric records how many candidates each variant visits.
+// storage-floor bound on both evaluation paths over the 3^12 space: the
+// map walk feeds the bound from an incrementally maintained cost
+// accumulator (no per-node partial-layout walk), the compiled walk from
+// its running DFS counter. Branch-and-bound is pinned off so the legacy
+// bound is what's measured; benchguard asserts each pruned variant is
+// strictly faster than its plain sibling. The evaluated metric records how
+// many candidates each variant visits.
 func BenchmarkExhaustivePruned(b *testing.B) {
 	base, prof, err := synthetic(6)
 	if err != nil {
 		b.Fatal(err)
 	}
-	base.NoCompile = true
-	prunedMap := base
-	prunedMap.LowerBound = prunedMap.StorageFloorBound(prof)
-	if prunedMap.LowerBound == nil {
+	base.Search.DisableBnB = true
+	plainMap := base
+	plainMap.NoCompile = true
+	prunedMap := plainMap
+	prunedMap.CompactBound = prunedMap.StorageFloorBoundCompact(prof)
+	if prunedMap.CompactBound == nil {
 		b.Fatal("expected a storage-floor bound under the linear cost model")
 	}
 	prunedCompiled := base
-	prunedCompiled.NoCompile = false
 	prunedCompiled.CompactBound = prunedCompiled.StorageFloorBoundCompact(prof)
-	if prunedCompiled.CompactBound == nil {
-		b.Fatal("expected a compact storage-floor bound under the linear cost model")
-	}
 	for _, c := range []struct {
 		name string
 		in   core.Input
-	}{{"plain-map", base}, {"pruned-map", prunedMap}, {"pruned-compiled", prunedCompiled}} {
+	}{
+		{"plain-map", plainMap}, {"pruned-map", prunedMap},
+		{"plain-compiled", base}, {"pruned-compiled", prunedCompiled},
+	} {
 		b.Run(c.name, func(b *testing.B) {
 			b.ReportAllocs()
 			var evaluated int
@@ -332,6 +342,41 @@ func BenchmarkExhaustivePruned(b *testing.B) {
 				evaluated = res.Evaluated
 			}
 			b.ReportMetric(float64(evaluated), "evaluated")
+		})
+	}
+}
+
+// BenchmarkExhaustiveBnB measures the tentpole: the branch-and-bound
+// compact DFS — tight per-unit suffix bounds, dominance collapsing, and
+// (bnb-par) the work-stealing parallel frontier — against the legacy full
+// enumeration over the same 3^12 space. benchguard asserts bnb beats plain
+// strictly; the evaluated metric shows why (the bound discards most of the
+// space before evaluation).
+func BenchmarkExhaustiveBnB(b *testing.B) {
+	base, _, err := synthetic(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plain := base
+	plain.Search.DisableBnB = true
+	bnb := base
+	bnb.Workers = 1
+	bnbPar := base
+	bnbPar.Workers = runtime.NumCPU()
+	for _, c := range []struct {
+		name string
+		in   core.Input
+	}{{"plain", plain}, {"bnb", bnb}, {"bnb-par", bnbPar}} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				if res, err = core.Exhaustive(c.in, core.Options{RelativeSLA: 0.5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Evaluated), "evaluated")
+			b.ReportMetric(float64(res.Search.BoundPruned), "pruned")
 		})
 	}
 }
@@ -576,4 +621,52 @@ func BenchmarkPartitionedDOT(b *testing.B) {
 		cost, err := res.Layout.CostCentsPerHour(pt.UnitCatalog(), in.Box)
 		return res.Result, cost, err
 	})
+}
+
+// BenchmarkPartitionedDOT500 is the scale point of the partition-granular
+// path: a 16-table Zipf catalog split into ~500 placement units (32
+// extents per object, merging disabled), advised end to end. benchguard
+// gates the compiled variant's wall time — a full partition-granular
+// advise at this unit count must stay under 100ms — and the map/compiled
+// count parity of gate 1 covers it like every other pair.
+func BenchmarkPartitionedDOT500(b *testing.B) {
+	fx, err := workload.Skewed(workload.SkewedConfig{Tables: 16, Extents: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt, err := catalog.BuildPartitioning(fx.Cat, fx.Stats, catalog.PartitionOptions{
+		MaxUnitsPerObject: 32, MergeRatio: 1, MinUnitBytes: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if pt.NumUnits() < 500 {
+		b.Fatalf("fixture yields %d units, want >= 500", pt.NumUnits())
+	}
+	box := device.Box2()
+	ps := core.NewProfileSet()
+	ps.SetSingle(fx.Profile)
+	in := core.Input{Cat: fx.Cat, Box: box, Est: fx.Estimator(box, 1), Profiles: ps, Concurrency: 1}
+	for _, v := range []struct {
+		name      string
+		noCompile bool
+	}{{"map", true}, {"compiled", false}} {
+		b.Run(v.name, func(b *testing.B) {
+			vin := in
+			vin.NoCompile = v.noCompile
+			b.ReportAllocs()
+			var res *core.PartitionedResult
+			for i := 0; i < b.N; i++ {
+				if res, err = core.OptimizePartitioned(vin, pt, core.Options{RelativeSLA: bench.SkewSLA}); err != nil {
+					b.Fatal(err)
+				}
+				if !res.Feasible {
+					b.Fatalf("500-unit skew fixture infeasible at SLA %g", bench.SkewSLA)
+				}
+			}
+			b.ReportMetric(float64(res.EstimatorCalls), "est-calls")
+			b.ReportMetric(float64(res.Evaluated), "evaluated")
+			b.ReportMetric(float64(pt.NumUnits()), "units")
+		})
+	}
 }

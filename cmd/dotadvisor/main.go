@@ -12,6 +12,11 @@
 //
 // -search-workers controls the layout-search engine's evaluation fan-out
 // (default: all CPUs); results are identical at any width.
+// -exhaustive replaces the greedy DOT sweeps with the branch-and-bound
+// enumeration: the provably optimal layout, at enumeration cost.
+// -search-stats prints the enumeration's work profile after the layout:
+// candidates evaluated, subtrees the cost floor pruned, symmetric-unit
+// collapse, and how tight the root bound was against the winning TOC.
 // -granularity partition (tpcc only) splits objects into heat-based
 // page-range units from the test run's live extent statistics and places
 // the units independently, so a hot head can stay on fast storage while
@@ -37,6 +42,14 @@ import (
 	"dotprov/internal/tpcc"
 	"dotprov/internal/tpch"
 	"dotprov/internal/workload"
+)
+
+// Search-mode flags, read by every advise path: -exhaustive swaps the
+// greedy sweeps for the branch-and-bound enumeration, -search-stats prints
+// the search's work profile with the recommendation.
+var (
+	exhaustiveFlag  = flag.Bool("exhaustive", false, "run the exhaustive branch-and-bound enumeration instead of the greedy DOT sweeps (provably optimal, enumeration cost)")
+	searchStatsFlag = flag.Bool("search-stats", false, "print search statistics: candidates evaluated, bound-pruned subtrees, dominance collapse, bound tightness")
 )
 
 func main() {
@@ -130,7 +143,7 @@ func adviseSQL(box *device.Box, sla float64, schemaPath, queryPath string, searc
 		return err
 	}
 	in := core.Input{Cat: db.Cat, Box: box, Est: w.Estimator(db), Profiles: ps, Concurrency: 1, Workers: searchWorkers}
-	res, val, err := core.OptimizeValidated(in, core.Options{RelativeSLA: sla}, &runner{db: db, w: w}, 3)
+	res, val, err := adviseDSS(in, core.Options{RelativeSLA: sla}, &runner{db: db, w: w})
 	if err != nil {
 		return err
 	}
@@ -140,6 +153,19 @@ func adviseSQL(box *device.Box, sla float64, schemaPath, queryPath string, searc
 			val.PSR*100, val.Measured.Elapsed.Round(time.Millisecond))
 	}
 	return nil
+}
+
+// adviseDSS runs the configured search for the DSS paths: the greedy DOT
+// optimizer with a validation loop by default, the exhaustive
+// branch-and-bound enumeration (no validation round — the enumeration is
+// already the quality ceiling) under -exhaustive.
+func adviseDSS(in core.Input, opts core.Options, r core.Runner) (*core.Result, *core.Validation, error) {
+	if *exhaustiveFlag {
+		res, err := core.Exhaustive(in, opts)
+		return res, nil, err
+	}
+	res, val, err := core.OptimizeValidated(in, opts, r, 3)
+	return res, val, err
 }
 
 func adviseTPCH(box *device.Box, modified bool, sla, sf float64, seed int64, searchWorkers int) error {
@@ -166,7 +192,7 @@ func adviseTPCH(box *device.Box, modified bool, sla, sf float64, seed int64, sea
 		return err
 	}
 	in := core.Input{Cat: db.Cat, Box: box, Est: w.Estimator(db), Profiles: ps, Concurrency: 1, Workers: searchWorkers}
-	res, val, err := core.OptimizeValidated(in, core.Options{RelativeSLA: sla}, &runner{db: db, w: w}, 3)
+	res, val, err := adviseDSS(in, core.Options{RelativeSLA: sla}, &runner{db: db, w: w})
 	if err != nil {
 		return err
 	}
@@ -231,7 +257,12 @@ func adviseTPCC(box *device.Box, sla float64, workers, searchWorkers int, seed i
 	if partitioned {
 		return adviseTPCCPartitioned(db, box, in, opts, col)
 	}
-	res, err := core.OptimizeBest(in, opts)
+	var res *core.Result
+	if *exhaustiveFlag {
+		res, err = core.Exhaustive(in, opts)
+	} else {
+		res, err = core.OptimizeBest(in, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -285,6 +316,9 @@ func adviseTPCCPartitioned(db *engine.DB, box *device.Box, in core.Input, opts c
 		return err
 	}
 	fmt.Printf("layout storage cost: %.4e cents/hour\n", pcost)
+	if *searchStatsFlag {
+		printSearchStats(pres.Result)
+	}
 	if obj.Feasible {
 		ocost, err := obj.Layout.CostCentsPerHour(db.Cat, box)
 		if err != nil {
@@ -313,6 +347,36 @@ func report(cat *catalog.Catalog, box *device.Box, res *core.Result) {
 	cost, err := res.Layout.CostCentsPerHour(cat, box)
 	if err == nil {
 		fmt.Printf("layout storage cost: %.4e cents/hour\n", cost)
+	}
+	if *searchStatsFlag {
+		printSearchStats(res)
+	}
+}
+
+// printSearchStats renders -search-stats: the enumeration's work profile
+// from Result.Search. The greedy sweeps only fill the candidate count; the
+// exhaustive branch-and-bound walk reports its whole profile.
+func printSearchStats(res *core.Result) {
+	st := res.Search
+	fmt.Printf("search: %d candidates evaluated", st.Candidates)
+	if st.SpaceSize > 0 {
+		fmt.Printf(" of %.0f raw layouts", st.SpaceSize)
+	}
+	fmt.Println()
+	if st.BoundPruned > 0 {
+		fmt.Printf("search: cost floor pruned %d subtrees\n", st.BoundPruned)
+	}
+	if st.Groups > 0 {
+		fmt.Printf("search: %d symmetric groups over %d units collapse the space to %.0f canonical layouts\n",
+			st.Groups, st.GroupedUnits, st.CanonicalSize)
+	}
+	if st.RootFloorCents > 0 && res.TOCCents > 0 {
+		fmt.Printf("search: root bound %.4e cents (%.0f%% of the winning TOC)\n",
+			st.RootFloorCents, 100*st.RootFloorCents/res.TOCCents)
+	}
+	if st.FrontierTasks > 0 {
+		fmt.Printf("search: parallel frontier of %d tasks at split depth %d\n",
+			st.FrontierTasks, st.SplitDepth)
 	}
 }
 

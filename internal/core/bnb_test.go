@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/iosim"
+	"dotprov/internal/types"
+	"dotprov/internal/workload"
+)
+
+// randExhaustiveFixture builds a random catalog + profile with deliberate
+// symmetry: objects drawn from a small pool of (size, per-type I/O count)
+// templates, so duplicated templates produce dominance-collapsible units.
+type randExhaustiveFixture struct {
+	in   Input
+	prof iosim.Profile
+	dups bool
+}
+
+func newRandExhaustiveFixture(t *testing.T, rng *rand.Rand, oltp bool) *randExhaustiveFixture {
+	t.Helper()
+	cat := catalog.New()
+	sch := types.NewSchema(types.Column{Name: "id", Kind: types.KindInt})
+	type tmpl struct {
+		sizeGB float64
+		counts [4]float64
+	}
+	pool := make([]tmpl, 1+rng.Intn(4))
+	for i := range pool {
+		pool[i] = tmpl{sizeGB: 0.5 + 4*rng.Float64()}
+		for k := range pool[i].counts {
+			if rng.Intn(2) == 0 {
+				pool[i].counts[k] = float64(rng.Intn(1_000_000))
+			}
+		}
+	}
+	n := 2 + rng.Intn(5)
+	prof := iosim.NewProfile()
+	seen := map[int]bool{}
+	dups := false
+	for i := 0; i < n; i++ {
+		tb, err := cat.CreateTable("t"+string(rune('a'+i)), sch, []string{"id"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi := rng.Intn(len(pool))
+		if seen[pi] {
+			dups = true
+		}
+		seen[pi] = true
+		tm := pool[pi]
+		cat.SetSize(tb.ID, int64(tm.sizeGB*1e9))
+		for k, c := range tm.counts {
+			if c > 0 {
+				prof.Add(tb.ID, device.AllIOTypes[k], c)
+			}
+		}
+	}
+	box := device.Box1()
+	if rng.Intn(2) == 0 {
+		box = device.Box2()
+	}
+	f := &randExhaustiveFixture{prof: prof, dups: dups}
+	ps := NewProfileSet()
+	ps.SetSingle(prof)
+	if oltp {
+		est, err := workload.NewProfileEstimator(box, 2, prof, time.Second,
+			workload.RunStats{Txns: 5000, Elapsed: time.Minute},
+			catalog.NewUniformLayout(cat, device.HSSD))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.in = Input{Cat: cat, Box: box, Est: est, Profiles: ps, Concurrency: 2}
+	} else {
+		f.in = Input{Cat: cat, Box: box, Est: &workload.ObservedEstimator{
+			Box: box, Concurrency: 1,
+			PerQuery: []workload.QueryObservation{
+				{Profile: prof, CPU: time.Duration(rng.Intn(int(time.Second)))},
+			},
+		}, Profiles: ps, Concurrency: 1}
+	}
+	return f
+}
+
+// TestBnBPropertyMatchesPlain is the branch-and-bound engine's property
+// test: across random catalogs (with engineered symmetric units), random
+// device boxes, both objectives and several SLAs, every BnB configuration
+// — default, reorder off, dominance off, sequential and parallel — must
+// return the bit-identical result of the plain unpruned map enumeration.
+// Run it under -race to exercise the work-stealing walkers.
+func TestBnBPropertyMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1971))
+	slas := []float64{0.2, 0.5, 1.0}
+	sawGroups := false
+	for trial := 0; trial < 24; trial++ {
+		oltp := trial%3 == 2
+		f := newRandExhaustiveFixture(t, rng, oltp)
+		opts := Options{RelativeSLA: slas[rng.Intn(len(slas))]}
+
+		plainIn := f.in
+		plainIn.NoCompile = true
+		plain, err := Exhaustive(plainIn, opts)
+		if err != nil {
+			t.Fatalf("trial %d: plain: %v", trial, err)
+		}
+
+		variants := []struct {
+			name    string
+			workers int
+			tune    SearchTuning
+			pruned  bool
+		}{
+			{"legacy-compiled", 1, SearchTuning{DisableBnB: true}, false},
+			{"legacy-pruned", 1, SearchTuning{DisableBnB: true}, true},
+			{"bnb", 1, SearchTuning{}, false},
+			{"bnb-par", 8, SearchTuning{}, false},
+			{"bnb-noreorder", 1, SearchTuning{NoReorder: true}, false},
+			{"bnb-nodominance", 8, SearchTuning{NoDominance: true}, false},
+			{"map-pruned", 1, SearchTuning{DisableBnB: true}, true},
+		}
+		for _, v := range variants {
+			in := f.in
+			in.Workers = v.workers
+			in.Search = v.tune
+			if v.pruned {
+				in.CompactBound = in.StorageFloorBoundCompact(f.prof)
+				in.LowerBound = in.StorageFloorBound(f.prof)
+			}
+			if v.name == "map-pruned" {
+				in.NoCompile = true
+			}
+			res, err := Exhaustive(in, opts)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, v.name, err)
+			}
+			if res.Feasible != plain.Feasible || !res.Layout.Equal(plain.Layout) ||
+				math.Float64bits(res.TOCCents) != math.Float64bits(plain.TOCCents) ||
+				res.Metrics.Elapsed != plain.Metrics.Elapsed {
+				t.Fatalf("trial %d %s: result diverges from plain: feasible %v/%v toc %v/%v\n%v\nvs\n%v",
+					trial, v.name, res.Feasible, plain.Feasible, res.TOCCents, plain.TOCCents,
+					res.Layout, plain.Layout)
+			}
+			if res.Evaluated > plain.Evaluated {
+				t.Fatalf("trial %d %s: evaluated %d > plain %d", trial, v.name, res.Evaluated, plain.Evaluated)
+			}
+			if v.name == "bnb" {
+				if res.Search.SpaceSize != math.Pow(float64(len(f.in.Box.Classes())), float64(f.in.Cat.NumObjects())) {
+					t.Fatalf("trial %d: space size %g", trial, res.Search.SpaceSize)
+				}
+				if f.dups && res.Search.Groups > 0 {
+					sawGroups = true
+					if res.Search.CanonicalSize >= res.Search.SpaceSize {
+						t.Fatalf("trial %d: dominance found groups but no collapse: %g >= %g",
+							trial, res.Search.CanonicalSize, res.Search.SpaceSize)
+					}
+				}
+			}
+		}
+	}
+	if !sawGroups {
+		t.Fatal("no trial exercised dominance groups — fixture symmetry is broken")
+	}
+}
+
+// TestBnBCollapseAdmitsLargeSymmetricSpace: a space whose raw M^N exceeds
+// MaxExhaustiveLayouts is admitted when dominance collapses its canonical
+// form back under the cap — and still refused when BnB or dominance is
+// off.
+func TestBnBCollapseAdmitsLargeSymmetricSpace(t *testing.T) {
+	cat := catalog.New()
+	sch := types.NewSchema(types.Column{Name: "id", Kind: types.KindInt})
+	prof := iosim.NewProfile()
+	// 16 objects, 14 of them identical: 3^16 ≈ 43M raw layouts, but the
+	// canonical space is C(14+2,14) * 3^2 = 1080.
+	for i := 0; i < 16; i++ {
+		tb, err := cat.CreateTable("t"+string(rune('a'+i)), sch, []string{"id"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 14 {
+			cat.SetSize(tb.ID, 1e9)
+			prof.Add(tb.ID, device.RandRead, 50000)
+		} else {
+			cat.SetSize(tb.ID, int64(float64(i)*1e9))
+			prof.Add(tb.ID, device.SeqRead, float64(i)*1e6)
+		}
+	}
+	box := device.Box1()
+	ps := NewProfileSet()
+	ps.SetSingle(prof)
+	in := Input{Cat: cat, Box: box, Est: &workload.ObservedEstimator{
+		Box: box, Concurrency: 1,
+		PerQuery: []workload.QueryObservation{{Profile: prof, CPU: time.Second}},
+	}, Profiles: ps, Concurrency: 1, Workers: 8}
+
+	res, err := Exhaustive(in, Options{RelativeSLA: 0.5})
+	if err != nil {
+		t.Fatalf("collapse-admissible space refused: %v", err)
+	}
+	if res.Search.SpaceSize <= MaxExhaustiveLayouts {
+		t.Fatalf("fixture too small to test admission: %g", res.Search.SpaceSize)
+	}
+	if res.Search.CanonicalSize > MaxExhaustiveLayouts {
+		t.Fatalf("canonical size %g should be under the cap", res.Search.CanonicalSize)
+	}
+	if res.Search.Groups == 0 || res.Search.GroupedUnits < 14 {
+		t.Fatalf("expected one 14-unit group, got %d groups / %d units",
+			res.Search.Groups, res.Search.GroupedUnits)
+	}
+	if res.Search.Candidates > 1080 {
+		t.Fatalf("evaluated %d candidates, canonical space is 1080", res.Search.Candidates)
+	}
+
+	in.Search.DisableBnB = true
+	if _, err := Exhaustive(in, Options{RelativeSLA: 0.5}); err == nil ||
+		!strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("without BnB the raw space must be refused, got %v", err)
+	}
+	in.Search = SearchTuning{NoDominance: true}
+	if _, err := Exhaustive(in, Options{RelativeSLA: 0.5}); err == nil ||
+		!strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("without dominance the raw space must be refused, got %v", err)
+	}
+}

@@ -47,9 +47,10 @@ func (in Input) StorageFloorBound(prof iosim.Profile) search.LowerBound {
 		timeFloor += best
 	}
 	minPrice := in.Box.Cheapest().PriceCents
+	sizes := in.Cat.DenseSizeBytes()
 	sizeGB := func(id catalog.ObjectID) float64 {
-		if o := in.Cat.Object(id); o != nil {
-			return float64(o.SizeBytes) / 1e9
+		if i := catalog.DenseIndex(id); i >= 0 && i < len(sizes) {
+			return float64(sizes[i]) / 1e9
 		}
 		return 0
 	}

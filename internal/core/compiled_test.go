@@ -79,7 +79,11 @@ func (f *compiledFix) oltpInput(t *testing.T) Input {
 	return in
 }
 
-func requireSameResult(t *testing.T, name string, a, b *Result) {
+// requireSameOutcome checks result equivalence up to work counts: same
+// feasibility, layout, TOC bits and metrics. It is the contract pruning
+// paths must honour — they may evaluate fewer candidates, never report a
+// different winner.
+func requireSameOutcome(t *testing.T, name string, a, b *Result) {
 	t.Helper()
 	if (a == nil) != (b == nil) {
 		t.Fatalf("%s: one result nil", name)
@@ -105,6 +109,11 @@ func requireSameResult(t *testing.T, name string, a, b *Result) {
 			t.Fatalf("%s: per-query %d differs", name, i)
 		}
 	}
+}
+
+func requireSameResult(t *testing.T, name string, a, b *Result) {
+	t.Helper()
+	requireSameOutcome(t, name, a, b)
 	if a.Evaluated != b.Evaluated {
 		t.Fatalf("%s: evaluated %d vs %d", name, a.Evaluated, b.Evaluated)
 	}
@@ -124,7 +133,7 @@ func TestCompiledPathMatchesMapPath(t *testing.T) {
 	}
 	for _, v := range []variant{{"dss", false}, {"oltp", true}} {
 		for _, workers := range []int{1, 8} {
-			run := func(noCompile bool) map[string]*Result {
+			run := func(noCompile bool, tune SearchTuning) map[string]*Result {
 				f := newCompiledFix(t)
 				var in Input
 				if v.oltp {
@@ -134,6 +143,7 @@ func TestCompiledPathMatchesMapPath(t *testing.T) {
 				}
 				in.Workers = workers
 				in.NoCompile = noCompile
+				in.Search = tune
 				out := map[string]*Result{}
 				rec := func(name string, res *Result, err error) {
 					if err != nil {
@@ -160,10 +170,16 @@ func TestCompiledPathMatchesMapPath(t *testing.T) {
 				rec("es-relaxing", res, err)
 				return out
 			}
-			compiled := run(false)
-			mapped := run(true)
+			// The legacy compiled enumeration must match the map path on full
+			// counts; the branch-and-bound default may evaluate fewer
+			// candidates but must report the bit-identical winner.
+			compiled := run(false, SearchTuning{DisableBnB: true})
+			bnb := run(false, SearchTuning{})
+			mapped := run(true, SearchTuning{})
 			for name, want := range mapped {
-				requireSameResult(t, v.name+"/"+name+"/workers="+string(rune('0'+workers)), compiled[name], want)
+				label := v.name + "/" + name + "/workers=" + string(rune('0'+workers))
+				requireSameResult(t, label, compiled[name], want)
+				requireSameOutcome(t, label+"/bnb", bnb[name], want)
 			}
 		}
 	}

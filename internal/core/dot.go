@@ -57,6 +57,35 @@ type Input struct {
 	// forcing map-based evaluation everywhere. Results are bit-identical
 	// either way; the switch exists for benchmarks and equivalence tests.
 	NoCompile bool
+	// LayoutCostClassSymmetric declares that a custom LayoutCost /
+	// LayoutCostCompact pair depends only on the per-class byte totals of
+	// the layout (as the linear and discrete-sized models both do), not on
+	// which objects produce them. The declaration lets exhaustive search
+	// keep dominance pruning — collapsing symmetric units — under the
+	// custom model; cost bounding stays off regardless, since the floor
+	// assumes linear pricing. Ignored when no custom cost is installed.
+	LayoutCostClassSymmetric bool
+	// Search tunes the exhaustive branch-and-bound enumeration. The zero
+	// value is the default behaviour; no knob changes any result, only the
+	// work done to reach it.
+	Search SearchTuning
+}
+
+// SearchTuning is Input.Search: ablation and tuning knobs for the
+// branch-and-bound exhaustive enumeration. It is a value type on purpose —
+// derived inputs (Input.Partitioned) copy it through.
+type SearchTuning struct {
+	// DisableBnB falls back to the legacy enumeration (compiled DFS with the
+	// accumulator bound, or the map walk), as before the branch-and-bound
+	// engine. Results are bit-identical either way.
+	DisableBnB bool
+	// NoReorder keeps the odometer unit order instead of the descending
+	// cost-spread order.
+	NoReorder bool
+	// NoDominance disables symmetric-unit collapsing.
+	NoDominance bool
+	// SplitDepth fixes the parallel frontier depth (0 = automatic).
+	SplitDepth int
 }
 
 // Options controls one optimization run.
@@ -104,6 +133,10 @@ type Result struct {
 	// memo-miss share of Evaluated.
 	EstimatorCalls int
 	PlanTime       time.Duration // wall-clock optimization time
+	// Search reports the enumeration's statistics — candidates evaluated,
+	// subtrees cut by the bound, dominance groups, space sizes. Exhaustive
+	// entry points fill every field; the DOT sweeps fill Candidates only.
+	Search search.EnumStats
 	// best holds the incumbent evaluation; the Layout field is materialized
 	// from it once at the end of the run (materializing a map per
 	// improvement is pure allocation on the compiled path).
@@ -366,6 +399,7 @@ func optimizeWith(in Input, opts Options, eng *search.Engine, moves []Move) (*Re
 	res.Layout = res.best.LayoutClone()
 	res.EstimatorCalls = eng.Stats().Sub(stats0).EstimatorCalls
 	res.PlanTime = time.Since(start)
+	res.Search.Candidates = res.Evaluated
 	return res, nil
 }
 
@@ -545,6 +579,7 @@ func OptimizeBest(in Input, opts Options) (*Result, error) {
 	best.Evaluated = a.Evaluated + b.Evaluated
 	best.PlanTime = a.PlanTime + b.PlanTime
 	best.EstimatorCalls = eng.Stats().EstimatorCalls
+	best.Search.Candidates = best.Evaluated
 	return best, nil
 }
 

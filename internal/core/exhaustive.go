@@ -2,16 +2,21 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"dotprov/internal/catalog"
 	"dotprov/internal/device"
 	"dotprov/internal/search"
+	"dotprov/internal/workload"
 )
 
 // MaxExhaustiveLayouts bounds the M^N enumeration. The paper estimates
 // ~3500 hours for the full 16-object TPC-H catalog (§4.4.3) and restricts
-// ES to 8 objects; we refuse anything beyond this many layouts.
+// ES to 8 objects; we refuse anything beyond this many layouts. The bound
+// applies to the canonical space: when dominance pruning collapses a
+// larger raw space back under it (symmetric units enumerate one canonical
+// member per orbit), the search is admitted.
 const MaxExhaustiveLayouts = 5_000_000
 
 // Exhaustive enumerates every layout L: O -> D and returns the feasible one
@@ -34,16 +39,7 @@ func Exhaustive(in Input, opts Options) (*Result, error) {
 // the next.
 func exhaustiveWith(in Input, opts Options, eng *search.Engine) (*Result, error) {
 	objs := in.Cat.Objects()
-	n, m := len(objs), len(in.Box.Classes())
-	total := 1.0
-	for i := 0; i < n; i++ {
-		total *= float64(m)
-		if total > MaxExhaustiveLayouts {
-			return nil, fmt.Errorf("core: exhaustive search over %d objects x %d classes exceeds the %d-layout bound",
-				n, m, MaxExhaustiveLayouts)
-		}
-	}
-	free := make([]catalog.ObjectID, n)
+	free := make([]catalog.ObjectID, len(objs))
 	for i, o := range objs {
 		free[i] = o.ID
 	}
@@ -59,14 +55,6 @@ func ExhaustivePartial(in Input, opts Options, free []catalog.ObjectID, base cat
 	eng, err := in.engine()
 	if err != nil {
 		return nil, err
-	}
-	n, m := len(free), len(in.Box.Classes())
-	total := 1.0
-	for i := 0; i < n; i++ {
-		total *= float64(m)
-		if total > MaxExhaustiveLayouts {
-			return nil, fmt.Errorf("core: partial exhaustive search over %d objects exceeds the bound", n)
-		}
 	}
 	return exhaustSpace(in, opts, eng, free, base)
 }
@@ -87,13 +75,32 @@ func exhaustSpace(in Input, opts Options, eng *search.Engine, free []catalog.Obj
 	res := &Result{Constraints: cons}
 	throughput := ev0.Metrics.Throughput > 0
 
+	// Space cap: the raw M^N enumeration is refused beyond the bound —
+	// unless dominance collapses the canonical space back under it, in
+	// which case the branch-and-bound walk (which enumerates only canonical
+	// members) is admitted.
+	bsp, bnbOK := in.bnbSpace(eng, free, base, throughput)
+	n, m := len(free), len(in.Box.Classes())
+	if math.Pow(float64(m), float64(n)) > MaxExhaustiveLayouts {
+		if !bnbOK || search.CanonicalSpaceSize(bsp.Sigs, n, m) > MaxExhaustiveLayouts {
+			return nil, fmt.Errorf("core: exhaustive search over %d objects x %d classes exceeds the %d-layout bound",
+				n, m, MaxExhaustiveLayouts)
+		}
+	}
+
 	var (
-		best      search.Eval
-		found     bool
-		evaluated int
+		best  search.Eval
+		found bool
+		st    search.EnumStats
 	)
-	if csp, ok := in.compactSpace(eng, free, base, throughput); ok {
-		best, found, evaluated, err = eng.ExhaustiveCompact(cons, csp)
+	if bnbOK {
+		best, found, st, err = eng.ExhaustiveBnB(cons, bsp, search.BnBOptions{
+			SplitDepth:  in.Search.SplitDepth,
+			NoReorder:   in.Search.NoReorder,
+			NoDominance: in.Search.NoDominance,
+		})
+	} else if csp, ok := in.compactSpace(eng, free, base, throughput); ok {
+		best, found, st, err = eng.ExhaustiveCompact(cons, csp)
 	} else {
 		sp := search.Space{Base: base, Free: free, Classes: in.Box.Classes()}
 		lb := in.LowerBound
@@ -103,13 +110,21 @@ func exhaustSpace(in Input, opts Options, eng *search.Engine, free []catalog.Obj
 			// there: pruning could silently discard the true optimum. Disable
 			// the hook rather than risk a wrong result.
 			lb = nil
+		} else if in.CompactBound != nil {
+			// Accumulator pruning on the map path: the same floor the compiled
+			// walk consults, fed by an incrementally maintained storage cost —
+			// no per-node partial-layout walk.
+			sp.SizeGB, sp.PriceCents = in.denseCostTables()
+			sp.Bound = in.CompactBound
+			lb = nil
 		}
-		best, found, evaluated, err = eng.Exhaustive(cons, sp, lb)
+		best, found, st, err = eng.Exhaustive(cons, sp, lb)
 	}
 	if err != nil {
 		return nil, err
 	}
-	res.Evaluated = evaluated
+	res.Evaluated = st.Candidates
+	res.Search = st
 	if found {
 		res.Feasible = true
 		res.Layout = best.LayoutClone()
@@ -162,20 +177,126 @@ func (in Input) compactSpace(eng *search.Engine, free []catalog.ObjectID, base c
 	// The elapsed-time floor is inadmissible for throughput objectives,
 	// exactly as on the map path.
 	if in.CompactBound != nil && !throughput {
-		sizes := in.Cat.DenseSizeBytes()
-		gb := make([]float64, len(sizes))
-		for i, s := range sizes {
-			gb[i] = float64(s) / 1e9
-		}
-		csp.SizeGB = gb
-		for _, d := range in.Box.Devices {
-			if int(d.Class) < device.NumClasses {
-				csp.PriceCents[d.Class] = d.PriceCents
-			}
-		}
+		csp.SizeGB, csp.PriceCents = in.denseCostTables()
 		csp.Bound = in.CompactBound
 	}
 	return csp, true
+}
+
+// denseCostTables snapshots the linear cost model's inputs: per-object
+// sizes in GB (dense, by catalog.DenseIndex) and per-class prices in
+// cents/GB/hour.
+func (in Input) denseCostTables() ([]float64, [device.NumClasses]float64) {
+	sizes := in.Cat.DenseSizeBytes()
+	gb := make([]float64, len(sizes))
+	for i, s := range sizes {
+		gb[i] = float64(s) / 1e9
+	}
+	var prices [device.NumClasses]float64
+	for _, d := range in.Box.Devices {
+		if int(d.Class) < device.NumClasses {
+			prices[d.Class] = d.PriceCents
+		}
+	}
+	return gb, prices
+}
+
+// bnbSpace assembles the branch-and-bound assignment space. ok=false sends
+// the enumeration to the legacy paths: BnB disabled, engine not compiled,
+// an unencodable base, a map-form LowerBound without its compact mirror
+// (the map walk preserves that pruning), or a caller-supplied CompactBound
+// the BnB floor cannot subsume (the accumulator walk preserves it).
+func (in Input) bnbSpace(eng *search.Engine, free []catalog.ObjectID, base catalog.Layout, throughput bool) (search.BnBSpace, bool) {
+	if in.Search.DisableBnB || !eng.Compiled() {
+		return search.BnBSpace{}, false
+	}
+	if in.LowerBound != nil && in.CompactBound == nil && !throughput {
+		return search.BnBSpace{}, false
+	}
+	bsp := search.BnBSpace{Free: free, Classes: in.Box.Classes()}
+	if base != nil {
+		bc, ok := catalog.CompactFromLayout(in.Cat, base)
+		if !ok {
+			return search.BnBSpace{}, false
+		}
+		bsp.Base = bc
+	} else {
+		bsp.Base = catalog.NewCompactLayout(in.Cat.NumObjects())
+	}
+	bsp.SizeGB, bsp.PriceCents = in.denseCostTables()
+	est := eng.CompactEstimator()
+	linear := in.LayoutCost == nil && in.LayoutCostCompact == nil
+	// Cost bounding needs the linear pricing model, an elapsed (DSS)
+	// objective, and an estimator whose Elapsed decomposes into additive
+	// per-(unit, class) terms.
+	if linear && !throughput {
+		if dec, ok := est.(workload.ElapsedDecomposable); ok {
+			table := make([]time.Duration, in.Cat.NumObjects()*device.NumClasses)
+			if fixed, ok := dec.AccumulateElapsedTable(table); ok {
+				bsp.Bounds = in.unitBounds(table, fixed, free, base, bsp.Classes)
+			}
+		}
+	}
+	if in.CompactBound != nil && !throughput && bsp.Bounds == nil {
+		return search.BnBSpace{}, false
+	}
+	// Dominance needs the layout cost to be symmetric in per-class byte
+	// totals (true of the linear model, declared for custom ones) and an
+	// estimator that can emit placement signatures. The unit's size joins
+	// the signature: interchangeability needs equal per-class cost and
+	// capacity contributions too.
+	if (linear || in.LayoutCostClassSymmetric) && !in.Search.NoDominance {
+		if sig, ok := est.(workload.PlacementSignable); ok {
+			sizes := in.Cat.DenseSizeBytes()
+			sigs := make([][]byte, len(free))
+			for i, id := range free {
+				s := sig.AppendPlacementSignature(nil, id)
+				var sz int64
+				if d := catalog.DenseIndex(id); d >= 0 && d < len(sizes) {
+					sz = sizes[d]
+				}
+				sigs[i] = append(s,
+					byte(uint64(sz)>>56), byte(uint64(sz)>>48), byte(uint64(sz)>>40), byte(uint64(sz)>>32),
+					byte(uint64(sz)>>24), byte(uint64(sz)>>16), byte(uint64(sz)>>8), byte(uint64(sz)))
+			}
+			bsp.Sigs = sigs
+		}
+	}
+	return bsp, true
+}
+
+// unitBounds builds the per-unit bound table: each free unit's per-class
+// elapsed contribution over the space's classes, plus the fixed remainder
+// (the estimator's layout-independent share and every pinned object's
+// contribution — integer sums, so grouping is exact).
+func (in Input) unitBounds(table []time.Duration, fixed time.Duration, free []catalog.ObjectID, base catalog.Layout, classes []device.Class) *search.UnitBounds {
+	m := len(classes)
+	ub := &search.UnitBounds{Time: make([]time.Duration, len(free)*m), Fixed: fixed}
+	for i, id := range free {
+		d := catalog.DenseIndex(id)
+		if d < 0 || (d+1)*device.NumClasses > len(table) {
+			continue
+		}
+		row := table[d*device.NumClasses : (d+1)*device.NumClasses]
+		for ci, c := range classes {
+			ub.Time[i*m+ci] = row[c]
+		}
+	}
+	if base != nil {
+		inFree := make(map[catalog.ObjectID]bool, len(free))
+		for _, id := range free {
+			inFree[id] = true
+		}
+		for id, c := range base {
+			if inFree[id] || int(c) >= device.NumClasses {
+				continue
+			}
+			if d := catalog.DenseIndex(id); d >= 0 && (d+1)*device.NumClasses <= len(table) {
+				ub.Fixed += table[d*device.NumClasses+int(c)]
+			}
+		}
+	}
+	return ub
 }
 
 // ExhaustiveRelaxing mirrors OptimizeRelaxing for the ES baseline: halve

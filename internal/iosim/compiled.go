@@ -105,6 +105,54 @@ func (cp *CompiledProfile) IOTime(cl catalog.CompactLayout) (time.Duration, erro
 	return total, nil
 }
 
+// AccumulateClassTimes adds every profiled object's per-class time row into
+// a dense table indexed by DenseIndex(id)*device.NumClasses + class. It is
+// the branch-and-bound search's raw material: summing several queries'
+// compiled profiles into one table yields, per (unit, class), the unit's
+// exact contribution to the workload's elapsed time, from which per-unit
+// minima (the admissible bound) and spreads (the expansion order) derive.
+// Profiled objects outside the table's dense range are skipped — any layout
+// over that catalog fails placement checks before a bound is ever consulted.
+func (cp *CompiledProfile) AccumulateClassTimes(table []time.Duration) {
+	for k, id := range cp.objs {
+		i := catalog.DenseIndex(id)
+		if i < 0 || (i+1)*device.NumClasses > len(table) {
+			continue
+		}
+		row := cp.rows[k*device.NumClasses : (k+1)*device.NumClasses]
+		dst := table[i*device.NumClasses : (i+1)*device.NumClasses]
+		for c := range row {
+			dst[c] += row[c]
+		}
+	}
+}
+
+// AppendRow appends object id's per-class time row as fixed-width bytes
+// (8 per class, big-endian) to dst and returns the extended slice.
+// Unprofiled objects append an all-zero row — correct for symmetry
+// detection, because an unprofiled object and a profiled object whose row
+// is all zeros contribute identically (nothing) to every estimate. Two
+// objects with equal appended rows are interchangeable under this profile:
+// swapping their class assignments leaves the profile's IOTime unchanged
+// for every layout (integer sums reorder exactly).
+func (cp *CompiledProfile) AppendRow(dst []byte, id catalog.ObjectID) []byte {
+	var row []time.Duration
+	if i := catalog.DenseIndex(id); i >= 0 && i < len(cp.rowOf) && cp.rowOf[i] >= 0 {
+		k := int(cp.rowOf[i])
+		row = cp.rows[k*device.NumClasses : (k+1)*device.NumClasses]
+	}
+	for c := 0; c < device.NumClasses; c++ {
+		var v uint64
+		if row != nil {
+			v = uint64(row[c])
+		}
+		dst = append(dst,
+			byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return dst
+}
+
 // DeltaIOTime returns the change in the profile's I/O time when object id
 // moves from one class to another. Unprofiled objects contribute nothing;
 // moving a profiled object to (or from) a class absent from the box is an

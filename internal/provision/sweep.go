@@ -69,6 +69,11 @@ func SweepConfigurations(base core.Input, grid Grid, opts core.Options) (*Choice
 		in.Est = memoEst
 		in.LayoutCost = model
 		in.LayoutCostCompact = compactModel
+		// The discrete model prices per-class byte totals only (ceil'd unit
+		// counts), so swapping equal-sized symmetric units between classes
+		// cannot change its value: dominance collapsing stays sound even
+		// though cost bounding is off for custom models.
+		in.LayoutCostClassSymmetric = true
 		in.Budget = budget
 		// OptimizeBest (guarded + greedy sweeps) rather than Optimize: the
 		// discrete-sized model has cost valleys a monotonic walk cannot

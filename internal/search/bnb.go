@@ -1,0 +1,651 @@
+// Branch-and-bound enumeration on the compiled path: the M^N odometer of
+// ExhaustiveCompact rebuilt as a best-first DFS with three pruning levers
+// layered on top of the compact/delta evaluation pipeline —
+//
+//  1. tight admissible bounds: per-unit best-class storage and time floors
+//     precomputed from the compiled tables and suffix-summed over the DFS
+//     order (see UnitBounds), so every partial assignment is bounded by
+//     achievable costs in O(1);
+//  2. dominance: symmetric units (equal placement signatures) enumerate
+//     only non-decreasing class assignments, one canonical layout per
+//     symmetry orbit (see dominance.go for why that preserves the
+//     deterministic tie-break);
+//  3. expansion order: units sorted by descending cost spread, so
+//     high-impact decisions bind near the root and the bound cuts deep.
+//
+// Parallel runs split the tree at a configurable depth into frontier
+// subtrees served from one work-stealing deque per worker (Chase-Lev
+// style: the owner pops newest from the bottom, thieves steal oldest from
+// the top) around a shared incumbent whose TOC is published through one
+// atomic word — a prune check never takes a lock. Results are bit-identical
+// to the sequential, unpruned map enumeration: the bound only cuts
+// subtrees that provably cannot beat the incumbent, and TOC ties resolve
+// by the candidate's canonical rank — the odometer index in positional
+// form — at any worker count.
+package search
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/workload"
+)
+
+// BnBSpace is the branch-and-bound assignment space. Base, Free and
+// Classes mirror CompactSpace; SizeGB (dense, by catalog.DenseIndex) and
+// PriceCents feed the storage accumulator. Bounds enables cost bounding
+// (nil: enumerate without a floor — the throughput objective), Sigs
+// enables dominance (nil: no symmetry collapse).
+type BnBSpace struct {
+	Base       catalog.CompactLayout
+	Free       []catalog.ObjectID
+	Classes    []device.Class
+	SizeGB     []float64
+	PriceCents [device.NumClasses]float64
+	Bounds     *UnitBounds
+	Sigs       [][]byte
+}
+
+// BnBOptions tunes the enumeration; the zero value is the default
+// behaviour. No option changes the result, only the work done.
+type BnBOptions struct {
+	// SplitDepth fixes the parallel frontier depth (prefix length at which
+	// the tree splits into stealable subtree tasks); 0 selects it
+	// automatically from the worker count.
+	SplitDepth int
+	// NoReorder keeps the original unit order instead of the descending-
+	// spread order (ablation and testing).
+	NoReorder bool
+	// NoDominance ignores Sigs (ablation and testing).
+	NoDominance bool
+}
+
+// EnumStats describes one exhaustive enumeration's work: how large the
+// space was, how much of it was actually evaluated, and where the rest
+// went. The plain enumerations fill Candidates and BoundPruned only.
+type EnumStats struct {
+	// Candidates is the number of layouts evaluated.
+	Candidates int
+	// BoundPruned counts subtree cuts by the admissible bound (each cut
+	// discards every completion under that node).
+	BoundPruned int
+	// Groups and GroupedUnits summarize dominance: how many symmetry groups
+	// of two or more interchangeable units were found, covering how many
+	// units.
+	Groups       int
+	GroupedUnits int
+	// SpaceSize is the full assignment space |Classes|^|Free|;
+	// CanonicalSize is what dominance collapses it to (equal when no
+	// symmetry was found).
+	SpaceSize     float64
+	CanonicalSize float64
+	// RootFloorCents is the admissible TOC floor of the whole space (0 when
+	// enumerating without a bound). Comparing it to the winning TOC
+	// measures bound tightness.
+	RootFloorCents float64
+	// SplitDepth and FrontierTasks describe the parallel split (0 on the
+	// sequential path).
+	SplitDepth    int
+	FrontierTasks int
+}
+
+// add accumulates a worker's per-walk counters.
+func (s *EnumStats) add(o EnumStats) {
+	s.Candidates += o.Candidates
+	s.BoundPruned += o.BoundPruned
+}
+
+func denseOf(id catalog.ObjectID) int { return catalog.DenseIndex(id) }
+
+// bnbIncumbent is the shared incumbent: the best TOC is published through
+// an atomic word so the hot prune check is one load, while adoption — rare
+// — takes the mutex and settles TOC ties by canonical rank, the positional
+// form of the odometer index (digit of Free[n-1] first), so "lower rank"
+// is exactly "earlier in the unpruned enumeration".
+type bnbIncumbent struct {
+	bits atomic.Uint64 // Float64bits of the best feasible TOC; +Inf when none
+	mu   sync.Mutex
+	ok   bool
+	ev   Eval
+	rank []byte
+}
+
+func newBnBIncumbent() *bnbIncumbent {
+	b := &bnbIncumbent{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// toc returns the current best feasible TOC (+Inf when none) without
+// locking.
+func (b *bnbIncumbent) toc() float64 { return math.Float64frombits(b.bits.Load()) }
+
+func (b *bnbIncumbent) offer(ev Eval, rank []byte) {
+	if ev.TOCCents > b.toc() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.ok || ev.TOCCents < b.ev.TOCCents ||
+		(ev.TOCCents == b.ev.TOCCents && bytes.Compare(rank, b.rank) < 0) {
+		b.ok, b.ev = true, ev
+		b.rank = append(b.rank[:0], rank...)
+		b.bits.Store(math.Float64bits(ev.TOCCents))
+	}
+}
+
+func (b *bnbIncumbent) get() (Eval, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ev, b.ok
+}
+
+// wsDeque is the per-worker task queue. The frontier is generated up front
+// and never grows, so this is the Chase-Lev discipline over a fixed
+// backing array: the owner pops from the bottom (newest), thieves CAS the
+// top (oldest) forward. The backing array is immutable once workers start,
+// which removes the buffer-recycling hazards of the growable variant.
+type wsDeque struct {
+	tasks  [][]uint8
+	top    atomic.Int64
+	bottom atomic.Int64
+}
+
+func newWSDeque(tasks [][]uint8) *wsDeque {
+	d := &wsDeque{tasks: tasks}
+	d.bottom.Store(int64(len(tasks)))
+	return d
+}
+
+// popBottom takes the newest task; owner-only.
+func (d *wsDeque) popBottom() ([]uint8, bool) {
+	b := d.bottom.Add(-1)
+	t := d.top.Load()
+	if b > t {
+		return d.tasks[b], true
+	}
+	if b == t && d.top.CompareAndSwap(t, t+1) {
+		// Won the race for the last task; park the deque empty behind it.
+		d.bottom.Store(t + 1)
+		return d.tasks[b], true
+	}
+	// Empty (b < t), or a thief won the last task. Either way top cannot
+	// move again while bottom trails it, so parking bottom at top leaves
+	// the deque empty.
+	d.bottom.Store(d.top.Load())
+	return nil, false
+}
+
+// steal takes the oldest task; safe from any goroutine.
+func (d *wsDeque) steal() ([]uint8, bool) {
+	for {
+		t := d.top.Load()
+		b := d.bottom.Load()
+		if t >= b {
+			return nil, false
+		}
+		task := d.tasks[t]
+		if d.top.CompareAndSwap(t, t+1) {
+			return task, true
+		}
+	}
+}
+
+// maxFrontier caps the number of pre-split subtree tasks.
+const maxFrontier = 1 << 14
+
+// bnbShared is the per-search read-mostly state every walker shares.
+type bnbShared struct {
+	e    *Engine
+	cons workload.Constraints
+	sp   *BnBSpace
+	n, m int
+	// order maps visit position -> free index; prevInGroup maps visit
+	// position -> the previous visit position holding a unit of the same
+	// symmetry group (-1 when none): that unit's digit is this one's floor.
+	order       []int
+	prevInGroup []int
+	// densePos maps free index -> dense slot; clsIdx maps a compact-layout
+	// class byte -> its digit (index in sp.Classes).
+	densePos []int
+	clsIdx   [256]uint8
+	// Bounding state (bounding=false leaves the rest zero).
+	bounding  bool
+	prices    []float64
+	minStore  []float64
+	minTime   []time.Duration
+	baseStore float64
+	baseTime  time.Duration
+	best      *bnbIncumbent
+	stop      atomic.Bool
+	errMu     sync.Mutex
+	errRank   []byte
+	err       error
+}
+
+// fail records an evaluation error, keeping the lowest-rank one so error
+// reporting is deterministic at any worker count (the analogue of the
+// plain paths' lowest-index rule), and stops the enumeration.
+func (sh *bnbShared) fail(rank []byte, err error) {
+	sh.errMu.Lock()
+	if sh.err == nil || bytes.Compare(rank, sh.errRank) < 0 {
+		sh.err = err
+		sh.errRank = append(sh.errRank[:0], rank...)
+	}
+	sh.errMu.Unlock()
+	sh.stop.Store(true)
+}
+
+// timeRow returns visit-independent unit u's per-class elapsed row.
+func (sh *bnbShared) timeRow(u int) []time.Duration {
+	return sh.sp.Bounds.unitTimeRow(u, sh.m)
+}
+
+// prune reports whether a floor cuts the subtree, with the float-safety
+// slack that keeps the reassociated storage sum admissible.
+func (sh *bnbShared) prune(store float64, t time.Duration) bool {
+	return store*t.Hours()*(1-boundSlack) > sh.best.toc()
+}
+
+// bnbWalker is one worker's mutable walk state.
+type bnbWalker struct {
+	sh      *bnbShared
+	scratch catalog.CompactLayout
+	digits  []uint8
+	rankBuf []byte
+	prev    Eval
+	prevOK  bool
+	prevCls device.Class
+	moves   [1]workload.ObjectMove
+	stats   EnumStats
+}
+
+// computeRank fills rankBuf with the leaf's canonical rank: class digits
+// read from the scratch layout in descending original free position, so
+// byte comparison of two ranks orders them exactly like their odometer
+// indices.
+func (w *bnbWalker) computeRank() {
+	sh := w.sh
+	b := w.scratch.Bytes()
+	for j := 0; j < sh.n; j++ {
+		w.rankBuf[j] = sh.clsIdx[b[sh.densePos[sh.n-1-j]]]
+	}
+}
+
+// offer routes a feasible leaf to the incumbent, computing the rank only
+// when the candidate can actually win (TOC at or below the incumbent).
+func (w *bnbWalker) offer(ev Eval) {
+	if ev.TOCCents > w.sh.best.toc() {
+		return
+	}
+	w.computeRank()
+	w.sh.best.offer(ev, w.rankBuf)
+}
+
+// digitFloor is the lowest admissible digit at visit position i under the
+// dominance constraint (non-decreasing within a symmetry group).
+func (w *bnbWalker) digitFloor(i int) int {
+	if p := w.sh.prevInGroup[i]; p >= 0 {
+		return int(w.digits[p])
+	}
+	return 0
+}
+
+// rec walks visit positions [i, n) depth-first. storeAcc/timeAcc carry the
+// running storage cost and elapsed time of the base plus every assigned
+// unit (meaningless when not bounding). The innermost position chains
+// siblings through one-move delta evaluation, exactly like the plain
+// compact walk.
+func (w *bnbWalker) rec(i int, storeAcc float64, timeAcc time.Duration) error {
+	sh := w.sh
+	u := sh.order[i]
+	obj := sh.sp.Free[u]
+	defer w.scratch.Unset(obj)
+	var row []time.Duration
+	var size float64
+	if sh.bounding {
+		row = sh.timeRow(u)
+		size = sh.sp.SizeGB[sh.densePos[u]]
+	}
+	if i == sh.n-1 {
+		// Innermost: siblings differ by one move; the first sibling of the
+		// group needs a full estimate (levels above changed since the last
+		// evaluation), the rest are deltas from their predecessor.
+		w.prevOK = false
+		for ci := w.digitFloor(i); ci < sh.m; ci++ {
+			c := sh.sp.Classes[ci]
+			w.scratch.Set(obj, c)
+			w.digits[i] = uint8(ci)
+			if sh.bounding && sh.prune(storeAcc+sh.prices[ci]*size+sh.minStore[i+1], timeAcc+row[ci]+sh.minTime[i+1]) {
+				w.stats.BoundPruned++
+				continue
+			}
+			var ev Eval
+			var err error
+			if w.prevOK {
+				w.moves[0] = workload.ObjectMove{Obj: obj, From: w.prevCls, To: c}
+				ev, err = sh.e.EvaluateDelta(w.prev, w.scratch, w.moves[:])
+			} else {
+				ev, err = sh.e.EvaluateCompact(w.scratch)
+			}
+			if err != nil {
+				w.computeRank()
+				sh.fail(w.rankBuf, err)
+				return errStopped
+			}
+			w.stats.Candidates++
+			w.prev, w.prevOK, w.prevCls = ev, true, c
+			if ev.Feasible(sh.cons) {
+				w.offer(ev)
+			}
+		}
+		return nil
+	}
+	for ci := w.digitFloor(i); ci < sh.m; ci++ {
+		w.scratch.Set(obj, sh.sp.Classes[ci])
+		w.digits[i] = uint8(ci)
+		sAcc, tAcc := storeAcc, timeAcc
+		if sh.bounding {
+			sAcc += sh.prices[ci] * size
+			tAcc += row[ci]
+			if sh.prune(sAcc+sh.minStore[i+1], tAcc+sh.minTime[i+1]) {
+				w.stats.BoundPruned++
+				continue
+			}
+		}
+		if sh.stop.Load() {
+			return errStopped
+		}
+		if err := w.rec(i+1, sAcc, tAcc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTask replays a frontier prefix into the walker's scratch state and
+// walks the subtree below it.
+func (w *bnbWalker) runTask(prefix []uint8) error {
+	sh := w.sh
+	storeAcc, timeAcc := sh.baseStore, sh.baseTime
+	for i, d := range prefix {
+		u := sh.order[i]
+		ci := int(d)
+		w.scratch.Set(sh.sp.Free[u], sh.sp.Classes[ci])
+		w.digits[i] = d
+		if sh.bounding {
+			storeAcc += sh.prices[ci] * sh.sp.SizeGB[sh.densePos[u]]
+			timeAcc += sh.timeRow(u)[ci]
+		}
+	}
+	if sh.bounding && sh.prune(storeAcc+sh.minStore[len(prefix)], timeAcc+sh.minTime[len(prefix)]) {
+		// The whole stolen subtree is beaten by the incumbent.
+		w.stats.BoundPruned++
+		return nil
+	}
+	return w.rec(len(prefix), storeAcc, timeAcc)
+}
+
+// genFrontier enumerates the canonical prefixes of length d in visiting
+// order — the parallel run's subtree tasks.
+func genFrontier(sh *bnbShared, d int) [][]uint8 {
+	var tasks [][]uint8
+	digits := make([]uint8, d)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == d {
+			tasks = append(tasks, append([]uint8(nil), digits...))
+			return
+		}
+		lo := 0
+		if p := sh.prevInGroup[i]; p >= 0 {
+			lo = int(digits[p])
+		}
+		for c := lo; c < sh.m; c++ {
+			digits[i] = uint8(c)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return tasks
+}
+
+// ExhaustiveBnB enumerates the space with branch-and-bound and returns the
+// feasible evaluation with the minimum TOC, ties to the lowest canonical
+// rank — the layout the plain enumeration's lowest-index rule would
+// report, bit for bit — plus the enumeration's statistics. The bound and
+// the dominance collapse only ever discard candidates that provably
+// cannot change the result; see bound.go and dominance.go for the
+// admissibility and canonicity arguments.
+func (e *Engine) ExhaustiveBnB(cons workload.Constraints, sp BnBSpace, opt BnBOptions) (Eval, bool, EnumStats, error) {
+	var stats EnumStats
+	if e.cfg.Compiled == nil {
+		return Eval{}, false, stats, fmt.Errorf("search: ExhaustiveBnB on an engine without a compiled config")
+	}
+	if len(sp.Classes) == 0 {
+		return Eval{}, false, stats, fmt.Errorf("search: exhaustive space has no classes")
+	}
+	n, m := len(sp.Free), len(sp.Classes)
+	if sp.Bounds != nil && (sp.SizeGB == nil || len(sp.Bounds.Time) != n*m) {
+		return Eval{}, false, stats, fmt.Errorf("search: BnBSpace.Bounds requires SizeGB and a %dx%d time table", n, m)
+	}
+	if sp.Sigs != nil && len(sp.Sigs) != n {
+		return Eval{}, false, stats, fmt.Errorf("search: BnBSpace.Sigs must cover every free unit")
+	}
+
+	scratch := sp.Base.Clone()
+	if scratch.IsZero() {
+		scratch = catalog.NewCompactLayout(e.cfg.Compiled.Cat.NumObjects())
+	}
+	for _, id := range sp.Free {
+		scratch.Unset(id)
+	}
+
+	sh := &bnbShared{
+		e: e, cons: cons, sp: &sp, n: n, m: m,
+		best:     newBnBIncumbent(),
+		bounding: sp.Bounds != nil,
+	}
+	sh.densePos = make([]int, n)
+	for i, id := range sp.Free {
+		sh.densePos[i] = denseOf(id)
+	}
+	for ci, c := range sp.Classes {
+		sh.clsIdx[byte(c)] = uint8(ci)
+	}
+
+	// Dominance groups.
+	rep := make([]int, n)
+	for i := range rep {
+		rep[i] = i
+	}
+	if sp.Sigs != nil && !opt.NoDominance {
+		rep, stats.Groups, stats.GroupedUnits = groupUnits(sp.Sigs)
+	}
+	stats.SpaceSize = math.Pow(float64(m), float64(n))
+	stats.CanonicalSize = collapsedSize(rep, m)
+
+	if n == 0 {
+		ev, err := e.EvaluateCompact(scratch)
+		if err != nil {
+			return Eval{}, false, stats, err
+		}
+		stats.Candidates = 1
+		if ev.Feasible(cons) {
+			return ev, true, stats, nil
+		}
+		return Eval{}, false, stats, nil
+	}
+
+	// Bounding state: base accumulators, per-unit floors, expansion order.
+	var impact []float64
+	if sh.bounding {
+		sh.prices = classPrices(&sp)
+		for i := 0; i < scratch.Len(); i++ {
+			if c, ok := scratch.ClassAt(i); ok {
+				sh.baseStore += sp.PriceCents[c] * sp.SizeGB[i]
+			}
+		}
+		sh.baseTime = sp.Bounds.Fixed
+		// Whole-space floors (order-independent) anchor the spread heuristic.
+		sFloor, tFloor := sh.baseStore, sh.baseTime
+		for u := 0; u < n; u++ {
+			row := sp.Bounds.unitTimeRow(u, m)
+			sz := sp.SizeGB[sh.densePos[u]]
+			s := sh.prices[0] * sz
+			for _, p := range sh.prices[1:] {
+				if v := p * sz; v < s {
+					s = v
+				}
+			}
+			sFloor += s
+			tFloor += minOver(row)
+		}
+		impact = make([]float64, n)
+		for u := 0; u < n; u++ {
+			impact[u] = spread(sp.Bounds.unitTimeRow(u, m), sp.SizeGB[sh.densePos[u]], sh.prices, sFloor, tFloor)
+		}
+	}
+
+	// Visiting order: descending original position by default — which
+	// already realises each group's canonical (descending-position,
+	// non-decreasing-digit) form — or descending spread when bounding, with
+	// ties broken (group, then descending position) to keep groups
+	// contiguous and canonical.
+	sh.order = make([]int, n)
+	for i := range sh.order {
+		sh.order[i] = n - 1 - i
+	}
+	if sh.bounding && !opt.NoReorder {
+		sortOrder(sh.order, func(a, b int) bool {
+			if impact[a] != impact[b] {
+				return impact[a] > impact[b]
+			}
+			if rep[a] != rep[b] {
+				return rep[a] < rep[b]
+			}
+			return a > b
+		})
+	}
+	sh.prevInGroup = make([]int, n)
+	lastSeen := make([]int, n)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	for i, u := range sh.order {
+		r := rep[u]
+		sh.prevInGroup[i] = lastSeen[r]
+		lastSeen[r] = i
+	}
+	if sh.bounding {
+		sh.minStore, sh.minTime = suffixFloors(&sp, sh.order, sh.prices)
+		stats.RootFloorCents = (sh.baseStore + sh.minStore[0]) * (sh.baseTime + sh.minTime[0]).Hours()
+	}
+
+	newWalker := func(cl catalog.CompactLayout) *bnbWalker {
+		return &bnbWalker{sh: sh, scratch: cl, digits: make([]uint8, n), rankBuf: make([]byte, n)}
+	}
+
+	workers := e.Workers()
+	if workers < 2 || n < 2 {
+		w := newWalker(scratch)
+		if err := w.rec(0, sh.baseStore, sh.baseTime); err != nil && err != errStopped {
+			return Eval{}, false, stats, err
+		}
+		if sh.err != nil {
+			return Eval{}, false, stats, sh.err
+		}
+		stats.add(w.stats)
+		ev, ok := sh.best.get()
+		return ev, ok, stats, nil
+	}
+
+	// Parallel: split the tree at the frontier depth into subtree tasks.
+	depth := opt.SplitDepth
+	if depth > n-1 {
+		depth = n - 1
+	}
+	auto := depth <= 0
+	if auto {
+		depth = 1
+	}
+	tasks := genFrontier(sh, depth)
+	if auto {
+		for depth < n-1 && len(tasks) < workers*8 && len(tasks)*m <= maxFrontier {
+			depth++
+			tasks = genFrontier(sh, depth)
+		}
+	}
+	stats.SplitDepth = depth
+	stats.FrontierTasks = len(tasks)
+
+	// Deal tasks round-robin, each deque loaded in reverse so the owner's
+	// bottom pops ascend in frontier order (mirroring the sequential walk)
+	// while thieves steal from the far end of a victim's range.
+	deques := make([]*wsDeque, workers)
+	for k := 0; k < workers; k++ {
+		var mine [][]uint8
+		for i := k; i < len(tasks); i += workers {
+			mine = append(mine, tasks[i])
+		}
+		// Reverse: popBottom then yields ascending frontier order.
+		for l, r := 0, len(mine)-1; l < r; l, r = l+1, r-1 {
+			mine[l], mine[r] = mine[r], mine[l]
+		}
+		deques[k] = newWSDeque(mine)
+	}
+
+	walkers := make([]*bnbWalker, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		w := newWalker(scratch.Clone())
+		walkers[k] = w
+		wg.Add(1)
+		go func(k int, w *bnbWalker) {
+			defer wg.Done()
+			for {
+				if sh.stop.Load() {
+					return
+				}
+				task, ok := deques[k].popBottom()
+				if !ok {
+					for off := 1; off < workers && !ok; off++ {
+						task, ok = deques[(k+off)%workers].steal()
+					}
+					if !ok {
+						return
+					}
+				}
+				if err := w.runTask(task); err != nil {
+					return
+				}
+			}
+		}(k, w)
+	}
+	wg.Wait()
+	if sh.err != nil {
+		return Eval{}, false, stats, sh.err
+	}
+	for _, w := range walkers {
+		stats.add(w.stats)
+	}
+	ev, ok := sh.best.get()
+	return ev, ok, stats, nil
+}
+
+// sortOrder sorts the visiting order with an insertion sort — n is small
+// relative to the space it controls, and avoiding sort.Slice keeps the
+// comparator allocation off the setup path.
+func sortOrder(order []int, less func(a, b int) bool) {
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && less(order[j], order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+}

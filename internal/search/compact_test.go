@@ -181,16 +181,17 @@ func TestExhaustiveCompactMatchesMap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantEv, wantOK, wantCount, err := mapEng.Exhaustive(cons, Space{Free: free, Classes: f.box.Classes()}, nil)
+	wantEv, wantOK, wantSt, err := mapEng.Exhaustive(cons, Space{Free: free, Classes: f.box.Classes()}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	wantCount := wantSt.Candidates
 	for _, workers := range []int{1, 8} {
 		eng, err := New(f.config(true, workers))
 		if err != nil {
 			t.Fatal(err)
 		}
-		ev, ok, count, err := eng.ExhaustiveCompact(cons, CompactSpace{
+		ev, ok, st, err := eng.ExhaustiveCompact(cons, CompactSpace{
 			Base:    catalog.NewCompactLayout(f.cat.NumObjects()),
 			Free:    free,
 			Classes: f.box.Classes(),
@@ -198,15 +199,14 @@ func TestExhaustiveCompactMatchesMap(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if ok != wantOK || count != wantCount || !evalEqual(ev, wantEv) {
+		if ok != wantOK || st.Candidates != wantCount || !evalEqual(ev, wantEv) {
 			t.Fatalf("workers=%d: compact ES (ok=%v count=%d toc=%v) != map ES (ok=%v count=%d toc=%v)",
-				workers, ok, count, ev.TOCCents, wantOK, wantCount, wantEv.TOCCents)
+				workers, ok, st.Candidates, ev.TOCCents, wantOK, wantCount, wantEv.TOCCents)
 		}
 		// Sequential delta path and parallel full path agree with each other
 		// through the engine stats: every distinct candidate estimated once.
-		st := eng.Stats()
-		if st.EstimatorCalls != wantCount {
-			t.Fatalf("workers=%d: %d estimator calls for %d distinct candidates", workers, st.EstimatorCalls, wantCount)
+		if es := eng.Stats(); es.EstimatorCalls != wantCount {
+			t.Fatalf("workers=%d: %d estimator calls for %d distinct candidates", workers, es.EstimatorCalls, wantCount)
 		}
 	}
 }
@@ -224,7 +224,7 @@ func TestExhaustiveCompactPartialBase(t *testing.T) {
 	cons := workload.Constraints{Relative: 0.25, Baseline: baseline}
 
 	mapEng, _ := New(f.config(false, 1))
-	wantEv, wantOK, wantCount, err := mapEng.Exhaustive(cons, Space{Base: base, Free: free, Classes: f.box.Classes()}, nil)
+	wantEv, wantOK, wantSt, err := mapEng.Exhaustive(cons, Space{Base: base, Free: free, Classes: f.box.Classes()}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,12 +233,12 @@ func TestExhaustiveCompactPartialBase(t *testing.T) {
 	if !ok {
 		t.Fatal("base must encode")
 	}
-	ev, found, count, err := eng.ExhaustiveCompact(cons, CompactSpace{Base: bc, Free: free, Classes: f.box.Classes()})
+	ev, found, st, err := eng.ExhaustiveCompact(cons, CompactSpace{Base: bc, Free: free, Classes: f.box.Classes()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if found != wantOK || count != wantCount || !evalEqual(ev, wantEv) {
-		t.Fatalf("compact partial ES diverges: count=%d want %d", count, wantCount)
+	if found != wantOK || st.Candidates != wantSt.Candidates || !evalEqual(ev, wantEv) {
+		t.Fatalf("compact partial ES diverges: count=%d want %d", st.Candidates, wantSt.Candidates)
 	}
 	// Pinned objects stay put in the winner.
 	if c, _ := ev.Compact.Class(1); c != device.HSSD {

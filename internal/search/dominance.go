@@ -1,0 +1,92 @@
+package search
+
+// Dominance pruning: units with identical placement signatures are
+// interchangeable — swapping their class assignments changes no estimate,
+// no storage cost and no capacity check (the signature includes the unit's
+// size, and every cost hook the engine admits depends on per-class byte
+// totals only). The layouts of an assignment space therefore fall into
+// symmetry orbits; every orbit member has the bit-identical Eval, so the
+// enumeration only needs to visit one canonical member per orbit and the
+// space collapses by the multinomial factor (an orbit of a group of g
+// units over m classes has C(g+m-1, g) canonical members instead of m^g).
+//
+// Which member is canonical is forced by the determinism contract: the
+// unpruned enumeration breaks TOC ties by the lowest odometer index, and
+// the odometer index orders layouts lexicographically by class digit from
+// the LAST free unit down to the first (Free[0] cycles fastest). Within an
+// orbit the lowest-index member therefore assigns the smallest class
+// digits to the highest original free positions. The branch-and-bound walk
+// realises exactly those members by visiting each group's units in
+// DESCENDING original position and constraining digits to be non-
+// decreasing along that visiting order — so the member it finds is the one
+// the unpruned enumeration would have reported, bit for bit.
+
+// groupUnits assigns each free unit a symmetry-group representative from
+// its signature: rep[i] is the lowest free index whose signature equals
+// unit i's (rep[i] == i for the first member and for singletons). A nil
+// sigs, or any empty signature, disables grouping (every unit its own
+// group).
+func groupUnits(sigs [][]byte) (rep []int, groups, grouped int) {
+	rep = make([]int, len(sigs))
+	first := make(map[string]int, len(sigs))
+	size := make(map[int]int, len(sigs))
+	for i, sig := range sigs {
+		rep[i] = i
+		if len(sig) == 0 {
+			continue
+		}
+		if j, ok := first[string(sig)]; ok {
+			rep[i] = j
+			size[j]++
+		} else {
+			first[string(sig)] = i
+			size[i] = 1
+		}
+	}
+	for _, n := range size {
+		if n >= 2 {
+			groups++
+			grouped += n
+		}
+	}
+	return rep, groups, grouped
+}
+
+// CanonicalSpaceSize returns the number of canonical layouts of an n-unit,
+// m-class space under the dominance relation induced by sigs (m^n when
+// sigs is nil or dominance finds no symmetry). Callers use it to decide
+// whether a raw space too large to enumerate collapses back under their
+// cap.
+func CanonicalSpaceSize(sigs [][]byte, n, m int) float64 {
+	rep := make([]int, n)
+	for i := range rep {
+		rep[i] = i
+	}
+	if sigs != nil {
+		rep, _, _ = groupUnits(sigs)
+	}
+	return collapsedSize(rep, m)
+}
+
+// collapsedSize returns the number of canonical assignments of the space
+// under dominance: the product over symmetry groups of C(g+m-1, g)
+// (combinations with repetition — non-decreasing digit strings of length
+// g over m classes). Without grouping it degenerates to m^n. The result is
+// a float64 so callers can compare it against enumeration caps without
+// overflow.
+func collapsedSize(rep []int, m int) float64 {
+	size := make(map[int]int, len(rep))
+	for _, r := range rep {
+		size[r]++
+	}
+	total := 1.0
+	for _, g := range size {
+		// C(g+m-1, g) computed multiplicatively.
+		v := 1.0
+		for k := 1; k <= g; k++ {
+			v = v * float64(m-1+k) / float64(k)
+		}
+		total *= v
+	}
+	return total
+}

@@ -1,0 +1,88 @@
+package search
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGroupUnitsMatchesBruteForce: the map-based grouping must agree with
+// the O(n^2) definition — rep[i] is the lowest index whose signature is
+// byte-equal to unit i's, empty signatures never group — across random
+// signature sets drawn from a small pool (to force collisions).
+func TestGroupUnitsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pool := [][]byte{
+		{},
+		{0},
+		{1, 2, 3},
+		{1, 2, 4},
+		{0xFF, 0xFF, 0xFF, 0xFF},
+		{9, 9, 9, 9, 9, 9, 9, 9},
+	}
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(14)
+		sigs := make([][]byte, n)
+		for i := range sigs {
+			if rng.Intn(8) == 0 {
+				sigs[i] = nil
+			} else {
+				sigs[i] = pool[rng.Intn(len(pool))]
+			}
+		}
+		rep, groups, grouped := groupUnits(sigs)
+
+		wantRep := make([]int, n)
+		for i := range sigs {
+			wantRep[i] = i
+			if len(sigs[i]) == 0 {
+				continue
+			}
+			for j := 0; j < i; j++ {
+				if bytes.Equal(sigs[j], sigs[i]) {
+					wantRep[i] = j
+					break
+				}
+			}
+		}
+		size := map[int]int{}
+		for _, r := range wantRep {
+			size[r]++
+		}
+		wantGroups, wantGrouped := 0, 0
+		for _, g := range size {
+			if g >= 2 {
+				wantGroups++
+				wantGrouped += g
+			}
+		}
+		for i := range rep {
+			if rep[i] != wantRep[i] {
+				t.Fatalf("trial %d: rep[%d] = %d, brute force %d (sigs %v)", trial, i, rep[i], wantRep[i], sigs)
+			}
+		}
+		if groups != wantGroups || grouped != wantGrouped {
+			t.Fatalf("trial %d: groups/grouped %d/%d, brute force %d/%d", trial, groups, grouped, wantGroups, wantGrouped)
+		}
+	}
+}
+
+// TestCollapsedSize: canonical space sizes against hand-computed
+// multinomials, and the no-symmetry degenerate case.
+func TestCollapsedSize(t *testing.T) {
+	if got := CanonicalSpaceSize(nil, 5, 3); got != math.Pow(3, 5) {
+		t.Fatalf("no sigs: canonical size %g, want 3^5", got)
+	}
+	// One group of 4 identical units over 3 classes: C(4+3-1, 4) = 15
+	// non-decreasing strings; two singletons contribute 3 each.
+	sigs := [][]byte{{1}, {1}, {2}, {1}, {3}, {1}}
+	if got := CanonicalSpaceSize(sigs, len(sigs), 3); got != 15*3*3 {
+		t.Fatalf("collapsed size %g, want 135", got)
+	}
+	// All units identical: C(n+m-1, n).
+	all := [][]byte{{7}, {7}, {7}, {7}}
+	if got := CanonicalSpaceSize(all, len(all), 2); got != 5 {
+		t.Fatalf("collapsed size %g, want C(5,4)=5", got)
+	}
+}

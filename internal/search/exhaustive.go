@@ -15,10 +15,21 @@ import (
 // object ranges over Classes while Base pins everything else. Candidates
 // are generated in odometer order — Free[0] cycles fastest — matching the
 // paper's M^N enumeration.
+//
+// SizeGB (dense, indexed by catalog.DenseIndex), PriceCents and Bound are
+// the accumulator form of pruning, shared with CompactSpace: when Bound is
+// set the walk maintains the running per-hour storage cost of the base
+// plus every assigned object incrementally — one multiply-add per
+// assignment instead of a partial-layout walk per node — and consults
+// Bound with it. A map-form LowerBound passed alongside is only used when
+// Bound is nil.
 type Space struct {
-	Base    catalog.Layout
-	Free    []catalog.ObjectID
-	Classes []device.Class
+	Base       catalog.Layout
+	Free       []catalog.ObjectID
+	Classes    []device.Class
+	SizeGB     []float64
+	PriceCents [device.NumClasses]float64
+	Bound      CompactBound
 }
 
 // LowerBound returns an admissible lower bound on the TOC of every layout
@@ -82,9 +93,12 @@ var errStopped = errors.New("search: enumeration stopped")
 
 // enumerate walks the space depth-first in odometer order, pruning subtrees
 // whose lower bound strictly exceeds the incumbent, and calls emit with each
-// surviving candidate (a fresh clone) and its enumeration index. It returns
-// the number of candidates emitted.
-func enumerate(sp Space, lb LowerBound, best *incumbent, emit func(idx int, l catalog.Layout) error) (int, error) {
+// surviving candidate (a fresh clone) and its enumeration index. With
+// sp.Bound set, pruning runs on the incremental storage-cost accumulator
+// (no per-node partial walk); otherwise a LowerBound closure is consulted
+// per node. It returns the enumeration's statistics.
+func enumerate(sp Space, lb LowerBound, best *incumbent, emit func(idx int, l catalog.Layout) error) (EnumStats, error) {
+	var stats EnumStats
 	partial := make(catalog.Layout)
 	if sp.Base != nil {
 		partial = sp.Base.Clone()
@@ -95,9 +109,20 @@ func enumerate(sp Space, lb LowerBound, best *incumbent, emit func(idx int, l ca
 	for _, id := range sp.Free {
 		delete(partial, id)
 	}
+	// Accumulator bound: seed with the pinned objects' storage cost, summed
+	// in ascending dense order (deterministic — map iteration is not).
+	accum := sp.Bound != nil
+	var basePerHour float64
+	if accum {
+		for i := range sp.SizeGB {
+			if c, ok := partial[catalog.ObjectID(i+1)]; ok {
+				basePerHour += sp.PriceCents[c] * sp.SizeGB[i]
+			}
+		}
+	}
 	idx := 0
-	var rec func(i int) error
-	rec = func(i int) error {
+	var rec func(i int, perHour float64) error
+	rec = func(i int, perHour float64) error {
 		if i < 0 {
 			err := emit(idx, partial.Clone())
 			idx++
@@ -105,43 +130,61 @@ func enumerate(sp Space, lb LowerBound, best *incumbent, emit func(idx int, l ca
 		}
 		obj := sp.Free[i]
 		defer delete(partial, obj)
+		size := 0.0
+		if accum {
+			size = sp.SizeGB[catalog.DenseIndex(obj)]
+		}
 		for _, c := range sp.Classes {
 			partial[obj] = c
-			if lb != nil {
+			ph := perHour
+			if accum {
+				ph += sp.PriceCents[c] * size
+				if inc, ok := best.toc(); ok {
+					if floor, bounded := sp.Bound(ph, sp.Free[:i]); bounded && floor > inc {
+						stats.BoundPruned++
+						continue
+					}
+				}
+			} else if lb != nil {
 				if inc, ok := best.toc(); ok {
 					floor, err := lb(partial, sp.Free[:i])
 					if err != nil {
 						return err
 					}
 					if floor > inc {
+						stats.BoundPruned++
 						continue
 					}
 				}
 			}
-			if err := rec(i - 1); err != nil {
+			if err := rec(i-1, ph); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	err := rec(len(sp.Free) - 1)
-	return idx, err
+	err := rec(len(sp.Free)-1, basePerHour)
+	stats.Candidates = idx
+	return stats, err
 }
 
 // Exhaustive enumerates the space and returns the feasible evaluation with
 // the minimum TOC (ties to the earliest candidate in enumeration order),
-// whether one exists, and how many candidates were evaluated. Candidates
-// fan out across the engine's worker pool; with a LowerBound the evaluated
-// count depends on how early the incumbent tightens (under parallel
-// evaluation that timing varies), but the returned best never does.
-func (e *Engine) Exhaustive(cons workload.Constraints, sp Space, lb LowerBound) (Eval, bool, int, error) {
+// whether one exists, and the enumeration's statistics. Candidates fan out
+// across the engine's worker pool; with a bound the evaluated count
+// depends on how early the incumbent tightens (under parallel evaluation
+// that timing varies), but the returned best never does.
+func (e *Engine) Exhaustive(cons workload.Constraints, sp Space, lb LowerBound) (Eval, bool, EnumStats, error) {
 	if len(sp.Classes) == 0 {
-		return Eval{}, false, 0, fmt.Errorf("search: exhaustive space has no classes")
+		return Eval{}, false, EnumStats{}, fmt.Errorf("search: exhaustive space has no classes")
+	}
+	if sp.Bound != nil && sp.SizeGB == nil {
+		return Eval{}, false, EnumStats{}, fmt.Errorf("search: Space.Bound requires SizeGB/PriceCents")
 	}
 	best := &incumbent{}
 	workers := e.Workers()
 	if workers < 2 {
-		count, err := enumerate(sp, lb, best, func(idx int, l catalog.Layout) error {
+		stats, err := enumerate(sp, lb, best, func(idx int, l catalog.Layout) error {
 			ev, err := e.Evaluate(l)
 			if err != nil {
 				return err
@@ -152,10 +195,10 @@ func (e *Engine) Exhaustive(cons workload.Constraints, sp Space, lb LowerBound) 
 			return nil
 		})
 		if err != nil {
-			return Eval{}, false, 0, err
+			return Eval{}, false, EnumStats{}, err
 		}
 		ev, ok := best.get()
-		return ev, ok, count, nil
+		return ev, ok, stats, nil
 	}
 
 	type job struct {
@@ -194,7 +237,7 @@ func (e *Engine) Exhaustive(cons workload.Constraints, sp Space, lb LowerBound) 
 			}
 		}()
 	}
-	count, genErr := enumerate(sp, lb, best, func(idx int, l catalog.Layout) error {
+	stats, genErr := enumerate(sp, lb, best, func(idx int, l catalog.Layout) error {
 		if stop.Load() {
 			return errStopped
 		}
@@ -210,10 +253,10 @@ func (e *Engine) Exhaustive(cons workload.Constraints, sp Space, lb LowerBound) 
 		err = genErr
 	}
 	if err != nil {
-		return Eval{}, false, 0, err
+		return Eval{}, false, EnumStats{}, err
 	}
 	ev, ok := best.get()
-	return ev, ok, count, nil
+	return ev, ok, stats, nil
 }
 
 // compactWalk drives the compiled DFS over a CompactSpace in the same
@@ -227,6 +270,7 @@ type compactWalk struct {
 	best     *incumbent
 	bounding bool
 	idx      int
+	pruned   int
 	emit     func(idx int, leafObj catalog.ObjectID, leafClass device.Class, first bool) error
 }
 
@@ -271,6 +315,7 @@ func (w *compactWalk) rec(i int, perHour float64) error {
 		for _, c := range w.sp.Classes {
 			w.scratch.Set(obj, c)
 			if w.bounding && w.prune(perHour+w.sp.PriceCents[c]*size, w.sp.Free[:0]) {
+				w.pruned++
 				continue
 			}
 			if err := w.emit(w.idx, obj, c, first); err != nil {
@@ -287,6 +332,7 @@ func (w *compactWalk) rec(i int, perHour float64) error {
 		if w.bounding {
 			ph += w.sp.PriceCents[c] * size
 			if w.prune(ph, w.sp.Free[:i]) {
+				w.pruned++
 				continue
 			}
 		}
@@ -304,15 +350,15 @@ func (w *compactWalk) rec(i int, perHour float64) error {
 // delta from its predecessor. Results are bit-identical to the map path at
 // any worker count; with a Bound the evaluated count depends on how early
 // the incumbent tightens, exactly as for Exhaustive.
-func (e *Engine) ExhaustiveCompact(cons workload.Constraints, sp CompactSpace) (Eval, bool, int, error) {
+func (e *Engine) ExhaustiveCompact(cons workload.Constraints, sp CompactSpace) (Eval, bool, EnumStats, error) {
 	if e.cfg.Compiled == nil {
-		return Eval{}, false, 0, fmt.Errorf("search: ExhaustiveCompact on an engine without a compiled config")
+		return Eval{}, false, EnumStats{}, fmt.Errorf("search: ExhaustiveCompact on an engine without a compiled config")
 	}
 	if len(sp.Classes) == 0 {
-		return Eval{}, false, 0, fmt.Errorf("search: exhaustive space has no classes")
+		return Eval{}, false, EnumStats{}, fmt.Errorf("search: exhaustive space has no classes")
 	}
 	if sp.Bound != nil && sp.SizeGB == nil {
-		return Eval{}, false, 0, fmt.Errorf("search: CompactSpace.Bound requires SizeGB/PriceCents")
+		return Eval{}, false, EnumStats{}, fmt.Errorf("search: CompactSpace.Bound requires SizeGB/PriceCents")
 	}
 	scratch := sp.Base.Clone()
 	if scratch.IsZero() {
@@ -358,10 +404,10 @@ func (e *Engine) ExhaustiveCompact(cons workload.Constraints, sp CompactSpace) (
 			return nil
 		}
 		if err := w.run(); err != nil {
-			return Eval{}, false, 0, err
+			return Eval{}, false, EnumStats{}, err
 		}
 		ev, ok := best.get()
-		return ev, ok, w.idx, nil
+		return ev, ok, EnumStats{Candidates: w.idx, BoundPruned: w.pruned}, nil
 	}
 
 	type job struct {
@@ -435,8 +481,8 @@ func (e *Engine) ExhaustiveCompact(cons workload.Constraints, sp CompactSpace) (
 		err = genErr
 	}
 	if err != nil {
-		return Eval{}, false, 0, err
+		return Eval{}, false, EnumStats{}, err
 	}
 	ev, ok := best.get()
-	return ev, ok, w.idx, nil
+	return ev, ok, EnumStats{Candidates: w.idx, BoundPruned: w.pruned}, nil
 }

@@ -240,6 +240,17 @@ func New(cfg Config) (*Engine, error) {
 // (compact/delta) path.
 func (e *Engine) Compiled() bool { return e.cfg.Compiled != nil }
 
+// CompactEstimator exposes the compiled config's estimator (nil when the
+// engine is not compiled). Callers probe it for the optional capabilities
+// — workload.ElapsedDecomposable, workload.PlacementSignable — that feed
+// the branch-and-bound search's bounds and dominance groups.
+func (e *Engine) CompactEstimator() workload.CompactEstimator {
+	if e.cfg.Compiled == nil {
+		return nil
+	}
+	return e.cfg.Compiled.Est
+}
+
 // newEntry carves a memo entry from the arena. Callers hold e.mu.
 func (e *Engine) newEntry() *entry {
 	if len(e.entArena) == 0 {

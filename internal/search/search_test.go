@@ -199,12 +199,12 @@ func TestExhaustiveMatchesBruteForce(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		est := testEst()
 		eng := newEngine(t, workers, est)
-		ev, ok, n, err := eng.Exhaustive(cs, Space{Free: free, Classes: classes}, nil)
+		ev, ok, st, err := eng.Exhaustive(cs, Space{Free: free, Classes: classes}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if n != 27 {
-			t.Fatalf("workers=%d evaluated %d, want 27", workers, n)
+		if st.Candidates != 27 {
+			t.Fatalf("workers=%d evaluated %d, want 27", workers, st.Candidates)
 		}
 		if int(est.calls.Load()) != 27 {
 			t.Fatalf("workers=%d estimator calls %d, want 27", workers, est.calls.Load())
@@ -242,13 +242,13 @@ func TestExhaustiveHonoursBase(t *testing.T) {
 	base := catalog.Layout{1: device.HSSD, 2: device.HSSD, 3: device.HSSD}
 	baseline := workload.Metrics{PerQuery: []time.Duration{3 * 12 * time.Second}}
 	eng := newEngine(t, 1, testEst())
-	ev, ok, n, err := eng.Exhaustive(cons(baseline, 0.01),
+	ev, ok, st, err := eng.Exhaustive(cons(baseline, 0.01),
 		Space{Base: base, Free: []catalog.ObjectID{3}, Classes: classes}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 3 {
-		t.Fatalf("evaluated %d, want 3", n)
+	if st.Candidates != 3 {
+		t.Fatalf("evaluated %d, want 3", st.Candidates)
 	}
 	if !ok {
 		t.Fatal("expected a feasible layout")
@@ -269,10 +269,11 @@ func TestExhaustivePruningPreservesResult(t *testing.T) {
 	baseline := workload.Metrics{PerQuery: []time.Duration{4 * 12 * time.Second}}
 	cs := cons(baseline, 0.1)
 	full := newEngine(t, 1, testEst())
-	want, wantOK, wantN, err := full.Exhaustive(cs, Space{Free: free, Classes: classes}, nil)
+	want, wantOK, wantSt, err := full.Exhaustive(cs, Space{Free: free, Classes: classes}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	wantN := wantSt.Candidates
 	if wantN != 81 {
 		t.Fatalf("unpruned evaluated %d, want 81", wantN)
 	}
@@ -296,7 +297,7 @@ func TestExhaustivePruningPreservesResult(t *testing.T) {
 	}
 	for _, workers := range []int{1, 8} {
 		eng := newEngine(t, workers, testEst())
-		got, ok, n, err := eng.Exhaustive(cs, Space{Free: free, Classes: classes}, lb)
+		got, ok, st, err := eng.Exhaustive(cs, Space{Free: free, Classes: classes}, lb)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -304,8 +305,8 @@ func TestExhaustivePruningPreservesResult(t *testing.T) {
 			t.Fatalf("workers=%d pruned result differs: %.6g %v vs %.6g %v",
 				workers, got.TOCCents, got.Layout, want.TOCCents, want.Layout)
 		}
-		if workers == 1 && n >= wantN {
-			t.Fatalf("sequential pruning evaluated %d of %d candidates — no subtree was cut", n, wantN)
+		if workers == 1 && st.Candidates >= wantN {
+			t.Fatalf("sequential pruning evaluated %d of %d candidates — no subtree was cut", st.Candidates, wantN)
 		}
 	}
 }

@@ -81,6 +81,12 @@ type AdviseRequest struct {
 	// units on the declared extents, so a hot head can land on a fast
 	// class while the cold tail ships to a cheap one.
 	Granularity string `json:"granularity,omitempty"`
+	// Exhaustive runs the branch-and-bound enumeration instead of the
+	// greedy DOT sweeps: the provably optimal layout, at enumeration cost
+	// (the server refuses spaces whose canonical size exceeds the
+	// core.MaxExhaustiveLayouts cap). The response then carries Search
+	// statistics.
+	Exhaustive bool `json:"exhaustive,omitempty"`
 }
 
 // AdviseResponse reports the recommendation.
@@ -102,6 +108,24 @@ type AdviseResponse struct {
 	Evaluated         int               `json:"evaluated"`
 	EstimatorCalls    int               `json:"estimator_calls"`
 	PlanMillis        float64           `json:"plan_millis"`
+	// Search carries the enumeration's work profile when the advisor ran a
+	// branch-and-bound or pruned exhaustive walk; absent for the greedy
+	// optimizer's hill-climbing searches.
+	Search *SearchStatsOut `json:"search,omitempty"`
+}
+
+// SearchStatsOut is the wire form of the exhaustive enumeration's work
+// profile: how many candidates were actually evaluated, how many subtrees
+// the cost floor discarded, how symmetric units collapsed the space, and
+// how tight the root bound was.
+type SearchStatsOut struct {
+	Candidates     int     `json:"candidates"`
+	BoundPruned    int     `json:"bound_pruned,omitempty"`
+	Groups         int     `json:"dominance_groups,omitempty"`
+	GroupedUnits   int     `json:"dominance_units,omitempty"`
+	SpaceSize      float64 `json:"space_size,omitempty"`
+	CanonicalSize  float64 `json:"canonical_size,omitempty"`
+	RootFloorCents float64 `json:"root_floor_cents,omitempty"`
 }
 
 // GridDeviceSpec is one axis of the provisioning grid: a storage class and

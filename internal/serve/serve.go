@@ -316,7 +316,7 @@ func (s *Server) handleAdvise(body []byte) (any, int, error) {
 		in.LayoutCost = model
 		in.LayoutCostCompact = compactModel
 	}
-	res, err := core.OptimizeBest(in, opts)
+	res, err := adviseSearch(in, opts, req.Exhaustive)
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity,
 			&failureError{err: err, failure: capacityDiagnostic(comp.cat, box, opts)}
@@ -328,6 +328,7 @@ func (s *Server) handleAdvise(body []byte) (any, int, error) {
 		Evaluated:      res.Evaluated,
 		EstimatorCalls: res.EstimatorCalls,
 		PlanMillis:     float64(res.PlanTime) / float64(time.Millisecond),
+		Search:         searchStatsOut(res.Search),
 	}
 	if res.Feasible {
 		resp.Layout = comp.renderLayout(res.Layout)
@@ -337,6 +338,34 @@ func (s *Server) handleAdvise(body []byte) (any, int, error) {
 		resp.Failure = provision.InfeasibilityReason(comp.cat, box, opts)
 	}
 	return resp, http.StatusOK, nil
+}
+
+// adviseSearch runs the request's selected search: the greedy DOT sweeps by
+// default, the exhaustive branch-and-bound enumeration when asked for the
+// provable optimum.
+func adviseSearch(in core.Input, opts core.Options, exhaustive bool) (*core.Result, error) {
+	if exhaustive {
+		return core.Exhaustive(in, opts)
+	}
+	return core.OptimizeBest(in, opts)
+}
+
+// searchStatsOut lifts a result's enumeration stats onto the wire, or nil
+// when no exhaustive walk ran (the greedy optimizer's searches leave every
+// space-level counter zero, so the field stays off the JSON).
+func searchStatsOut(st search.EnumStats) *SearchStatsOut {
+	if st.SpaceSize == 0 && st.BoundPruned == 0 && st.Groups == 0 {
+		return nil
+	}
+	return &SearchStatsOut{
+		Candidates:     st.Candidates,
+		BoundPruned:    st.BoundPruned,
+		Groups:         st.Groups,
+		GroupedUnits:   st.GroupedUnits,
+		SpaceSize:      st.SpaceSize,
+		CanonicalSize:  st.CanonicalSize,
+		RootFloorCents: st.RootFloorCents,
+	}
 }
 
 // advisePartitioned is handleAdvise's partition-granular tail: the input
@@ -360,7 +389,7 @@ func (s *Server) advisePartitioned(req AdviseRequest, comp *compiled, box *devic
 		uin.LayoutCost = model
 		uin.LayoutCostCompact = compactModel
 	}
-	res, err := core.OptimizeBest(uin, opts)
+	res, err := adviseSearch(uin, opts, req.Exhaustive)
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity,
 			&failureError{err: err, failure: capacityDiagnostic(searchCatalog(comp, pt), box, opts)}
@@ -374,6 +403,7 @@ func (s *Server) advisePartitioned(req AdviseRequest, comp *compiled, box *devic
 		Evaluated:      res.Evaluated,
 		EstimatorCalls: res.EstimatorCalls,
 		PlanMillis:     float64(res.PlanTime) / float64(time.Millisecond),
+		Search:         searchStatsOut(res.Search),
 	}
 	if res.Feasible {
 		resp.Layout = renderUnitLayout(pt, res.Layout)

@@ -121,6 +121,27 @@ func TestAdviseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAdviseExhaustive: the exhaustive knob runs the branch-and-bound
+// enumeration and reports its search statistics on the wire.
+func TestAdviseExhaustive(t *testing.T) {
+	ts := httptest.NewServer(New(Config{Workers: 4}).Handler())
+	defer ts.Close()
+	var out AdviseResponse
+	status := post(t, ts, "/advise", AdviseRequest{Workload: testWorkload(), Box: "box1", SLA: 0.25, Exhaustive: true}, &out)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if !out.Feasible || out.Search == nil {
+		t.Fatalf("exhaustive advise should carry search stats: %+v", out)
+	}
+	if out.Search.SpaceSize != 27 { // 3 objects x 3 classes
+		t.Fatalf("space size %g, want 27", out.Search.SpaceSize)
+	}
+	if out.Search.Candidates <= 0 || out.Search.Candidates != out.Evaluated {
+		t.Fatalf("candidates %d vs evaluated %d", out.Search.Candidates, out.Evaluated)
+	}
+}
+
 func TestAdviseBadRequests(t *testing.T) {
 	ts := httptest.NewServer(New(Config{}).Handler())
 	defer ts.Close()

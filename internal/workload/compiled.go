@@ -57,6 +57,36 @@ type DeltaEstimator interface {
 	EstimateDelta(cl catalog.CompactLayout, base Metrics, state DeltaState, moves []ObjectMove) (Metrics, DeltaState, error)
 }
 
+// ElapsedDecomposable is implemented by compiled estimators whose predicted
+// Elapsed separates exactly into a layout-independent remainder plus one
+// additive per-(object, class) term per placed object:
+//
+//	Elapsed(L) = fixed + sum over objects o of table[o][L(o)]
+//
+// Durations are integers, so the sum regroups exactly; the decomposition is
+// the raw material of the branch-and-bound search's admissible per-unit
+// bound. AccumulateElapsedTable adds each object's per-class term into
+// table (dense, catalog.DenseIndex(id)*device.NumClasses + class; the
+// caller zeroes it) and returns the fixed remainder. ok=false declines —
+// the objective does not decompose this way (throughput estimators, whose
+// cost is C(L)/T) — and the caller must not bound.
+type ElapsedDecomposable interface {
+	AccumulateElapsedTable(table []time.Duration) (fixed time.Duration, ok bool)
+}
+
+// PlacementSignable is implemented by compiled estimators that can emit a
+// per-object placement signature: two objects with equal signatures are
+// interchangeable under the estimator — swapping their class assignments
+// leaves every estimate (all metrics fields) unchanged for every layout.
+// Combined with equal sizes this is the dominance relation the
+// branch-and-bound search collapses symmetric units with.
+// AppendPlacementSignature appends object id's signature bytes to dst and
+// returns the extended slice; the encoding is fixed-width per estimator, so
+// equal byte strings mean equal signatures.
+type PlacementSignable interface {
+	AppendPlacementSignature(dst []byte, id catalog.ObjectID) []byte
+}
+
 // Compilable is implemented by estimators that can build a compiled
 // (compact/delta-capable) equivalent of themselves for a catalog.
 type Compilable interface {
@@ -150,6 +180,30 @@ func (e *compiledObserved) EstimateDelta(cl catalog.CompactLayout, base Metrics,
 	return m, nil, nil
 }
 
+// AccumulateElapsedTable implements ElapsedDecomposable: Elapsed is the sum
+// of per-query I/O times plus CPU, and each query's I/O time is its compiled
+// profile's per-(object, class) row sum — so the union table over all
+// queries decomposes Elapsed exactly (integer Duration sums regroup freely).
+func (e *compiledObserved) AccumulateElapsedTable(table []time.Duration) (time.Duration, bool) {
+	var fixed time.Duration
+	for i, q := range e.queries {
+		q.AccumulateClassTimes(table)
+		fixed += e.cpu[i]
+	}
+	return fixed, true
+}
+
+// AppendPlacementSignature implements PlacementSignable: the concatenated
+// per-query time rows. Per-query rows (not the union) are required — two
+// objects with equal union rows but different per-query splits would swap
+// PerQuery entries, which is observable in Metrics.
+func (e *compiledObserved) AppendPlacementSignature(dst []byte, id catalog.ObjectID) []byte {
+	for _, q := range e.queries {
+		dst = q.AppendRow(dst, id)
+	}
+	return dst
+}
+
 // ---- ProfileEstimator (OLTP test-run profile) -----------------------------
 
 // throughputState carries the exact profile I/O time of an evaluated
@@ -191,6 +245,20 @@ func (e *compiledThroughput) EstimateCompactState(cl catalog.CompactLayout) (Met
 	}
 	m, err := e.src.metricsFromIOTime(io)
 	return m, throughputState(io), err
+}
+
+// AccumulateElapsedTable implements ElapsedDecomposable by declining:
+// throughput metrics derive Elapsed through float division, and the TOC
+// objective is C(L)/T — an elapsed-time floor cannot bound it.
+func (e *compiledThroughput) AccumulateElapsedTable([]time.Duration) (time.Duration, bool) {
+	return 0, false
+}
+
+// AppendPlacementSignature implements PlacementSignable: the profile's time
+// row. Equal rows make the profile I/O time — the only layout-dependent
+// input to the throughput metrics — invariant under a swap.
+func (e *compiledThroughput) AppendPlacementSignature(dst []byte, id catalog.ObjectID) []byte {
+	return e.cp.AppendRow(dst, id)
 }
 
 // EstimateDelta implements DeltaEstimator.

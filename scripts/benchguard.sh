@@ -20,7 +20,20 @@
 #      SLA, per evaluation path — heat-based partitioning must never pay
 #      more for the same constraint. The map/compiled count parity of
 #      check 1 covers the unit path too: both new benchmarks run as
-#      map/compiled pairs.
+#      map/compiled pairs; and
+#
+#   4. the storage-floor bound prunes for profit on BOTH evaluation paths:
+#      BenchmarkExhaustivePruned's pruned-map/pruned-compiled variants run
+#      STRICTLY FASTER than their plain siblings — a bound whose per-node
+#      cost eats its savings is a regression; and
+#
+#   5. the branch-and-bound walk (BenchmarkExhaustiveBnB/bnb) beats the
+#      plain full enumeration of the same space STRICTLY — the tentpole's
+#      reason to exist; and
+#
+#   6. the 500-unit partition-granular advise
+#      (BenchmarkPartitionedDOT500/compiled) completes under 100ms per
+#      advise — the scale contract of the compiled unit path.
 #
 # BENCHTIME controls -benchtime (default 1x: CI smoke; use e.g. 20x for a
 # recorded snapshot).
@@ -31,7 +44,7 @@ out="${1:-bench.json}"
 benchtime="${BENCHTIME:-1x}"
 
 raw=$(go test -run '^$' \
-  -bench 'BenchmarkDOTOptimize|BenchmarkExhaustive$|BenchmarkExhaustivePruned|BenchmarkIOTimeCompiledVsMap|BenchmarkMemoKey|BenchmarkReAdvise|BenchmarkObjectGranularDOT|BenchmarkPartitionedDOT' \
+  -bench 'BenchmarkDOTOptimize|BenchmarkExhaustive$|BenchmarkExhaustivePruned|BenchmarkExhaustiveBnB|BenchmarkIOTimeCompiledVsMap|BenchmarkMemoKey|BenchmarkReAdvise|BenchmarkObjectGranularDOT|BenchmarkPartitionedDOT' \
   -benchmem -benchtime "$benchtime" .)
 echo "$raw"
 
@@ -41,7 +54,7 @@ echo "$raw" | awk '
   rec = "{\"name\":\"" name "\",\"iterations\":" $2
   for (i=3; i<NF; i++) {
     u=$(i+1)
-    if (u=="ns/op" || u=="B/op" || u=="allocs/op" || u=="est-calls" || u=="evaluated" || u=="microcents-storage") {
+    if (u=="ns/op" || u=="B/op" || u=="allocs/op" || u=="est-calls" || u=="evaluated" || u=="microcents-storage" || u=="pruned" || u=="units") {
       key=u; gsub(/\//, "_per_", key); gsub(/-/, "_", key)
       rec = rec ",\"" key "\":" $i
       i++
@@ -123,4 +136,54 @@ END {
   if (pairs == 0) { print "benchguard: no object/partitioned skew pairs found — benchmark names changed?"; exit 1 }
   if (bad) exit 1
   printf("benchguard OK: partitioned storage cost <= object-granular at equal SLA across %d paths\n", pairs)
+}'
+
+echo "$raw" | awk '
+/^BenchmarkExhaustivePruned\// {
+  name=$1; sub(/-[0-9]+$/, "", name)
+  ns=""
+  for (i=3; i<NF; i++) if ($(i+1)=="ns/op") ns=$i
+  if (ns=="") next
+  v=name; sub(/^BenchmarkExhaustivePruned\//, "", v)
+  t[v]=ns
+}
+END {
+  pairs=0; bad=0
+  for (p in t) {
+    if (p !~ /^pruned-/) continue
+    plain="plain-" substr(p, 8)
+    if (!(plain in t)) continue
+    pairs++
+    if (t[p]+0 >= t[plain]+0) { printf("REGRESSION: %s (%s ns/op) not faster than %s (%s ns/op)\n", p, t[p], plain, t[plain]); bad=1 }
+  }
+  if (pairs == 0) { print "benchguard: no plain/pruned exhaustive pairs found — benchmark names changed?"; exit 1 }
+  if (bad) exit 1
+  printf("benchguard OK: storage-floor pruning is strictly faster than plain enumeration on %d paths\n", pairs)
+}'
+
+echo "$raw" | awk '
+/^BenchmarkExhaustiveBnB\// {
+  name=$1; sub(/-[0-9]+$/, "", name)
+  ns=""
+  for (i=3; i<NF; i++) if ($(i+1)=="ns/op") ns=$i
+  if (ns=="") next
+  v=name; sub(/^BenchmarkExhaustiveBnB\//, "", v)
+  t[v]=ns
+}
+END {
+  if (!("plain" in t) || !("bnb" in t)) { print "benchguard: BnB benchmark variants missing — benchmark names changed?"; exit 1 }
+  if (t["bnb"]+0 >= t["plain"]+0) { printf("REGRESSION: branch-and-bound (%s ns/op) not faster than plain enumeration (%s ns/op)\n", t["bnb"], t["plain"]); exit 1 }
+  printf("benchguard OK: branch-and-bound (%s ns/op) beats plain enumeration (%s ns/op)\n", t["bnb"], t["plain"])
+}'
+
+echo "$raw" | awk '
+/^BenchmarkPartitionedDOT500\/compiled/ {
+  name=$1
+  for (i=3; i<NF; i++) if ($(i+1)=="ns/op") ns=$i
+  found=1
+}
+END {
+  if (!found) { print "benchguard: BenchmarkPartitionedDOT500/compiled missing — benchmark names changed?"; exit 1 }
+  if (ns+0 >= 1e8) { printf("REGRESSION: 500-unit partitioned advise took %s ns/op (budget 1e8)\n", ns); exit 1 }
+  printf("benchguard OK: 500-unit partitioned advise at %s ns/op (budget 1e8)\n", ns)
 }'
