@@ -22,6 +22,7 @@ import (
 	"dotprov/internal/core"
 	"dotprov/internal/device"
 	"dotprov/internal/iosim"
+	"dotprov/internal/online"
 	"dotprov/internal/types"
 	"dotprov/internal/workload"
 )
@@ -669,4 +670,52 @@ func BenchmarkPartitionedDOT500(b *testing.B) {
 			b.ReportMetric(float64(pt.NumUnits()), "units")
 		})
 	}
+}
+
+// BenchmarkCollectorIngest measures the observation-plane hot path —
+// bufferpool.ChargePage → collector — under 8-way concurrency: the locked
+// reference collector (one mutex around every charge) against the sharded
+// collector with per-worker write-combining lanes (each worker flushes its
+// lane at end of run, exactly as reading an accountant's results does).
+// benchguard gates the sharded path at ≥ 10× the locked throughput
+// (BENCH_7.json). GOMAXPROCS is pinned to 8 so small CI machines still run
+// eight concurrent chargers.
+func BenchmarkCollectorIngest(b *testing.B) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	// The charge pattern mirrors the buffer pool's miss path: short
+	// sequential page runs per object (scans and index walks), cycling all
+	// objects and I/O types. Power-of-two sizes keep the harness itself to
+	// masks, so the measured cost is the collector's, not the generator's.
+	const objects = 16
+	charge := func(pc iosim.PageCharger, i int64) {
+		id := catalog.ObjectID(1 + (i>>3)&(objects-1))
+		pc.ChargePageIO(id, device.IOType((i>>7)&3), i&4095, 1)
+	}
+	b.Run("locked", func(b *testing.B) {
+		col := online.NewLockedCollector(8)
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			var i int64
+			for pb.Next() {
+				charge(col, i)
+				i++
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "charges/s")
+	})
+	b.Run("sharded", func(b *testing.B) {
+		col := online.NewCollector(8)
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			lane := col.Lane()
+			var i int64
+			for pb.Next() {
+				charge(lane, i)
+				i++
+			}
+			lane.(iosim.Flusher).Flush()
+		})
+		col.Merge()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "charges/s")
+	})
 }

@@ -52,6 +52,7 @@ func main() {
 		period    = flag.Duration("period", 2*time.Second, "virtual measured period per window and worker")
 		poolPages = flag.Int("pool-pages", 512, "buffer pool pages")
 		threshold = flag.Float64("drift-threshold", 0.2, "relative I/O-time divergence that triggers re-advising")
+		mergeEach = flag.Duration("merge-every", 0, "background shard-merge interval for the collector (0 merges only at window reads)")
 		skew      = flag.Bool("skew", false, "replay the Zipf hot/cold fixture and contrast object- vs partition-granular DOT")
 	)
 	flag.Parse()
@@ -61,7 +62,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*boxNo, *sla, *windows, *shiftAt, *workers, *period, *poolPages, *threshold); err != nil {
+	if err := run(*boxNo, *sla, *windows, *shiftAt, *workers, *period, *poolPages, *threshold, *mergeEach); err != nil {
 		log.Fatalf("dotlive: %v", err)
 	}
 }
@@ -147,7 +148,7 @@ func analyticsMix() *workload.DSS {
 	}}
 }
 
-func run(boxNo int, sla float64, windows, shiftAt, workers int, period time.Duration, poolPages int, threshold float64) error {
+func run(boxNo int, sla float64, windows, shiftAt, workers int, period time.Duration, poolPages int, threshold float64, mergeEvery time.Duration) error {
 	box := device.Box1()
 	if boxNo == 2 {
 		box = device.Box2()
@@ -180,6 +181,14 @@ func run(boxNo int, sla float64, windows, shiftAt, workers int, period time.Dura
 	// The capture point: every buffer miss and row write any session
 	// charges from here on streams into the collector's current window.
 	db.SetTap(mgr.Collector())
+	if mergeEvery > 0 {
+		// Keep the current window fresh between window reads: the ticker
+		// folds the sharded accumulators so a mid-window inspection (or a
+		// dashboard scraping the manager) sees recent traffic, not just
+		// whatever the last Roll forced in.
+		mgr.Collector().StartMerger(mergeEvery)
+		defer mgr.Collector().Close()
+	}
 
 	driver := &tpcc.Driver{Cfg: cfg, Workers: workers, Period: period, Seed: 42}
 	analytics := analyticsMix()

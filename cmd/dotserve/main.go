@@ -4,13 +4,14 @@
 //
 //	dotserve -addr :8080
 //
-// Endpoints:
+// Endpoints (the unversioned paths are deprecated aliases that answer
+// identically with a Deprecation header):
 //
-//	POST /advise     — single-workload DOT on box1/box2 or a custom class list
-//	POST /provision  — full configuration sweep over a device grid
-//	POST /observe    — ingest a live profile window for an online stream
-//	POST /readvise   — drift-gated incremental re-advise of a stream
-//	GET  /healthz    — liveness + counters
+//	POST /v1/advise     — single-workload DOT on box1/box2 or a custom class list
+//	POST /v1/provision  — full configuration sweep over a device grid
+//	POST /v1/observe    — ingest a live profile window (JSON, or batched binary frames)
+//	POST /v1/readvise   — drift-gated incremental re-advise of a stream
+//	GET  /v1/healthz    — liveness + counters
 //
 // Example:
 //
@@ -54,15 +55,16 @@ func main() {
 		workers  = flag.Int("search-workers", 0, "layout-search worker budget per request (0 = all CPUs)")
 		streams  = flag.Int("max-streams", 8, "maximum online streams /observe may define")
 		readvise = flag.Duration("readvise-every", 0, "background re-advise interval for online streams (0 disables the ticker)")
+		ingestQ  = flag.Int("ingest-queue", 0, "binary-observe ingest queue depth in frames; overflow sheds with 429 (0 = default 1024)")
 	)
 	flag.Parse()
-	if err := run(*addr, *maxConc, *timeout, *cache, *workers, *streams, *readvise); err != nil {
+	if err := run(*addr, *maxConc, *timeout, *cache, *workers, *streams, *readvise, *ingestQ); err != nil {
 		fmt.Fprintf(os.Stderr, "dotserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxConc int, timeout time.Duration, cache, workers, streams int, readvise time.Duration) error {
+func run(addr string, maxConc int, timeout time.Duration, cache, workers, streams int, readvise time.Duration, ingestQ int) error {
 	s := serve.New(serve.Config{
 		MaxConcurrent:  maxConc,
 		RequestTimeout: timeout,
@@ -70,6 +72,7 @@ func run(addr string, maxConc int, timeout time.Duration, cache, workers, stream
 		Workers:        workers,
 		MaxStreams:     streams,
 		ReadviseEvery:  readvise,
+		IngestQueue:    ingestQ,
 		Logf:           log.Printf,
 	})
 	defer s.Close()

@@ -31,7 +31,11 @@ type PageIOCharger interface {
 }
 
 // ChargePage charges n I/Os of type t on a known page: through ChargePageIO
-// when the charger is page-aware, through plain ChargeIO otherwise.
+// when the charger is page-aware, through plain ChargeIO otherwise. This is
+// the engine's observation hot path — with a sharded tap installed (see
+// iosim.LaneCharger) the whole chain ChargePage → Accountant → collector
+// lane is lock-free, so observation never contends on the engine's critical
+// path.
 func ChargePage(ch IOCharger, id catalog.ObjectID, t device.IOType, page int64, n int64) {
 	if pc, ok := ch.(PageIOCharger); ok {
 		pc.ChargePageIO(id, t, page, n)
@@ -41,10 +45,15 @@ func ChargePage(ch IOCharger, id catalog.ObjectID, t device.IOType, page int64, 
 }
 
 // NopCharger discards charges; useful for loading data outside measurement.
+// It is page-aware so ChargePage stays on its fast path even when charges
+// are being discarded.
 type NopCharger struct{}
 
 // ChargeIO implements IOCharger by doing nothing.
 func (NopCharger) ChargeIO(catalog.ObjectID, device.IOType, int64) {}
+
+// ChargePageIO implements PageIOCharger by doing nothing.
+func (NopCharger) ChargePageIO(catalog.ObjectID, device.IOType, int64, int64) {}
 
 // PageKey identifies a page cluster-wide.
 type PageKey struct {

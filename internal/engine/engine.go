@@ -258,8 +258,11 @@ type Session struct {
 // tap, keyed by object and I/O type. Sessions capture the tap at creation,
 // so install it before NewSession. The tap must be safe for concurrent use
 // when sessions are driven from multiple goroutines (online.Collector is).
-// Nil uninstalls. This is the capture point of the online advising loop:
-// the running workload profiles itself as a side effect of execution.
+// A tap implementing iosim.LaneCharger (online.Collector does) is resolved
+// to a private sharded lane per session at NewSession, so concurrent
+// sessions never contend on the observer. Nil uninstalls. This is the
+// capture point of the online advising loop: the running workload profiles
+// itself as a side effect of execution.
 func (db *DB) SetTap(tap iosim.Charger) { db.tap = tap }
 
 // NewSession creates a worker session against the current layout and

@@ -1,0 +1,140 @@
+package online
+
+import (
+	"sync"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/iosim"
+	"dotprov/internal/pagestore"
+)
+
+// LockedCollector is the pre-sharding collector hot path: every charge
+// takes one collector-wide mutex and lands directly in the current
+// window's profile map. It is retained as the reference implementation —
+// the bit-identity oracle the sharded Collector is tested against, and the
+// baseline BenchmarkCollectorIngest measures the sharded speedup over
+// (benchguard gates sharded ≥ 10× locked). Production code paths use
+// Collector; nothing should ingest through a LockedCollector except tests
+// and benchmarks.
+type LockedCollector struct {
+	mu       sync.Mutex
+	max      int
+	closed   []Window
+	cur      Window
+	total    int64
+	extPages int64
+	ext      map[catalog.ObjectID][]float64
+}
+
+// NewLockedCollector returns a locked reference collector retaining up to
+// max closed windows (values < 1 select DefaultWindows).
+func NewLockedCollector(max int) *LockedCollector {
+	if max < 1 {
+		max = DefaultWindows
+	}
+	return &LockedCollector{
+		max:      max,
+		cur:      Window{Profile: iosim.NewProfile()},
+		extPages: DefaultExtentPages,
+		ext:      make(map[catalog.ObjectID][]float64),
+	}
+}
+
+// SetExtentPages overrides the extent-histogram bucket width in pages
+// (values < 1 keep the default).
+func (c *LockedCollector) SetExtentPages(pages int64) {
+	if pages < 1 {
+		return
+	}
+	c.mu.Lock()
+	c.extPages = pages
+	c.mu.Unlock()
+}
+
+// ChargeIO streams one device charge into the current window under the
+// collector-wide lock.
+func (c *LockedCollector) ChargeIO(id catalog.ObjectID, t device.IOType, n int64) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.cur.Profile.Add(id, t, float64(n))
+	c.mu.Unlock()
+}
+
+// ChargePageIO streams one page-located device charge: profile plus extent
+// histogram, under the collector-wide lock.
+func (c *LockedCollector) ChargePageIO(id catalog.ObjectID, t device.IOType, page int64, n int64) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.cur.Profile.Add(id, t, float64(n))
+	b := int(page / c.extPages)
+	h := c.ext[id]
+	for len(h) <= b {
+		h = append(h, 0)
+	}
+	h[b] += float64(n)
+	c.ext[id] = h
+	c.mu.Unlock()
+}
+
+// AddCPU accumulates CPU time into the current window.
+func (c *LockedCollector) AddCPU(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.cur.CPU += d
+	c.mu.Unlock()
+}
+
+// AddTxns accumulates completed transactions into the current window.
+func (c *LockedCollector) AddTxns(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.cur.Txns += n
+	c.mu.Unlock()
+}
+
+// Roll closes the current window, stamping it with the virtual elapsed
+// time it covered, pushes it into the ring and returns it.
+func (c *LockedCollector) Roll(elapsed time.Duration) Window {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.cur
+	w.Elapsed = elapsed
+	if len(c.closed) == c.max {
+		copy(c.closed, c.closed[1:])
+		c.closed[len(c.closed)-1] = w
+	} else {
+		c.closed = append(c.closed, w)
+	}
+	c.total++
+	c.cur = Window{Profile: iosim.NewProfile()}
+	return w.Clone()
+}
+
+// ExtentStats snapshots the per-object extent histograms in the form
+// catalog.BuildPartitioning consumes.
+func (c *LockedCollector) ExtentStats() catalog.ExtentStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := catalog.ExtentStats{
+		PageBytes: pagestore.PageSize,
+		ByObject:  make(map[catalog.ObjectID][]catalog.Extent, len(c.ext)),
+	}
+	for id, h := range c.ext {
+		exts := make([]catalog.Extent, len(h))
+		for i, n := range h {
+			exts[i] = catalog.Extent{Pages: c.extPages, Count: n}
+		}
+		out.ByObject[id] = exts
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+// Binary observation wire format: the batched, length-prefixed frame
+// encoding of profile windows and extent histograms that /v1/observe
+// accepts as application/x-dot-extents. JSON observations cost an
+// allocation-heavy decode per window; a frame is a flat little-endian
+// record a producer can append per window close and a server can decode
+// without touching the optimizer, which is what keeps the observation
+// plane cheap at production page-charge rates. The encoder lives here so
+// producers (engines, agents, tests) need only internal/online; the
+// decoder lives in internal/serve next to the endpoint that consumes it.
+package online
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"time"
+
+	"dotprov/internal/device"
+)
+
+// FrameVersion is the version byte every frame opens with. Decoders reject
+// other versions; bump it when the layout changes.
+const FrameVersion = 1
+
+// FrameObject is one object's observation inside a frame. Objects are
+// named by their zero-based index into the stream's pinned object list
+// (the declaration order of the defining observe) — streams already pin
+// the schema, so frames never re-ship names.
+type FrameObject struct {
+	// Index is the object's position in the stream's object list.
+	Index uint32
+	// IO counts the window's I/Os by type, indexed by device.IOType.
+	IO [device.NumIOTypes]float64
+	// Extents optionally carries the object's extent-histogram bucket
+	// counts for the window: Extents[i] accesses to the page run starting
+	// at page i*Frame.ExtentPages. Nil ships no locality.
+	Extents []float64
+}
+
+// Frame is one observation window in wire form: the scalar window stats
+// plus the per-object I/O counts and extent histograms. A request body
+// holds any number of frames back to back — the batch.
+type Frame struct {
+	// ExtentPages is the extent-histogram bucket width in pages for every
+	// object histogram in the frame (0 when no object ships extents).
+	ExtentPages int64
+	// CPU, Elapsed and Txns are the window scalars (see Window).
+	CPU     time.Duration
+	Elapsed time.Duration
+	Txns    int64
+	// Objects carries the per-object observations.
+	Objects []FrameObject
+}
+
+// frameScalarBytes is the fixed payload prefix: version byte, three
+// reserved zero bytes, four little-endian int64 scalars, and the object
+// count.
+const frameScalarBytes = 4 + 8*4 + 4
+
+// EncodedSize returns the exact encoding size of the frame in bytes,
+// including the length prefix.
+func (f Frame) EncodedSize() int {
+	n := 4 + frameScalarBytes
+	for _, o := range f.Objects {
+		n += 4 + 8*device.NumIOTypes + 4 + 8*len(o.Extents)
+	}
+	return n
+}
+
+// AppendFrame appends the frame's wire encoding to dst and returns the
+// extended slice. The layout, all little-endian:
+//
+//	u32  payload length (bytes after this word)
+//	u8   version (FrameVersion)
+//	u8×3 reserved, zero
+//	i64  extent bucket width in pages
+//	i64  cpu nanoseconds
+//	i64  elapsed nanoseconds
+//	i64  transactions
+//	u32  object count
+//	per object:
+//	  u32  object index in the stream's pinned object list
+//	  f64  I/O counts, one per device.IOType in order
+//	  u32  extent bucket count
+//	  f64  per bucket: accesses to the run starting at bucket*width pages
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.EncodedSize()-4))
+	dst = append(dst, FrameVersion, 0, 0, 0)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(f.ExtentPages))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(f.CPU))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(f.Elapsed))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(f.Txns))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Objects)))
+	for _, o := range f.Objects {
+		dst = binary.LittleEndian.AppendUint32(dst, o.Index)
+		for _, v := range o.IO {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(o.Extents)))
+		for _, v := range o.Extents {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// EncodeFrames encodes a batch of frames back to back — the body of one
+// binary /v1/observe request.
+func EncodeFrames(frames []Frame) []byte {
+	var n int
+	for _, f := range frames {
+		n += f.EncodedSize()
+	}
+	dst := make([]byte, 0, n)
+	for _, f := range frames {
+		dst = AppendFrame(dst, f)
+	}
+	return dst
+}
+
+// WindowFrame lifts a closed window into wire form over a name→index
+// mapping: ids maps the collector's object IDs onto pinned-list indexes.
+// Objects absent from ids are dropped (the stream does not know them).
+// Extent histograms are not derivable from a Window; attach them to the
+// returned frame's Objects if the producer tracks locality.
+func WindowFrame(w Window, ids map[uint32]uint32) Frame {
+	f := Frame{CPU: w.CPU, Elapsed: w.Elapsed, Txns: w.Txns}
+	for id, v := range w.Profile {
+		idx, ok := ids[uint32(id)]
+		if !ok {
+			continue
+		}
+		o := FrameObject{Index: idx}
+		o.IO = *v
+		f.Objects = append(f.Objects, o)
+	}
+	// Profile maps iterate in random order; a canonical object order keeps
+	// the encoding deterministic (equal windows encode to equal bytes).
+	sort.Slice(f.Objects, func(i, j int) bool { return f.Objects[i].Index < f.Objects[j].Index })
+	return f
+}

@@ -184,6 +184,12 @@ type HealthResponse struct {
 	Streams   int   `json:"streams"`
 	Observed  int64 `json:"observed"`
 	ReAdvised int64 `json:"readvised"`
+	// Binary ingest-plane counters: frames admitted but not yet folded,
+	// frames folded into stream windows, and observe requests shed with
+	// 429 because the bounded queue was full.
+	Queued   int64 `json:"queued"`
+	Ingested int64 `json:"ingested"`
+	Shed     int64 `json:"shed"`
 }
 
 // compiled is a WorkloadSpec lowered onto the in-process model: a catalog,

@@ -1,0 +1,284 @@
+// Binary observation ingest: the decoder for online.Frame batches
+// (Content-Type: application/x-dot-extents on /v1/observe) and the bounded
+// queue + background worker that folds accepted frames into stream windows.
+// This is the server half of the high-throughput observation plane: a
+// producer ships length-prefixed little-endian frames (encoded by
+// online.AppendFrame), admission is all-or-nothing against a bounded queue,
+// and overflow sheds with 429 + Retry-After so a slow advisor backpressures
+// the tap instead of stalling the engine being observed.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"mime"
+	"net/http"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/iosim"
+	"dotprov/internal/online"
+)
+
+// ContentTypeFrames is the media type selecting the binary observation
+// path on /v1/observe. Any other content type takes the JSON path.
+const ContentTypeFrames = "application/x-dot-extents"
+
+// isFrameContent reports whether a request Content-Type selects the binary
+// frame path (parameters like charset are ignored; a malformed header
+// falls back to the JSON path, whose decoder produces the error).
+func isFrameContent(ct string) bool {
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false
+	}
+	return mt == ContentTypeFrames
+}
+
+// frameIOBytes is the fixed wire size of one frame object minus its extent
+// buckets: index word, the I/O doubles, and the bucket count word.
+const frameIOBytes = 4 + 8*device.NumIOTypes + 4
+
+// DecodeExtentFrames decodes a batch of back-to-back binary observation
+// frames (the exact inverse of online.AppendFrame/EncodeFrames). It is
+// strict: unknown versions, non-zero reserved bytes, negative scalars,
+// non-finite or negative counts, truncated payloads and trailing garbage
+// are all errors — a frame either round-trips bit-identically or is
+// rejected whole, so fuzzing the decoder (FuzzDecodeExtentFrame) can assert
+// encode(decode(b)) == b for every accepted input.
+func DecodeExtentFrames(body []byte) ([]online.Frame, error) {
+	var frames []online.Frame
+	for off := 0; off < len(body); {
+		if len(body)-off < 4 {
+			return nil, fmt.Errorf("frame %d: truncated length prefix", len(frames))
+		}
+		plen := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if plen > len(body)-off {
+			return nil, fmt.Errorf("frame %d: declares %d payload bytes, %d remain", len(frames), plen, len(body)-off)
+		}
+		f, err := decodeFrame(body[off : off+plen])
+		if err != nil {
+			return nil, fmt.Errorf("frame %d: %w", len(frames), err)
+		}
+		frames = append(frames, f)
+		off += plen
+	}
+	if len(frames) == 0 {
+		return nil, errors.New("empty frame batch")
+	}
+	return frames, nil
+}
+
+// decodeFrame decodes one frame payload (the bytes after its length
+// prefix), which must be consumed exactly.
+func decodeFrame(p []byte) (online.Frame, error) {
+	var f online.Frame
+	if len(p) < frameScalarBytesServe {
+		return f, fmt.Errorf("payload too short (%d bytes)", len(p))
+	}
+	if p[0] != online.FrameVersion {
+		return f, fmt.Errorf("unsupported frame version %d (want %d)", p[0], online.FrameVersion)
+	}
+	if p[1] != 0 || p[2] != 0 || p[3] != 0 {
+		return f, errors.New("non-zero reserved bytes")
+	}
+	f.ExtentPages = int64(binary.LittleEndian.Uint64(p[4:]))
+	f.CPU = time.Duration(binary.LittleEndian.Uint64(p[12:]))
+	f.Elapsed = time.Duration(binary.LittleEndian.Uint64(p[20:]))
+	f.Txns = int64(binary.LittleEndian.Uint64(p[28:]))
+	if f.ExtentPages < 0 || f.CPU < 0 || f.Elapsed < 0 || f.Txns < 0 {
+		return f, errors.New("negative window scalar")
+	}
+	nobj := int(binary.LittleEndian.Uint32(p[36:]))
+	off := frameScalarBytesServe
+	for i := 0; i < nobj; i++ {
+		if len(p)-off < frameIOBytes {
+			return f, fmt.Errorf("object %d: truncated", i)
+		}
+		var o online.FrameObject
+		o.Index = binary.LittleEndian.Uint32(p[off:])
+		off += 4
+		for t := 0; t < device.NumIOTypes; t++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(p[off:]))
+			if !validCount(v) {
+				return f, fmt.Errorf("object %d: invalid I/O count %v", i, v)
+			}
+			o.IO[t] = v
+			off += 8
+		}
+		nbuck := int(binary.LittleEndian.Uint32(p[off:]))
+		off += 4
+		if nbuck > (len(p)-off)/8 {
+			return f, fmt.Errorf("object %d: declares %d extent buckets, %d bytes remain", i, nbuck, len(p)-off)
+		}
+		if nbuck > 0 {
+			if f.ExtentPages <= 0 {
+				return f, fmt.Errorf("object %d: extent buckets without a positive extent width", i)
+			}
+			o.Extents = make([]float64, nbuck)
+			for b := 0; b < nbuck; b++ {
+				v := math.Float64frombits(binary.LittleEndian.Uint64(p[off:]))
+				if !validCount(v) {
+					return f, fmt.Errorf("object %d bucket %d: invalid count %v", i, b, v)
+				}
+				o.Extents[b] = v
+				off += 8
+			}
+		}
+		f.Objects = append(f.Objects, o)
+	}
+	if off != len(p) {
+		return f, fmt.Errorf("%d trailing payload bytes", len(p)-off)
+	}
+	return f, nil
+}
+
+// frameScalarBytesServe mirrors online's fixed payload prefix size; the
+// decoder cannot reach the unexported constant across packages.
+const frameScalarBytesServe = 4 + 8*4 + 4
+
+// validCount accepts the finite non-negative doubles the collector can
+// produce. NaN and ±Inf would silently poison every window aggregate they
+// are folded into, so they are rejected at the wire.
+func validCount(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+// ObserveFramesResponse acknowledges an accepted binary observe: the batch
+// is queued, not yet folded — drift verdicts come from /v1/readvise or the
+// background ticker, keeping the ingest path free of optimization work.
+type ObserveFramesResponse struct {
+	// Stream echoes the target stream.
+	Stream string `json:"stream"`
+	// Frames is the number of windows accepted from this request.
+	Frames int `json:"frames"`
+	// Queued is the ingest queue depth (in frames) after admission.
+	Queued int64 `json:"queued"`
+}
+
+// ingestItem is one admitted frame awaiting the background fold.
+type ingestItem struct {
+	st    *stream
+	frame online.Frame
+}
+
+// handleObserveFrames is the binary /v1/observe path: decode, validate
+// against the stream's pinned object list, then admit the whole batch to
+// the bounded queue or shed the whole batch with 429 + Retry-After. It
+// never takes an optimization slot and never blocks on a stream lock.
+func (s *Server) handleObserveFrames(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
+		return
+	}
+	name := streamName(r.URL.Query().Get("stream"))
+	st := s.loadStream(name)
+	if st == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown stream %q (define it with a JSON observe first)", name))
+		return
+	}
+	wire := st.wire.Load()
+	if wire == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("stream %q is not initialized; binary frames address its pinned object list, so the defining observe must be JSON", name))
+		return
+	}
+	nIDs := len(*wire)
+	frames, err := DecodeExtentFrames(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding extent frames: %w", err))
+		return
+	}
+	for fi, f := range frames {
+		for _, o := range f.Objects {
+			if int(o.Index) >= nIDs {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("frame %d: object index %d out of range (stream pins %d objects)", fi, o.Index, nIDs))
+				return
+			}
+		}
+	}
+	s.ingestOnce.Do(func() { go s.ingestLoop() })
+	// All-or-nothing admission: reserve the whole batch against the bound,
+	// back out and shed if it does not fit. Reservations are released by
+	// the worker after the fold, so the bound covers queued AND in-fold
+	// frames and the channel send below can never block.
+	n := int64(len(frames))
+	if s.queued.Add(n) > int64(s.cfg.IngestQueue) {
+		s.queued.Add(-n)
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, &codedError{code: "shed",
+			err: fmt.Errorf("ingest queue full (%d frames queued, depth %d); retry after the merger drains", s.queued.Load(), s.cfg.IngestQueue)})
+		return
+	}
+	for _, f := range frames {
+		s.ingestQ <- ingestItem{st: st, frame: f}
+	}
+	writeJSON(w, http.StatusAccepted, ObserveFramesResponse{Stream: name, Frames: len(frames), Queued: s.queued.Load()})
+}
+
+// ingestLoop is the background merger: it drains the bounded queue, folding
+// one frame at a time into its stream's rolling windows under the stream
+// lock. Started lazily by the first binary observe; stopped by Close.
+func (s *Server) ingestLoop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case it := <-s.ingestQ:
+			s.ingestFrame(it)
+		}
+	}
+}
+
+// ingestFrame folds one admitted frame into its stream: the window into
+// the manager's rolling profile windows, the extent histograms into the
+// manager's collector. Releases the frame's queue reservation when done.
+func (s *Server) ingestFrame(it ingestItem) {
+	defer s.queued.Add(-1)
+	st := it.st
+	wire := st.wire.Load()
+	if wire == nil {
+		// The stream never finished initializing; the frame's index space
+		// does not exist. Drop silently — admission raced a drop.
+		return
+	}
+	ids := *wire
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.mgr.Observe(frameWindow(it.frame, ids))
+	if it.frame.ExtentPages > 0 {
+		col := st.mgr.Collector()
+		for _, o := range it.frame.Objects {
+			if len(o.Extents) > 0 && int(o.Index) < len(ids) {
+				col.ObserveExtents(ids[o.Index], it.frame.ExtentPages, o.Extents)
+			}
+		}
+	}
+	s.ingested.Add(1)
+	s.observed.Add(1)
+}
+
+// frameWindow lowers a decoded frame onto an online.Window over the
+// stream's pinned object IDs — the binary twin of compiled.window +
+// renameProfile on the JSON path (only positive counts are added, so the
+// two paths produce identical profiles for identical observations).
+func frameWindow(f online.Frame, ids []catalog.ObjectID) online.Window {
+	p := iosim.NewProfile()
+	for _, o := range f.Objects {
+		if int(o.Index) >= len(ids) {
+			continue
+		}
+		for t := 0; t < device.NumIOTypes; t++ {
+			if o.IO[t] > 0 {
+				p.Add(ids[o.Index], device.IOType(t), o.IO[t])
+			}
+		}
+	}
+	return online.Window{Profile: p, CPU: f.CPU, Elapsed: f.Elapsed, Txns: f.Txns}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dotprov/internal/catalog"
@@ -114,7 +115,8 @@ type ReadviseResponse struct {
 
 // stream is one online-advised workload: the compiled object mapping
 // (frozen at initialization) and its manager. Its mutex serializes
-// initialization against observation.
+// initialization against observation — per stream, so concurrent tenant
+// streams never serialize on each other.
 type stream struct {
 	mu    sync.Mutex
 	name  string
@@ -125,6 +127,11 @@ type stream struct {
 	// object granularity); decisions' layouts are then unit-granular and
 	// rendered under unit names.
 	pt *catalog.Partitioning
+	// wire maps binary-frame object indexes (position in the defining
+	// observe's object list) onto the stream's catalog IDs. Published once
+	// at initialization and immutable after, so the binary admission path
+	// reads it lock-free (nil means the stream is not initialized yet).
+	wire atomic.Pointer[[]catalog.ObjectID]
 }
 
 // granularity returns the stream's wire granularity label.
@@ -145,19 +152,34 @@ func (st *stream) render(l catalog.Layout) map[string]string {
 }
 
 // getStream returns the named stream, creating it (uninitialized) when
-// absent and capacity allows.
+// absent and capacity allows. The existing-stream path is a lock-free
+// sync.Map Load — the multi-tenant hot path; only creation takes streamMu
+// for the slot accounting.
 func (s *Server) getStream(name string) (*stream, error) {
+	if v, ok := s.streams.Load(name); ok {
+		return v.(*stream), nil
+	}
 	s.streamMu.Lock()
 	defer s.streamMu.Unlock()
-	if st, ok := s.streams[name]; ok {
-		return st, nil
+	if v, ok := s.streams.Load(name); ok {
+		return v.(*stream), nil
 	}
-	if len(s.streams) >= s.cfg.MaxStreams {
-		return nil, fmt.Errorf("stream capacity reached (%d); reuse an existing stream or restart dotserve with a larger -max-streams", s.cfg.MaxStreams)
+	if s.streamN >= s.cfg.MaxStreams {
+		return nil, &codedError{code: "stream_capacity",
+			err: fmt.Errorf("stream capacity reached (%d); reuse an existing stream or restart dotserve with a larger -max-streams", s.cfg.MaxStreams)}
 	}
 	st := &stream{name: name}
-	s.streams[name] = st
+	s.streams.Store(name, st)
+	s.streamN++
 	return st, nil
+}
+
+// loadStream returns the named registered stream, nil when unknown.
+func (s *Server) loadStream(name string) *stream {
+	if v, ok := s.streams.Load(name); ok {
+		return v.(*stream)
+	}
+	return nil
 }
 
 // dropStream unregisters a stream if the registry still maps its name to
@@ -165,8 +187,9 @@ func (s *Server) getStream(name string) (*stream, error) {
 func (s *Server) dropStream(st *stream) {
 	s.streamMu.Lock()
 	defer s.streamMu.Unlock()
-	if cur, ok := s.streams[st.name]; ok && cur == st {
-		delete(s.streams, st.name)
+	if v, ok := s.streams.Load(st.name); ok && v.(*stream) == st {
+		s.streams.Delete(st.name)
+		s.streamN--
 	}
 }
 
@@ -179,21 +202,25 @@ func (s *Server) dropStream(st *stream) {
 func (s *Server) registerStream(st *stream) {
 	s.streamMu.Lock()
 	defer s.streamMu.Unlock()
-	if cur, ok := s.streams[st.name]; ok && cur != st {
+	if v, ok := s.streams.Load(st.name); ok {
+		if v.(*stream) != st {
+			return
+		}
+		s.streams.Store(st.name, st)
 		return
 	}
-	s.streams[st.name] = st
+	s.streams.Store(st.name, st)
+	s.streamN++
 }
 
 // snapshotStreams copies the stream list for the ticker (never hold
 // streamMu across a re-advise).
 func (s *Server) snapshotStreams() []*stream {
-	s.streamMu.Lock()
-	defer s.streamMu.Unlock()
-	out := make([]*stream, 0, len(s.streams))
-	for _, st := range s.streams {
-		out = append(out, st)
-	}
+	var out []*stream
+	s.streams.Range(func(_, v any) bool {
+		out = append(out, v.(*stream))
+		return true
+	})
 	return out
 }
 
@@ -357,6 +384,15 @@ func (s *Server) initStream(st *stream, req ObserveRequest, comp *compiled) (any
 	st.objFP = comp.objectsFingerprint()
 	st.mgr = mgr
 	st.pt = pt
+	// Pin the binary-frame index space: frame objects address the defining
+	// observe's object list by position (compileWorkload validated every
+	// name, so the lookups cannot miss). Published last — a non-nil wire
+	// list implies the manager above is in place.
+	wireIDs := make([]catalog.ObjectID, len(comp.spec.Objects))
+	for i, o := range comp.spec.Objects {
+		wireIDs[i] = comp.cat.Lookup(o.Name).ID
+	}
+	st.wire.Store(&wireIDs)
 	s.registerStream(st)
 	return resp, http.StatusOK, nil
 }
@@ -367,10 +403,8 @@ func (s *Server) handleReadvise(body []byte) (any, int, error) {
 		return nil, http.StatusBadRequest, err
 	}
 	name := streamName(req.Stream)
-	s.streamMu.Lock()
-	st, ok := s.streams[name]
-	s.streamMu.Unlock()
-	if !ok {
+	st := s.loadStream(name)
+	if st == nil {
 		return nil, http.StatusNotFound, fmt.Errorf("unknown stream %q (define it with /observe first)", name)
 	}
 	st.mu.Lock()

@@ -3,18 +3,24 @@
 // offline run, but a stream of advise/provision requests against changing
 // workload profiles (cf. PAPERS.md on continuous placement).
 //
-// Endpoints:
+// Endpoints (v1; the unversioned paths are deprecated aliases that answer
+// identically while emitting a Deprecation header):
 //
-//	POST /advise     — single-workload DOT on a fixed box (§3)
-//	POST /provision  — full configuration sweep over a device grid (§5)
-//	POST /observe    — ingest a live profile window for an online stream
-//	POST /readvise   — drift-gated incremental re-advise of a stream
-//	GET  /healthz    — liveness + counters
+//	POST /v1/advise     — single-workload DOT on a fixed box (§3)
+//	POST /v1/provision  — full configuration sweep over a device grid (§5)
+//	POST /v1/observe    — ingest live profile windows for an online stream
+//	                      (JSON, or batched binary frames negotiated via
+//	                      Content-Type: application/x-dot-extents)
+//	POST /v1/readvise   — drift-gated incremental re-advise of a stream
+//	GET  /v1/healthz    — liveness + counters
 //
 // The server bounds concurrent optimization requests (excess requests get
 // 503 immediately rather than queuing unboundedly), applies a per-request
 // timeout (504), and answers repeated provisioning sweeps from an LRU keyed
-// by (workload fingerprint, grid, SLA).
+// by (workload fingerprint, grid, SLA). Binary observations bypass the
+// optimization gate onto a bounded ingest queue that sheds with 429 +
+// Retry-After when full — a slow advisor degrades the tap, never the
+// engine. All error responses share one envelope: {error, code, failure?}.
 package serve
 
 import (
@@ -55,6 +61,10 @@ type Config struct {
 	// (default 8); each stream retains rolling profile windows and a
 	// deployed layout.
 	MaxStreams int
+	// IngestQueue bounds the binary-observation ingest queue in frames
+	// (default 1024). A batch that would overflow it is shed whole with
+	// 429 + Retry-After; /v1/healthz counts sheds.
+	IngestQueue int
 	// ReadviseEvery, when positive, starts the background re-advise
 	// ticker: every interval each initialized stream runs a drift-gated
 	// (never forced) re-advise, sharing the server's search worker budget.
@@ -81,6 +91,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxStreams <= 0 {
 		c.MaxStreams = 8
 	}
+	if c.IngestQueue <= 0 {
+		c.IngestQueue = 1024
+	}
 	return c
 }
 
@@ -100,13 +113,27 @@ type Server struct {
 	rejected atomic.Int64
 
 	// Online streams (see online.go): defined by /observe, re-advised by
-	// /readvise and the background ticker.
+	// /readvise and the background ticker. The registry is a sync.Map so
+	// concurrent tenants' hot paths (observe an existing stream, readvise)
+	// are lock-free Loads that never serialize on each other; streamMu only
+	// guards the create/drop slot accounting (streamN vs MaxStreams).
+	streams   sync.Map // map[string]*stream
 	streamMu  sync.Mutex
-	streams   map[string]*stream
+	streamN   int
 	observed  atomic.Int64
 	readvised atomic.Int64
 	stop      chan struct{}
 	closeOnce sync.Once
+
+	// Binary-observation ingest plane (see frame.go): a bounded queue of
+	// decoded frames drained by one background worker. queued counts frames
+	// admitted but not yet folded; admission is all-or-nothing per request
+	// against cfg.IngestQueue, and overflow sheds with 429.
+	ingestQ    chan ingestItem
+	ingestOnce sync.Once
+	queued     atomic.Int64
+	ingested   atomic.Int64
+	shed       atomic.Int64
 }
 
 // New builds a server. When cfg.ReadviseEvery is positive the background
@@ -119,8 +146,8 @@ func New(cfg Config) *Server {
 		budget:  search.NewBudget(cfg.Workers),
 		cache:   newLRU(cfg.CacheEntries),
 		start:   time.Now(),
-		streams: make(map[string]*stream),
 		stop:    make(chan struct{}),
+		ingestQ: make(chan ingestItem, cfg.IngestQueue),
 	}
 	if cfg.ReadviseEvery > 0 {
 		go s.readviseTicker(cfg.ReadviseEvery)
@@ -134,15 +161,80 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.stop) })
 }
 
-// Handler returns the routed HTTP handler.
+// Route is one row of the service's route table: the versioned path and,
+// when the endpoint predates versioning, its deprecated unversioned alias.
+type Route struct {
+	// Method is the HTTP method the route answers.
+	Method string
+	// Path is the current (v1) path.
+	Path string
+	// Alias is the deprecated unversioned path kept for compatibility, ""
+	// when the route never had one. Alias responses carry a Deprecation
+	// header and a Link to the successor.
+	Alias string
+}
+
+// Routes returns the service's static route table — the single source of
+// truth Handler mounts and scripts/routelint checks OPERATIONS.md against.
+func Routes() []Route {
+	return []Route{
+		{Method: "GET", Path: "/v1/healthz", Alias: "/healthz"},
+		{Method: "POST", Path: "/v1/advise", Alias: "/advise"},
+		{Method: "POST", Path: "/v1/provision", Alias: "/provision"},
+		{Method: "POST", Path: "/v1/observe", Alias: "/observe"},
+		{Method: "POST", Path: "/v1/readvise", Alias: "/readvise"},
+	}
+}
+
+// Handler returns the routed HTTP handler: every Routes() entry mounted on
+// its v1 path, plus the deprecated aliases answering identically under a
+// Deprecation header.
 func (s *Server) Handler() http.Handler {
+	handlers := map[string]http.HandlerFunc{
+		"/v1/healthz":   s.handleHealthz,
+		"/v1/advise":    s.bounded(s.handleAdvise),
+		"/v1/provision": s.bounded(s.handleProvision),
+		"/v1/observe":   s.observeRouted(),
+		"/v1/readvise":  s.bounded(s.handleReadvise),
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("POST /advise", s.bounded(s.handleAdvise))
-	mux.HandleFunc("POST /provision", s.bounded(s.handleProvision))
-	mux.HandleFunc("POST /observe", s.bounded(s.handleObserve))
-	mux.HandleFunc("POST /readvise", s.bounded(s.handleReadvise))
+	for _, rt := range Routes() {
+		h, ok := handlers[rt.Path]
+		if !ok {
+			panic("serve: route " + rt.Path + " has no handler")
+		}
+		mux.HandleFunc(rt.Method+" "+rt.Path, h)
+		if rt.Alias != "" {
+			mux.HandleFunc(rt.Method+" "+rt.Alias, deprecatedAlias(rt.Path, h))
+		}
+	}
 	return mux
+}
+
+// deprecatedAlias wraps a v1 handler for its unversioned alias: identical
+// behavior, plus the RFC 8594 Deprecation header and a successor-version
+// Link so clients can discover the v1 path mechanically.
+func deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
+// observeRouted is /v1/observe's content negotiation: JSON observations run
+// the synchronous define/drift path under the optimization gate; binary
+// frame batches (Content-Type: application/x-dot-extents) take the async
+// bounded-queue ingest path, which never holds an optimization slot.
+func (s *Server) observeRouted() http.HandlerFunc {
+	jsonPath := s.bounded(s.handleObserve)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if isFrameContent(r.Header.Get("Content-Type")) {
+			s.handleObserveFrames(w, r)
+			return
+		}
+		jsonPath(w, r)
+	}
 }
 
 // maxBodyBytes caps request bodies; profiles are per-object aggregates, so
@@ -155,8 +247,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// apiError is the unified error envelope every endpoint answers failures
+// with: {error, code, failure?}. Code is a stable machine-readable reason
+// (see errorCode); Failure carries the advisor's infeasibility diagnostic.
 type apiError struct {
 	Error string `json:"error"`
+	// Code names the failure class machine-readably: bad_request,
+	// not_found, conflict, infeasible, stream_capacity, shed, saturated,
+	// timeout, internal.
+	Code string `json:"code,omitempty"`
 	// Failure carries the advisor's infeasibility diagnostic when one is
 	// known — the same provision.InfeasibilityReason text sweeps attach per
 	// candidate — so clients of a failed optimization see WHY (over
@@ -174,6 +273,54 @@ type failureError struct {
 func (e *failureError) Error() string { return e.err.Error() }
 func (e *failureError) Unwrap() error { return e.err }
 
+// codedError overrides the envelope code derived from the HTTP status —
+// for statuses that carry more than one failure class (429 is both "too
+// many streams" and "ingest queue shed").
+type codedError struct {
+	code string
+	err  error
+}
+
+func (e *codedError) Error() string { return e.err.Error() }
+func (e *codedError) Unwrap() error { return e.err }
+
+// errorCode maps a response status (and an optional codedError override)
+// onto the envelope's stable code.
+func errorCode(status int, err error) string {
+	var ce *codedError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusUnprocessableEntity:
+		return "infeasible"
+	case http.StatusTooManyRequests:
+		return "stream_capacity"
+	case http.StatusServiceUnavailable:
+		return "saturated"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	default:
+		return "internal"
+	}
+}
+
+// writeError writes the unified error envelope for a failed request.
+func writeError(w http.ResponseWriter, status int, err error) {
+	e := apiError{Error: err.Error(), Code: errorCode(status, err)}
+	var fe *failureError
+	if errors.As(err, &fe) {
+		e.Failure = fe.failure
+	}
+	writeJSON(w, status, e)
+}
+
 // bounded wraps an optimization handler with the concurrency gate and the
 // per-request timeout. The request body is read on the request goroutine
 // (net/http forbids touching it once ServeHTTP returns); the optimization
@@ -187,14 +334,14 @@ func (s *Server) bounded(fn func(body []byte) (any, int, error)) http.HandlerFun
 		// ReadTimeout bounds the upload itself).
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("reading request body: %v", err)})
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
 			return
 		}
 		select {
 		case s.sem <- struct{}{}:
 		default:
 			s.rejected.Add(1)
-			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server saturated: too many concurrent optimizations"})
+			writeError(w, http.StatusServiceUnavailable, errors.New("server saturated: too many concurrent optimizations"))
 			return
 		}
 		s.served.Add(1)
@@ -219,17 +366,12 @@ func (s *Server) bounded(fn func(body []byte) (any, int, error)) http.HandlerFun
 		select {
 		case out := <-done:
 			if out.err != nil {
-				e := apiError{Error: out.err.Error()}
-				var fe *failureError
-				if errors.As(out.err, &fe) {
-					e.Failure = fe.failure
-				}
-				writeJSON(w, out.status, e)
+				writeError(w, out.status, out.err)
 				return
 			}
 			writeJSON(w, out.status, out.v)
 		case <-timeout.C:
-			writeJSON(w, http.StatusGatewayTimeout, apiError{Error: fmt.Sprintf("optimization exceeded the %v request timeout", s.cfg.RequestTimeout)})
+			writeError(w, http.StatusGatewayTimeout, fmt.Errorf("optimization exceeded the %v request timeout", s.cfg.RequestTimeout))
 		case <-r.Context().Done():
 			// Client went away; nothing useful to write.
 		}
@@ -266,7 +408,7 @@ func validSLA(sla float64) error {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.streamMu.Lock()
-	streams := len(s.streams)
+	streams := s.streamN
 	s.streamMu.Unlock()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
@@ -277,6 +419,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Streams:       streams,
 		Observed:      s.observed.Load(),
 		ReAdvised:     s.readvised.Load(),
+		Queued:        s.queued.Load(),
+		Ingested:      s.ingested.Load(),
+		Shed:          s.shed.Load(),
 	})
 }
 

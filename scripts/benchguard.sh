@@ -35,17 +35,31 @@
 #      (BenchmarkPartitionedDOT500/compiled) completes under 100ms per
 #      advise — the scale contract of the compiled unit path.
 #
+#   7. the sharded observation plane (BenchmarkCollectorIngest/sharded)
+#      beats the locked pre-sharding baseline. The full >= 10x throughput
+#      gate needs real parallel contention, so it applies on machines with
+#      >= 8 CPUs; below that the gate degrades to the scale-independent
+#      floors a single core can witness: >= 4x the locked baseline AND
+#      >= 1e8 charges/s absolute (single-digit ns per charge).
+#
 # BENCHTIME controls -benchtime (default 1x: CI smoke; use e.g. 20x for a
-# recorded snapshot).
+# recorded snapshot). INGEST_BENCHTIME controls the collector-ingest run,
+# which needs a timed benchtime for throughput to mean anything
+# (default 1s).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-bench.json}"
 benchtime="${BENCHTIME:-1x}"
+ingest_benchtime="${INGEST_BENCHTIME:-1s}"
 
 raw=$(go test -run '^$' \
   -bench 'BenchmarkDOTOptimize|BenchmarkExhaustive$|BenchmarkExhaustivePruned|BenchmarkExhaustiveBnB|BenchmarkIOTimeCompiledVsMap|BenchmarkMemoKey|BenchmarkReAdvise|BenchmarkObjectGranularDOT|BenchmarkPartitionedDOT' \
   -benchmem -benchtime "$benchtime" .)
+raw_ingest=$(go test -run '^$' \
+  -bench 'BenchmarkCollectorIngest' -benchtime "$ingest_benchtime" .)
+raw="$raw
+$raw_ingest"
 echo "$raw"
 
 echo "$raw" | awk '
@@ -54,7 +68,7 @@ echo "$raw" | awk '
   rec = "{\"name\":\"" name "\",\"iterations\":" $2
   for (i=3; i<NF; i++) {
     u=$(i+1)
-    if (u=="ns/op" || u=="B/op" || u=="allocs/op" || u=="est-calls" || u=="evaluated" || u=="microcents-storage" || u=="pruned" || u=="units") {
+    if (u=="ns/op" || u=="B/op" || u=="allocs/op" || u=="est-calls" || u=="evaluated" || u=="microcents-storage" || u=="pruned" || u=="units" || u=="charges/s") {
       key=u; gsub(/\//, "_per_", key); gsub(/-/, "_", key)
       rec = rec ",\"" key "\":" $i
       i++
@@ -174,6 +188,28 @@ END {
   if (!("plain" in t) || !("bnb" in t)) { print "benchguard: BnB benchmark variants missing — benchmark names changed?"; exit 1 }
   if (t["bnb"]+0 >= t["plain"]+0) { printf("REGRESSION: branch-and-bound (%s ns/op) not faster than plain enumeration (%s ns/op)\n", t["bnb"], t["plain"]); exit 1 }
   printf("benchguard OK: branch-and-bound (%s ns/op) beats plain enumeration (%s ns/op)\n", t["bnb"], t["plain"])
+}'
+
+echo "$raw" | awk -v cpus="$(nproc)" '
+/^BenchmarkCollectorIngest\// {
+  name=$1; sub(/-[0-9]+$/, "", name)
+  cs=""
+  for (i=3; i<NF; i++) if ($(i+1)=="charges/s") cs=$i
+  if (cs=="") next
+  v=name; sub(/^BenchmarkCollectorIngest\//, "", v)
+  t[v]=cs
+}
+END {
+  if (!("locked" in t) || !("sharded" in t)) { print "benchguard: CollectorIngest locked/sharded variants missing — benchmark names changed?"; exit 1 }
+  ratio = (t["sharded"]+0) / (t["locked"]+0)
+  if (cpus+0 >= 8) {
+    if (ratio < 10) { printf("REGRESSION: sharded ingest only %.1fx the locked baseline (%.0f vs %.0f charges/s) on %d CPUs (gate: 10x)\n", ratio, t["sharded"]+0, t["locked"]+0, cpus); exit 1 }
+    printf("benchguard OK: sharded ingest %.1fx locked (%.0f vs %.0f charges/s) on %d CPUs\n", ratio, t["sharded"]+0, t["locked"]+0, cpus)
+  } else {
+    if (ratio < 4) { printf("REGRESSION: sharded ingest only %.1fx the locked baseline (single-core floor: 4x)\n", ratio); exit 1 }
+    if (t["sharded"]+0 < 1e8) { printf("REGRESSION: sharded ingest %.0f charges/s below the 1e8/s single-core floor\n", t["sharded"]+0); exit 1 }
+    printf("benchguard OK: sharded ingest %.1fx locked at %.0f charges/s (%d CPUs < 8, single-core floors 4x and 1e8/s; the 10x contention gate needs >= 8 CPUs)\n", ratio, t["sharded"]+0, cpus)
+  }
 }'
 
 echo "$raw" | awk '

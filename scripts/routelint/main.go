@@ -1,0 +1,54 @@
+// Command routelint keeps the API reference honest: every route the server
+// actually registers (serve.Routes — the v1 paths and their deprecated
+// unversioned aliases) must appear in the operator documentation. Routes
+// are compiled facts and docs are prose, so this is the only place the two
+// can be held together; CI runs it so a new endpoint cannot merge
+// undocumented.
+//
+//	go run ./scripts/routelint [OPERATIONS.md]
+//
+// Violations print one line each and the exit status is 1 when any exist.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"dotprov/internal/serve"
+)
+
+func main() {
+	doc := "OPERATIONS.md"
+	if len(os.Args) > 1 {
+		doc = os.Args[1]
+	}
+	b, err := os.ReadFile(doc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "routelint: %v\n", err)
+		os.Exit(2)
+	}
+	text := string(b)
+	bad := 0
+	check := func(method, path, kind string) {
+		if !strings.Contains(text, path) {
+			fmt.Printf("routelint: %s %s %s is registered but not documented in %s\n", kind, method, path, doc)
+			bad++
+		}
+	}
+	routes := serve.Routes()
+	if len(routes) == 0 {
+		fmt.Fprintln(os.Stderr, "routelint: serve.Routes() is empty — route table moved?")
+		os.Exit(2)
+	}
+	for _, rt := range routes {
+		check(rt.Method, rt.Path, "route")
+		if rt.Alias != "" {
+			check(rt.Method, rt.Alias, "alias")
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("routelint OK: %d routes (and aliases) all documented in %s\n", len(routes), doc)
+}
