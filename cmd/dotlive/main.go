@@ -44,16 +44,18 @@ import (
 
 func main() {
 	var (
-		boxNo     = flag.Int("box", 2, "storage box (1 or 2)")
-		sla       = flag.Float64("sla", 0.25, "relative SLA in (0, 1]")
-		windows   = flag.Int("windows", 6, "observation windows to replay")
-		shiftAt   = flag.Int("shift-at", 3, "window (1-based) at which the analytical mix joins the stream")
-		workers   = flag.Int("workers", 4, "concurrent OLTP workers (degree of concurrency)")
-		period    = flag.Duration("period", 2*time.Second, "virtual measured period per window and worker")
-		poolPages = flag.Int("pool-pages", 512, "buffer pool pages")
-		threshold = flag.Float64("drift-threshold", 0.2, "relative I/O-time divergence that triggers re-advising")
-		mergeEach = flag.Duration("merge-every", 0, "background shard-merge interval for the collector (0 merges only at window reads)")
-		skew      = flag.Bool("skew", false, "replay the Zipf hot/cold fixture and contrast object- vs partition-granular DOT")
+		boxNo      = flag.Int("box", 2, "storage box (1 or 2)")
+		sla        = flag.Float64("sla", 0.25, "relative SLA in (0, 1]")
+		windows    = flag.Int("windows", 6, "observation windows to replay")
+		shiftAt    = flag.Int("shift-at", 3, "window (1-based) at which the analytical mix joins the stream")
+		workers    = flag.Int("workers", 4, "concurrent OLTP workers (degree of concurrency)")
+		period     = flag.Duration("period", 2*time.Second, "virtual measured period per window and worker")
+		poolPages  = flag.Int("pool-pages", 512, "buffer pool pages")
+		threshold  = flag.Float64("drift-threshold", 0.2, "relative I/O-time divergence that triggers re-advising")
+		mergeEach  = flag.Duration("merge-every", 0, "background shard-merge interval for the collector (0 merges only at window reads)")
+		skew       = flag.Bool("skew", false, "replay the Zipf hot/cold fixture and contrast object- vs partition-granular DOT")
+		observeURL = flag.String("observe-url", "", "mirror observation windows to a running dotserve at this base URL (e.g. http://localhost:8080; empty disables)")
+		observeStr = flag.String("observe-stream", "dotlive", "stream name for -observe-url mirroring")
 	)
 	flag.Parse()
 	if *skew {
@@ -62,7 +64,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*boxNo, *sla, *windows, *shiftAt, *workers, *period, *poolPages, *threshold, *mergeEach); err != nil {
+	if err := run(*boxNo, *sla, *windows, *shiftAt, *workers, *period, *poolPages, *threshold, *mergeEach, *observeURL, *observeStr); err != nil {
 		log.Fatalf("dotlive: %v", err)
 	}
 }
@@ -148,10 +150,12 @@ func analyticsMix() *workload.DSS {
 	}}
 }
 
-func run(boxNo int, sla float64, windows, shiftAt, workers int, period time.Duration, poolPages int, threshold float64, mergeEvery time.Duration) error {
+func run(boxNo int, sla float64, windows, shiftAt, workers int, period time.Duration, poolPages int, threshold float64, mergeEvery time.Duration, observeURL, observeStream string) error {
 	box := device.Box1()
+	boxName := "box1"
 	if boxNo == 2 {
 		box = device.Box2()
+		boxName = "box2"
 	}
 	fmt.Printf("dotlive: TPC-C on %s, SLA %g, %d windows (mix shifts at window %d)\n",
 		box.Name, sla, windows, shiftAt)
@@ -193,6 +197,9 @@ func run(boxNo int, sla float64, windows, shiftAt, workers int, period time.Dura
 	driver := &tpcc.Driver{Cfg: cfg, Workers: workers, Period: period, Seed: 42}
 	analytics := analyticsMix()
 
+	var mir *mirror
+	defer func() { mir.close() }()
+
 	for w := 1; w <= windows; w++ {
 		htap := w >= shiftAt
 		label := "oltp"
@@ -225,7 +232,17 @@ func run(boxNo int, sla float64, windows, shiftAt, workers int, period time.Dura
 				col.AddCPU(q.CPU)
 			}
 		}
-		col.Roll(elapsed)
+		win := col.Roll(elapsed)
+		if w == 1 && observeURL != "" {
+			// The first window defines the mirror stream (JSON observe);
+			// later windows ship as binary frames through the obsclient.
+			mir, err = newMirror(observeURL, observeStream, db, boxName, sla, threshold, workers, win)
+			if err != nil {
+				return fmt.Errorf("mirroring to %s: %w", observeURL, err)
+			}
+		} else {
+			mir.ship(win)
+		}
 
 		if w == 1 {
 			dec, err := mgr.Advise()

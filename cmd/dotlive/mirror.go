@@ -1,0 +1,145 @@
+// Stream mirroring: with -observe-url the demo doubles as a live producer
+// for a running dotserve, exercising the full observation plane instead of
+// the in-process manager alone. The first window defines the stream with a
+// JSON observe (names, sizes and kinds travel once), and every window —
+// including the first — then ships as a binary frame through the retrying
+// obsclient, so a dotserve restarted mid-run (the crash harness does
+// exactly that) sees the same windows the local manager folded. The first
+// window travels only inside the defining observe — mirroring it again as
+// a frame would double-count it.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/engine"
+	"dotprov/internal/obsclient"
+	"dotprov/internal/online"
+	"dotprov/internal/serve"
+)
+
+// mirror ships the demo's observation windows to a dotserve stream.
+type mirror struct {
+	client *obsclient.Client
+	// ids maps collector object IDs onto the stream's pinned wire indexes
+	// (the position of each object in the defining observe's object list).
+	ids    map[uint32]uint32
+	stream string
+}
+
+// newMirror defines the stream on the server from the first closed window
+// and starts the frame client. The defining observe must be JSON — it
+// carries the object list the stream pins — so it is posted inline here;
+// the returned mirror ships every subsequent window as a binary frame.
+func newMirror(baseURL, stream string, db *engine.DB, boxName string, sla, threshold float64, workers int, w0 online.Window) (*mirror, error) {
+	objects := db.Cat.Objects()
+	tableName := make(map[catalog.ObjectID]string)
+	for _, t := range db.Cat.Tables() {
+		tableName[t.ID] = t.Name
+	}
+	owner := make(map[catalog.ObjectID]string)
+	for _, ix := range db.Cat.Indexes() {
+		owner[ix.ID] = tableName[ix.TableID]
+	}
+
+	spec := serve.WorkloadSpec{
+		CPUMillis:     float64(w0.CPU) / float64(time.Millisecond),
+		Concurrency:   workers,
+		Txns:          w0.Txns,
+		ElapsedMillis: float64(w0.Elapsed) / float64(time.Millisecond),
+	}
+	ids := make(map[uint32]uint32, len(objects))
+	for i, o := range objects {
+		os := serve.ObjectSpec{Name: o.Name, Kind: o.Kind.String(), SizeBytes: o.SizeBytes}
+		if o.Kind == catalog.KindIndex {
+			os.Table = owner[o.ID]
+		}
+		spec.Objects = append(spec.Objects, os)
+		ids[uint32(o.ID)] = uint32(i)
+		v := w0.Profile.Get(o.ID)
+		spec.IO = append(spec.IO, serve.IOSpec{
+			Object:    o.Name,
+			SeqRead:   v[device.SeqRead],
+			RandRead:  v[device.RandRead],
+			SeqWrite:  v[device.SeqWrite],
+			RandWrite: v[device.RandWrite],
+		})
+	}
+
+	req := serve.ObserveRequest{
+		Stream:         stream,
+		Workload:       spec,
+		Box:            boxName,
+		SLA:            sla,
+		DriftThreshold: threshold,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(baseURL+"/v1/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("defining observe: %w", err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("defining observe: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
+	}
+	var out serve.ObserveResponse
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, fmt.Errorf("defining observe: decoding response: %w", err)
+	}
+	if !out.Initialized {
+		return nil, fmt.Errorf("stream %q already exists on %s; pick a fresh -observe-stream", out.Stream, baseURL)
+	}
+	fmt.Printf("mirroring windows to %s stream %q (initial advise feasible=%v)\n", baseURL, out.Stream, out.Feasible)
+
+	client, err := obsclient.New(obsclient.Config{
+		BaseURL: baseURL,
+		Stream:  stream,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &mirror{client: client, ids: ids, stream: stream}, nil
+}
+
+// ship mirrors one closed window as a binary frame. Losing a frame is
+// acceptable by design (the client sheds oldest under pressure); the demo
+// only logs the refusal case, which means the client was closed.
+func (m *mirror) ship(w online.Window) {
+	if m == nil {
+		return
+	}
+	if !m.client.Observe(online.WindowFrame(w, m.ids)) {
+		log.Printf("dotlive: mirror refused a window (client closed)")
+	}
+}
+
+// close flushes what the client still buffers and reports the delivery
+// counters, so a crash-harness run can see exactly what was acknowledged.
+func (m *mirror) close() {
+	if m == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.client.Flush(ctx); err != nil {
+		log.Printf("dotlive: mirror flush: %v", err)
+	}
+	m.client.Close()
+	st := m.client.Stats()
+	fmt.Printf("mirror: %d windows enqueued, %d sent in %d batches, %d retries, %d dropped, %d rejected\n",
+		st.Enqueued, st.SentFrames, st.SentBatches, st.Retries, st.Dropped, st.Rejected)
+}

@@ -12,6 +12,12 @@
 //	POST /v1/observe    — ingest a live profile window (JSON, or batched binary frames)
 //	POST /v1/readvise   — drift-gated incremental re-advise of a stream
 //	GET  /v1/healthz    — liveness + counters
+//	GET  /v1/readyz     — readiness (503 while draining or degraded)
+//
+// With -snapshot-dir the online plane is crash-safe: stream windows,
+// deployed layouts and drift references are snapshotted periodically and
+// on shutdown, and a restarted dotserve restores the newest valid
+// generation before taking traffic.
 //
 // Example:
 //
@@ -43,42 +49,82 @@ import (
 	"syscall"
 	"time"
 
+	"dotprov/internal/faultinject"
 	"dotprov/internal/serve"
 )
 
+// options carries the flag values into run.
+type options struct {
+	addr     string
+	maxConc  int
+	timeout  time.Duration
+	cache    int
+	workers  int
+	streams  int
+	readvise time.Duration
+	ingestQ  int
+	snapDir  string
+	snapEach time.Duration
+	snapKeep int
+	drain    time.Duration
+	faults   string
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		maxConc  = flag.Int("max-concurrent", 4, "maximum simultaneous optimization requests (excess get 503)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request optimization timeout")
-		cache    = flag.Int("cache", 64, "sweep-result LRU entries")
-		workers  = flag.Int("search-workers", 0, "layout-search worker budget per request (0 = all CPUs)")
-		streams  = flag.Int("max-streams", 8, "maximum online streams /observe may define")
-		readvise = flag.Duration("readvise-every", 0, "background re-advise interval for online streams (0 disables the ticker)")
-		ingestQ  = flag.Int("ingest-queue", 0, "binary-observe ingest queue depth in frames; overflow sheds with 429 (0 = default 1024)")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.maxConc, "max-concurrent", 4, "maximum simultaneous optimization requests (excess get 503)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request optimization timeout")
+	flag.IntVar(&o.cache, "cache", 64, "sweep-result LRU entries")
+	flag.IntVar(&o.workers, "search-workers", 0, "layout-search worker budget per request (0 = all CPUs)")
+	flag.IntVar(&o.streams, "max-streams", 8, "maximum online streams /observe may define")
+	flag.DurationVar(&o.readvise, "readvise-every", 0, "background re-advise interval for online streams (0 disables the ticker)")
+	flag.IntVar(&o.ingestQ, "ingest-queue", 0, "binary-observe ingest queue depth in frames; overflow sheds with 429 (0 = default 1024)")
+	flag.StringVar(&o.snapDir, "snapshot-dir", "", "directory for durable online-plane snapshots (empty disables snapshots)")
+	flag.DurationVar(&o.snapEach, "snapshot-every", 0, "periodic snapshot interval (0 = default 10s; needs -snapshot-dir)")
+	flag.IntVar(&o.snapKeep, "snapshot-keep", 0, "snapshot generations retained on disk (0 = default 3)")
+	flag.DurationVar(&o.drain, "drain-timeout", 0, "shutdown drain deadline for acknowledged ingest frames (0 = default 10s)")
+	flag.StringVar(&o.faults, "faults", "", "fault-injection plan for crash testing, e.g. seed=42,short=0.2,rename=0.1,latency=2ms,latencyp=0.5 (empty disables)")
 	flag.Parse()
-	if err := run(*addr, *maxConc, *timeout, *cache, *workers, *streams, *readvise, *ingestQ); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "dotserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxConc int, timeout time.Duration, cache, workers, streams int, readvise time.Duration, ingestQ int) error {
+func run(o options) error {
+	plan, err := faultinject.ParsePlan(o.faults)
+	if err != nil {
+		return fmt.Errorf("-faults: %w", err)
+	}
+	var snapFS faultinject.FS
+	if plan != nil {
+		snapFS = faultinject.Wrap(faultinject.OS, plan)
+		log.Printf("dotserve: fault injection armed: %s", o.faults)
+	}
 	s := serve.New(serve.Config{
-		MaxConcurrent:  maxConc,
-		RequestTimeout: timeout,
-		CacheEntries:   cache,
-		Workers:        workers,
-		MaxStreams:     streams,
-		ReadviseEvery:  readvise,
-		IngestQueue:    ingestQ,
+		MaxConcurrent:  o.maxConc,
+		RequestTimeout: o.timeout,
+		CacheEntries:   o.cache,
+		Workers:        o.workers,
+		MaxStreams:     o.streams,
+		ReadviseEvery:  o.readvise,
+		IngestQueue:    o.ingestQ,
+		SnapshotDir:    o.snapDir,
+		SnapshotEvery:  o.snapEach,
+		SnapshotKeep:   o.snapKeep,
+		SnapshotFS:     snapFS,
+		DrainTimeout:   o.drain,
 		Logf:           log.Printf,
 	})
-	defer s.Close()
+	defer func() {
+		if err := s.Close(); err != nil {
+			log.Printf("dotserve: close: %v", err)
+		}
+	}()
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           s.Handler(),
+		Addr:              o.addr,
+		Handler:           faultinject.Middleware(plan, s.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 		// ReadTimeout covers the body too: a trickled upload cannot hold a
 		// connection (or an optimization slot) open indefinitely.
@@ -86,7 +132,7 @@ func run(addr string, maxConc int, timeout time.Duration, cache, workers, stream
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("dotserve listening on %s", addr)
+		log.Printf("dotserve listening on %s", o.addr)
 		errc <- srv.ListenAndServe()
 	}()
 	stop := make(chan os.Signal, 1)
@@ -96,6 +142,12 @@ func run(addr string, maxConc int, timeout time.Duration, cache, workers, stream
 		return err
 	case sig := <-stop:
 		log.Printf("dotserve: %v, shutting down", sig)
+		// Flip readiness and drain the ingest queue FIRST (load balancers see
+		// /v1/readyz go 503; the final snapshot captures the drained state),
+		// then stop the listener.
+		if err := s.Close(); err != nil {
+			log.Printf("dotserve: drain: %v", err)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

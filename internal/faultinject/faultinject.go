@@ -1,0 +1,358 @@
+// Package faultinject provides deterministic, seeded fault injection for
+// the crash-safety test surface: a filesystem seam the snapshot store
+// writes through (short/torn writes, ENOSPC, rename failure, fsync
+// failure, latency spikes) and an HTTP middleware for serve-layer latency.
+// Faults are drawn from one seeded PRNG in operation order, so a fault
+// plan replays identically run over run — the crash-test harness and CI
+// assert against exact, reproducible failure sequences instead of hoping
+// the right race fires.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// File is the writable-file surface the snapshot store needs: enough to
+// write, fsync and atomically publish a snapshot, small enough to wrap
+// with fault injection.
+type File interface {
+	io.Writer
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Close closes the file.
+	Close() error
+	// Name returns the file's path.
+	Name() string
+}
+
+// FS is the filesystem seam durable state goes through. The real
+// implementation is OS; Wrap layers a fault Plan over any FS.
+type FS interface {
+	// MkdirAll creates a directory and its parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// CreateTemp creates a new temporary file in dir (see os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(path string) error
+	// ReadFile reads a whole file.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir lists a directory.
+	ReadDir(path string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs a directory, making renames within it durable.
+	SyncDir(path string) error
+}
+
+// osFS is the passthrough FS over the real filesystem.
+type osFS struct{}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) ReadDir(path string) ([]fs.DirEntry, error) { return os.ReadDir(path) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	// Some filesystems reject directory fsync; the rename above is still
+	// atomic there, so degrade silently rather than failing the snapshot.
+	_ = d.Sync()
+	return d.Close()
+}
+
+// Plan is a seeded fault schedule: per-operation probabilities of each
+// fault kind, plus an optional injected latency. The zero Plan injects
+// nothing. Draws come from one PRNG seeded with Seed, in operation order,
+// so a plan is deterministic for a deterministic caller.
+type Plan struct {
+	// Seed seeds the PRNG the probabilities are drawn from.
+	Seed int64
+	// WriteFail is the probability a write fails outright with ENOSPC.
+	WriteFail float64
+	// ShortWrite is the probability a write persists only half its bytes
+	// and then fails with ENOSPC — the torn-file case.
+	ShortWrite float64
+	// SyncFail is the probability an fsync (file or directory) fails.
+	SyncFail float64
+	// RenameFail is the probability a rename fails.
+	RenameFail float64
+	// Latency, when positive, is injected before an operation with
+	// probability LatencyP.
+	Latency time.Duration
+	// LatencyP is the probability of a latency injection (0 disables).
+	LatencyP float64
+}
+
+// ParsePlan parses a fault plan from its flag form: comma-separated
+// key=value pairs, e.g.
+//
+//	seed=42,write=0.1,short=0.2,sync=0.05,rename=0.1,latency=2ms,latencyp=0.5
+//
+// Unknown keys and out-of-range probabilities are errors. The empty string
+// parses to nil (no faults).
+func ParsePlan(s string) (*Plan, error) {
+	if s == "" {
+		return nil, nil
+	}
+	p := &Plan{}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: malformed pair %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "write":
+			p.WriteFail, err = parseProb(v)
+		case "short":
+			p.ShortWrite, err = parseProb(v)
+		case "sync":
+			p.SyncFail, err = parseProb(v)
+		case "rename":
+			p.RenameFail, err = parseProb(v)
+		case "latency":
+			p.Latency, err = time.ParseDuration(v)
+		case "latencyp":
+			p.LatencyP, err = parseProb(v)
+		default:
+			return nil, fmt.Errorf("faultinject: unknown key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: key %q: %w", k, err)
+		}
+	}
+	return p, nil
+}
+
+func parseProb(v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("probability %g outside [0, 1]", f)
+	}
+	return f, nil
+}
+
+// Stats counts a FaultyFS's activity: total operations seen and faults
+// injected by kind.
+type Stats struct {
+	// Ops is the total operations that passed through the seam.
+	Ops int64
+	// WriteFails, ShortWrites, SyncFails and RenameFails count injected
+	// faults by kind.
+	WriteFails  int64
+	ShortWrites int64
+	SyncFails   int64
+	RenameFails int64
+}
+
+// FaultyFS wraps an FS with a fault Plan. It is safe for concurrent use;
+// concurrent callers serialize on the PRNG, which keeps the draw sequence
+// well-defined.
+type FaultyFS struct {
+	fs   FS
+	plan *Plan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	ops         atomic.Int64
+	writeFails  atomic.Int64
+	shortWrites atomic.Int64
+	syncFails   atomic.Int64
+	renameFails atomic.Int64
+}
+
+// Wrap layers plan over fs. A nil plan wraps nothing and returns a
+// passthrough.
+func Wrap(fsys FS, plan *Plan) *FaultyFS {
+	p := plan
+	if p == nil {
+		p = &Plan{}
+	}
+	return &FaultyFS{fs: fsys, plan: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (f *FaultyFS) Stats() Stats {
+	return Stats{
+		Ops:         f.ops.Load(),
+		WriteFails:  f.writeFails.Load(),
+		ShortWrites: f.shortWrites.Load(),
+		SyncFails:   f.syncFails.Load(),
+		RenameFails: f.renameFails.Load(),
+	}
+}
+
+// draw returns one uniform [0,1) variate from the plan's PRNG.
+func (f *FaultyFS) draw() float64 {
+	f.mu.Lock()
+	v := f.rng.Float64()
+	f.mu.Unlock()
+	return v
+}
+
+// maybeLatency injects the plan's latency with probability LatencyP.
+func (f *FaultyFS) maybeLatency() {
+	if f.plan.Latency > 0 && f.plan.LatencyP > 0 && f.draw() < f.plan.LatencyP {
+		time.Sleep(f.plan.Latency)
+	}
+}
+
+// enospc is the injected out-of-space error, wrapped like the real one so
+// errors.Is(err, syscall.ENOSPC) holds.
+func enospc(op, path string) error {
+	return &os.PathError{Op: op, Path: path, Err: syscall.ENOSPC}
+}
+
+// MkdirAll implements FS (never faulted: the store's directory setup is
+// not part of the write path under test).
+func (f *FaultyFS) MkdirAll(path string, perm os.FileMode) error {
+	f.ops.Add(1)
+	return f.fs.MkdirAll(path, perm)
+}
+
+// CreateTemp implements FS; the returned file's writes and syncs draw
+// faults from the plan.
+func (f *FaultyFS) CreateTemp(dir, pattern string) (File, error) {
+	f.ops.Add(1)
+	f.maybeLatency()
+	inner, err := f.fs.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{File: inner, fs: f}, nil
+}
+
+// Rename implements FS, failing with the plan's rename probability.
+func (f *FaultyFS) Rename(oldpath, newpath string) error {
+	f.ops.Add(1)
+	f.maybeLatency()
+	if f.plan.RenameFail > 0 && f.draw() < f.plan.RenameFail {
+		f.renameFails.Add(1)
+		return enospc("rename", newpath)
+	}
+	return f.fs.Rename(oldpath, newpath)
+}
+
+// Remove implements FS (never faulted: pruning best-effort old
+// generations must not mask write faults).
+func (f *FaultyFS) Remove(path string) error {
+	f.ops.Add(1)
+	return f.fs.Remove(path)
+}
+
+// ReadFile implements FS.
+func (f *FaultyFS) ReadFile(path string) ([]byte, error) {
+	f.ops.Add(1)
+	f.maybeLatency()
+	return f.fs.ReadFile(path)
+}
+
+// ReadDir implements FS.
+func (f *FaultyFS) ReadDir(path string) ([]fs.DirEntry, error) {
+	f.ops.Add(1)
+	return f.fs.ReadDir(path)
+}
+
+// SyncDir implements FS, failing with the plan's sync probability.
+func (f *FaultyFS) SyncDir(path string) error {
+	f.ops.Add(1)
+	if f.plan.SyncFail > 0 && f.draw() < f.plan.SyncFail {
+		f.syncFails.Add(1)
+		return enospc("syncdir", path)
+	}
+	return f.fs.SyncDir(path)
+}
+
+// faultyFile injects write and sync faults into one open file.
+type faultyFile struct {
+	File
+	fs *FaultyFS
+}
+
+// Write implements io.Writer: full failure with WriteFail, a half-persisted
+// torn write with ShortWrite, passthrough otherwise.
+func (f *faultyFile) Write(p []byte) (int, error) {
+	f.fs.ops.Add(1)
+	f.fs.maybeLatency()
+	if f.fs.plan.WriteFail > 0 && f.fs.draw() < f.fs.plan.WriteFail {
+		f.fs.writeFails.Add(1)
+		return 0, enospc("write", f.Name())
+	}
+	if f.fs.plan.ShortWrite > 0 && f.fs.draw() < f.fs.plan.ShortWrite {
+		f.fs.shortWrites.Add(1)
+		n, err := f.File.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, enospc("write", f.Name())
+	}
+	return f.File.Write(p)
+}
+
+// Sync implements File, failing with the plan's sync probability.
+func (f *faultyFile) Sync() error {
+	f.fs.ops.Add(1)
+	if f.fs.plan.SyncFail > 0 && f.fs.draw() < f.fs.plan.SyncFail {
+		f.fs.syncFails.Add(1)
+		return enospc("sync", f.Name())
+	}
+	return f.File.Sync()
+}
+
+// Middleware wraps an HTTP handler with the plan's serve-layer latency
+// spikes (the other fault kinds are I/O-shaped and do not apply). A nil
+// plan returns next unchanged. The middleware draws from its own PRNG
+// (Seed+1) so the serve layer's draws do not perturb the snapshot I/O
+// fault sequence.
+func Middleware(plan *Plan, next http.Handler) http.Handler {
+	if plan == nil || plan.Latency <= 0 || plan.LatencyP <= 0 {
+		return next
+	}
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(plan.Seed + 1))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		spike := rng.Float64() < plan.LatencyP
+		mu.Unlock()
+		if spike {
+			time.Sleep(plan.Latency)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

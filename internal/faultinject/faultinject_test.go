@@ -1,0 +1,168 @@
+package faultinject
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=42,write=0.1,short=0.2,sync=0.05,rename=0.3,latency=2ms,latencyp=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Seed: 42, WriteFail: 0.1, ShortWrite: 0.2, SyncFail: 0.05, RenameFail: 0.3, Latency: 2 * time.Millisecond, LatencyP: 0.5}
+	if *p != want {
+		t.Fatalf("ParsePlan = %+v, want %+v", *p, want)
+	}
+	if p, err := ParsePlan(""); err != nil || p != nil {
+		t.Fatalf("empty plan = %v, %v; want nil, nil", p, err)
+	}
+	for _, bad := range []string{"write", "write=2", "write=-1", "nope=1", "latency=fast", "seed=x"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+// TestDeterministicFaults: the same plan over the same operation sequence
+// injects the same faults — the property the crash-test harness leans on.
+func TestDeterministicFaults(t *testing.T) {
+	run := func() ([]bool, Stats) {
+		fs := Wrap(OS, &Plan{Seed: 7, WriteFail: 0.5})
+		dir := t.TempDir()
+		var outcomes []bool
+		for i := 0; i < 32; i++ {
+			f, err := fs.CreateTemp(dir, "t*")
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, werr := f.Write([]byte("payload"))
+			outcomes = append(outcomes, werr == nil)
+			f.Close()
+		}
+		return outcomes, fs.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at op %d: %v vs %v", i, a, b)
+		}
+	}
+	if sa != sb {
+		t.Fatalf("stats diverged: %+v vs %+v", sa, sb)
+	}
+	if sa.WriteFails == 0 {
+		t.Fatal("plan with write=0.5 injected no faults in 32 writes")
+	}
+}
+
+// TestShortWriteTearsFile: a short write persists a prefix and reports
+// ENOSPC — the torn-snapshot case the store must reject on load.
+func TestShortWriteTearsFile(t *testing.T) {
+	fs := Wrap(OS, &Plan{Seed: 1, ShortWrite: 1})
+	dir := t.TempDir()
+	f, err := fs.CreateTemp(dir, "torn*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef")
+	n, werr := f.Write(payload)
+	f.Close()
+	if !errors.Is(werr, syscall.ENOSPC) {
+		t.Fatalf("short write error = %v, want ENOSPC", werr)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("short write persisted %d bytes, want %d", n, len(payload)/2)
+	}
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload[:len(payload)/2]) {
+		t.Fatalf("file holds %q, want the half prefix", got)
+	}
+}
+
+func TestRenameAndSyncFaults(t *testing.T) {
+	fs := Wrap(OS, &Plan{Seed: 3, RenameFail: 1, SyncFail: 1})
+	dir := t.TempDir()
+	if err := fs.SyncDir(dir); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("SyncDir error = %v, want ENOSPC", err)
+	}
+	src := filepath.Join(dir, "a")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(src, filepath.Join(dir, "b")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Rename error = %v, want ENOSPC", err)
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("failed rename must leave the source intact: %v", err)
+	}
+}
+
+// TestPassthrough: a nil plan injects nothing and the OS seam round-trips
+// a real file through CreateTemp/Write/Sync/Rename/ReadFile/ReadDir.
+func TestPassthrough(t *testing.T) {
+	fs := Wrap(OS, nil)
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "nested")
+	if err := fs.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.CreateTemp(sub, "s*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final := filepath.Join(sub, "final")
+	if err := fs.Rename(f.Name(), final); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(final)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	ents, err := fs.ReadDir(sub)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v; want the one final file", ents, err)
+	}
+	if err := fs.Remove(final); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMiddlewareLatency(t *testing.T) {
+	var hits int
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hits++ })
+	h := Middleware(&Plan{Seed: 9, Latency: time.Millisecond, LatencyP: 1}, next)
+	start := time.Now()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if hits != 1 {
+		t.Fatal("middleware did not call next")
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("latency spike not injected at p=1")
+	}
+	if got := Middleware(nil, next); got == nil {
+		t.Fatal("nil plan must return next")
+	}
+}

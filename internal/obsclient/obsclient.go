@@ -1,0 +1,357 @@
+// Package obsclient is the producer half of the binary observation plane:
+// a retrying client that batches online.Frame windows and ships them to a
+// dotserve /v1/observe endpoint as application/x-dot-extents payloads.
+//
+// The client is built for taps that must never block the engine they are
+// observing: Observe is non-blocking and O(1), frames accumulate in a
+// bounded buffer that sheds its OLDEST entries under pressure (a fresh
+// window beats a stale one for drift detection), and a single background
+// sender drains the buffer in batches. Delivery is at-least-effort, not
+// at-least-once: the server's 429 shed responses are honored via
+// Retry-After, transport errors and 5xx answers are retried with
+// exponentially backed-off, seeded-jittered delays, and any other 4xx
+// (the batch itself is defective — unknown stream, bad index space) drops
+// the batch and counts it, because retrying a rejected payload can never
+// succeed. Every loss path is observable through Stats.
+package obsclient
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dotprov/internal/online"
+)
+
+// Defaults for the zero-valued Config knobs.
+const (
+	// DefaultMaxBuffer is the frame buffer bound; overflow drops oldest.
+	DefaultMaxBuffer = 256
+	// DefaultMaxBatch is the largest frame batch a single POST carries.
+	DefaultMaxBatch = 32
+	// DefaultMinBackoff is the first retry delay after a transient failure.
+	DefaultMinBackoff = 100 * time.Millisecond
+	// DefaultMaxBackoff caps the exponential retry delay AND any server
+	// Retry-After hint (a misconfigured server cannot park the tap forever).
+	DefaultMaxBackoff = 5 * time.Second
+)
+
+// Config parameterizes a Client. BaseURL and Stream are required; every
+// other field has a usable zero value.
+type Config struct {
+	// BaseURL is the dotserve root, e.g. "http://localhost:8080". The
+	// client posts to BaseURL + "/v1/observe?stream=" + Stream.
+	BaseURL string
+	// Stream names the target stream, which must already be defined (the
+	// defining observe is JSON and stays the caller's job — it needs the
+	// full workload spec, which the client never sees).
+	Stream string
+	// HTTPClient overrides http.DefaultClient, e.g. for timeouts or tests.
+	HTTPClient *http.Client
+	// MaxBuffer bounds the frame buffer (0 = DefaultMaxBuffer). When a new
+	// frame arrives at a full buffer the OLDEST buffered frame is dropped
+	// and counted in Stats.Dropped.
+	MaxBuffer int
+	// MaxBatch bounds frames per POST (0 = DefaultMaxBatch).
+	MaxBatch int
+	// MinBackoff is the initial retry delay (0 = DefaultMinBackoff).
+	MinBackoff time.Duration
+	// MaxBackoff caps retry delays and Retry-After hints (0 = DefaultMaxBackoff).
+	MaxBackoff time.Duration
+	// Seed seeds the retry jitter, making backoff schedules reproducible
+	// in tests and crash harnesses.
+	Seed int64
+	// Logf receives diagnostic lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of the client's counters; every frame handed to
+// Observe ends in exactly one of Sent, Dropped or Rejected (or is still
+// buffered/in flight).
+type Stats struct {
+	// Enqueued counts frames accepted by Observe.
+	Enqueued int64
+	// SentFrames counts frames acknowledged by the server (202).
+	SentFrames int64
+	// SentBatches counts acknowledged POSTs.
+	SentBatches int64
+	// Retries counts re-sent batches (429, 5xx, transport error).
+	Retries int64
+	// Dropped counts frames shed by the bounded buffer (oldest-first) or
+	// abandoned unsent at Close.
+	Dropped int64
+	// Rejected counts frames the server refused with a non-retryable 4xx.
+	Rejected int64
+}
+
+// Client ships binary observation frames to a dotserve stream. Create
+// with New; it is safe for concurrent use.
+type Client struct {
+	cfg  Config
+	url  string
+	http *http.Client
+
+	mu       sync.Mutex
+	buf      []online.Frame
+	inflight int  // frames popped by the sender, not yet resolved
+	closed   bool // Observe refuses after Close
+
+	kick   chan struct{}   // wakes the sender; capacity 1
+	done   chan struct{}   // closed by Close to stop retries/sleeps
+	ctx    context.Context // cancelled by Close to abort in-flight POSTs
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	enqueued, sentFrames, sentBatches atomic.Int64
+	retries, dropped, rejected        atomic.Int64
+}
+
+// New starts a Client and its background sender.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("obsclient: BaseURL is required")
+	}
+	if cfg.Stream == "" {
+		return nil, fmt.Errorf("obsclient: Stream is required")
+	}
+	if cfg.MaxBuffer <= 0 {
+		cfg.MaxBuffer = DefaultMaxBuffer
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = DefaultMinBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	c := &Client{
+		cfg:  cfg,
+		url:  cfg.BaseURL + "/v1/observe?stream=" + cfg.Stream,
+		http: hc,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	c.wg.Add(1)
+	go c.sender()
+	return c, nil
+}
+
+// Observe enqueues one frame without blocking. When the buffer is full the
+// oldest buffered frame is dropped to make room — the engine's tap must
+// never stall on a slow or unreachable advisor. Returns false if the frame
+// was not accepted (client closed).
+func (c *Client) Observe(f online.Frame) bool {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	if len(c.buf) >= c.cfg.MaxBuffer {
+		drop := len(c.buf) - c.cfg.MaxBuffer + 1
+		c.buf = append(c.buf[:0], c.buf[drop:]...)
+		c.dropped.Add(int64(drop))
+	}
+	c.buf = append(c.buf, f)
+	c.mu.Unlock()
+	c.enqueued.Add(1)
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// Flush blocks until every buffered and in-flight frame has been resolved
+// (sent, rejected, or dropped) or ctx expires.
+func (c *Client) Flush(ctx context.Context) error {
+	for {
+		c.mu.Lock()
+		idle := len(c.buf) == 0 && c.inflight == 0
+		c.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-c.done:
+			return nil
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Close stops the sender and releases the client. Frames still buffered or
+// mid-retry are abandoned and counted in Stats.Dropped — callers that need
+// delivery call Flush first. An in-flight POST is cancelled, so Close never
+// waits on an unresponsive server.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.cancel()
+	close(c.done)
+	c.wg.Wait()
+	// The sender has exited and resolved any in-flight batch (deliver
+	// counts an aborted batch as dropped); only the buffer remains.
+	c.mu.Lock()
+	if n := len(c.buf); n > 0 {
+		c.dropped.Add(int64(n))
+		c.buf = nil
+	}
+	c.mu.Unlock()
+}
+
+// Stats snapshots the counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Enqueued:    c.enqueued.Load(),
+		SentFrames:  c.sentFrames.Load(),
+		SentBatches: c.sentBatches.Load(),
+		Retries:     c.retries.Load(),
+		Dropped:     c.dropped.Load(),
+		Rejected:    c.rejected.Load(),
+	}
+}
+
+// sender is the single background drain loop: pop a batch, deliver it
+// (retrying transient failures), repeat. One batch is in flight at a time,
+// so acknowledged order matches Observe order for everything that survives
+// the bounded buffer.
+func (c *Client) sender() {
+	defer c.wg.Done()
+	rng := rand.New(rand.NewSource(c.cfg.Seed))
+	for {
+		batch := c.popBatch()
+		if batch == nil {
+			select {
+			case <-c.done:
+				return
+			case <-c.kick:
+				continue
+			}
+		}
+		c.deliver(batch, rng)
+		c.mu.Lock()
+		c.inflight = 0
+		c.mu.Unlock()
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+	}
+}
+
+// popBatch moves up to MaxBatch frames from the buffer into flight.
+func (c *Client) popBatch() []online.Frame {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.buf) == 0 {
+		return nil
+	}
+	n := len(c.buf)
+	if n > c.cfg.MaxBatch {
+		n = c.cfg.MaxBatch
+	}
+	batch := make([]online.Frame, n)
+	copy(batch, c.buf)
+	c.buf = append(c.buf[:0], c.buf[n:]...)
+	c.inflight = n
+	return batch
+}
+
+// deliver posts one batch until it is acknowledged, rejected, or the
+// client closes. Transient failures (transport error, 5xx, 429) retry the
+// same bytes; the delay doubles from MinBackoff up to MaxBackoff with
+// multiplicative jitter in [0.5, 1.5), except that a parseable 429
+// Retry-After hint (clamped to MaxBackoff) takes precedence.
+func (c *Client) deliver(batch []online.Frame, rng *rand.Rand) {
+	body := online.EncodeFrames(batch)
+	delay := c.cfg.MinBackoff
+	for {
+		status, retryAfter, err := c.post(body)
+		switch {
+		case err == nil && status == http.StatusAccepted:
+			c.sentFrames.Add(int64(len(batch)))
+			c.sentBatches.Add(1)
+			return
+		case err == nil && status >= 400 && status < 500 && status != http.StatusTooManyRequests:
+			// The server understood the batch and refused it; the payload
+			// cannot become acceptable by resending.
+			c.rejected.Add(int64(len(batch)))
+			c.logf("obsclient: %d frames rejected with HTTP %d", len(batch), status)
+			return
+		}
+		c.retries.Add(1)
+		wait := delay + time.Duration((rng.Float64()-0.5)*float64(delay))
+		if status == http.StatusTooManyRequests && retryAfter > 0 {
+			wait = retryAfter
+		}
+		if wait > c.cfg.MaxBackoff {
+			wait = c.cfg.MaxBackoff
+		}
+		if err != nil {
+			c.logf("obsclient: post failed (%v), retrying in %v", err, wait)
+		} else {
+			c.logf("obsclient: HTTP %d, retrying in %v", status, wait)
+		}
+		if delay *= 2; delay > c.cfg.MaxBackoff {
+			delay = c.cfg.MaxBackoff
+		}
+		select {
+		case <-c.done:
+			// Closing mid-retry abandons the batch; it must still resolve
+			// somewhere, so it resolves to dropped.
+			c.dropped.Add(int64(len(batch)))
+			return
+		case <-time.After(wait):
+		}
+	}
+}
+
+// post ships one encoded batch; it returns the HTTP status, any parsed
+// Retry-After hint, and the transport error if the exchange failed.
+func (c *Client) post(body []byte) (status int, retryAfter time.Duration, err error) {
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost, c.url, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", online.ContentTypeFrames)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, perr := strconv.Atoi(s); perr == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, retryAfter, nil
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,569 @@
+// Durable snapshot state for the online plane: the exportable/restorable
+// form of a Manager (deployed layout, drift reference, counters) and its
+// Collector (rolling windows, cumulative extent histograms), plus the
+// strict canonical binary codec the snapshot store persists them with.
+// The codec follows the observation wire format's discipline (wire.go):
+// little-endian, length-and-count prefixed, canonical object order — and
+// the decoder rejects truncation, trailing bytes, non-finite or negative
+// counts, and unsorted IDs, so decode(encode(s)) == s and
+// encode(decode(b)) == b for every accepted input (FuzzDecodeSnapshot
+// leans on the second identity).
+package online
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/iosim"
+)
+
+// CollectorState is a Collector's durable state: the closed-window ring,
+// the partially filled current window, the lifetime window count, and the
+// cumulative extent histograms with their bucket width. Shard/lane
+// accumulators are merged into Cur at export, so the state is exact at
+// the moment of capture.
+type CollectorState struct {
+	// Total is the lifetime closed-window count (ring evictions included).
+	Total int64
+	// ExtPages is the extent-histogram bucket width in pages.
+	ExtPages int64
+	// Cur is the current (not yet closed) window.
+	Cur Window
+	// Closed is the ring of closed windows, oldest first.
+	Closed []Window
+	// Extents holds the cumulative per-object extent histograms.
+	Extents map[catalog.ObjectID][]float64
+}
+
+// ManagerState is a Manager's durable state: everything a restarted
+// advisor needs to resume drift detection mid-window instead of starting
+// cold — the deployed layout, the reference profile that layout was
+// optimized for, the lifetime counters, and the collector's windows.
+type ManagerState struct {
+	// Layout is the deployed layout (unit-granular at partition
+	// granularity, like Manager.CurrentLayout).
+	Layout catalog.Layout
+	// HasRef reports whether an initial Advise anchored a reference; Ref
+	// is only meaningful when set.
+	HasRef bool
+	// Ref is the reference window drift checks compare against.
+	Ref Window
+	// Stats are the manager's lifetime counters.
+	Stats Stats
+	// Collector is the rolling-window collector's state.
+	Collector CollectorState
+}
+
+// ExportState captures the manager's durable state. Outstanding sharded
+// charges are merged first, so the export is exact at the moment of
+// capture; the charge hot path is never touched.
+func (m *Manager) ExportState() ManagerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := ManagerState{
+		Layout: m.cur.Clone(),
+		HasRef: m.hasRef,
+		Stats:  m.stats,
+	}
+	if m.hasRef {
+		st.Ref = m.ref.Clone()
+	}
+	st.Collector = m.col.ExportState()
+	st.Stats.WindowsClosed = st.Collector.Total
+	return st
+}
+
+// RestoreState replaces the manager's online state with a previously
+// exported one, validating every ID and class against the manager's own
+// catalogs (the unit catalog for the layout and reference at partition
+// granularity, the base catalog for collector windows): a snapshot from a
+// different schema is rejected whole, never partially applied.
+func (m *Manager) RestoreState(st ManagerState) error {
+	if err := m.validLayout(st.Layout); err != nil {
+		return fmt.Errorf("online: restore layout: %w", err)
+	}
+	if st.HasRef {
+		if err := validProfileIDs(st.Ref.Profile, m.cat); err != nil {
+			return fmt.Errorf("online: restore reference window: %w", err)
+		}
+	}
+	if err := validStats(st.Stats); err != nil {
+		return fmt.Errorf("online: restore stats: %w", err)
+	}
+	base := m.cfg.Cat
+	if err := validProfileIDs(st.Collector.Cur.Profile, base); err != nil {
+		return fmt.Errorf("online: restore current window: %w", err)
+	}
+	for i, w := range st.Collector.Closed {
+		if err := validProfileIDs(w.Profile, base); err != nil {
+			return fmt.Errorf("online: restore closed window %d: %w", i, err)
+		}
+	}
+	for id := range st.Collector.Extents {
+		if base.Object(id) == nil {
+			return fmt.Errorf("online: restore extents: object %d not in catalog", id)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.col.RestoreState(st.Collector); err != nil {
+		return fmt.Errorf("online: restore collector: %w", err)
+	}
+	m.cur = st.Layout.Clone()
+	m.hasRef = st.HasRef
+	if st.HasRef {
+		m.ref = st.Ref.Clone()
+	} else {
+		m.ref = Window{}
+	}
+	m.stats = st.Stats
+	return nil
+}
+
+// validLayout checks a restored layout covers the manager's catalog
+// exactly with classes the box provisions.
+func (m *Manager) validLayout(l catalog.Layout) error {
+	objs := m.cat.Objects()
+	if len(l) != len(objs) {
+		return fmt.Errorf("layout places %d objects, catalog has %d", len(l), len(objs))
+	}
+	for _, o := range objs {
+		cls, ok := l[o.ID]
+		if !ok {
+			return fmt.Errorf("object %q (%d) not placed", o.Name, o.ID)
+		}
+		if int(cls) >= device.NumClasses {
+			return fmt.Errorf("object %q placed on unknown class %d", o.Name, cls)
+		}
+		if m.cfg.Box.Device(cls) == nil {
+			return fmt.Errorf("object %q placed on class %v absent from box %q", o.Name, cls, m.cfg.Box.Name)
+		}
+	}
+	return nil
+}
+
+// validProfileIDs checks every profiled object exists in cat.
+func validProfileIDs(p iosim.Profile, cat *catalog.Catalog) error {
+	for id := range p {
+		if cat.Object(id) == nil {
+			return fmt.Errorf("profiled object %d not in catalog", id)
+		}
+	}
+	return nil
+}
+
+// validStats rejects negative lifetime counters.
+func validStats(s Stats) error {
+	if s.WindowsClosed < 0 || s.Checks < 0 || s.Drifts < 0 || s.ReAdvises < 0 || s.Fallbacks < 0 {
+		return fmt.Errorf("negative counter in %+v", s)
+	}
+	return nil
+}
+
+// ExportState captures the collector's durable state, merging outstanding
+// shard charges into the current window first.
+func (c *Collector) ExportState() CollectorState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mergeLocked()
+	st := CollectorState{
+		Total:    c.total,
+		ExtPages: c.extPages.Load(),
+		Cur:      c.cur.Clone(),
+		Extents:  make(map[catalog.ObjectID][]float64, len(c.ext)),
+	}
+	for _, w := range c.closed {
+		st.Closed = append(st.Closed, w.Clone())
+	}
+	for id, h := range c.ext {
+		st.Extents[id] = append([]float64(nil), h...)
+	}
+	return st
+}
+
+// RestoreState replaces the collector's cold state (windows, histograms,
+// counters) with a previously exported one. Outstanding shard charges are
+// merged and discarded with the replaced state; the ring keeps its
+// configured capacity, dropping the oldest restored windows if the
+// snapshot retained more.
+func (c *Collector) RestoreState(st CollectorState) error {
+	if st.Total < 0 {
+		return fmt.Errorf("negative window total %d", st.Total)
+	}
+	if st.ExtPages < 1 {
+		return fmt.Errorf("extent bucket width %d below 1 page", st.ExtPages)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mergeLocked()
+	closed := st.Closed
+	if len(closed) > c.max {
+		closed = closed[len(closed)-c.max:]
+	}
+	c.closed = c.closed[:0]
+	for _, w := range closed {
+		c.closed = append(c.closed, w.Clone())
+	}
+	cur := st.Cur.Clone()
+	if cur.Profile == nil {
+		cur.Profile = iosim.NewProfile()
+	}
+	c.cur = cur
+	c.total = st.Total
+	c.extPages.Store(st.ExtPages)
+	c.ext = make(map[catalog.ObjectID][]float64, len(st.Extents))
+	for id, h := range st.Extents {
+		c.ext[id] = append([]float64(nil), h...)
+	}
+	return nil
+}
+
+// AppendManagerState appends st's canonical binary encoding to dst and
+// returns the extended slice. Maps are encoded in ascending ID order, so
+// equal states encode to equal bytes.
+func AppendManagerState(dst []byte, st ManagerState) []byte {
+	dst = appendLayout(dst, st.Layout)
+	if st.HasRef {
+		dst = append(dst, 1)
+		dst = appendWindow(dst, st.Ref)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.Stats.WindowsClosed))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.Stats.Checks))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.Stats.Drifts))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.Stats.ReAdvises))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.Stats.Fallbacks))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.Collector.Total))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.Collector.ExtPages))
+	dst = appendWindow(dst, st.Collector.Cur)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(st.Collector.Closed)))
+	for _, w := range st.Collector.Closed {
+		dst = appendWindow(dst, w)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(st.Collector.Extents)))
+	for _, id := range sortedIDs(st.Collector.Extents) {
+		h := st.Collector.Extents[id]
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(h)))
+		for _, v := range h {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// DecodeManagerState decodes one AppendManagerState encoding, consuming b
+// exactly. It is strict: truncation, trailing bytes, unsorted or
+// duplicate IDs, unknown flags, and non-finite or negative values are all
+// errors.
+func DecodeManagerState(b []byte) (ManagerState, error) {
+	r := &snapReader{b: b}
+	st, err := readManagerState(r)
+	if err != nil {
+		return ManagerState{}, err
+	}
+	if r.rest() != 0 {
+		return ManagerState{}, fmt.Errorf("%d trailing bytes", r.rest())
+	}
+	return st, nil
+}
+
+// readManagerState reads one manager-state record from r, leaving any
+// following bytes unread (the serve-layer snapshot embeds several).
+func readManagerState(r *snapReader) (ManagerState, error) {
+	var st ManagerState
+	var err error
+	if st.Layout, err = readLayout(r); err != nil {
+		return st, err
+	}
+	flag, err := r.u8()
+	if err != nil {
+		return st, err
+	}
+	switch flag {
+	case 0:
+	case 1:
+		st.HasRef = true
+		if st.Ref, err = readWindow(r); err != nil {
+			return st, fmt.Errorf("reference window: %w", err)
+		}
+	default:
+		return st, fmt.Errorf("unknown reference flag %d", flag)
+	}
+	for _, f := range []*int64{&st.Stats.WindowsClosed, &st.Stats.Checks, &st.Stats.Drifts, &st.Stats.ReAdvises, &st.Stats.Fallbacks, &st.Collector.Total} {
+		if *f, err = r.nonNegI64(); err != nil {
+			return st, fmt.Errorf("counter: %w", err)
+		}
+	}
+	if st.Collector.ExtPages, err = r.nonNegI64(); err != nil {
+		return st, fmt.Errorf("extent width: %w", err)
+	}
+	if st.Collector.ExtPages < 1 {
+		return st, fmt.Errorf("extent bucket width %d below 1 page", st.Collector.ExtPages)
+	}
+	if st.Collector.Cur, err = readWindow(r); err != nil {
+		return st, fmt.Errorf("current window: %w", err)
+	}
+	nclosed, err := r.count(windowMinBytes)
+	if err != nil {
+		return st, fmt.Errorf("closed windows: %w", err)
+	}
+	for i := 0; i < nclosed; i++ {
+		w, err := readWindow(r)
+		if err != nil {
+			return st, fmt.Errorf("closed window %d: %w", i, err)
+		}
+		st.Collector.Closed = append(st.Collector.Closed, w)
+	}
+	next, err := r.count(8)
+	if err != nil {
+		return st, fmt.Errorf("extent histograms: %w", err)
+	}
+	st.Collector.Extents = make(map[catalog.ObjectID][]float64, next)
+	last := int64(-1)
+	for i := 0; i < next; i++ {
+		id, err := r.u32()
+		if err != nil {
+			return st, err
+		}
+		if int64(id) <= last {
+			return st, fmt.Errorf("extent histogram IDs not strictly increasing at %d", id)
+		}
+		last = int64(id)
+		nb, err := r.count(8)
+		if err != nil {
+			return st, fmt.Errorf("extent histogram %d: %w", id, err)
+		}
+		h := make([]float64, nb)
+		for bkt := 0; bkt < nb; bkt++ {
+			v, err := r.f64()
+			if err != nil {
+				return st, err
+			}
+			if !validSnapCount(v) {
+				return st, fmt.Errorf("extent histogram %d bucket %d: invalid count %v", id, bkt, v)
+			}
+			h[bkt] = v
+		}
+		st.Collector.Extents[catalog.ObjectID(id)] = h
+	}
+	return st, nil
+}
+
+// windowMinBytes is the smallest encoded window: three scalars plus an
+// empty object count.
+const windowMinBytes = 8*3 + 4
+
+// appendWindow appends a window's canonical encoding: the three scalars
+// then the profile entries in ascending ID order (zero vectors included —
+// the encoding preserves the profile exactly).
+func appendWindow(dst []byte, w Window) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(w.CPU))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(w.Elapsed))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(w.Txns))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(w.Profile)))
+	for _, id := range sortedIDs(w.Profile) {
+		v := w.Profile[id]
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
+		for t := 0; t < device.NumIOTypes; t++ {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v[t]))
+		}
+	}
+	return dst
+}
+
+// readWindow reads one appendWindow encoding.
+func readWindow(r *snapReader) (Window, error) {
+	var w Window
+	cpu, err := r.nonNegI64()
+	if err != nil {
+		return w, err
+	}
+	elapsed, err := r.nonNegI64()
+	if err != nil {
+		return w, err
+	}
+	if w.Txns, err = r.nonNegI64(); err != nil {
+		return w, err
+	}
+	w.CPU, w.Elapsed = time.Duration(cpu), time.Duration(elapsed)
+	n, err := r.count(4 + 8*device.NumIOTypes)
+	if err != nil {
+		return w, err
+	}
+	w.Profile = iosim.NewProfile()
+	last := int64(-1)
+	for i := 0; i < n; i++ {
+		id, err := r.u32()
+		if err != nil {
+			return w, err
+		}
+		if int64(id) <= last {
+			return w, fmt.Errorf("profile IDs not strictly increasing at %d", id)
+		}
+		last = int64(id)
+		var vec iosim.IOVector
+		for t := 0; t < device.NumIOTypes; t++ {
+			v, err := r.f64()
+			if err != nil {
+				return w, err
+			}
+			if !validSnapCount(v) {
+				return w, fmt.Errorf("object %d: invalid I/O count %v", id, v)
+			}
+			vec[t] = v
+		}
+		w.Profile[catalog.ObjectID(id)] = &vec
+	}
+	return w, nil
+}
+
+// appendLayout appends a layout's canonical encoding in ascending ID
+// order.
+func appendLayout(dst []byte, l catalog.Layout) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(l)))
+	for _, id := range sortedIDs(l) {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
+		dst = append(dst, byte(l[id]))
+	}
+	return dst
+}
+
+// readLayout reads one appendLayout encoding.
+func readLayout(r *snapReader) (catalog.Layout, error) {
+	n, err := r.count(5)
+	if err != nil {
+		return nil, fmt.Errorf("layout: %w", err)
+	}
+	l := make(catalog.Layout, n)
+	last := int64(-1)
+	for i := 0; i < n; i++ {
+		id, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int64(id) <= last {
+			return nil, fmt.Errorf("layout IDs not strictly increasing at %d", id)
+		}
+		last = int64(id)
+		cls, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if int(cls) >= device.NumClasses {
+			return nil, fmt.Errorf("layout object %d: unknown class %d", id, cls)
+		}
+		l[catalog.ObjectID(id)] = device.Class(cls)
+	}
+	return l, nil
+}
+
+// sortedIDs returns a map's object IDs in ascending order — the canonical
+// encoding order.
+func sortedIDs[V any](m map[catalog.ObjectID]V) []catalog.ObjectID {
+	ids := make([]catalog.ObjectID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// validSnapCount accepts the finite non-negative doubles the collector can
+// produce, mirroring the observation decoder's discipline.
+func validSnapCount(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+// snapReader is the strict little-endian reader the snapshot decoders
+// share. Every read is bounds-checked; counts are validated against the
+// remaining bytes before any allocation, so a hostile length cannot
+// balloon memory.
+type snapReader struct {
+	b   []byte
+	off int
+}
+
+// rest returns the unread byte count.
+func (r *snapReader) rest() int { return len(r.b) - r.off }
+
+// take consumes n bytes.
+func (r *snapReader) take(n int) ([]byte, error) {
+	if r.rest() < n {
+		return nil, fmt.Errorf("truncated: need %d bytes, %d remain", n, r.rest())
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// u8 reads one byte.
+func (r *snapReader) u8() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// u32 reads a little-endian uint32.
+func (r *snapReader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// u64 reads a little-endian uint64.
+func (r *snapReader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// nonNegI64 reads an int64 and rejects negatives.
+func (r *snapReader) nonNegI64() (int64, error) {
+	u, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	v := int64(u)
+	if v < 0 {
+		return 0, fmt.Errorf("negative value %d", v)
+	}
+	return v, nil
+}
+
+// f64 reads a little-endian float64.
+func (r *snapReader) f64() (float64, error) {
+	u, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(u), nil
+}
+
+// count reads a u32 element count and rejects counts that could not fit
+// in the remaining bytes at minBytes per element.
+func (r *snapReader) count(minBytes int) (int, error) {
+	n, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if int64(n)*int64(minBytes) > int64(r.rest()) {
+		return 0, fmt.Errorf("count %d exceeds remaining %d bytes", n, r.rest())
+	}
+	return int(n), nil
+}

@@ -1,0 +1,268 @@
+// The snapshot store: generation-numbered, checksummed snapshot files
+// written atomically (temp file + fsync + rename + directory fsync)
+// through the faultinject filesystem seam. Every snapshot is sealed in a
+// versioned envelope; Load walks generations newest-first and rejects any
+// file whose envelope does not verify — a torn or fault-injected write
+// falls back to the previous generation instead of poisoning recovery.
+package online
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dotprov/internal/faultinject"
+)
+
+// SnapshotVersion is the envelope version byte; decoders reject others.
+const SnapshotVersion = 1
+
+// snapMagic opens every snapshot file.
+var snapMagic = [4]byte{'D', 'S', 'N', 'P'}
+
+// snapEnvelopeBytes is the fixed envelope overhead: magic, version +
+// reserved, generation, payload length, and the trailing SHA-256.
+const snapEnvelopeBytes = 4 + 4 + 8 + 8 + sha256.Size
+
+// SealSnapshot wraps a payload in the snapshot envelope:
+//
+//	u8×4 magic "DSNP"
+//	u8   version (SnapshotVersion)
+//	u8×3 reserved, zero
+//	u64  generation
+//	u64  payload length
+//	...  payload
+//	u8×32 SHA-256 over everything above
+func SealSnapshot(gen uint64, payload []byte) []byte {
+	b := make([]byte, 0, snapEnvelopeBytes+len(payload))
+	b = append(b, snapMagic[:]...)
+	b = append(b, SnapshotVersion, 0, 0, 0)
+	b = binary.LittleEndian.AppendUint64(b, gen)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(payload)))
+	b = append(b, payload...)
+	sum := sha256.Sum256(b)
+	return append(b, sum[:]...)
+}
+
+// OpenSnapshot verifies a sealed snapshot and returns its generation and
+// payload. It is strict in the frame decoder's spirit: wrong magic or
+// version, non-zero reserved bytes, a length disagreeing with the file
+// size, and a checksum mismatch (the torn-write case) are all errors.
+func OpenSnapshot(b []byte) (uint64, []byte, error) {
+	if len(b) < snapEnvelopeBytes {
+		return 0, nil, fmt.Errorf("snapshot too short (%d bytes)", len(b))
+	}
+	if [4]byte(b[:4]) != snapMagic {
+		return 0, nil, errors.New("bad snapshot magic")
+	}
+	if b[4] != SnapshotVersion {
+		return 0, nil, fmt.Errorf("unsupported snapshot version %d (want %d)", b[4], SnapshotVersion)
+	}
+	if b[5] != 0 || b[6] != 0 || b[7] != 0 {
+		return 0, nil, errors.New("non-zero reserved bytes")
+	}
+	gen := binary.LittleEndian.Uint64(b[8:])
+	plen := binary.LittleEndian.Uint64(b[16:])
+	if plen != uint64(len(b)-snapEnvelopeBytes) {
+		return 0, nil, fmt.Errorf("declares %d payload bytes, file holds %d", plen, len(b)-snapEnvelopeBytes)
+	}
+	body, sum := b[:len(b)-sha256.Size], b[len(b)-sha256.Size:]
+	if sha256.Sum256(body) != [sha256.Size]byte(sum) {
+		return 0, nil, errors.New("checksum mismatch (torn or corrupted snapshot)")
+	}
+	return gen, b[24 : 24+plen], nil
+}
+
+// DefaultSnapshotKeep is how many snapshot generations the store retains
+// when Keep is unset: enough that a torn newest file plus a bad
+// second-newest still leave a valid fallback.
+const DefaultSnapshotKeep = 3
+
+// ErrNoSnapshot is returned by Store.Load when the directory holds no
+// snapshot files at all — first boot, not a failure.
+var ErrNoSnapshot = errors.New("online: no snapshot found")
+
+// Store persists generation-numbered snapshot files in one directory.
+// Writes are atomic (temp file + fsync + rename + directory fsync) and go
+// through a faultinject.FS, so crash-safety tests can inject torn writes
+// and ENOSPC at the exact seam production I/O uses. A Store is safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	fs   faultinject.FS
+	keep int
+
+	mu   sync.Mutex
+	next uint64
+}
+
+// OpenStore opens (creating if needed) a snapshot directory. keep bounds
+// the retained generations (<1 selects DefaultSnapshotKeep); fsys nil
+// selects the real filesystem. The next write's generation resumes after
+// the newest file present, valid or torn — a torn newest generation is
+// never overwritten, it is out-ordered.
+func OpenStore(dir string, fsys faultinject.FS, keep int) (*Store, error) {
+	if fsys == nil {
+		fsys = faultinject.OS
+	}
+	if keep < 1 {
+		keep = DefaultSnapshotKeep
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("online: snapshot dir: %w", err)
+	}
+	s := &Store{dir: dir, fs: fsys, keep: keep, next: 1}
+	gens, err := s.generations()
+	if err != nil {
+		return nil, err
+	}
+	if len(gens) > 0 {
+		s.next = gens[len(gens)-1] + 1
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// snapFile returns the final filename for a generation.
+func (s *Store) snapFile(gen uint64) string {
+	return fmt.Sprintf("dotsnap-%016x.snap", gen)
+}
+
+// parseGen extracts the generation from a snapshot filename, false for
+// foreign files (temp files, editor droppings).
+func parseGen(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, "dotsnap-")
+	if !ok {
+		return 0, false
+	}
+	hexgen, ok := strings.CutSuffix(rest, ".snap")
+	if !ok || len(hexgen) != 16 {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(hexgen, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// generations lists the snapshot generations on disk, ascending.
+func (s *Store) generations() ([]uint64, error) {
+	ents, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("online: snapshot dir: %w", err)
+	}
+	var gens []uint64
+	for _, e := range ents {
+		if gen, ok := parseGen(e.Name()); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// Write seals the payload under the next generation and publishes it
+// atomically: temp file, write, fsync, rename into place, directory
+// fsync. Any failure leaves prior generations untouched (the temp file is
+// removed best-effort) and the failed generation number is burned, never
+// reused — a later retry cannot collide with a half-published file.
+// Older generations beyond the keep bound are pruned after a successful
+// publish. Returns the generation written.
+func (s *Store) Write(payload []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen := s.next
+	s.next++
+	sealed := SealSnapshot(gen, payload)
+	f, err := s.fs.CreateTemp(s.dir, "dotsnap-*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("online: snapshot temp: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func() { _ = s.fs.Remove(tmp) }
+	if _, err := f.Write(sealed); err != nil {
+		f.Close()
+		cleanup()
+		return 0, fmt.Errorf("online: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		cleanup()
+		return 0, fmt.Errorf("online: snapshot fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("online: snapshot close: %w", err)
+	}
+	final := s.dir + "/" + s.snapFile(gen)
+	if err := s.fs.Rename(tmp, final); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("online: snapshot publish: %w", err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return 0, fmt.Errorf("online: snapshot dir fsync: %w", err)
+	}
+	s.pruneLocked()
+	return gen, nil
+}
+
+// pruneLocked removes generations beyond the keep bound, best-effort.
+// Callers hold s.mu.
+func (s *Store) pruneLocked() {
+	gens, err := s.generations()
+	if err != nil || len(gens) <= s.keep {
+		return
+	}
+	for _, gen := range gens[:len(gens)-s.keep] {
+		_ = s.fs.Remove(s.dir + "/" + s.snapFile(gen))
+	}
+}
+
+// Load walks the stored generations newest-first and returns the first
+// one that both verifies (envelope, checksum, generation matching its
+// filename) and decodes (the caller's decode applies the payload — any
+// error there rejects the generation too, so a snapshot from a changed
+// schema falls back exactly like a torn file). Returns the generation
+// restored; ErrNoSnapshot when the directory holds none; otherwise the
+// newest generation's error wrapped, with every older failure joined.
+func (s *Store) Load(decode func(gen uint64, payload []byte) error) (uint64, error) {
+	gens, err := s.generations()
+	if err != nil {
+		return 0, err
+	}
+	if len(gens) == 0 {
+		return 0, ErrNoSnapshot
+	}
+	var errs []error
+	for i := len(gens) - 1; i >= 0; i-- {
+		gen := gens[i]
+		b, err := s.fs.ReadFile(s.dir + "/" + s.snapFile(gen))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("generation %d: %w", gen, err))
+			continue
+		}
+		sealedGen, payload, err := OpenSnapshot(b)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("generation %d: %w", gen, err))
+			continue
+		}
+		if sealedGen != gen {
+			errs = append(errs, fmt.Errorf("generation %d: envelope claims generation %d", gen, sealedGen))
+			continue
+		}
+		if err := decode(gen, payload); err != nil {
+			errs = append(errs, fmt.Errorf("generation %d: %w", gen, err))
+			continue
+		}
+		return gen, nil
+	}
+	return 0, fmt.Errorf("online: no valid snapshot among %d generations: %w", len(gens), errors.Join(errs...))
+}

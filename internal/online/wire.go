@@ -22,6 +22,11 @@ import (
 // other versions; bump it when the layout changes.
 const FrameVersion = 1
 
+// ContentTypeFrames is the media type that selects the binary frame path
+// on /v1/observe. It lives in the wire package so producers and the server
+// agree on it without importing each other.
+const ContentTypeFrames = "application/x-dot-extents"
+
 // FrameObject is one object's observation inside a frame. Objects are
 // named by their zero-based index into the stream's pinned object list
 // (the declaration order of the defining observe) — streams already pin

@@ -190,6 +190,28 @@ type HealthResponse struct {
 	Queued   int64 `json:"queued"`
 	Ingested int64 `json:"ingested"`
 	Shed     int64 `json:"shed"`
+	// Crash-safety counters: background panics recovered, snapshot
+	// generations written and writes failed, the newest published
+	// generation (0 before the first), and streams restored from a
+	// snapshot at boot.
+	Panics        int64  `json:"panics"`
+	Snapshots     int64  `json:"snapshots"`
+	SnapshotFails int64  `json:"snapshot_failures"`
+	SnapshotGen   uint64 `json:"snapshot_generation"`
+	Restored      int64  `json:"restored_streams"`
+}
+
+// ReadyResponse is the /v1/readyz body — readiness, deliberately split
+// from liveness: /v1/healthz answers 200 whenever the process serves,
+// while readyz answers 503 when the server should get no NEW work
+// (draining out for shutdown, or degraded because snapshots persistently
+// fail).
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	// State is "ready", "draining" or "degraded".
+	State string `json:"state"`
+	// Reason explains a not-ready state, "" when ready.
+	Reason string `json:"reason,omitempty"`
 }
 
 // compiled is a WorkloadSpec lowered onto the in-process model: a catalog,

@@ -25,8 +25,9 @@ import (
 )
 
 // ContentTypeFrames is the media type selecting the binary observation
-// path on /v1/observe. Any other content type takes the JSON path.
-const ContentTypeFrames = "application/x-dot-extents"
+// path on /v1/observe. Any other content type takes the JSON path. It
+// aliases online.ContentTypeFrames, the wire package's canonical home.
+const ContentTypeFrames = online.ContentTypeFrames
 
 // isFrameContent reports whether a request Content-Type selects the binary
 // frame path (parameters like charset are ignored; a malformed header
@@ -177,6 +178,16 @@ func (s *Server) handleObserveFrames(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
 		return
 	}
+	// A draining server admits nothing new — Close is flushing the frames
+	// it already acknowledged. Degraded mode deliberately does NOT close
+	// this path: observations are cheap, retryable, and losing them hurts
+	// drift detection more than the (failing) snapshots can preserve.
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, &codedError{code: "draining",
+			err: errors.New("server draining: no new observations accepted")})
+		return
+	}
 	name := streamName(r.URL.Query().Get("stream"))
 	st := s.loadStream(name)
 	if st == nil {
@@ -224,14 +235,17 @@ func (s *Server) handleObserveFrames(w http.ResponseWriter, r *http.Request) {
 
 // ingestLoop is the background merger: it drains the bounded queue, folding
 // one frame at a time into its stream's rolling windows under the stream
-// lock. Started lazily by the first binary observe; stopped by Close.
+// lock. Started lazily by the first binary observe; stopped by Close. Each
+// fold runs under guard — a frame that panics the fold is counted, its
+// queue reservation still releases (ingestFrame's defers run during the
+// panic), and the worker lives on to fold the rest of the queue.
 func (s *Server) ingestLoop() {
 	for {
 		select {
 		case <-s.stop:
 			return
 		case it := <-s.ingestQ:
-			s.ingestFrame(it)
+			s.guard("ingest fold", func() { s.ingestFrame(it) })
 		}
 	}
 }

@@ -219,7 +219,7 @@ func TestBinaryObserveMatchesJSON(t *testing.T) {
 		s := New(Config{Workers: 2})
 		ts := httptest.NewServer(s.Handler())
 		t.Cleanup(ts.Close)
-		t.Cleanup(s.Close)
+		t.Cleanup(func() { s.Close() })
 		return s, ts
 	}
 	sJSON, tsJSON := newTwin()

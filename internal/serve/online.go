@@ -132,6 +132,10 @@ type stream struct {
 	// at initialization and immutable after, so the binary admission path
 	// reads it lock-free (nil means the stream is not initialized yet).
 	wire atomic.Pointer[[]catalog.ObjectID]
+	// cfgJSON is the raw defining observe request body, kept verbatim so
+	// snapshots can persist the stream's exact configuration and recovery
+	// can replay it through the same initialization path (see snapshot.go).
+	cfgJSON []byte
 }
 
 // granularity returns the stream's wire granularity label.
@@ -270,7 +274,7 @@ func (s *Server) handleObserve(body []byte) (any, int, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.mgr == nil {
-		v, status, err := s.initStream(st, req, comp)
+		v, status, err := s.initStream(st, req, comp, body)
 		if st.mgr == nil {
 			// Initialization did not complete (bad config, infeasible
 			// advise): release the stream slot so failed definitions cannot
@@ -306,25 +310,27 @@ func (s *Server) handleObserve(body []byte) (any, int, error) {
 	}, http.StatusOK, nil
 }
 
-// initStream defines a stream from its first observe: builds the manager,
-// ingests the first window and runs the initial cold advise. Callers hold
-// st.mu.
-func (s *Server) initStream(st *stream, req ObserveRequest, comp *compiled) (any, int, error) {
+// streamConfig lowers a defining observe onto the stream's online.Config
+// and partitioning. It is the single configuration path shared by
+// initStream and snapshot recovery's rebuildStream (see snapshot.go), so
+// a restored stream is configured bit-identically to the original — the
+// precondition for bit-identical re-advise decisions after recovery.
+func (s *Server) streamConfig(req ObserveRequest, comp *compiled) (online.Config, *catalog.Partitioning, error) {
 	if err := validSLA(req.SLA); err != nil {
-		return nil, http.StatusBadRequest, fmt.Errorf("first observe for stream %q must configure the stream: %w", st.name, err)
+		return online.Config{}, nil, fmt.Errorf("first observe for stream %q must configure the stream: %w", streamName(req.Stream), err)
 	}
 	box, err := parseBox(AdviseRequest{Box: req.Box, Classes: req.Classes})
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return online.Config{}, nil, err
 	}
 	partitioned, err := parseGranularity(req.Granularity)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return online.Config{}, nil, err
 	}
 	var pt *catalog.Partitioning
 	if partitioned {
 		if pt, err = comp.partitioning(); err != nil {
-			return nil, http.StatusBadRequest, err
+			return online.Config{}, nil, err
 		}
 	}
 	cfg := online.Config{
@@ -341,11 +347,36 @@ func (s *Server) initStream(st *stream, req ObserveRequest, comp *compiled) (any
 	if req.Alpha != 0 {
 		model, compactModel, err := provision.DiscreteCostModels(searchCatalog(comp, pt), box, req.Alpha)
 		if err != nil {
-			return nil, http.StatusBadRequest, err
+			return online.Config{}, nil, err
 		}
 		cfg.LayoutCost = model
 		cfg.LayoutCostCompact = compactModel
 	}
+	return cfg, pt, nil
+}
+
+// pinWire publishes the stream's binary-frame index space: frame objects
+// address the defining observe's object list by position (compileWorkload
+// validated every name, so the lookups cannot miss). Published last — a
+// non-nil wire list implies the stream's manager is in place.
+func (st *stream) pinWire(comp *compiled) {
+	wireIDs := make([]catalog.ObjectID, len(comp.spec.Objects))
+	for i, o := range comp.spec.Objects {
+		wireIDs[i] = comp.cat.Lookup(o.Name).ID
+	}
+	st.wire.Store(&wireIDs)
+}
+
+// initStream defines a stream from its first observe: builds the manager,
+// ingests the first window and runs the initial cold advise. body is the
+// raw request, retained as the stream's durable configuration. Callers
+// hold st.mu.
+func (s *Server) initStream(st *stream, req ObserveRequest, comp *compiled, body []byte) (any, int, error) {
+	cfg, pt, err := s.streamConfig(req, comp)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	box := cfg.Box
 	mgr, err := online.NewManager(cfg)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
@@ -384,15 +415,8 @@ func (s *Server) initStream(st *stream, req ObserveRequest, comp *compiled) (any
 	st.objFP = comp.objectsFingerprint()
 	st.mgr = mgr
 	st.pt = pt
-	// Pin the binary-frame index space: frame objects address the defining
-	// observe's object list by position (compileWorkload validated every
-	// name, so the lookups cannot miss). Published last — a non-nil wire
-	// list implies the manager above is in place.
-	wireIDs := make([]catalog.ObjectID, len(comp.spec.Objects))
-	for i, o := range comp.spec.Objects {
-		wireIDs[i] = comp.cat.Lookup(o.Name).ID
-	}
-	st.wire.Store(&wireIDs)
+	st.cfgJSON = body
+	st.pinWire(comp)
 	s.registerStream(st)
 	return resp, http.StatusOK, nil
 }
@@ -456,6 +480,8 @@ func (s *Server) readviseResponse(st *stream, dec *online.Decision) ReadviseResp
 
 // readviseTicker is the background loop: every interval, re-advise every
 // initialized stream (drift-gated, never forced) and log the decisions.
+// Each stream's step runs under guard, so one panicking search is counted
+// and contained while the sweep — and the ticker — live on.
 func (s *Server) readviseTicker(interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
@@ -465,29 +491,33 @@ func (s *Server) readviseTicker(interval time.Duration) {
 			return
 		case <-t.C:
 			for _, st := range s.snapshotStreams() {
-				st.mu.Lock()
-				if st.mgr == nil {
-					st.mu.Unlock()
-					continue
-				}
-				dec, err := st.mgr.ReAdvise(false)
-				if err != nil {
-					s.logf("readvise stream=%s error: %v", st.name, err)
-					st.mu.Unlock()
-					continue
-				}
-				resp := s.readviseResponse(st, dec)
-				st.mu.Unlock()
-				if dec.ReAdvised {
-					s.logf("readvise stream=%s drifted divergence=%.3f moved=%d bytes=%d migration=%v toc=%.4e evaluated=%d incremental=%v",
-						st.name, dec.Drift.Divergence, resp.MovedObjects, resp.MovedBytes,
-						dec.Migration.Time.Round(time.Millisecond), resp.TOCCents, resp.Evaluated, dec.Incremental)
-				} else if dec.Drift.Drifted {
-					s.logf("readvise stream=%s drifted divergence=%.3f but layout confirmed (evaluated=%d feasible=%v)",
-						st.name, dec.Drift.Divergence, resp.Evaluated, dec.Feasible)
-				}
+				s.guard("re-advise ticker", func() { s.readviseOne(st) })
 			}
 		}
+	}
+}
+
+// readviseOne runs one stream's drift-gated ticker re-advise and logs the
+// decision.
+func (s *Server) readviseOne(st *stream) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.mgr == nil {
+		return
+	}
+	dec, err := st.mgr.ReAdvise(false)
+	if err != nil {
+		s.logf("readvise stream=%s error: %v", st.name, err)
+		return
+	}
+	resp := s.readviseResponse(st, dec)
+	if dec.ReAdvised {
+		s.logf("readvise stream=%s drifted divergence=%.3f moved=%d bytes=%d migration=%v toc=%.4e evaluated=%d incremental=%v",
+			st.name, dec.Drift.Divergence, resp.MovedObjects, resp.MovedBytes,
+			dec.Migration.Time.Round(time.Millisecond), resp.TOCCents, resp.Evaluated, dec.Incremental)
+	} else if dec.Drift.Drifted {
+		s.logf("readvise stream=%s drifted divergence=%.3f but layout confirmed (evaluated=%d feasible=%v)",
+			st.name, dec.Drift.Divergence, resp.Evaluated, dec.Feasible)
 	}
 }
 

@@ -37,6 +37,8 @@ import (
 	"dotprov/internal/catalog"
 	"dotprov/internal/core"
 	"dotprov/internal/device"
+	"dotprov/internal/faultinject"
+	"dotprov/internal/online"
 	"dotprov/internal/provision"
 	"dotprov/internal/search"
 )
@@ -70,6 +72,29 @@ type Config struct {
 	// (never forced) re-advise, sharing the server's search worker budget.
 	// Stop it with Close.
 	ReadviseEvery time.Duration
+	// SnapshotDir, when set, enables durable snapshots of the online
+	// plane (see snapshot.go): the server restores the newest valid
+	// generation at construction, snapshots every SnapshotEvery, and
+	// takes a final snapshot in Close.
+	SnapshotDir string
+	// SnapshotEvery is the periodic snapshot interval (default 10s;
+	// meaningless without SnapshotDir).
+	SnapshotEvery time.Duration
+	// SnapshotKeep bounds the snapshot generations retained on disk
+	// (default online.DefaultSnapshotKeep).
+	SnapshotKeep int
+	// SnapshotFS is the filesystem snapshots go through (default the real
+	// one); tests and the crash harness inject faults here.
+	SnapshotFS faultinject.FS
+	// DrainTimeout bounds Close's ingest-queue drain: frames already
+	// acknowledged with 202 get this long to fold before the worker stops
+	// (default 10s).
+	DrainTimeout time.Duration
+	// DegradeAfter is how many CONSECUTIVE snapshot failures flip the
+	// server into degraded mode — optimization endpoints shed with 503 +
+	// Retry-After (cached provisions still answer) until a snapshot
+	// succeeds again (default 3; meaningless without SnapshotDir).
+	DegradeAfter int
 	// Logf, when set, receives one line per background re-advise decision
 	// (cmd/dotserve wires log.Printf). Nil silences the ticker.
 	Logf func(format string, args ...any)
@@ -93,6 +118,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IngestQueue <= 0 {
 		c.IngestQueue = 1024
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.DegradeAfter <= 0 {
+		c.DegradeAfter = 3
 	}
 	return c
 }
@@ -134,10 +168,29 @@ type Server struct {
 	queued     atomic.Int64
 	ingested   atomic.Int64
 	shed       atomic.Int64
+
+	// Crash-safety plane (see snapshot.go): the generation store (nil when
+	// snapshots are disabled), the snapshot serialization lock, and the
+	// counters /v1/healthz and /v1/readyz surface. snapConsec is the
+	// consecutive-failure count that gates degraded mode; draining flips
+	// in Close before the queue flush so no new work is admitted while the
+	// drain runs.
+	snap       *online.Store
+	snapMu     sync.Mutex
+	snapGen    atomic.Uint64
+	snapshots  atomic.Int64
+	snapFails  atomic.Int64
+	snapConsec atomic.Int64
+	restored   atomic.Int64
+	panics     atomic.Int64
+	draining   atomic.Bool
+	closeErr   error
 }
 
-// New builds a server. When cfg.ReadviseEvery is positive the background
-// re-advise ticker starts immediately; stop it with Close.
+// New builds a server. When cfg.SnapshotDir is set the newest valid
+// snapshot generation is restored before the server takes traffic, and
+// the periodic snapshot ticker starts; when cfg.ReadviseEvery is positive
+// the background re-advise ticker starts. Stop both with Close.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -149,16 +202,90 @@ func New(cfg Config) *Server {
 		stop:    make(chan struct{}),
 		ingestQ: make(chan ingestItem, cfg.IngestQueue),
 	}
+	if cfg.SnapshotDir != "" {
+		store, err := online.OpenStore(cfg.SnapshotDir, cfg.SnapshotFS, cfg.SnapshotKeep)
+		if err != nil {
+			// Durability was asked for and is unavailable: run, but refuse
+			// new optimization work (degraded) until the operator intervenes.
+			s.logf("serve: snapshot store unavailable, starting degraded: %v", err)
+			s.snapFails.Add(1)
+			s.snapConsec.Store(int64(cfg.DegradeAfter))
+		} else {
+			s.snap = store
+			s.restoreSnapshot()
+			go s.snapshotTicker(cfg.SnapshotEvery)
+		}
+	}
 	if cfg.ReadviseEvery > 0 {
 		go s.readviseTicker(cfg.ReadviseEvery)
 	}
 	return s
 }
 
-// Close stops the background re-advise ticker (if any). The HTTP handler
-// itself stays usable; Close is idempotent.
-func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.stop) })
+// Close drains and stops the server. It is a real drain, not a ticker
+// stop: the server flips to draining (new optimization requests and
+// ingest batches get 503 + Retry-After, code "draining"), frames already
+// acknowledged with 202 are flushed through the fold worker under
+// Config.DrainTimeout, the background tickers stop, and — when snapshots
+// are enabled — a final snapshot captures the drained state. Close is
+// idempotent; every call returns the first drain's outcome (nil, or an
+// error naming what the deadline abandoned).
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		// The fold worker keeps running until s.stop closes below, so the
+		// queue can only shrink here: no new admissions while draining.
+		deadline := time.Now().Add(s.cfg.DrainTimeout)
+		for s.queued.Load() > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if q := s.queued.Load(); q > 0 {
+			s.closeErr = fmt.Errorf("serve: drain deadline %v expired with %d acknowledged frames unfolded", s.cfg.DrainTimeout, q)
+			s.logf("%v", s.closeErr)
+		}
+		close(s.stop)
+		if s.snap != nil {
+			if _, err := s.Snapshot(); err != nil {
+				s.closeErr = errors.Join(s.closeErr, fmt.Errorf("serve: final snapshot: %w", err))
+			}
+		}
+	})
+	return s.closeErr
+}
+
+// guard runs a background-goroutine step, containing any panic: the panic
+// is counted (surfaced as "panics" in /v1/healthz), logged, and the
+// goroutine lives on — mirroring bounded()'s per-request recovery so a
+// panicking estimator or decoder cannot kill the whole server.
+func (s *Server) guard(what string, fn func()) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			s.logf("serve: panic in %s recovered: %v", what, p)
+		}
+	}()
+	fn()
+}
+
+// refuseState names why the server refuses new optimization work:
+// "draining" once Close has begun, "degraded" after DegradeAfter
+// consecutive snapshot failures, "" when accepting.
+func (s *Server) refuseState() string {
+	if s.draining.Load() {
+		return "draining"
+	}
+	if s.snapConsec.Load() >= int64(s.cfg.DegradeAfter) {
+		return "degraded"
+	}
+	return ""
+}
+
+// refuseErr renders a refuse state as the client-visible error.
+func (s *Server) refuseErr(state string) error {
+	if state == "draining" {
+		return errors.New("server draining: shutting down, no new work accepted")
+	}
+	return fmt.Errorf("server degraded: %d consecutive snapshot failures, refusing new optimization work until durability recovers", s.snapConsec.Load())
 }
 
 // Route is one row of the service's route table: the versioned path and,
@@ -179,6 +306,7 @@ type Route struct {
 func Routes() []Route {
 	return []Route{
 		{Method: "GET", Path: "/v1/healthz", Alias: "/healthz"},
+		{Method: "GET", Path: "/v1/readyz", Alias: ""},
 		{Method: "POST", Path: "/v1/advise", Alias: "/advise"},
 		{Method: "POST", Path: "/v1/provision", Alias: "/provision"},
 		{Method: "POST", Path: "/v1/observe", Alias: "/observe"},
@@ -192,8 +320,9 @@ func Routes() []Route {
 func (s *Server) Handler() http.Handler {
 	handlers := map[string]http.HandlerFunc{
 		"/v1/healthz":   s.handleHealthz,
+		"/v1/readyz":    s.handleReadyz,
 		"/v1/advise":    s.bounded(s.handleAdvise),
-		"/v1/provision": s.bounded(s.handleProvision),
+		"/v1/provision": s.boundedWith(s.handleProvision, s.provisionCached),
 		"/v1/observe":   s.observeRouted(),
 		"/v1/readvise":  s.bounded(s.handleReadvise),
 	}
@@ -328,6 +457,16 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // finishes, so an abandoned (timed-out) search cannot stack unbounded work
 // behind the gate. Handler panics are contained to a 500 for that request.
 func (s *Server) bounded(fn func(body []byte) (any, int, error)) http.HandlerFunc {
+	return s.boundedWith(fn, nil)
+}
+
+// boundedWith is bounded plus the drain/degradation gate. While the
+// server refuses new optimization work the request gets 503 +
+// Retry-After with code "draining" or "degraded" — except that a
+// degraded server still answers from cache when cached(body) hits: a
+// cached answer needs neither a new search nor durability, so it stays
+// available while snapshots fail.
+func (s *Server) boundedWith(fn func(body []byte) (any, int, error), cached func(body []byte) (any, bool)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		// Read the body BEFORE taking a concurrency slot: a client trickling
 		// its upload must not park an optimization slot (the server's
@@ -335,6 +474,17 @@ func (s *Server) bounded(fn func(body []byte) (any, int, error)) http.HandlerFun
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
+			return
+		}
+		if state := s.refuseState(); state != "" {
+			if state == "degraded" && cached != nil {
+				if v, ok := cached(body); ok {
+					writeJSON(w, http.StatusOK, v)
+					return
+				}
+			}
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, &codedError{code: state, err: s.refuseErr(state)})
 			return
 		}
 		select {
@@ -410,8 +560,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.streamMu.Lock()
 	streams := s.streamN
 	s.streamMu.Unlock()
+	// Liveness stays 200 even while draining or degraded — the process is
+	// alive and must not be restarted by an orbiting supervisor; readiness
+	// (should this instance get NEW work?) is /v1/readyz's question.
+	status := "ok"
+	if state := s.refuseState(); state != "" {
+		status = state
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:        "ok",
+		Status:        status,
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
 		Served:        s.served.Load(),
 		CacheHits:     s.hits.Load(),
@@ -422,6 +579,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Queued:        s.queued.Load(),
 		Ingested:      s.ingested.Load(),
 		Shed:          s.shed.Load(),
+		Panics:        s.panics.Load(),
+		Snapshots:     s.snapshots.Load(),
+		SnapshotFails: s.snapFails.Load(),
+		SnapshotGen:   s.snapGen.Load(),
+		Restored:      s.restored.Load(),
+	})
+}
+
+// handleReadyz is the readiness probe, split from liveness: 200 while the
+// server accepts new optimization work, 503 + Retry-After while draining
+// (Close has begun) or degraded (snapshots persistently failing). Load
+// balancers route on this; healthz keeps answering 200 so the process is
+// not killed mid-drain.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	state := s.refuseState()
+	if state == "" {
+		writeJSON(w, http.StatusOK, ReadyResponse{Ready: true, State: "ready"})
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{
+		Ready:  false,
+		State:  state,
+		Reason: s.refuseErr(state).Error(),
 	})
 }
 
@@ -561,34 +742,79 @@ func (s *Server) advisePartitioned(req AdviseRequest, comp *compiled, box *devic
 	return resp, http.StatusOK, nil
 }
 
-func (s *Server) handleProvision(body []byte) (any, int, error) {
+// provisionParams is a provision request parsed to its cache-relevant
+// parts: parseProvision is the single decoder both the live handler and
+// the degraded-mode cache probe run, so the two can never key the cache
+// differently.
+type provisionParams struct {
+	req         ProvisionRequest
+	grid        provision.Grid
+	comp        *compiled
+	partitioned bool
+	key         string
+}
+
+// parseProvision validates a provision request body and derives its cache
+// key. Keyed on the PARSED granularity, not the raw string: "" and
+// "object" are the same request and must share a cache entry.
+func parseProvision(body []byte) (*provisionParams, error) {
 	req, err := decode[ProvisionRequest](body)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, err
 	}
 	if err := validSLA(req.SLA); err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, err
 	}
 	grid, err := parseGrid(req.Grid)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, err
 	}
 	comp, err := compileWorkload(req.Workload)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, err
 	}
 	partitioned, err := parseGranularity(req.Granularity)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, err
 	}
-	// Key on the parsed granularity, not the raw string: "" and "object"
-	// are the same request and must share a cache entry.
 	gran := "object"
 	if partitioned {
 		gran = "partition"
 	}
-	key := fmt.Sprintf("%s|%s|%g|%s", comp.fingerprint(), grid.Key(), req.SLA, gran)
-	if v, ok := s.cache.get(key); ok {
+	return &provisionParams{
+		req:         req,
+		grid:        grid,
+		comp:        comp,
+		partitioned: partitioned,
+		key:         fmt.Sprintf("%s|%s|%g|%s", comp.fingerprint(), grid.Key(), req.SLA, gran),
+	}, nil
+}
+
+// provisionCached probes the sweep LRU for a request without running any
+// optimization — the degraded-mode path: a degraded server keeps
+// answering provisions it has already computed.
+func (s *Server) provisionCached(body []byte) (any, bool) {
+	p, err := parseProvision(body)
+	if err != nil {
+		return nil, false
+	}
+	v, ok := s.cache.get(p.key)
+	if !ok {
+		return nil, false
+	}
+	s.hits.Add(1)
+	resp := *v.(*ProvisionResponse)
+	resp.Cached = true
+	return resp, true
+}
+
+func (s *Server) handleProvision(body []byte) (any, int, error) {
+	p, err := parseProvision(body)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	req, grid, comp := p.req, p.grid, p.comp
+	if v, ok := s.cache.get(p.key); ok {
 		s.hits.Add(1)
 		resp := *v.(*ProvisionResponse)
 		resp.Cached = true
@@ -600,7 +826,7 @@ func (s *Server) handleProvision(body []byte) (any, int, error) {
 	}
 	opts := core.Options{RelativeSLA: req.SLA}
 	var pt *catalog.Partitioning
-	if partitioned {
+	if p.partitioned {
 		if pt, err = comp.partitioning(); err != nil {
 			return nil, http.StatusBadRequest, err
 		}
@@ -639,6 +865,6 @@ func (s *Server) handleProvision(body []byte) (any, int, error) {
 		}
 		resp.Candidates = append(resp.Candidates, out)
 	}
-	s.cache.put(key, resp)
+	s.cache.put(p.key, resp)
 	return *resp, http.StatusOK, nil
 }

@@ -1,0 +1,362 @@
+// Durable snapshots of the online plane — the serve half; the per-stream
+// manager-state codec and the generation store live in internal/online.
+//
+// A snapshot captures every initialized stream: its defining observe
+// request (the raw JSON body, so recovery replays the exact configuration
+// path), its pinned object fingerprint, and its manager state (deployed
+// layout, drift reference, rolling windows, extent histograms) — plus the
+// durable server counters. The payload codec is canonical and strict in
+// the binary frame decoder's spirit: streams are sorted by name, every
+// scalar is validated, and a decoded payload re-encodes bit-identically
+// (FuzzDecodeSnapshot asserts it), so equal state always produces equal
+// bytes.
+//
+// Recovery is all-or-nothing per generation: every stream of a payload is
+// rebuilt before any is registered, so a generation that fails ANY check
+// leaves zero state behind and the store falls back to the previous
+// generation exactly as it does for a torn file.
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dotprov/internal/online"
+)
+
+// snapshotPayload is the online plane's durable state: the counters that
+// survive a restart and one record per initialized stream.
+type snapshotPayload struct {
+	observed  int64
+	readvised int64
+	ingested  int64
+	shed      int64
+	streams   []streamRecord
+}
+
+// streamRecord is one stream's snapshot: its name, the pinned object
+// fingerprint, the raw defining observe request (JSON), and the decoded
+// manager state.
+type streamRecord struct {
+	name   string
+	objFP  string
+	config []byte
+	state  online.ManagerState
+}
+
+// streamRecordMinBytes is the smallest wire size of one stream record:
+// four length prefixes. Guards the count-based allocation below.
+const streamRecordMinBytes = 4 * 4
+
+// appendSnapshotPayload encodes a payload in its canonical wire form:
+//
+//	i64 observed, readvised, ingested, shed (all >= 0)
+//	u32 stream count
+//	per stream (names strictly ascending):
+//	  u32-length-prefixed name, object fingerprint, defining observe
+//	  request (JSON), and online.AppendManagerState blob
+func appendSnapshotPayload(dst []byte, p snapshotPayload) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.observed))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.readvised))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.ingested))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.shed))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.streams)))
+	for _, rec := range p.streams {
+		dst = appendBlob(dst, []byte(rec.name))
+		dst = appendBlob(dst, []byte(rec.objFP))
+		dst = appendBlob(dst, rec.config)
+		dst = appendBlob(dst, online.AppendManagerState(nil, rec.state))
+	}
+	return dst
+}
+
+// appendBlob appends a u32 length prefix and the bytes.
+func appendBlob(dst, b []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// payloadReader walks a snapshot payload with strict bounds checks.
+type payloadReader struct {
+	b   []byte
+	off int
+}
+
+func (r *payloadReader) rest() int { return len(r.b) - r.off }
+
+func (r *payloadReader) u32(what string) (uint32, error) {
+	if r.rest() < 4 {
+		return 0, fmt.Errorf("%s: truncated", what)
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *payloadReader) nonNegI64(what string) (int64, error) {
+	if r.rest() < 8 {
+		return 0, fmt.Errorf("%s: truncated", what)
+	}
+	v := int64(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	if v < 0 {
+		return 0, fmt.Errorf("%s: negative value %d", what, v)
+	}
+	return v, nil
+}
+
+func (r *payloadReader) blob(what string) ([]byte, error) {
+	n, err := r.u32(what + " length")
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > r.rest() {
+		return nil, fmt.Errorf("%s: declares %d bytes, %d remain", what, n, r.rest())
+	}
+	b := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+// decodeSnapshotPayload is appendSnapshotPayload's strict inverse: a
+// payload either decodes to state that re-encodes bit-identically or is
+// rejected whole (truncation, trailing bytes, negative counters, unsorted
+// or empty stream names, non-JSON configs, and every manager-state defect
+// online.DecodeManagerState rejects).
+func decodeSnapshotPayload(b []byte) (snapshotPayload, error) {
+	var p snapshotPayload
+	r := &payloadReader{b: b}
+	var err error
+	if p.observed, err = r.nonNegI64("observed"); err != nil {
+		return p, err
+	}
+	if p.readvised, err = r.nonNegI64("readvised"); err != nil {
+		return p, err
+	}
+	if p.ingested, err = r.nonNegI64("ingested"); err != nil {
+		return p, err
+	}
+	if p.shed, err = r.nonNegI64("shed"); err != nil {
+		return p, err
+	}
+	n, err := r.u32("stream count")
+	if err != nil {
+		return p, err
+	}
+	if int(n)*streamRecordMinBytes > r.rest() {
+		return p, fmt.Errorf("declares %d streams, %d bytes remain", n, r.rest())
+	}
+	prev := ""
+	for i := 0; i < int(n); i++ {
+		rec, err := readStreamRecord(r)
+		if err != nil {
+			return p, fmt.Errorf("stream %d: %w", i, err)
+		}
+		if rec.name <= prev && i > 0 {
+			return p, fmt.Errorf("stream %d: name %q not strictly ascending after %q", i, rec.name, prev)
+		}
+		prev = rec.name
+		p.streams = append(p.streams, rec)
+	}
+	if r.rest() != 0 {
+		return p, fmt.Errorf("%d trailing payload bytes", r.rest())
+	}
+	return p, nil
+}
+
+// readStreamRecord decodes one stream record at the reader's position.
+func readStreamRecord(r *payloadReader) (streamRecord, error) {
+	var rec streamRecord
+	name, err := r.blob("name")
+	if err != nil {
+		return rec, err
+	}
+	rec.name = string(name)
+	if rec.name == "" {
+		return rec, errors.New("empty stream name")
+	}
+	fp, err := r.blob("object fingerprint")
+	if err != nil {
+		return rec, err
+	}
+	rec.objFP = string(fp)
+	if rec.objFP == "" {
+		return rec, errors.New("empty object fingerprint")
+	}
+	if rec.config, err = r.blob("defining observe"); err != nil {
+		return rec, err
+	}
+	if !json.Valid(rec.config) {
+		return rec, errors.New("defining observe is not valid JSON")
+	}
+	stateB, err := r.blob("manager state")
+	if err != nil {
+		return rec, err
+	}
+	if rec.state, err = online.DecodeManagerState(stateB); err != nil {
+		return rec, fmt.Errorf("manager state: %w", err)
+	}
+	return rec, nil
+}
+
+// exportPayload assembles the snapshot payload from live state: every
+// initialized stream (sorted by name for the canonical byte form) plus
+// the durable counters. Uninitialized streams — defined but without a
+// feasible advise, or mid-initialization — are skipped: they hold no
+// state worth surviving a crash.
+func (s *Server) exportPayload() snapshotPayload {
+	p := snapshotPayload{
+		observed:  s.observed.Load(),
+		readvised: s.readvised.Load(),
+		ingested:  s.ingested.Load(),
+		shed:      s.shed.Load(),
+	}
+	sts := s.snapshotStreams()
+	sort.Slice(sts, func(i, j int) bool { return sts[i].name < sts[j].name })
+	for _, st := range sts {
+		st.mu.Lock()
+		if st.mgr == nil || len(st.cfgJSON) == 0 {
+			st.mu.Unlock()
+			continue
+		}
+		rec := streamRecord{name: st.name, objFP: st.objFP, config: st.cfgJSON, state: st.mgr.ExportState()}
+		st.mu.Unlock()
+		p.streams = append(p.streams, rec)
+	}
+	return p
+}
+
+// Snapshot captures the online plane and publishes it as the next
+// snapshot generation, returning the generation written. One snapshot
+// runs at a time (the ticker, Close's final snapshot and manual callers
+// all serialize here); failures feed the consecutive-failure count that
+// gates degraded mode, and any success resets it. Errors when snapshots
+// are not enabled (no Config.SnapshotDir).
+func (s *Server) Snapshot() (uint64, error) {
+	if s.snap == nil {
+		return 0, errors.New("serve: snapshots are not enabled (no SnapshotDir)")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	gen, err := s.snap.Write(appendSnapshotPayload(nil, s.exportPayload()))
+	if err != nil {
+		s.snapFails.Add(1)
+		n := s.snapConsec.Add(1)
+		s.logf("serve: snapshot failed (%d consecutive): %v", n, err)
+		return 0, err
+	}
+	s.snapshots.Add(1)
+	s.snapConsec.Store(0)
+	s.snapGen.Store(gen)
+	return gen, nil
+}
+
+// snapshotTicker snapshots every interval until Close. Each tick runs
+// under guard: a panicking export is counted and the ticker lives on.
+// Snapshot itself logs failures, so the tick drops its error.
+func (s *Server) snapshotTicker(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.guard("snapshot ticker", func() { _, _ = s.Snapshot() })
+		}
+	}
+}
+
+// restoreSnapshot restores the newest valid snapshot generation at boot.
+// No snapshot at all is a fresh start; a recovery failure (every
+// generation torn, corrupt, or rejected) is logged loudly and the server
+// starts fresh rather than refusing to boot — the operator sees it in
+// the log and in snapshot_generation staying 0.
+func (s *Server) restoreSnapshot() {
+	gen, err := s.snap.Load(func(gen uint64, payload []byte) error {
+		p, err := decodeSnapshotPayload(payload)
+		if err != nil {
+			return err
+		}
+		return s.applySnapshot(p)
+	})
+	if errors.Is(err, online.ErrNoSnapshot) {
+		s.logf("serve: no snapshot in %s, starting fresh", s.snap.Dir())
+		return
+	}
+	if err != nil {
+		s.logf("serve: snapshot recovery failed, starting fresh: %v", err)
+		return
+	}
+	s.snapGen.Store(gen)
+	s.logf("serve: restored snapshot generation %d (%d streams)", gen, s.restored.Load())
+}
+
+// applySnapshot commits one decoded generation: every stream is rebuilt
+// FIRST, then all are registered — so a generation whose any stream fails
+// to rebuild (schema drift since the snapshot, a box the binary no longer
+// knows) rejects whole with zero state left behind, and Store.Load falls
+// back to the previous generation.
+func (s *Server) applySnapshot(p snapshotPayload) error {
+	if len(p.streams) > s.cfg.MaxStreams {
+		return fmt.Errorf("snapshot holds %d streams, server caps at %d", len(p.streams), s.cfg.MaxStreams)
+	}
+	rebuilt := make([]*stream, 0, len(p.streams))
+	for _, rec := range p.streams {
+		st, err := s.rebuildStream(rec)
+		if err != nil {
+			return fmt.Errorf("stream %q: %w", rec.name, err)
+		}
+		rebuilt = append(rebuilt, st)
+	}
+	for _, st := range rebuilt {
+		s.registerStream(st)
+	}
+	s.observed.Store(p.observed)
+	s.readvised.Store(p.readvised)
+	s.ingested.Store(p.ingested)
+	s.shed.Store(p.shed)
+	s.restored.Store(int64(len(rebuilt)))
+	return nil
+}
+
+// rebuildStream reconstructs one stream from its record: the defining
+// observe request re-runs the exact initialization path (compile +
+// streamConfig + NewManager), then the manager's state is restored
+// instead of re-advised — the stream resumes drift detection mid-window
+// with its deployed layout and reference intact, and a forced re-advise
+// after recovery is bit-identical to one before the crash.
+func (s *Server) rebuildStream(rec streamRecord) (*stream, error) {
+	req, err := decode[ObserveRequest](rec.config)
+	if err != nil {
+		return nil, fmt.Errorf("defining observe: %w", err)
+	}
+	if got := streamName(req.Stream); got != rec.name {
+		return nil, fmt.Errorf("defining observe names stream %q", got)
+	}
+	comp, err := compileWorkload(req.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("defining workload: %w", err)
+	}
+	if fp := comp.objectsFingerprint(); fp != rec.objFP {
+		return nil, fmt.Errorf("object fingerprint %s differs from the snapshot's %s", fp[:12], rec.objFP[:12])
+	}
+	cfg, pt, err := s.streamConfig(req, comp)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := online.NewManager(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := mgr.RestoreState(rec.state); err != nil {
+		return nil, err
+	}
+	st := &stream{name: rec.name, objFP: rec.objFP, comp: comp, mgr: mgr, pt: pt, cfgJSON: rec.config}
+	st.pinWire(comp)
+	return st, nil
+}

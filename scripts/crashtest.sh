@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# crashtest.sh — fault-injected recovery smoke for the online plane.
+#
+# Builds dotserve WITH the race detector (the crash paths are exactly the
+# concurrent ones), then drives a real process through the crash-safety
+# contract via scripts/crashtest: clean-shutdown/restore determinism,
+# SIGKILL mid-ingest with a bounded-loss assertion, torn-snapshot
+# fallback, and forced snapshot failures degrading (not killing) the
+# server. See scripts/crashtest/main.go for the exact invariants.
+#
+# Usage: scripts/crashtest.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "crashtest: building dotserve (-race)" >&2
+go build -race -o "$tmp/dotserve" ./cmd/dotserve
+go run ./scripts/crashtest -bin "$tmp/dotserve"
