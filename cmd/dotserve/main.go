@@ -11,6 +11,7 @@
 //	POST /v1/provision  — full configuration sweep over a device grid
 //	POST /v1/observe    — ingest a live profile window (JSON, or batched binary frames)
 //	POST /v1/readvise   — drift-gated incremental re-advise of a stream
+//	GET  /v1/fleet      — per-tenant fleet rollups (drift, SLA, cost, shard, memo)
 //	GET  /v1/healthz    — liveness + counters
 //	GET  /v1/readyz     — readiness (503 while draining or degraded)
 //
@@ -63,6 +64,9 @@ type options struct {
 	streams  int
 	readvise time.Duration
 	ingestQ  int
+	shards   int
+	memo     int
+	ttl      time.Duration
 	snapDir  string
 	snapEach time.Duration
 	snapKeep int
@@ -80,6 +84,9 @@ func main() {
 	flag.IntVar(&o.streams, "max-streams", 8, "maximum online streams /observe may define")
 	flag.DurationVar(&o.readvise, "readvise-every", 0, "background re-advise interval for online streams (0 disables the ticker)")
 	flag.IntVar(&o.ingestQ, "ingest-queue", 0, "binary-observe ingest queue depth in frames; overflow sheds with 429 (0 = default 1024)")
+	flag.IntVar(&o.shards, "shards", 0, "tenant fold shards: each stream's frames fold on its ring-owned shard (0 = one per CPU)")
+	flag.IntVar(&o.memo, "memo-entries", 0, "fleet advise-memo LRU entries, keyed by workload fingerprint + box + SLA (0 = default 128)")
+	flag.DurationVar(&o.ttl, "stream-ttl", 0, "idle-tenant eviction TTL: untouched streams park their state and re-materialize on the next touch (0 disables eviction)")
 	flag.StringVar(&o.snapDir, "snapshot-dir", "", "directory for durable online-plane snapshots (empty disables snapshots)")
 	flag.DurationVar(&o.snapEach, "snapshot-every", 0, "periodic snapshot interval (0 = default 10s; needs -snapshot-dir)")
 	flag.IntVar(&o.snapKeep, "snapshot-keep", 0, "snapshot generations retained on disk (0 = default 3)")
@@ -110,6 +117,9 @@ func run(o options) error {
 		MaxStreams:     o.streams,
 		ReadviseEvery:  o.readvise,
 		IngestQueue:    o.ingestQ,
+		Shards:         o.shards,
+		MemoEntries:    o.memo,
+		StreamTTL:      o.ttl,
 		SnapshotDir:    o.snapDir,
 		SnapshotEvery:  o.snapEach,
 		SnapshotKeep:   o.snapKeep,

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Memo is a fingerprint-keyed, single-flight result cache: the fleet-wide
+// sweep memo. Tenants whose defining workloads share a fingerprint key hit
+// the same cached search result, and concurrent misses on one key coalesce
+// into a single search — the loser goroutines block until the winner's
+// compute returns and then share its value. Completed values are retained
+// in an LRU bounded at max entries; errors are never cached (a failed
+// search must not poison every later tenant with the same workload).
+//
+// A Memo is safe for concurrent use.
+type Memo struct {
+	mu       sync.Mutex
+	max      int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*flight
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+// memoEntry is one completed value in the LRU.
+type memoEntry struct {
+	key string
+	val any
+}
+
+// flight is one in-progress compute; done closes when val/err are set.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewMemo builds a memo retaining up to max completed entries (max < 1
+// selects 1).
+func NewMemo(max int) *Memo {
+	if max < 1 {
+		max = 1
+	}
+	return &Memo{
+		max:      max,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Do returns the memoized value for key, computing it with fn on a miss.
+// hit reports whether the caller avoided running fn itself — a cached
+// value, or a coalesced wait on a concurrent caller's compute. Exactly one
+// caller runs fn per key at a time; its result is cached only on success.
+func (m *Memo) Do(key string, fn func() (any, error)) (v any, hit bool, err error) {
+	for {
+		m.mu.Lock()
+		if el, ok := m.items[key]; ok {
+			m.ll.MoveToFront(el)
+			v = el.Value.(*memoEntry).val
+			m.mu.Unlock()
+			m.hits.Add(1)
+			return v, true, nil
+		}
+		if f, ok := m.inflight[key]; ok {
+			m.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				// The winner failed. Its error is not authoritative for this
+				// caller (transient failures must stay retryable), so loop and
+				// contend for the flight ourselves.
+				continue
+			}
+			m.hits.Add(1)
+			return f.val, true, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		m.inflight[key] = f
+		m.mu.Unlock()
+		m.misses.Add(1)
+		f.val, f.err = fn()
+		m.mu.Lock()
+		delete(m.inflight, key)
+		if f.err == nil {
+			m.insert(key, f.val)
+		}
+		m.mu.Unlock()
+		close(f.done)
+		return f.val, false, f.err
+	}
+}
+
+// insert adds a completed value, evicting the LRU tail past max. Callers
+// hold m.mu.
+func (m *Memo) insert(key string, val any) {
+	if el, ok := m.items[key]; ok {
+		m.ll.MoveToFront(el)
+		el.Value.(*memoEntry).val = val
+		return
+	}
+	m.items[key] = m.ll.PushFront(&memoEntry{key: key, val: val})
+	for m.ll.Len() > m.max {
+		oldest := m.ll.Back()
+		m.ll.Remove(oldest)
+		delete(m.items, oldest.Value.(*memoEntry).key)
+	}
+}
+
+// Hits returns how many Do calls were answered without running their fn
+// (cached values plus coalesced waits).
+func (m *Memo) Hits() int64 { return m.hits.Load() }
+
+// Misses returns how many Do calls ran their fn.
+func (m *Memo) Misses() int64 { return m.misses.Load() }
+
+// Len returns the number of completed entries retained.
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}

@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// tenantNames fabricates n deterministic tenant names shaped like the load
+// harness's ("tenant-0007").
+func tenantNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("tenant-%04d", i)
+	}
+	return out
+}
+
+// TestRingDeterministic: the assignment is a pure function of (shards,
+// replicas, tenant) — two independently built rings agree on every tenant,
+// and repeated lookups agree with themselves.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(16, 0)
+	b := NewRing(16, 0)
+	for _, name := range tenantNames(1000) {
+		sa, sb := a.Shard(name), b.Shard(name)
+		if sa != sb {
+			t.Fatalf("ring instances disagree on %q: %d vs %d", name, sa, sb)
+		}
+		if again := a.Shard(name); again != sa {
+			t.Fatalf("ring not stable on %q: %d then %d", name, sa, again)
+		}
+		if sa < 0 || sa >= 16 {
+			t.Fatalf("shard %d for %q out of range [0,16)", sa, name)
+		}
+	}
+}
+
+// TestRingUniform: 10k tenants over 16 shards land within ±20% of the
+// uniform share on every shard — the satellite's uniformity contract.
+func TestRingUniform(t *testing.T) {
+	const shards, tenants = 16, 10000
+	r := NewRing(shards, 0)
+	counts := make([]int, shards)
+	for _, name := range tenantNames(tenants) {
+		counts[r.Shard(name)]++
+	}
+	mean := float64(tenants) / shards
+	lo, hi := int(mean*0.8), int(mean*1.2)
+	for s, c := range counts {
+		if c < lo || c > hi {
+			t.Errorf("shard %d owns %d tenants, outside [%d, %d] (±20%% of %.0f)", s, c, lo, hi, mean)
+		}
+	}
+	if t.Failed() {
+		t.Logf("distribution: %v", counts)
+	}
+}
+
+// TestRingResizeMovesOnlyToNewShard: growing the ring moves only the
+// tenants the new shard takes over — every tenant either keeps its shard
+// or moves to the added one. This is the consistent-hashing contract that
+// makes shard-count changes cheap: no tenant is shuffled between two
+// surviving shards.
+func TestRingResizeMovesOnlyToNewShard(t *testing.T) {
+	names := tenantNames(10000)
+	for _, n := range []int{1, 4, 16} {
+		old := NewRing(n, 0)
+		grown := NewRing(n+1, 0)
+		moved := 0
+		for _, name := range names {
+			before, after := old.Shard(name), grown.Shard(name)
+			if before == after {
+				continue
+			}
+			moved++
+			if after != n {
+				t.Fatalf("grow %d→%d: tenant %q moved %d→%d, but only the new shard %d may gain tenants",
+					n, n+1, name, before, after, n)
+			}
+		}
+		// The new shard should take roughly a 1/(n+1) share; demand at least
+		// half of that so a degenerate ring (nothing moves, new shard starves)
+		// cannot pass.
+		if min := len(names) / (2 * (n + 1)); moved < min {
+			t.Errorf("grow %d→%d: only %d tenants moved (want >= %d)", n, n+1, moved, min)
+		}
+	}
+}
+
+// TestRingShrinkMovesOnlyFromRemovedShard is the inverse direction: every
+// tenant that changes assignment when the last shard is removed was owned
+// by that shard.
+func TestRingShrinkMovesOnlyFromRemovedShard(t *testing.T) {
+	const n = 16
+	old := NewRing(n, 0)
+	shrunk := NewRing(n-1, 0)
+	for _, name := range tenantNames(10000) {
+		before, after := old.Shard(name), shrunk.Shard(name)
+		if before != after && before != n-1 {
+			t.Fatalf("shrink %d→%d: tenant %q moved %d→%d, but only tenants of the removed shard %d may move",
+				n, n-1, name, before, after, n-1)
+		}
+	}
+}
+
+// TestRingDefaults: degenerate parameters clamp instead of failing.
+func TestRingDefaults(t *testing.T) {
+	r := NewRing(0, -5)
+	if r.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", r.Shards())
+	}
+	if s := r.Shard("anything"); s != 0 {
+		t.Fatalf("single-shard ring assigned %d", s)
+	}
+}

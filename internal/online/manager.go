@@ -173,6 +173,12 @@ func NewManager(cfg Config) (*Manager, error) {
 // granularity.
 func (m *Manager) Partitioning() *catalog.Partitioning { return m.cfg.Partitioning }
 
+// Box returns the device box the manager advises against.
+func (m *Manager) Box() *device.Box { return m.cfg.Box }
+
+// SLA returns the configured relative performance constraint.
+func (m *Manager) SLA() float64 { return m.cfg.SLA }
+
 // lower apportions an aggregated window onto the unit catalog when the
 // manager advises at partition granularity; at object granularity it is
 // the identity.
@@ -272,10 +278,22 @@ func (m *Manager) input(w Window) (core.Input, error) {
 	}, nil
 }
 
+// SearchFunc runs one cold layout optimization — core.OptimizeBest's
+// shape. AdviseWith callers inject it to interpose on the search (the
+// serve fleet memo coalesces equal-fingerprint tenants here); it must be a
+// pure function of its input so an injected cache stays sound.
+type SearchFunc func(in core.Input, opts core.Options) (*core.Result, error)
+
 // Advise runs the initial cold optimization off the collected profile and,
 // when feasible, adopts the layout and anchors the reference profile that
 // subsequent drift checks compare against.
-func (m *Manager) Advise() (*Decision, error) {
+func (m *Manager) Advise() (*Decision, error) { return m.AdviseWith(core.OptimizeBest) }
+
+// AdviseWith is Advise with the cold search injected. The returned result
+// may be shared by other managers advising an identical workload (the
+// fleet memo path): the manager only reads it and clones its layout before
+// adopting, never mutating the result.
+func (m *Manager) AdviseWith(search SearchFunc) (*Decision, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	agg, n := m.col.Aggregate(m.aggWindows())
@@ -287,7 +305,7 @@ func (m *Manager) Advise() (*Decision, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.OptimizeBest(in, core.Options{RelativeSLA: m.cfg.SLA})
+	res, err := search(in, core.Options{RelativeSLA: m.cfg.SLA})
 	if err != nil {
 		return nil, err
 	}

@@ -1,17 +1,26 @@
 package search
 
+import "sync/atomic"
+
 // Budget is a worker budget shared across engines. A provisioning sweep
 // (paper §5) runs one inner layout search per candidate configuration; each
 // search owns an Engine, but the machine only has so many cores. Passing one
 // Budget to every engine's Config bounds the number of concurrent estimator
 // invocations across ALL of them at the budget's width, no matter how many
-// candidates are in flight.
+// candidates are in flight — the property that keeps one tenant's re-advise
+// storm from starving the rest of a multi-tenant fleet.
 //
 // A Budget is safe for concurrent use. The zero value is not usable; call
 // NewBudget.
 type Budget struct {
 	workers int
 	sem     chan struct{}
+	// inUse counts estimator invocations currently charged to the budget;
+	// high is the lifetime high-water mark. Engines maintain them around
+	// every charged evaluation, so tests (and operators) can assert the cap
+	// was never exceeded rather than trusting it was.
+	inUse atomic.Int64
+	high  atomic.Int64
 }
 
 // NewBudget returns a budget of the given width. Widths below 2 select the
@@ -30,3 +39,29 @@ func NewBudget(workers int) *Budget {
 
 // Workers returns the budget's width.
 func (b *Budget) Workers() int { return b.workers }
+
+// enter charges one estimator invocation to the budget and maintains the
+// high-water mark. Engines call it after acquiring the budget's semaphore.
+func (b *Budget) enter() {
+	v := b.inUse.Add(1)
+	for {
+		h := b.high.Load()
+		if v <= h || b.high.CompareAndSwap(h, v) {
+			return
+		}
+	}
+}
+
+// exit releases one charged invocation.
+func (b *Budget) exit() { b.inUse.Add(-1) }
+
+// InUse returns the number of estimator invocations currently charged.
+func (b *Budget) InUse() int { return int(b.inUse.Load()) }
+
+// HighWater returns the lifetime peak of concurrently charged estimator
+// invocations. For budgets of width >= 2 it can never exceed Workers() —
+// every engine sharing the budget gates its evaluations on the common
+// semaphore; width-1 budgets take the sequential path (each engine
+// evaluates on its calling goroutine), so concurrent CALLERS may still
+// overlap there.
+func (b *Budget) HighWater() int { return int(b.high.Load()) }

@@ -313,6 +313,10 @@ func (e *Engine) measure(l catalog.Layout) (Eval, error) {
 		e.sem <- struct{}{}
 		defer func() { <-e.sem }()
 	}
+	if b := e.cfg.Budget; b != nil {
+		b.enter()
+		defer b.exit()
+	}
 	e.estCalls.Add(1)
 	m, err := e.cfg.Est.Estimate(l)
 	if err != nil {
@@ -448,6 +452,10 @@ func (e *Engine) measureCompact(cl catalog.CompactLayout, baseM workload.Metrics
 	if e.sem != nil {
 		e.sem <- struct{}{}
 		defer func() { <-e.sem }()
+	}
+	if b := e.cfg.Budget; b != nil {
+		b.enter()
+		defer b.exit()
 	}
 	e.estCalls.Add(1)
 	cc := e.cfg.Compiled

@@ -199,6 +199,14 @@ type HealthResponse struct {
 	SnapshotFails int64  `json:"snapshot_failures"`
 	SnapshotGen   uint64 `json:"snapshot_generation"`
 	Restored      int64  `json:"restored_streams"`
+	// Fleet-plane counters: the shard-ring width, the fleet advise memo's
+	// hit/miss totals, and the idle-eviction lifecycle (streams evicted to
+	// parked records, parked records rematerialized on touch).
+	Shards         int   `json:"shards"`
+	MemoHits       int64 `json:"memo_hits"`
+	MemoMisses     int64 `json:"memo_misses"`
+	Evicted        int64 `json:"evicted_streams"`
+	Rematerialized int64 `json:"rematerialized_streams"`
 }
 
 // ReadyResponse is the /v1/readyz body — readiness, deliberately split

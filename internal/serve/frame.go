@@ -189,11 +189,16 @@ func (s *Server) handleObserveFrames(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := streamName(r.URL.Query().Get("stream"))
-	st := s.loadStream(name)
+	st, err := s.loadStream(name)
+	if err != nil {
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
 	if st == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown stream %q (define it with a JSON observe first)", name))
 		return
 	}
+	st.touch()
 	wire := st.wire.Load()
 	if wire == nil {
 		writeError(w, http.StatusConflict, fmt.Errorf("stream %q is not initialized; binary frames address its pinned object list, so the defining observe must be JSON", name))
@@ -213,11 +218,17 @@ func (s *Server) handleObserveFrames(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	s.ingestOnce.Do(func() { go s.ingestLoop() })
-	// All-or-nothing admission: reserve the whole batch against the bound,
-	// back out and shed if it does not fit. Reservations are released by
-	// the worker after the fold, so the bound covers queued AND in-fold
-	// frames and the channel send below can never block.
+	s.ingestOnce.Do(func() {
+		for i := range s.shardQ {
+			go s.ingestLoop(i)
+		}
+	})
+	// All-or-nothing admission: reserve the whole batch against the global
+	// bound, back out and shed if it does not fit. Reservations are
+	// released by the workers after the fold, so the bound covers queued
+	// AND in-fold frames across every shard, and — each shard channel
+	// holding the full bound — the sends below can never block even when
+	// the whole admitted queue targets one shard.
 	n := int64(len(frames))
 	if s.queued.Add(n) > int64(s.cfg.IngestQueue) {
 		s.queued.Add(-n)
@@ -227,24 +238,28 @@ func (s *Server) handleObserveFrames(w http.ResponseWriter, r *http.Request) {
 			err: fmt.Errorf("ingest queue full (%d frames queued, depth %d); retry after the merger drains", s.queued.Load(), s.cfg.IngestQueue)})
 		return
 	}
+	q := s.shardQ[st.shard]
 	for _, f := range frames {
-		s.ingestQ <- ingestItem{st: st, frame: f}
+		q <- ingestItem{st: st, frame: f}
 	}
 	writeJSON(w, http.StatusAccepted, ObserveFramesResponse{Stream: name, Frames: len(frames), Queued: s.queued.Load()})
 }
 
-// ingestLoop is the background merger: it drains the bounded queue, folding
-// one frame at a time into its stream's rolling windows under the stream
-// lock. Started lazily by the first binary observe; stopped by Close. Each
-// fold runs under guard — a frame that panics the fold is counted, its
-// queue reservation still releases (ingestFrame's defers run during the
-// panic), and the worker lives on to fold the rest of the queue.
-func (s *Server) ingestLoop() {
+// ingestLoop is one shard's background merger: it drains the shard's
+// bounded queue, folding one frame at a time into its stream's rolling
+// windows under the stream lock. Frames are routed by the stream's owning
+// shard, so one stream's folds are always sequential on one worker while
+// different shards' tenants fold in parallel without shared locks. Started
+// lazily by the first binary observe; stopped by Close. Each fold runs
+// under guard — a frame that panics the fold is counted, its queue
+// reservation still releases (ingestFrame's defers run during the panic),
+// and the worker lives on to fold the rest of the queue.
+func (s *Server) ingestLoop(shard int) {
 	for {
 		select {
 		case <-s.stop:
 			return
-		case it := <-s.ingestQ:
+		case it := <-s.shardQ[shard]:
 			s.guard("ingest fold", func() { s.ingestFrame(it) })
 		}
 	}

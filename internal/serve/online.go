@@ -123,6 +123,21 @@ type stream struct {
 	objFP string
 	comp  *compiled
 	mgr   *online.Manager
+	// shard is the stream's owning shard on the fleet ring, fixed at
+	// creation: its frames fold on that shard's ingest worker and its
+	// ticker re-advises run there.
+	shard int
+	// lastTouch is the stream's idle clock (unix nanos of the last
+	// observe/readvise), read by the eviction janitor.
+	lastTouch atomic.Int64
+	// Last-decision summary for /v1/fleet rollups, guarded by mu: what
+	// kind of decision last ran ("advise", "readvise", "confirmed"),
+	// whether it was feasible, and its objective value. memoHit marks the
+	// initial advise was answered by the fleet memo.
+	lastKind     string
+	lastFeasible bool
+	lastTOC      float64
+	memoHit      bool
 	// pt is the stream's partitioning at partition granularity (nil at
 	// object granularity); decisions' layouts are then unit-granular and
 	// rendered under unit names.
@@ -157,8 +172,9 @@ func (st *stream) render(l catalog.Layout) map[string]string {
 
 // getStream returns the named stream, creating it (uninitialized) when
 // absent and capacity allows. The existing-stream path is a lock-free
-// sync.Map Load — the multi-tenant hot path; only creation takes streamMu
-// for the slot accounting.
+// sync.Map Load — the multi-tenant hot path; only creation (and
+// rematerialization of an evicted stream) takes streamMu for the slot
+// accounting.
 func (s *Server) getStream(name string) (*stream, error) {
 	if v, ok := s.streams.Load(name); ok {
 		return v.(*stream), nil
@@ -168,22 +184,33 @@ func (s *Server) getStream(name string) (*stream, error) {
 	if v, ok := s.streams.Load(name); ok {
 		return v.(*stream), nil
 	}
+	if st, err := s.rematerializeLocked(name); err != nil {
+		return nil, err
+	} else if st != nil {
+		return st, nil
+	}
 	if s.streamN >= s.cfg.MaxStreams {
 		return nil, &codedError{code: "stream_capacity",
 			err: fmt.Errorf("stream capacity reached (%d); reuse an existing stream or restart dotserve with a larger -max-streams", s.cfg.MaxStreams)}
 	}
-	st := &stream{name: name}
+	st := &stream{name: name, shard: s.ring.Shard(name)}
 	s.streams.Store(name, st)
 	s.streamN++
 	return st, nil
 }
 
-// loadStream returns the named registered stream, nil when unknown.
-func (s *Server) loadStream(name string) *stream {
+// loadStream returns the named stream, rematerializing it from a parked
+// eviction record when needed; (nil, nil) when the name is unknown.
+func (s *Server) loadStream(name string) (*stream, error) {
 	if v, ok := s.streams.Load(name); ok {
-		return v.(*stream)
+		return v.(*stream), nil
 	}
-	return nil
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	if v, ok := s.streams.Load(name); ok {
+		return v.(*stream), nil
+	}
+	return s.rematerializeLocked(name)
 }
 
 // dropStream unregisters a stream if the registry still maps its name to
@@ -271,6 +298,7 @@ func (s *Server) handleObserve(body []byte) (any, int, error) {
 	if err != nil {
 		return nil, http.StatusTooManyRequests, err
 	}
+	st.touch()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.mgr == nil {
@@ -383,7 +411,22 @@ func (s *Server) initStream(st *stream, req ObserveRequest, comp *compiled, body
 	}
 	mgr.Observe(comp.window())
 	s.observed.Add(1)
-	dec, err := mgr.Advise()
+	// The initial cold advise runs through the fleet memo: equal-workload
+	// tenants (same fingerprint, box, SLA, alpha, granularity) coalesce
+	// onto one search and share its result. Identical specs compile
+	// identical catalogs — object IDs are assigned in declaration order —
+	// so the shared layout is valid for every tenant with the key, and the
+	// manager clones it before adopting.
+	memoKey := fleetMemoKey(comp, box, req)
+	memoHit := false
+	dec, err := mgr.AdviseWith(func(in core.Input, opts core.Options) (*core.Result, error) {
+		v, hit, err := s.fleetMemo.Do(memoKey, func() (any, error) { return core.OptimizeBest(in, opts) })
+		if err != nil {
+			return nil, err
+		}
+		memoHit = hit
+		return v.(*core.Result), nil
+	})
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, err
 	}
@@ -416,6 +459,8 @@ func (s *Server) initStream(st *stream, req ObserveRequest, comp *compiled, body
 	st.mgr = mgr
 	st.pt = pt
 	st.cfgJSON = body
+	st.memoHit = memoHit
+	st.noteDecision("advise", dec.Feasible, dec.Result.TOCCents)
 	st.pinWire(comp)
 	s.registerStream(st)
 	return resp, http.StatusOK, nil
@@ -427,10 +472,14 @@ func (s *Server) handleReadvise(body []byte) (any, int, error) {
 		return nil, http.StatusBadRequest, err
 	}
 	name := streamName(req.Stream)
-	st := s.loadStream(name)
+	st, err := s.loadStream(name)
+	if err != nil {
+		return nil, http.StatusTooManyRequests, err
+	}
 	if st == nil {
 		return nil, http.StatusNotFound, fmt.Errorf("unknown stream %q (define it with /observe first)", name)
 	}
+	st.touch()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.mgr == nil {
@@ -475,14 +524,24 @@ func (s *Server) readviseResponse(st *stream, dec *online.Decision) ReadviseResp
 		resp.MigrationMillis = float64(dec.Migration.Time) / float64(time.Millisecond)
 		s.readvised.Add(1)
 	}
+	if dec.Result != nil {
+		kind := "confirmed"
+		if dec.ReAdvised {
+			kind = "readvise"
+		}
+		st.noteDecision(kind, dec.Feasible, resp.TOCCents)
+	}
 	return resp
 }
 
-// readviseTicker is the background loop: every interval, re-advise every
-// initialized stream (drift-gated, never forced) and log the decisions.
-// Each stream's step runs under guard, so one panicking search is counted
-// and contained while the sweep — and the ticker — live on.
-func (s *Server) readviseTicker(interval time.Duration) {
+// readviseTicker is one shard's background loop: every interval, re-advise
+// every initialized stream the shard owns (drift-gated, never forced) and
+// log the decisions. One ticker runs per shard, so a tenant's background
+// re-advises happen on exactly its owning shard and a slow search on one
+// shard never delays another shard's sweep. Each stream's step runs under
+// guard, so one panicking search is counted and contained while the sweep
+// — and the ticker — live on.
+func (s *Server) readviseTicker(shard int, interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
@@ -491,6 +550,9 @@ func (s *Server) readviseTicker(interval time.Duration) {
 			return
 		case <-t.C:
 			for _, st := range s.snapshotStreams() {
+				if st.shard != shard {
+					continue
+				}
 				s.guard("re-advise ticker", func() { s.readviseOne(st) })
 			}
 		}

@@ -38,6 +38,7 @@ import (
 	"dotprov/internal/core"
 	"dotprov/internal/device"
 	"dotprov/internal/faultinject"
+	"dotprov/internal/fleet"
 	"dotprov/internal/online"
 	"dotprov/internal/provision"
 	"dotprov/internal/search"
@@ -68,10 +69,32 @@ type Config struct {
 	// 429 + Retry-After; /v1/healthz counts sheds.
 	IngestQueue int
 	// ReadviseEvery, when positive, starts the background re-advise
-	// ticker: every interval each initialized stream runs a drift-gated
-	// (never forced) re-advise, sharing the server's search worker budget.
-	// Stop it with Close.
+	// tickers: every interval each initialized stream runs a drift-gated
+	// (never forced) re-advise on its owning shard, sharing the server's
+	// search worker budget. Stop them with Close.
 	ReadviseEvery time.Duration
+	// Shards is the width of the tenant shard ring (default: number of
+	// CPUs). Every stream is owned by exactly one shard — its binary
+	// frames fold on that shard's ingest worker and its background
+	// re-advises run on that shard's ticker — so tenants on different
+	// shards never contend on the ingest hot path. Stream→shard assignment
+	// is consistent hashing (internal/fleet), so advised state and
+	// decisions are bit-identical at any shard count.
+	Shards int
+	// MemoEntries sizes the fleet-wide advise memo (default 128): initial
+	// cold advises are memoized under (workload fingerprint, box, SLA,
+	// alpha, granularity) with single-flight coalescing, so equal-workload
+	// tenants share one search instead of repeating it per tenant.
+	MemoEntries int
+	// StreamTTL, when positive, enables idle-tenant eviction: a stream
+	// idle (no observe/readvise) for at least the TTL is evicted — its
+	// state parked as a snapshot record, its registry slot freed — and
+	// transparently rematerialized on its next touch. 0 disables eviction
+	// (streams live until shutdown).
+	StreamTTL time.Duration
+	// EvictEvery is the eviction janitor's scan interval (default
+	// StreamTTL/4, floored at 1s; meaningless without StreamTTL).
+	EvictEvery time.Duration
 	// SnapshotDir, when set, enables durable snapshots of the online
 	// plane (see snapshot.go): the server restores the newest valid
 	// generation at construction, snapshots every SnapshotEvery, and
@@ -128,6 +151,18 @@ func (c Config) withDefaults() Config {
 	if c.DegradeAfter <= 0 {
 		c.DegradeAfter = 3
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.NumCPU()
+	}
+	if c.MemoEntries <= 0 {
+		c.MemoEntries = 128
+	}
+	if c.EvictEvery <= 0 {
+		c.EvictEvery = c.StreamTTL / 4
+		if c.EvictEvery < time.Second {
+			c.EvictEvery = time.Second
+		}
+	}
 	return c
 }
 
@@ -159,15 +194,30 @@ type Server struct {
 	stop      chan struct{}
 	closeOnce sync.Once
 
-	// Binary-observation ingest plane (see frame.go): a bounded queue of
-	// decoded frames drained by one background worker. queued counts frames
-	// admitted but not yet folded; admission is all-or-nothing per request
-	// against cfg.IngestQueue, and overflow sheds with 429.
-	ingestQ    chan ingestItem
+	// Binary-observation ingest plane (see frame.go, fleet.go): one bounded
+	// queue + fold worker per shard; a frame is routed to its stream's
+	// owning shard, so tenants on different shards fold without contending.
+	// queued counts frames admitted but not yet folded across ALL shards;
+	// admission is all-or-nothing per request against cfg.IngestQueue, and
+	// overflow sheds with 429. Each shard channel's capacity is the full
+	// cfg.IngestQueue, so an admitted batch's sends can never block even if
+	// every frame targets one shard.
+	shardQ     []chan ingestItem
 	ingestOnce sync.Once
 	queued     atomic.Int64
 	ingested   atomic.Int64
 	shed       atomic.Int64
+
+	// Fleet plane (see fleet.go): the consistent-hash shard ring, the
+	// fingerprint-keyed single-flight advise memo, and the idle-tenant
+	// eviction state. parked holds evicted streams' snapshot records,
+	// guarded by streamMu (it is registry state: a name is live in streams
+	// OR parked, never both).
+	ring           *fleet.Ring
+	fleetMemo      *fleet.Memo
+	parked         map[string]streamRecord
+	evicted        atomic.Int64
+	rematerialized atomic.Int64
 
 	// Crash-safety plane (see snapshot.go): the generation store (nil when
 	// snapshots are disabled), the snapshot serialization lock, and the
@@ -194,13 +244,19 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		budget:  search.NewBudget(cfg.Workers),
-		cache:   newLRU(cfg.CacheEntries),
-		start:   time.Now(),
-		stop:    make(chan struct{}),
-		ingestQ: make(chan ingestItem, cfg.IngestQueue),
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		budget:    search.NewBudget(cfg.Workers),
+		cache:     newLRU(cfg.CacheEntries),
+		start:     time.Now(),
+		stop:      make(chan struct{}),
+		shardQ:    make([]chan ingestItem, cfg.Shards),
+		ring:      fleet.NewRing(cfg.Shards, 0),
+		fleetMemo: fleet.NewMemo(cfg.MemoEntries),
+		parked:    make(map[string]streamRecord),
+	}
+	for i := range s.shardQ {
+		s.shardQ[i] = make(chan ingestItem, cfg.IngestQueue)
 	}
 	if cfg.SnapshotDir != "" {
 		store, err := online.OpenStore(cfg.SnapshotDir, cfg.SnapshotFS, cfg.SnapshotKeep)
@@ -217,7 +273,12 @@ func New(cfg Config) *Server {
 		}
 	}
 	if cfg.ReadviseEvery > 0 {
-		go s.readviseTicker(cfg.ReadviseEvery)
+		for i := 0; i < cfg.Shards; i++ {
+			go s.readviseTicker(i, cfg.ReadviseEvery)
+		}
+	}
+	if cfg.StreamTTL > 0 {
+		go s.evictTicker(cfg.EvictEvery)
 	}
 	return s
 }
@@ -307,6 +368,7 @@ func Routes() []Route {
 	return []Route{
 		{Method: "GET", Path: "/v1/healthz", Alias: "/healthz"},
 		{Method: "GET", Path: "/v1/readyz", Alias: ""},
+		{Method: "GET", Path: "/v1/fleet", Alias: "/fleet"},
 		{Method: "POST", Path: "/v1/advise", Alias: "/advise"},
 		{Method: "POST", Path: "/v1/provision", Alias: "/provision"},
 		{Method: "POST", Path: "/v1/observe", Alias: "/observe"},
@@ -321,6 +383,7 @@ func (s *Server) Handler() http.Handler {
 	handlers := map[string]http.HandlerFunc{
 		"/v1/healthz":   s.handleHealthz,
 		"/v1/readyz":    s.handleReadyz,
+		"/v1/fleet":     s.handleFleet,
 		"/v1/advise":    s.bounded(s.handleAdvise),
 		"/v1/provision": s.boundedWith(s.handleProvision, s.provisionCached),
 		"/v1/observe":   s.observeRouted(),
@@ -568,22 +631,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = state
 	}
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:        status,
-		UptimeSeconds: int64(time.Since(s.start).Seconds()),
-		Served:        s.served.Load(),
-		CacheHits:     s.hits.Load(),
-		Rejected:      s.rejected.Load(),
-		Streams:       streams,
-		Observed:      s.observed.Load(),
-		ReAdvised:     s.readvised.Load(),
-		Queued:        s.queued.Load(),
-		Ingested:      s.ingested.Load(),
-		Shed:          s.shed.Load(),
-		Panics:        s.panics.Load(),
-		Snapshots:     s.snapshots.Load(),
-		SnapshotFails: s.snapFails.Load(),
-		SnapshotGen:   s.snapGen.Load(),
-		Restored:      s.restored.Load(),
+		Status:         status,
+		UptimeSeconds:  int64(time.Since(s.start).Seconds()),
+		Served:         s.served.Load(),
+		CacheHits:      s.hits.Load(),
+		Rejected:       s.rejected.Load(),
+		Streams:        streams,
+		Observed:       s.observed.Load(),
+		ReAdvised:      s.readvised.Load(),
+		Queued:         s.queued.Load(),
+		Ingested:       s.ingested.Load(),
+		Shed:           s.shed.Load(),
+		Panics:         s.panics.Load(),
+		Snapshots:      s.snapshots.Load(),
+		SnapshotFails:  s.snapFails.Load(),
+		SnapshotGen:    s.snapGen.Load(),
+		Restored:       s.restored.Load(),
+		Shards:         s.cfg.Shards,
+		MemoHits:       s.fleetMemo.Hits(),
+		MemoMisses:     s.fleetMemo.Misses(),
+		Evicted:        s.evicted.Load(),
+		Rematerialized: s.rematerialized.Load(),
 	})
 }
 

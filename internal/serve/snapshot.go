@@ -204,10 +204,12 @@ func readStreamRecord(r *payloadReader) (streamRecord, error) {
 }
 
 // exportPayload assembles the snapshot payload from live state: every
-// initialized stream (sorted by name for the canonical byte form) plus
-// the durable counters. Uninitialized streams — defined but without a
-// feasible advise, or mid-initialization — are skipped: they hold no
-// state worth surviving a crash.
+// initialized stream plus every parked (idle-evicted) stream's record,
+// sorted by name for the canonical byte form, plus the durable counters.
+// Uninitialized streams — defined but without a feasible advise, or
+// mid-initialization — are skipped: they hold no state worth surviving a
+// crash. Parked records ARE included, so evicted tenants survive restarts
+// exactly like live ones.
 func (s *Server) exportPayload() snapshotPayload {
 	p := snapshotPayload{
 		observed:  s.observed.Load(),
@@ -215,9 +217,7 @@ func (s *Server) exportPayload() snapshotPayload {
 		ingested:  s.ingested.Load(),
 		shed:      s.shed.Load(),
 	}
-	sts := s.snapshotStreams()
-	sort.Slice(sts, func(i, j int) bool { return sts[i].name < sts[j].name })
-	for _, st := range sts {
+	for _, st := range s.snapshotStreams() {
 		st.mu.Lock()
 		if st.mgr == nil || len(st.cfgJSON) == 0 {
 			st.mu.Unlock()
@@ -227,6 +227,20 @@ func (s *Server) exportPayload() snapshotPayload {
 		st.mu.Unlock()
 		p.streams = append(p.streams, rec)
 	}
+	seen := make(map[string]bool, len(p.streams))
+	for _, rec := range p.streams {
+		seen[rec.name] = true
+	}
+	s.streamMu.Lock()
+	for name, rec := range s.parked {
+		// A name both live and parked can only be a rematerialization race;
+		// the live instance's state is newer.
+		if !seen[name] {
+			p.streams = append(p.streams, rec)
+		}
+	}
+	s.streamMu.Unlock()
+	sort.Slice(p.streams, func(i, j int) bool { return p.streams[i].name < p.streams[j].name })
 	return p
 }
 
@@ -302,6 +316,27 @@ func (s *Server) restoreSnapshot() {
 // knows) rejects whole with zero state left behind, and Store.Load falls
 // back to the previous generation.
 func (s *Server) applySnapshot(p snapshotPayload) error {
+	if s.cfg.StreamTTL > 0 {
+		// Idle eviction is on: restore lazily by parking every record and
+		// letting the first touch rematerialize it — boot stays O(1) per
+		// tenant regardless of fleet size, and a fleet larger than
+		// MaxStreams (possible, since evicted tenants free their slots)
+		// restores without violating the live-stream cap. Each record was
+		// structurally validated by the decoder; catalog-level validation
+		// happens at rematerialization, surfacing per-tenant instead of
+		// rejecting the whole generation.
+		s.streamMu.Lock()
+		for _, rec := range p.streams {
+			s.parked[rec.name] = rec
+		}
+		s.streamMu.Unlock()
+		s.observed.Store(p.observed)
+		s.readvised.Store(p.readvised)
+		s.ingested.Store(p.ingested)
+		s.shed.Store(p.shed)
+		s.restored.Store(int64(len(p.streams)))
+		return nil
+	}
 	if len(p.streams) > s.cfg.MaxStreams {
 		return fmt.Errorf("snapshot holds %d streams, server caps at %d", len(p.streams), s.cfg.MaxStreams)
 	}
@@ -356,7 +391,8 @@ func (s *Server) rebuildStream(rec streamRecord) (*stream, error) {
 	if err := mgr.RestoreState(rec.state); err != nil {
 		return nil, err
 	}
-	st := &stream{name: rec.name, objFP: rec.objFP, comp: comp, mgr: mgr, pt: pt, cfgJSON: rec.config}
+	st := &stream{name: rec.name, objFP: rec.objFP, comp: comp, mgr: mgr, pt: pt, cfgJSON: rec.config, shard: s.ring.Shard(rec.name)}
+	st.noteDecision("advise", true, 0)
 	st.pinWire(comp)
 	return st, nil
 }

@@ -40,7 +40,15 @@
 #      gate needs real parallel contention, so it applies on machines with
 #      >= 8 CPUs; below that the gate degrades to the scale-independent
 #      floors a single core can witness: >= 4x the locked baseline AND
-#      >= 1e8 charges/s absolute (single-digit ns per charge).
+#      >= 1e8 charges/s absolute (single-digit ns per charge); and
+#
+#   8. the multi-tenant fleet fold plane (BenchmarkFleetFold) scales with
+#      its shard ring: on machines with >= 8 CPUs the one-shard-per-CPU
+#      run must ingest >= 4x the frames/s of the single-shard run. Below
+#      8 CPUs the scaling headroom is not there to witness, so the gate
+#      degrades: >= 1.2x on 2-7 CPUs, and on a single CPU (where both
+#      runs are the same configuration) an absolute floor of 5e4 frames/s
+#      keeps the fold path itself honest.
 #
 # BENCHTIME controls -benchtime (default 1x: CI smoke; use e.g. 20x for a
 # recorded snapshot). INGEST_BENCHTIME controls the collector-ingest run,
@@ -58,17 +66,24 @@ raw=$(go test -run '^$' \
   -benchmem -benchtime "$benchtime" .)
 raw_ingest=$(go test -run '^$' \
   -bench 'BenchmarkCollectorIngest' -benchtime "$ingest_benchtime" .)
+raw_fleet=$(go test -run '^$' \
+  -bench 'BenchmarkFleetFold' -benchtime "$ingest_benchtime" ./internal/serve)
 raw="$raw
-$raw_ingest"
+$raw_ingest
+$raw_fleet"
 echo "$raw"
 
-echo "$raw" | awk '
+echo "$raw" | awk -v cpus="$(nproc)" '
 /^Benchmark/ {
-  name=$1; sub(/-[0-9]+$/, "", name)
+  # go appends "-GOMAXPROCS" to every name, but only when GOMAXPROCS > 1;
+  # strip exactly that suffix so sub-bench names that themselves end in a
+  # digit (FleetFold/shards-1) survive on single-CPU machines.
+  name=$1
+  if (cpus+0 > 1) sub("-" cpus "$", "", name)
   rec = "{\"name\":\"" name "\",\"iterations\":" $2
   for (i=3; i<NF; i++) {
     u=$(i+1)
-    if (u=="ns/op" || u=="B/op" || u=="allocs/op" || u=="est-calls" || u=="evaluated" || u=="microcents-storage" || u=="pruned" || u=="units" || u=="charges/s") {
+    if (u=="ns/op" || u=="B/op" || u=="allocs/op" || u=="est-calls" || u=="evaluated" || u=="microcents-storage" || u=="pruned" || u=="units" || u=="charges/s" || u=="frames/s") {
       key=u; gsub(/\//, "_per_", key); gsub(/-/, "_", key)
       rec = rec ",\"" key "\":" $i
       i++
@@ -209,6 +224,39 @@ END {
     if (ratio < 4) { printf("REGRESSION: sharded ingest only %.1fx the locked baseline (single-core floor: 4x)\n", ratio); exit 1 }
     if (t["sharded"]+0 < 1e8) { printf("REGRESSION: sharded ingest %.0f charges/s below the 1e8/s single-core floor\n", t["sharded"]+0); exit 1 }
     printf("benchguard OK: sharded ingest %.1fx locked at %.0f charges/s (%d CPUs < 8, single-core floors 4x and 1e8/s; the 10x contention gate needs >= 8 CPUs)\n", ratio, t["sharded"]+0, cpus)
+  }
+}'
+
+echo "$raw" | awk -v cpus="$(nproc)" '
+/^BenchmarkFleetFold\// {
+  # Sub-bench names contain digits ("shards-4"), so extract the shard
+  # count by pattern rather than stripping the GOMAXPROCS suffix (which
+  # would eat the "1" of "shards-1" on a single-CPU machine).
+  name=$1; sub(/#.*$/, "", name)
+  if (match(name, /shards-[0-9]+/) == 0) next
+  k=substr(name, RSTART+7, RLENGTH-7)
+  fs=""
+  for (i=3; i<NF; i++) if ($(i+1)=="frames/s") fs=$i
+  if (fs=="") next
+  t[k]=fs
+  if (k+0 > maxk+0) maxk=k
+}
+END {
+  if (!("1" in t)) { print "benchguard: BenchmarkFleetFold/shards-1 missing — benchmark names changed?"; exit 1 }
+  if (maxk+0 <= 1) {
+    # Single CPU: both runs are the one-shard configuration; hold the
+    # absolute fold-path floor instead of a scaling ratio.
+    if (t["1"]+0 < 5e4) { printf("REGRESSION: fleet fold at %.0f frames/s below the 5e4/s single-CPU floor\n", t["1"]+0); exit 1 }
+    printf("benchguard OK: fleet fold at %.0f frames/s (%d CPU, scaling gate needs >= 2 CPUs)\n", t["1"]+0, cpus)
+    exit 0
+  }
+  ratio = (t[maxk]+0) / (t["1"]+0)
+  if (cpus+0 >= 8) {
+    if (ratio < 4) { printf("REGRESSION: %s-shard fleet ingest only %.1fx the single shard (%.0f vs %.0f frames/s) on %d CPUs (gate: 4x)\n", maxk, ratio, t[maxk]+0, t["1"]+0, cpus); exit 1 }
+    printf("benchguard OK: %s-shard fleet ingest %.1fx single shard (%.0f vs %.0f frames/s) on %d CPUs\n", maxk, ratio, t[maxk]+0, t["1"]+0, cpus)
+  } else {
+    if (ratio < 1.2) { printf("REGRESSION: %s-shard fleet ingest only %.1fx the single shard on %d CPUs (floor: 1.2x)\n", maxk, ratio, cpus); exit 1 }
+    printf("benchguard OK: %s-shard fleet ingest %.1fx single shard at %.0f frames/s (%d CPUs < 8, the 4x gate needs >= 8 CPUs)\n", maxk, ratio, t[maxk]+0, cpus)
   }
 }'
 

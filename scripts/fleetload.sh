@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# fleetload.sh — multi-tenant fleet load smoke for the online plane.
+#
+# Builds dotserve WITH the race detector (the fleet plane is exactly the
+# concurrent surface), then drives 1000 concurrent tenant streams of
+# binary frames through it twice — 1 fold shard, then one shard per CPU —
+# and holds the fleet contract: zero races, bounded shed, exact fleet-memo
+# coalescing across duplicate-fingerprint tenants, and bit-identical
+# decisions across shard counts. See scripts/fleetload/main.go for the
+# invariants.
+#
+# Usage: scripts/fleetload.sh [extra fleetload flags, e.g. -tenants 200]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "fleetload: building dotserve (-race)" >&2
+go build -race -o "$tmp/dotserve" ./cmd/dotserve
+go run ./scripts/fleetload -bin "$tmp/dotserve" "$@"
