@@ -719,3 +719,156 @@ func BenchmarkCollectorIngest(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "charges/s")
 	})
 }
+
+// ---- Replicated-search benchmarks -----------------------------------------
+
+// replicatedSynthetic is the synthetic fixture with replication on: Box 1's
+// three classes capped at two copies per unit, a six-digit class-set
+// alphabet (three singletons plus three pairs).
+func replicatedSynthetic(tables int) (core.Input, error) {
+	in, _, err := synthetic(tables)
+	if err != nil {
+		return core.Input{}, err
+	}
+	in.Replication = core.ReplicationConfig{Enabled: true, MaxReplicas: 2}
+	return in, nil
+}
+
+// replicatedSymmetric is the 3-class x 12-unit replicated point: n tables
+// of EQUAL size and heat plus their equal pkey indexes. Equal units carry
+// identical dominance signatures, so the canonical space collapses from
+// 6^12 ≈ 2.2e9 raw set-digit layouts to two multisets — C(6+5,5)^2 ≈ 213k
+// — the collapse that makes the wide exhaustive walk legal at all (a plain
+// enumeration, which drops the signatures, is refused by
+// MaxExhaustiveLayouts there).
+func replicatedSymmetric(n int) (core.Input, error) {
+	cat := catalog.New()
+	sch := types.NewSchema(types.Column{Name: "id", Kind: types.KindInt})
+	prof := iosim.NewProfile()
+	for i := 0; i < n; i++ {
+		name := "s" + string(rune('a'+i%26))
+		tab, err := cat.CreateTable(name, sch, []string{"id"})
+		if err != nil {
+			return core.Input{}, err
+		}
+		ix, err := cat.CreateIndex(name+"_pkey", tab.ID, []string{"id"}, true)
+		if err != nil {
+			return core.Input{}, err
+		}
+		cat.SetSize(tab.ID, 4e9)
+		cat.SetSize(ix.ID, 4e8)
+		prof.Add(tab.ID, device.SeqRead, 4000)
+		prof.Add(tab.ID, device.RandRead, 400)
+		prof.Add(ix.ID, device.RandRead, 400)
+	}
+	box := device.Box1()
+	ps := core.NewProfileSet()
+	ps.SetSingle(prof)
+	est := workload.CompileEstimator(&workload.ObservedEstimator{Box: box, Concurrency: 1,
+		PerQuery: []workload.QueryObservation{{Profile: prof}}}, cat)
+	return core.Input{
+		Cat: cat, Box: box, Est: est, Profiles: ps, Concurrency: 1,
+		Replication: core.ReplicationConfig{Enabled: true, MaxReplicas: 2},
+	}, nil
+}
+
+// BenchmarkReplicatedBnB measures the replicated exhaustive walk over
+// class-set digits. plain/pruned/parallel share the largest space a plain
+// enumeration can legally cover — 8 units over 6 set digits, 6^8 ≈ 1.7M
+// layouts, just under MaxExhaustiveLayouts — so their times compare like
+// for like: plain is the unbounded enumeration (DisableBnB, one worker),
+// pruned adds the suffix bounds and dominance collapse, parallel adds the
+// work-stealing frontier. wide is the ISSUE's 3-class x 12-unit point:
+// 6^12 ≈ 2.2e9 nominal layouts, where a plain enumeration is refused by
+// MaxExhaustiveLayouts outright and only the dominance-collapsed bounded
+// walk covers the space (milliseconds; the evaluated and pruned metrics
+// show the asymmetry). benchguard gates pruned strictly below plain.
+func BenchmarkReplicatedBnB(b *testing.B) {
+	shared, err := replicatedSynthetic(4) // 8 units
+	if err != nil {
+		b.Fatal(err)
+	}
+	plain := shared
+	plain.Search.DisableBnB = true
+	plain.Workers = 1
+	pruned := shared
+	pruned.Workers = 1
+	par := shared
+	par.Workers = runtime.NumCPU()
+	wide, err := replicatedSymmetric(6) // 12 units
+	if err != nil {
+		b.Fatal(err)
+	}
+	wide.Workers = 1
+	for _, c := range []struct {
+		name string
+		in   core.Input
+	}{{"plain", plain}, {"pruned", pruned}, {"parallel", par}, {"wide", wide}} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var res *core.ReplicaResult
+			for i := 0; i < b.N; i++ {
+				if res, err = core.ExhaustiveReplicated(c.in, core.Options{RelativeSLA: 0.5}); err != nil {
+					b.Fatal(err)
+				}
+				if !res.Feasible {
+					b.Fatal("replicated synthetic fixture infeasible at SLA 0.5")
+				}
+			}
+			b.ReportMetric(float64(res.Evaluated), "evaluated")
+			b.ReportMetric(float64(res.Search.BoundPruned), "pruned")
+		})
+	}
+}
+
+// BenchmarkPartitionedReplicatedDOT is the replicated scale point: the
+// 500-unit Zipf partitioning of BenchmarkPartitionedDOT500 advised with
+// replication enabled — every unit choosing a class set, reads routed to
+// the best member per access pattern, writes charged to every member. Both
+// evaluation paths run so the map/compiled count-parity gate covers the
+// replicated sweep too; benchguard additionally gates the compiled
+// variant's wall time under 250ms per advise.
+func BenchmarkPartitionedReplicatedDOT(b *testing.B) {
+	fx, err := workload.Skewed(workload.SkewedConfig{Tables: 16, Extents: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt, err := catalog.BuildPartitioning(fx.Cat, fx.Stats, catalog.PartitionOptions{
+		MaxUnitsPerObject: 32, MergeRatio: 1, MinUnitBytes: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if pt.NumUnits() < 500 {
+		b.Fatalf("fixture yields %d units, want >= 500", pt.NumUnits())
+	}
+	box := device.Box2()
+	ps := core.NewProfileSet()
+	ps.SetSingle(fx.Profile)
+	in := core.Input{
+		Cat: fx.Cat, Box: box, Est: fx.Estimator(box, 1), Profiles: ps, Concurrency: 1,
+		Replication: core.ReplicationConfig{Enabled: true, MaxReplicas: 2},
+	}
+	for _, v := range []struct {
+		name      string
+		noCompile bool
+	}{{"map", true}, {"compiled", false}} {
+		b.Run(v.name, func(b *testing.B) {
+			vin := in
+			vin.NoCompile = v.noCompile
+			b.ReportAllocs()
+			var res *core.PartitionedReplicaResult
+			for i := 0; i < b.N; i++ {
+				if res, err = core.OptimizeReplicatedPartitioned(vin, pt, core.Options{RelativeSLA: bench.SkewSLA}); err != nil {
+					b.Fatal(err)
+				}
+				if !res.Feasible {
+					b.Fatalf("500-unit replicated skew fixture infeasible at SLA %g", bench.SkewSLA)
+				}
+			}
+			b.ReportMetric(float64(res.EstimatorCalls), "est-calls")
+			b.ReportMetric(float64(res.Evaluated), "evaluated")
+			b.ReportMetric(float64(pt.NumUnits()), "units")
+		})
+	}
+}

@@ -21,6 +21,12 @@
 // page-range units from the test run's live extent statistics and places
 // the units independently, so a hot head can stay on fast storage while
 // its cold tail ships to a cheap class.
+// -replication (tpcc only, object granularity) searches per-object class
+// SETS instead of single classes: an object may keep copies on several
+// storage classes, each read pattern is priced at its best replica and
+// every write lands on all copies (-max-replicas caps copies per object).
+// Replication pays on boxes whose read-latency order is not total — try
+// -box 3, the striped-HDD HTAP box whose scans outrun the H-SSD.
 package main
 
 import (
@@ -50,6 +56,8 @@ import (
 var (
 	exhaustiveFlag  = flag.Bool("exhaustive", false, "run the exhaustive branch-and-bound enumeration instead of the greedy DOT sweeps (provably optimal, enumeration cost)")
 	searchStatsFlag = flag.Bool("search-stats", false, "print search statistics: candidates evaluated, bound-pruned subtrees, dominance collapse, bound tightness")
+	replicationFlag = flag.Bool("replication", false, "search replica SETS instead of single classes (tpcc, object granularity): reads route to the best copy per pattern, writes land on every copy")
+	maxReplicasFlag = flag.Int("max-replicas", 2, "copies per object cap under -replication; <1 means one copy per storage class")
 )
 
 func main() {
@@ -79,8 +87,10 @@ func run(wl string, boxNo int, sla, sf float64, workers, searchWorkers int, seed
 		box = device.Box1()
 	case 2:
 		box = device.Box2()
+	case 3:
+		box = device.BoxHTAP()
 	default:
-		return fmt.Errorf("unknown box %d (want 1 or 2)", boxNo)
+		return fmt.Errorf("unknown box %d (want 1, 2, or 3 for the striped-HDD HTAP box)", boxNo)
 	}
 	partitioned := false
 	switch granularity {
@@ -92,6 +102,14 @@ func run(wl string, boxNo int, sla, sf float64, workers, searchWorkers int, seed
 		}
 	default:
 		return fmt.Errorf("unknown granularity %q (want object or partition)", granularity)
+	}
+	if *replicationFlag {
+		if wl != "tpcc" {
+			return fmt.Errorf("-replication needs the profile-driven tpcc workload (the DSS estimators re-plan per layout and have no replica form)")
+		}
+		if partitioned {
+			return fmt.Errorf("-replication places whole objects; drop -granularity partition")
+		}
 	}
 	fmt.Printf("box: %s — %v\n", box.Name, box.Classes())
 	switch wl {
@@ -257,6 +275,9 @@ func adviseTPCC(box *device.Box, sla float64, workers, searchWorkers int, seed i
 	if partitioned {
 		return adviseTPCCPartitioned(db, box, in, opts, col)
 	}
+	if *replicationFlag {
+		return adviseTPCCReplicated(db, box, in, opts, driver)
+	}
 	var res *core.Result
 	if *exhaustiveFlag {
 		res, err = core.Exhaustive(in, opts)
@@ -328,6 +349,80 @@ func adviseTPCCPartitioned(db *engine.DB, box *device.Box, in core.Input, opts c
 			ocost, ocost/pcost)
 	}
 	return nil
+}
+
+// adviseTPCCReplicated is the -replication tail of adviseTPCC: the search
+// runs over per-object class sets, so an object hammered by both scans and
+// lookups can keep a copy on each pattern's best class. A recommendation
+// that collapses to single copies validates in place like the plain path;
+// a genuinely replicated one is reported only, since the execution engine
+// applies single-placement layouts.
+func adviseTPCCReplicated(db *engine.DB, box *device.Box, in core.Input, opts core.Options, driver *tpcc.Driver) error {
+	in.Replication = core.ReplicationConfig{Enabled: true, MaxReplicas: *maxReplicasFlag}
+	var res *core.ReplicaResult
+	var err error
+	if *exhaustiveFlag {
+		res, err = core.ExhaustiveReplicated(in, opts)
+	} else {
+		res, err = core.OptimizeReplicated(in, opts)
+	}
+	if err != nil {
+		return err
+	}
+	if !res.Feasible {
+		fmt.Println("NO FEASIBLE LAYOUT — relax the SLA or add capacity")
+		return nil
+	}
+	fmt.Printf("\nrecommended replicated layout (optimized in %v over %d candidates, up to %d copies):\n",
+		res.PlanTime.Round(time.Millisecond), res.Evaluated, res.MaxCopies())
+	fmt.Print(flatSetLayout(res.SetLayout, db.Cat))
+	fmt.Printf("estimated TOC: %.4e cents per transaction (%.0f tasks/hour)\n",
+		res.TOCCents, res.Metrics.Throughput)
+	if cost, err := res.SetLayout.CostCentsPerHour(db.Cat, box); err == nil {
+		fmt.Printf("layout storage cost: %.4e cents/hour (%d extra copies)\n", cost, res.ReplicatedCopies())
+	}
+	if *searchStatsFlag {
+		printSearchStats(res.Result)
+	}
+	single, ok := res.SetLayout.SingleLayout()
+	if !ok {
+		fmt.Println("validation skipped: the execution engine applies single-placement layouts only")
+		return nil
+	}
+	if err := db.SetLayout(single); err != nil {
+		return err
+	}
+	db.ClearPool()
+	check, err := driver.Run(db)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("validated: %.0f tpmC on the recommended layout\n", check.TpmC)
+	return nil
+}
+
+// flatSetLayout renders a replicated layout one line per object, the copy
+// classes joined with " + ", sorted by object name.
+func flatSetLayout(sl catalog.SetLayout, cat *catalog.Catalog) string {
+	type row struct{ name, classes string }
+	rows := make([]row, 0, len(sl))
+	for id, set := range sl {
+		o := cat.Object(id)
+		if o == nil {
+			continue
+		}
+		parts := make([]string, 0, set.Count())
+		for _, cls := range set.Classes() {
+			parts = append(parts, cls.String())
+		}
+		rows = append(rows, row{o.Name, strings.Join(parts, " + ")})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-28s %s\n", r.name, r.classes)
+	}
+	return b.String()
 }
 
 func report(cat *catalog.Catalog, box *device.Box, res *core.Result) {

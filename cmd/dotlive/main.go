@@ -9,6 +9,15 @@
 //	go run ./cmd/dotlive
 //	go run ./cmd/dotlive -windows 8 -shift-at 4 -sla 0.25 -box 1
 //	go run ./cmd/dotlive -skew -sla 0.2
+//	go run ./cmd/dotlive -replication -sla 0.5
+//
+// With -replication the demo drives the replica-set advisor on the
+// striped-HDD HTAP box: the stream opens with point lookups (single copies
+// on the H-SSD), the analytical scans join mid-run and the re-advise GROWS
+// a second scan copy of the fact table on the HDD stripe — reads route per
+// pattern to their best replica, writes land on every copy — and when the
+// scans fade the next re-advise DROPS the copy again (drops are free,
+// adds are priced against the SLA headroom).
 //
 // With -skew the demo instead replays the Zipf hot/cold fixture
 // (workload.Skewed) and contrasts object-granular DOT with
@@ -36,9 +45,11 @@ import (
 	"dotprov/internal/core"
 	"dotprov/internal/device"
 	"dotprov/internal/engine"
+	"dotprov/internal/iosim"
 	"dotprov/internal/online"
 	"dotprov/internal/plan"
 	"dotprov/internal/tpcc"
+	"dotprov/internal/types"
 	"dotprov/internal/workload"
 )
 
@@ -54,12 +65,22 @@ func main() {
 		threshold  = flag.Float64("drift-threshold", 0.2, "relative I/O-time divergence that triggers re-advising")
 		mergeEach  = flag.Duration("merge-every", 0, "background shard-merge interval for the collector (0 merges only at window reads)")
 		skew       = flag.Bool("skew", false, "replay the Zipf hot/cold fixture and contrast object- vs partition-granular DOT")
+		replicated = flag.Bool("replication", false, "drive the replica-set advisor on the HTAP box: grow a scan copy when analytics join the mix, drop it on revert")
+		revertAt   = flag.Int("revert-at", 5, "-replication: window (1-based) at which the analytical scans fade again")
+		maxCopies  = flag.Int("max-replicas", 2, "-replication: copies per object cap (<1 means one per storage class)")
+		headroom   = flag.Float64("headroom", 1.0, "-replication: fraction of the SLA headroom the migration gate may spend copying data (copying 40 GB onto the stripe is a real cost)")
 		observeURL = flag.String("observe-url", "", "mirror observation windows to a running dotserve at this base URL (e.g. http://localhost:8080; empty disables)")
 		observeStr = flag.String("observe-stream", "dotlive", "stream name for -observe-url mirroring")
 	)
 	flag.Parse()
 	if *skew {
 		if err := runSkew(*boxNo, *sla); err != nil {
+			log.Fatalf("dotlive: %v", err)
+		}
+		return
+	}
+	if *replicated {
+		if err := runReplicated(*sla, *windows, *shiftAt, *revertAt, *maxCopies, *headroom); err != nil {
 			log.Fatalf("dotlive: %v", err)
 		}
 		return
@@ -116,6 +137,134 @@ func runSkew(boxNo int, sla float64) error {
 		pt.NumUnits(), pres.Evaluated, pres.SplitObjects(), pcost, pres.Layout.String(pt.UnitCatalog()))
 	fmt.Printf("\nsame SLA, %.1fx cheaper storage with partition-granular placement\n", ocost/pcost)
 	return nil
+}
+
+// runReplicated is the -replication demo: the replica-set advisor on the
+// striped-HDD HTAP box, driven by synthetic observation windows. The arc: point
+// lookups define the stream and place single copies; the analytical scans
+// join at -shift-at and the drifted re-advise grows a second scan copy of
+// the fact table on the HDD stripe; the scans fade at -revert-at and the
+// next re-advise drops the copy again.
+func runReplicated(sla float64, windows, shiftAt, revertAt, maxCopies int, headroom float64) error {
+	if revertAt <= shiftAt {
+		return fmt.Errorf("-revert-at %d must come after -shift-at %d", revertAt, shiftAt)
+	}
+	box := device.BoxHTAP()
+	cat := catalog.New()
+	sch := types.NewSchema(types.Column{Name: "id", Kind: types.KindInt})
+	orders, err := cat.CreateTable("orders", sch, []string{"id"})
+	if err != nil {
+		return err
+	}
+	ix, err := cat.CreateIndex("orders_pkey", orders.ID, []string{"id"}, true)
+	if err != nil {
+		return err
+	}
+	cat.SetSize(orders.ID, 40e9)
+	cat.SetSize(ix.ID, 2e9)
+	mgr, err := online.NewManager(online.Config{
+		Cat: cat, Box: box, SLA: sla,
+		HeadroomFraction: headroom,
+		Replication:      core.ReplicationConfig{Enabled: true, MaxReplicas: maxCopies},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dotlive -replication: orders (40 GB) + pkey on %s, SLA %g, %d windows (scans join at %d, fade at %d)\n",
+		box.Name, sla, windows, shiftAt, revertAt)
+
+	lookups := func() online.Window {
+		p := iosim.NewProfile()
+		p.Add(orders.ID, device.RandRead, 150000)
+		p.Add(ix.ID, device.RandRead, 50000)
+		return online.Window{Profile: p, CPU: 100 * time.Millisecond, Elapsed: time.Hour}
+	}
+	// Two full fact-table scans per window: heavy enough that the SLA
+	// headroom on the drifted baseline covers the ~2 minutes it takes to
+	// materialize a 40 GB copy, so the migration gate admits the grow.
+	scanLookups := func() online.Window {
+		p := iosim.NewProfile()
+		p.Add(orders.ID, device.SeqRead, 1e7)
+		p.Add(orders.ID, device.RandRead, 150000)
+		p.Add(ix.ID, device.RandRead, 50000)
+		return online.Window{Profile: p, CPU: 100 * time.Millisecond, Elapsed: time.Hour}
+	}
+
+	printSet := func(sl catalog.SetLayout) {
+		fmt.Print(sl.String(cat))
+	}
+
+	for w := 1; w <= windows; w++ {
+		label, win := "oltp", lookups()
+		if w >= shiftAt && w < revertAt {
+			label, win = "htap", scanLookups()
+		}
+		mgr.Observe(win)
+
+		if w == 1 {
+			dec, err := mgr.Advise()
+			if err != nil {
+				return err
+			}
+			if !dec.Feasible {
+				return fmt.Errorf("initial advise infeasible at SLA %g", sla)
+			}
+			fmt.Printf("window %d [%s]: initial advise — max %d copies per object, TOC %.4e cents, %d candidates\n",
+				w, label, dec.Replica.MaxCopies(), dec.Result.TOCCents, dec.Result.Evaluated)
+			printSet(dec.SetTo)
+			continue
+		}
+
+		dec, err := mgr.ReAdvise(false)
+		if err != nil {
+			return err
+		}
+		switch {
+		case dec.Drift.Thin:
+			fmt.Printf("window %d [%s]: window too thin to judge, no action\n", w, label)
+		case !dec.Drift.Drifted:
+			fmt.Printf("window %d [%s]: no drift (divergence %.3f), layout unchanged\n",
+				w, label, dec.Drift.Divergence)
+		case !dec.Feasible:
+			fmt.Printf("window %d [%s]: DRIFT (divergence %.3f) but no feasible layout — keeping current, will retry\n",
+				w, label, dec.Drift.Divergence)
+		case !dec.ReAdvised:
+			fmt.Printf("window %d [%s]: DRIFT (divergence %.3f), search confirmed the deployed layout (%d candidates)\n",
+				w, label, dec.Drift.Divergence, dec.Result.Evaluated)
+		default:
+			mode := "incremental"
+			if !dec.Incremental {
+				mode = "full fallback"
+			}
+			verb := "re-placed"
+			if grew := dec.Replica.MaxCopies() - maxSetCopies(dec.SetFrom); grew > 0 {
+				verb = "GREW a copy"
+			} else if grew < 0 {
+				verb = "DROPPED a copy"
+			}
+			fmt.Printf("window %d [%s]: DRIFT (divergence %.3f) → %s (%s): %d transitions (%.1f MB copied, migration %v), TOC %.4e, %d candidates\n",
+				w, label, dec.Drift.Divergence, verb, mode, len(dec.Migration.Moves),
+				float64(dec.Migration.Bytes)/1e6, dec.Migration.Time.Round(time.Millisecond),
+				dec.Result.TOCCents, dec.Result.Evaluated)
+			printSet(dec.SetTo)
+		}
+	}
+
+	st := mgr.Stats()
+	fmt.Printf("done: %d windows, %d drift checks, %d drifted, %d re-advises (%d full fallbacks)\n",
+		st.WindowsClosed, st.Checks, st.Drifts, st.ReAdvises, st.Fallbacks)
+	return nil
+}
+
+// maxSetCopies is the largest replica count in a set layout (0 when nil).
+func maxSetCopies(sl catalog.SetLayout) int {
+	max := 0
+	for _, s := range sl {
+		if c := s.Count(); c > max {
+			max = c
+		}
+	}
+	return max
 }
 
 // analyticsMix is the TPC-H-style read side of the HTAP phase: full scans

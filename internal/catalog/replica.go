@@ -1,0 +1,297 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dotprov/internal/device"
+)
+
+// SetLayout is a replicated data layout L: O -> 2^D mapping every object
+// (or placement unit) to the non-empty set of storage classes holding a
+// copy. Singleton sets are exactly the single-class layouts of Layout; the
+// replica search's compact form stores each set's bitmask in the byte slot
+// a CompactLayout stores a class in (see CompactLayout.SetMask), so the
+// whole compiled search pipeline — memo, arenas, delta chains — runs
+// unchanged over replicated candidates.
+type SetLayout map[ObjectID]device.ClassSet
+
+// NewUniformSetLayout places every catalog object on one class set.
+func NewUniformSetLayout(c *Catalog, set device.ClassSet) SetLayout {
+	l := make(SetLayout, len(c.objects))
+	for id := range c.objects {
+		l[id] = set
+	}
+	return l
+}
+
+// SingletonSetLayout lifts a single-class layout to the replicated form,
+// each object placed on the singleton set of its class.
+func SingletonSetLayout(l Layout) SetLayout {
+	out := make(SetLayout, len(l))
+	for id, cls := range l {
+		out[id] = device.Singleton(cls)
+	}
+	return out
+}
+
+// SingleLayout collapses the replicated layout back to the single-class
+// form. ok=false when some object holds more than one copy — the layout is
+// genuinely replicated and has no lossless single-class form.
+func (l SetLayout) SingleLayout() (Layout, bool) {
+	out := make(Layout, len(l))
+	for id, set := range l {
+		c, ok := set.Single()
+		if !ok {
+			return nil, false
+		}
+		out[id] = c
+	}
+	return out, true
+}
+
+// Clone returns a copy of the layout.
+func (l SetLayout) Clone() SetLayout {
+	out := make(SetLayout, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports whether two replicated layouts place every object on the
+// same class set.
+func (l SetLayout) Equal(o SetLayout) bool {
+	if len(l) != len(o) {
+		return false
+	}
+	for k, v := range l {
+		if ov, ok := o[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical byte-string encoding — (ObjectID, mask) pairs
+// sorted by ID. Two replicated layouts have equal keys iff Equal reports
+// true. Set keys and single-class keys live in different key spaces (a mask
+// byte and a class byte can collide numerically), so callers must never mix
+// them in one memo; the replica search uses its own engine.
+func (l SetLayout) Key() string {
+	ids := make([]ObjectID, 0, len(l))
+	for id := range l {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	b := make([]byte, 0, 5*len(ids))
+	for _, id := range ids {
+		b = append(b, byte(id>>24), byte(id>>16), byte(id>>8), byte(id), byte(l[id]))
+	}
+	return string(b)
+}
+
+// SpaceByClass returns S_j under replication: every class holding a copy of
+// an object is charged the object's full size.
+func (l SetLayout) SpaceByClass(c *Catalog) map[device.Class]int64 {
+	out := make(map[device.Class]int64)
+	for id, set := range l {
+		o := c.Object(id)
+		if o == nil {
+			continue
+		}
+		for cls := device.Class(0); int(cls) < device.NumClasses; cls++ {
+			if set.Has(cls) {
+				out[cls] += o.SizeBytes
+			}
+		}
+	}
+	return out
+}
+
+// CostCentsPerHour computes the replicated layout cost: sum_j p_j * S_j
+// where S_j charges every replica its full size. Classes are summed in
+// ascending order with the same per-class expression as the single-class
+// model, so a layout of singleton sets prices bit-identically to its
+// single-class form.
+func (l SetLayout) CostCentsPerHour(c *Catalog, box *device.Box) (float64, error) {
+	space := l.SpaceByClass(c)
+	var cost float64
+	for _, cls := range SortedClasses(space) {
+		d := box.Device(cls)
+		if d == nil {
+			return 0, fmt.Errorf("catalog: layout uses class %v not present in box %q", cls, box.Name)
+		}
+		cost += d.PriceCents * float64(space[cls]) / 1e9
+	}
+	return cost, nil
+}
+
+// TOCCents computes the replicated workload cost C(L) * t.
+func (l SetLayout) TOCCents(c *Catalog, box *device.Box, elapsed time.Duration) (float64, error) {
+	perHour, err := l.CostCentsPerHour(c, box)
+	if err != nil {
+		return 0, err
+	}
+	return perHour * elapsed.Hours(), nil
+}
+
+// CheckCapacity validates the capacity constraints with every replica
+// charged its full size.
+func (l SetLayout) CheckCapacity(c *Catalog, box *device.Box) error {
+	space := l.SpaceByClass(c)
+	for _, cls := range SortedClasses(space) {
+		d := box.Device(cls)
+		if d == nil {
+			return fmt.Errorf("catalog: layout uses class %v not present in box %q", cls, box.Name)
+		}
+		if space[cls] >= d.CapacityBytes {
+			return fmt.Errorf("catalog: class %v over capacity: %d bytes placed, capacity %d",
+				cls, space[cls], d.CapacityBytes)
+		}
+	}
+	return nil
+}
+
+// String renders the replicated layout one object per line, sorted by
+// object name, each with its copy set.
+func (l SetLayout) String(c *Catalog) string {
+	type row struct{ name, set string }
+	rows := make([]row, 0, len(l))
+	for id, set := range l {
+		if o := c.Object(id); o != nil {
+			rows = append(rows, row{o.Name, set.String()})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s: %s\n", r.name, r.set)
+	}
+	return b.String()
+}
+
+// ---- compact (mask-byte) form --------------------------------------------
+
+// SetRaw stores a raw placement byte without class validation. The replica
+// search stores device.ClassSet masks in the same byte slots a
+// single-class layout stores classes in; everything downstream of the byte
+// (memo keys, clones, arenas) is value-agnostic.
+func (cl CompactLayout) SetRaw(id ObjectID, b byte) {
+	cl.b[DenseIndex(id)] = b
+}
+
+// MaskAt returns the class-set mask at a dense slot. ok=false when the slot
+// is out of range or unset. The mask itself may still be invalid (empty or
+// containing undefined classes) — callers that care check ClassSet.Valid.
+func (cl CompactLayout) MaskAt(i int) (device.ClassSet, bool) {
+	if i < 0 || i >= len(cl.b) || cl.b[i] == classUnset {
+		return 0, false
+	}
+	return device.ClassSet(cl.b[i]), true
+}
+
+// CompactUniformSet places every object of the catalog on one class set,
+// in the compact mask-byte form.
+func CompactUniformSet(c *Catalog, set device.ClassSet) CompactLayout {
+	if !set.Valid() {
+		panic(fmt.Sprintf("catalog: CompactUniformSet with invalid set %v", set))
+	}
+	b := make([]byte, c.NumObjects())
+	for i := range b {
+		b[i] = byte(set)
+	}
+	return CompactLayout{b: b}
+}
+
+// CompactFromSetLayout converts a replicated map layout to the compact
+// mask-byte form. ok=false when an object ID is outside the catalog's dense
+// range or a set is invalid — callers must then stay on the map path.
+func CompactFromSetLayout(c *Catalog, l SetLayout) (CompactLayout, bool) {
+	cl := NewCompactLayout(c.NumObjects())
+	for id, set := range l {
+		i := DenseIndex(id)
+		if i < 0 || i >= len(cl.b) || !set.Valid() {
+			return CompactLayout{}, false
+		}
+		cl.b[i] = byte(set)
+	}
+	return cl, true
+}
+
+// ToSetLayout materializes the replicated map form of a compact mask-byte
+// layout. Unset slots stay absent.
+func (cl CompactLayout) ToSetLayout() SetLayout {
+	out := make(SetLayout, len(cl.b))
+	for i, v := range cl.b {
+		if v != classUnset {
+			out[ObjectID(i+1)] = device.ClassSet(v)
+		}
+	}
+	return out
+}
+
+// setSpaceDense accumulates per-class byte totals and usage flags over a
+// dense size table, interpreting placement bytes as class-set masks: every
+// member class of a unit's set is charged the unit's full size. For a
+// layout of singleton masks the accumulation visits exactly the (slot,
+// class) pairs the single-class spaceDense visits, in the same order, so
+// the totals — and every float derived from them — are bit-identical.
+func (cl CompactLayout) setSpaceDense(sizes []int64) (bytes [device.NumClasses]int64, used [device.NumClasses]bool) {
+	for i, v := range cl.b {
+		if v == classUnset {
+			continue
+		}
+		var sz int64
+		if i < len(sizes) {
+			sz = sizes[i]
+		}
+		m := device.ClassSet(v)
+		for c := 0; c < device.NumClasses; c++ {
+			if m.Has(device.Class(c)) {
+				bytes[c] += sz
+				used[c] = true
+			}
+		}
+	}
+	return bytes, used
+}
+
+// SetCostCentsPerHourDense computes the replicated layout cost over a dense
+// size table, interpreting placement bytes as class-set masks. Classes are
+// summed in ascending order with the single-class path's per-class
+// expression, so singleton-mask layouts price bit-identically to
+// CostCentsPerHourDense on their single-class form.
+func (cl CompactLayout) SetCostCentsPerHourDense(sizes []int64, box *device.Box) (float64, error) {
+	bytes, used := cl.setSpaceDense(sizes)
+	var cost float64
+	for c := 0; c < device.NumClasses; c++ {
+		if !used[c] {
+			continue
+		}
+		d := box.Device(device.Class(c))
+		if d == nil {
+			return 0, fmt.Errorf("catalog: layout uses class %v not present in box %q", device.Class(c), box.Name)
+		}
+		cost += d.PriceCents * float64(bytes[c]) / 1e9
+	}
+	return cost, nil
+}
+
+// SetFitsCapacityDense reports whether the replicated layout fits the box
+// over a dense size table, every replica charged its full size.
+func (cl CompactLayout) SetFitsCapacityDense(sizes []int64, box *device.Box) bool {
+	bytes, used := cl.setSpaceDense(sizes)
+	for c := 0; c < device.NumClasses; c++ {
+		if !used[c] {
+			continue
+		}
+		d := box.Device(device.Class(c))
+		if d == nil || bytes[c] >= d.CapacityBytes {
+			return false
+		}
+	}
+	return true
+}

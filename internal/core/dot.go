@@ -69,6 +69,11 @@ type Input struct {
 	// value is the default behaviour; no knob changes any result, only the
 	// work done to reach it.
 	Search SearchTuning
+	// Replication configures the replicated (class-set) search entry points
+	// — OptimizeReplicated, ExhaustiveReplicated and their partitioned and
+	// incremental variants. The zero value leaves the single-class entry
+	// points untouched and lets the replicated ones use any replica count.
+	Replication ReplicationConfig
 }
 
 // SearchTuning is Input.Search: ablation and tuning knobs for the
@@ -480,8 +485,10 @@ func dotSweepCompact(opts Options, eng *search.Engine, moves []Move, ev0 search.
 			if len(changes) == 0 {
 				continue // identity move, as on the map path
 			}
+			// SetRaw, not Set: the replicated sweep drives this same loop with
+			// class-set masks in the class slots, which Set would reject.
 			for _, ch := range changes {
-				scratch.Set(ch.Obj, ch.To)
+				scratch.SetRaw(ch.Obj, byte(ch.To))
 			}
 			var ev search.Eval
 			var err error
@@ -498,7 +505,7 @@ func dotSweepCompact(opts Options, eng *search.Engine, moves []Move, ev0 search.
 			if !accepted || (!opts.GreedyApply && curFeasible && ev.TOCCents > curTOC) {
 				if deltaable {
 					for _, ch := range changes {
-						scratch.Set(ch.Obj, ch.From)
+						scratch.SetRaw(ch.Obj, byte(ch.From))
 					}
 				} else {
 					scratch = cur.Compact.Clone()

@@ -1,0 +1,791 @@
+// Replicated (class-set) search: the entry points that place each unit on
+// a *set* of storage classes instead of exactly one — a scan-friendly copy
+// on cheap sequential storage plus a point-lookup copy on fast random
+// storage, each query routed to its best copy, every write charged to all
+// copies, storage summed over members.
+//
+// The machinery is the single-class pipeline run over a different digit
+// alphabet. A replicated candidate is a catalog.CompactLayout whose bytes
+// are device.ClassSet masks (catalog.Layout with mask values on the map
+// path); the search engine hashes, clones and delta-chains bytes without
+// interpreting them, so one dedicated engine per replicated search — built
+// by Input.setEngine with mask-aware estimate/price/capacity hooks — reuses
+// the whole memoized evaluation pipeline, the DOT sweeps, and the
+// branch-and-bound DFS (BnBSpace.SetDigits) unchanged. Masks and class
+// bytes collide numerically (Singleton(c) != c), which is exactly why the
+// engine is dedicated: the two key alphabets must never share a memo.
+//
+// Restricted to singleton sets the replicated search IS the single-class
+// search: same baseline, same seeds, same move walk, same arithmetic, so
+// layouts and TOCs are bit-identical (property-tested). Extra copies enter
+// only through the refinement sweep's add/drop/swap moves and the
+// exhaustive enumeration's wider digit alphabet.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/search"
+	"dotprov/internal/workload"
+)
+
+// ReplicationConfig is Input.Replication: how the replicated entry points
+// search the class-set space.
+type ReplicationConfig struct {
+	// Enabled marks the input as wanting replicated advise. The core entry
+	// points do not consult it — calling OptimizeReplicated is the opt-in —
+	// but the serving and online layers use it to pick between the
+	// single-class and replicated searches.
+	Enabled bool
+	// MaxReplicas caps the copies per unit. Values below 1 mean no cap (up
+	// to one copy per storage class); 1 restricts the search to singleton
+	// sets, which reproduces the single-class result bit for bit.
+	MaxReplicas int
+}
+
+// maxReplicas resolves the per-unit copy cap.
+func (r ReplicationConfig) maxReplicas() int {
+	if r.MaxReplicas < 1 || r.MaxReplicas > device.NumClasses {
+		return device.NumClasses
+	}
+	return r.MaxReplicas
+}
+
+// ReplicaResult is a replicated recommendation. The embedded Result carries
+// the economics (TOC, metrics, constraints, search statistics); its Layout
+// field holds the single-class collapse when every unit landed on exactly
+// one copy, and nil when the recommendation is genuinely replicated.
+type ReplicaResult struct {
+	*Result
+	// SetLayout maps every unit to the recommended set of classes holding a
+	// copy.
+	SetLayout catalog.SetLayout
+}
+
+// MaxCopies returns the largest replica count of any unit — 1 when the
+// recommendation degenerates to a single-class layout.
+func (r *ReplicaResult) MaxCopies() int {
+	max := 0
+	for _, set := range r.SetLayout {
+		if c := set.Count(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// ReplicatedCopies counts the extra copies the recommendation places beyond
+// one per unit.
+func (r *ReplicaResult) ReplicatedCopies() int {
+	extra := 0
+	for _, set := range r.SetLayout {
+		if c := set.Count(); c > 1 {
+			extra += c - 1
+		}
+	}
+	return extra
+}
+
+// newReplicaResult finalizes a replicated search's Result: its Layout field
+// holds the mask-valued working layout, which becomes the SetLayout; the
+// Layout slot is re-pointed at the single-class collapse (nil when the
+// recommendation holds multi-copy units).
+func newReplicaResult(res *Result) *ReplicaResult {
+	sl := maskToSetLayout(res.Layout)
+	if single, ok := sl.SingleLayout(); ok {
+		res.Layout = single
+	} else {
+		res.Layout = nil
+	}
+	return &ReplicaResult{Result: res, SetLayout: sl}
+}
+
+// maskToSetLayout reinterprets a mask-valued working layout as a SetLayout.
+func maskToSetLayout(l catalog.Layout) catalog.SetLayout {
+	out := make(catalog.SetLayout, len(l))
+	for id, v := range l {
+		out[id] = device.ClassSet(v)
+	}
+	return out
+}
+
+// setToMaskLayout is the inverse: a SetLayout as the mask-valued
+// catalog.Layout the set engine's map path evaluates.
+func setToMaskLayout(l catalog.SetLayout) catalog.Layout {
+	out := make(catalog.Layout, len(l))
+	for id, set := range l {
+		out[id] = device.Class(set)
+	}
+	return out
+}
+
+// setTOC prices a mask-valued layout under the linear replicated cost
+// model: every member class of a unit's set is charged the unit's full
+// size. The per-class accumulation matches Input.toc's single-class path
+// expression for expression, so singleton-mask layouts price
+// bit-identically.
+func (in Input) setTOC(m workload.Metrics, l catalog.Layout) (float64, error) {
+	perHour, err := maskToSetLayout(l).CostCentsPerHour(in.Cat, in.Box)
+	if err != nil {
+		return 0, err
+	}
+	if m.Throughput > 0 {
+		return perHour / m.Throughput, nil
+	}
+	return perHour * m.Elapsed.Hours(), nil
+}
+
+// setEngine builds the dedicated evaluation engine of a replicated search:
+// the estimator's replica form behind the same memoized estimate → price →
+// check pipeline, with the compiled (compact/delta) path engaged whenever
+// the estimator compiles. Replication prices only under the linear model —
+// discrete cost models read class bytes and would misprice masks — so a
+// custom LayoutCost is refused.
+func (in Input) setEngine() (*search.Engine, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if in.LayoutCost != nil || in.LayoutCostCompact != nil {
+		return nil, fmt.Errorf("core: replicated search supports only the linear cost model")
+	}
+	mapEst, ok := workload.NewSetEstimator(in.Est)
+	if !ok {
+		return nil, fmt.Errorf("core: estimator %T has no replica form", in.Est)
+	}
+	cfg := search.Config{
+		Est:  mapEst,
+		Cost: in.setTOC,
+		CapacityOK: func(l catalog.Layout) bool {
+			return maskToSetLayout(l).CheckCapacity(in.Cat, in.Box) == nil
+		},
+		Workers: in.Workers,
+		Budget:  in.Budget,
+	}
+	if !in.NoCompile {
+		if cse, ok := workload.CompileSetEstimator(in.Est, in.Cat); ok {
+			ce := cse.(workload.CompactEstimator)
+			de, _ := cse.(workload.DeltaEstimator)
+			sizes := in.Cat.DenseSizeBytes()
+			cfg.Compiled = &search.CompiledConfig{
+				Cat:   in.Cat,
+				Est:   ce,
+				Delta: de,
+				Cost: func(m workload.Metrics, cl catalog.CompactLayout) (float64, error) {
+					ph, err := cl.SetCostCentsPerHourDense(sizes, in.Box)
+					if err != nil {
+						return 0, err
+					}
+					if m.Throughput > 0 {
+						return ph / m.Throughput, nil
+					}
+					return ph * m.Elapsed.Hours(), nil
+				},
+				CapacityOK: func(cl catalog.CompactLayout) bool {
+					return cl.SetFitsCapacityDense(sizes, in.Box)
+				},
+			}
+		}
+	}
+	return search.New(cfg)
+}
+
+// evaluateUniformSet evaluates the "every unit on this set" layout, staying
+// compact on the compiled path.
+func (in Input) evaluateUniformSet(eng *search.Engine, set device.ClassSet) (search.Eval, error) {
+	if eng.Compiled() {
+		return eng.EvaluateCompact(catalog.CompactUniformSet(in.Cat, set))
+	}
+	return eng.Evaluate(catalog.NewUniformLayout(in.Cat, device.Class(set)))
+}
+
+// prepSet mirrors prep for the set engine: evaluate L0 — every unit on the
+// singleton set of the most expensive class, which estimates and prices
+// bit-identically to the single-class L0 — and derive the constraint set.
+func (in Input) prepSet(opts Options, eng *search.Engine) (device.Class, search.Eval, workload.Constraints, error) {
+	var zero search.Eval
+	if err := opts.validateSLA(); err != nil {
+		return 0, zero, workload.Constraints{}, err
+	}
+	l0Class := in.Box.MostExpensive().Class
+	ev0, err := in.evaluateUniformSet(eng, device.Singleton(l0Class))
+	if err != nil {
+		return 0, zero, workload.Constraints{}, fmt.Errorf("core: estimating baseline: %w", err)
+	}
+	baseline := ev0.Metrics
+	if opts.Baseline != nil {
+		baseline = *opts.Baseline
+	}
+	cons := workload.Constraints{Relative: opts.RelativeSLA, Baseline: baseline}
+	return l0Class, ev0, cons, nil
+}
+
+// liftMoves lifts a scored single-class move list into the mask alphabet:
+// every placement class becomes its singleton set. Scores, grouping and
+// order are untouched, so the lifted sweep walks move for move with the
+// single-class sweep.
+func liftMoves(moves []Move) []Move {
+	out := make([]Move, len(moves))
+	for i, m := range moves {
+		p := make(Pattern, len(m.Placement))
+		for j, c := range m.Placement {
+			p[j] = device.Class(device.Singleton(c))
+		}
+		out[i] = m
+		out[i].Placement = p
+	}
+	return out
+}
+
+// replicaTransitions precomputes, per current class set, the candidate
+// target sets of the refinement sweep's three move kinds — add one copy,
+// drop one copy, swap one copy for another class — restricted to the box's
+// classes and the per-unit copy cap, in ascending mask order (deterministic
+// sweep order).
+func replicaTransitions(avail device.ClassSet, maxReplicas int) [][]device.ClassSet {
+	out := make([][]device.ClassSet, device.NumClassSets)
+	for s := 1; s < device.NumClassSets; s++ {
+		cur := device.ClassSet(s)
+		if !cur.Valid() || cur&^avail != 0 {
+			continue
+		}
+		var ts []device.ClassSet
+		for t := 1; t < device.NumClassSets; t++ {
+			tgt := device.ClassSet(t)
+			if tgt == cur || !tgt.Valid() || tgt&^avail != 0 || tgt.Count() > maxReplicas {
+				continue
+			}
+			switch (cur ^ tgt).Count() {
+			case 1:
+				// add (tgt ⊃ cur) or drop (tgt ⊂ cur) one copy
+			case 2:
+				if tgt.Count() != cur.Count() {
+					continue // two-step change, reachable via add+drop
+				}
+				// swap one member for another
+			default:
+				continue
+			}
+			ts = append(ts, tgt)
+		}
+		out[s] = ts
+	}
+	return out
+}
+
+// replicaRefineCompact is the refinement sweep on the compiled path: for
+// every unit in catalog order, try each add/drop/swap transition of its
+// current set through one-move delta evaluation, adopt guarded TOC
+// improvements, and repeat per unit until no transition helps. A non-nil
+// gate vets candidates exactly as in the DOT sweeps (the online migration
+// budget plugs in here).
+func replicaRefineCompact(eng *search.Engine, in Input, ev0 search.Eval, cons workload.Constraints, res *Result, passes int, gate func(search.Eval, workload.Constraints) bool, trans [][]device.ClassSet) error {
+	cur := ev0
+	curTOC := ev0.TOCCents
+	curFeasible := ev0.Feasible(cons)
+	scratch := ev0.Compact.Clone()
+	var moves [1]workload.ObjectMove
+	objs := in.Cat.Objects()
+	for pass := 0; pass < passes; pass++ {
+		changed := false
+		for _, o := range objs {
+			from, placed := scratch.Class(o.ID)
+			if !placed {
+				continue
+			}
+			// Chase improvements on this unit to a local fixed point; each
+			// adoption changes the transition list, so re-resolve it. The step
+			// bound caps pathological equal-TOC cycles.
+			for step := 0; step < device.NumClassSets; step++ {
+				improved := false
+				for _, tgt := range trans[byte(from)] {
+					to := device.Class(tgt)
+					scratch.SetRaw(o.ID, byte(to))
+					moves[0] = workload.ObjectMove{Obj: o.ID, From: from, To: to}
+					ev, err := eng.EvaluateDelta(cur, scratch, moves[:])
+					if err != nil {
+						return err
+					}
+					res.Evaluated++
+					accepted := (gate == nil || gate(ev, cons)) && res.consider(ev, cons)
+					if !accepted || (curFeasible && ev.TOCCents >= curTOC) {
+						scratch.SetRaw(o.ID, byte(from))
+						continue
+					}
+					cur, curTOC, curFeasible = ev, ev.TOCCents, true
+					from = to
+					improved, changed = true, true
+					break
+				}
+				if !improved {
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return nil
+}
+
+// replicaRefineMap mirrors replicaRefineCompact on the map path, candidate
+// for candidate.
+func replicaRefineMap(eng *search.Engine, in Input, ev0 search.Eval, cons workload.Constraints, res *Result, passes int, gate func(search.Eval, workload.Constraints) bool, trans [][]device.ClassSet) error {
+	l := ev0.LayoutMap().Clone()
+	curTOC := ev0.TOCCents
+	curFeasible := ev0.Feasible(cons)
+	objs := in.Cat.Objects()
+	for pass := 0; pass < passes; pass++ {
+		changed := false
+		for _, o := range objs {
+			from, placed := l[o.ID]
+			if !placed {
+				continue
+			}
+			for step := 0; step < device.NumClassSets; step++ {
+				improved := false
+				for _, tgt := range trans[byte(from)] {
+					lnew := l.Clone()
+					lnew[o.ID] = device.Class(tgt)
+					ev, err := eng.Evaluate(lnew)
+					if err != nil {
+						return err
+					}
+					res.Evaluated++
+					accepted := (gate == nil || gate(ev, cons)) && res.consider(ev, cons)
+					if !accepted || (curFeasible && ev.TOCCents >= curTOC) {
+						continue
+					}
+					l = lnew
+					curTOC, curFeasible = ev.TOCCents, true
+					from = device.Class(tgt)
+					improved, changed = true, true
+					break
+				}
+				if !improved {
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return nil
+}
+
+// optimizeReplicatedWith is optimizeWith over the set engine: the same
+// baseline, uniform singleton seeds, and DOT move sweep (lifted to
+// singleton masks), followed — when trans is non-nil, i.e. the copy cap
+// admits replication — by the add/drop/swap refinement sweep from the
+// sweep's incumbent. With a cap of one the flow reduces exactly to
+// optimizeWith, which is the bit-parity property the singleton tests pin.
+func optimizeReplicatedWith(in Input, opts Options, eng *search.Engine, moves []Move, trans [][]device.ClassSet) (*Result, error) {
+	start := time.Now()
+	stats0 := eng.Stats()
+	l0Class, ev0, cons, err := in.prepSet(opts, eng)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Constraints: cons, Evaluated: 1}
+	res.consider(ev0, cons)
+
+	// Uniform singleton anchors, exactly the single-class seeds.
+	if eng.Compiled() {
+		for _, d := range in.Box.SortedByPrice() {
+			if d.Class == l0Class {
+				continue
+			}
+			ev, err := eng.EvaluateCompact(catalog.CompactUniformSet(in.Cat, device.Singleton(d.Class)))
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluated++
+			res.consider(ev, cons)
+		}
+	} else {
+		var seeds []catalog.Layout
+		for _, d := range in.Box.SortedByPrice() {
+			if d.Class == l0Class {
+				continue
+			}
+			seeds = append(seeds, catalog.NewUniformLayout(in.Cat, device.Class(device.Singleton(d.Class))))
+		}
+		seedEvs, err := eng.EvaluateAll(seeds)
+		if err != nil {
+			return nil, err
+		}
+		for _, ev := range seedEvs {
+			res.Evaluated++
+			res.consider(ev, cons)
+		}
+	}
+
+	passes := opts.Passes
+	if passes < 1 {
+		passes = 2
+	}
+	if eng.Compiled() && !ev0.Compact.IsZero() {
+		err = dotSweepCompact(opts, eng, moves, ev0, cons, res, passes, nil)
+	} else {
+		err = dotSweepMap(opts, eng, moves, ev0, cons, res, passes, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if trans != nil {
+		seedEv := ev0
+		if res.haveBest {
+			seedEv = res.best
+		}
+		if eng.Compiled() && !seedEv.Compact.IsZero() {
+			err = replicaRefineCompact(eng, in, seedEv, cons, res, passes, nil, trans)
+		} else {
+			err = replicaRefineMap(eng, in, seedEv, cons, res, passes, nil, trans)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if !res.Feasible {
+		res.best = ev0
+		res.haveBest = true
+		res.TOCCents = ev0.TOCCents
+		res.Metrics = ev0.Metrics
+	}
+	res.Layout = res.best.LayoutClone()
+	res.EstimatorCalls = eng.Stats().Sub(stats0).EstimatorCalls
+	res.PlanTime = time.Since(start)
+	res.Search.Candidates = res.Evaluated
+	return res, nil
+}
+
+// OptimizeReplicated is OptimizeBest over class sets: both application
+// policies — guarded and greedy — sweep the singleton-lifted move list,
+// each then refines its incumbent with add/drop/swap replica moves, and
+// the feasible result with the lower TOC wins. The sweeps run sequentially
+// against one shared engine (the second revisits the first's memoized
+// evaluations); with Input.Replication.MaxReplicas == 1 the result is
+// bit-identical to OptimizeBest.
+func OptimizeReplicated(in Input, opts Options) (*ReplicaResult, error) {
+	eng, err := in.setEngine()
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.validateSLA(); err != nil {
+		return nil, err
+	}
+	moves, err := in.enumerateMoves(eng)
+	if err != nil {
+		return nil, err
+	}
+	moves = liftMoves(moves)
+	var trans [][]device.ClassSet
+	if cap := in.Replication.maxReplicas(); cap > 1 {
+		trans = replicaTransitions(device.NewClassSet(in.Box.Classes()...), cap)
+	}
+	guarded, greedy := opts, opts
+	guarded.GreedyApply = false
+	greedy.GreedyApply = true
+	a, err := optimizeReplicatedWith(in, guarded, eng, moves, trans)
+	if err != nil {
+		return nil, err
+	}
+	b, err := optimizeReplicatedWith(in, greedy, eng, moves, trans)
+	if err != nil {
+		return nil, err
+	}
+	best := a
+	if b.Feasible && (!a.Feasible || b.TOCCents < a.TOCCents) {
+		best = b
+	}
+	best.Evaluated = a.Evaluated + b.Evaluated
+	best.PlanTime = a.PlanTime + b.PlanTime
+	best.EstimatorCalls = eng.Stats().EstimatorCalls
+	best.Search.Candidates = best.Evaluated
+	return newReplicaResult(best), nil
+}
+
+// ReplicatedIncrementalOptions parameterizes OptimizeReplicatedIncremental:
+// the regular options plus the deployed replica layout to start from and an
+// optional candidate admission gate (the online migration budget).
+type ReplicatedIncrementalOptions struct {
+	Options
+	// Seed is the currently deployed replicated layout.
+	Seed catalog.SetLayout
+	// Accept optionally vets a candidate before adoption, exactly like
+	// IncrementalOptions.Accept. Candidates reach it with class-set masks in
+	// their layouts.
+	Accept func(ev search.Eval, cons workload.Constraints) bool
+}
+
+// OptimizeReplicatedIncremental is OptimizeIncremental over class sets:
+// seed the sweep with the deployed replica layout, walk gated TOC-improving
+// singleton moves and add/drop/swap refinements away from it, and report
+// the seed's numbers when nothing gated is feasible. Copies drop as freely
+// as they are added — a reverted workload sheds its extra analytics copy on
+// the next re-advise.
+func OptimizeReplicatedIncremental(in Input, opts ReplicatedIncrementalOptions) (*ReplicaResult, error) {
+	eng, err := in.setEngine()
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.validateSLA(); err != nil {
+		return nil, err
+	}
+	if len(opts.Seed) == 0 {
+		return nil, fmt.Errorf("core: OptimizeReplicatedIncremental requires a seed layout")
+	}
+	moves, err := in.enumerateMoves(eng)
+	if err != nil {
+		return nil, err
+	}
+	moves = liftMoves(moves)
+	var trans [][]device.ClassSet
+	if cap := in.Replication.maxReplicas(); cap > 1 {
+		trans = replicaTransitions(device.NewClassSet(in.Box.Classes()...), cap)
+	}
+	start := time.Now()
+	stats0 := eng.Stats()
+	_, _, cons, err := in.prepSet(opts.Options, eng)
+	if err != nil {
+		return nil, err
+	}
+	evSeed, err := in.evaluateSetSeed(eng, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: estimating seed layout: %w", err)
+	}
+	res := &Result{Constraints: cons, Evaluated: 2} // L0 baseline + seed
+	// Staying put moves zero bytes, so the seed bypasses the gate.
+	res.consider(evSeed, cons)
+
+	passes := opts.Passes
+	if passes < 1 {
+		passes = 1
+	}
+	sweepOpts := opts.Options
+	sweepOpts.GreedyApply = false
+	if eng.Compiled() && !evSeed.Compact.IsZero() {
+		err = dotSweepCompact(sweepOpts, eng, moves, evSeed, cons, res, passes, opts.Accept)
+	} else {
+		err = dotSweepMap(sweepOpts, eng, moves, evSeed, cons, res, passes, opts.Accept)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if trans != nil {
+		seedEv := evSeed
+		if res.haveBest {
+			seedEv = res.best
+		}
+		if eng.Compiled() && !seedEv.Compact.IsZero() {
+			err = replicaRefineCompact(eng, in, seedEv, cons, res, passes, opts.Accept, trans)
+		} else {
+			err = replicaRefineMap(eng, in, seedEv, cons, res, passes, opts.Accept, trans)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !res.Feasible {
+		res.best = evSeed
+		res.haveBest = true
+		res.TOCCents = evSeed.TOCCents
+		res.Metrics = evSeed.Metrics
+	}
+	res.Layout = res.best.LayoutClone()
+	res.EstimatorCalls = eng.Stats().Sub(stats0).EstimatorCalls
+	res.PlanTime = time.Since(start)
+	res.Search.Candidates = res.Evaluated
+	return newReplicaResult(res), nil
+}
+
+// evaluateSetSeed runs a replicated seed layout through the set engine,
+// staying compact on the compiled path.
+func (in Input) evaluateSetSeed(eng *search.Engine, seed catalog.SetLayout) (search.Eval, error) {
+	if eng.Compiled() {
+		if cl, ok := catalog.CompactFromSetLayout(in.Cat, seed); ok {
+			return eng.EvaluateCompact(cl)
+		}
+	}
+	return eng.Evaluate(setToMaskLayout(seed))
+}
+
+// ExhaustiveReplicated enumerates every replicated layout L: O -> 2^D
+// (member sets restricted to the box's classes and the copy cap) and
+// returns the feasible one with minimum TOC — the quality yardstick of the
+// replicated search, and the space the ROADMAP warns explodes from |D|^n to
+// (2^|D|)^n. The walk is the branch-and-bound DFS over set digits: suffix
+// floors from exact per-(unit, set) storage prices and elapsed rows,
+// dominance over per-set signature rows, one-move delta chains at the
+// innermost level, work-stealing parallel splits. Input.Search.DisableBnB
+// drops the bound and the dominance collapse (the "plain" enumeration the
+// benchmarks gate against); results are identical either way.
+func ExhaustiveReplicated(in Input, opts Options) (*ReplicaResult, error) {
+	eng, err := in.setEngine()
+	if err != nil {
+		return nil, err
+	}
+	if !eng.Compiled() {
+		return nil, fmt.Errorf("core: ExhaustiveReplicated requires the compiled path (estimator %T does not compile, or NoCompile is set)", in.Est)
+	}
+	start := time.Now()
+	stats0 := eng.Stats()
+	_, ev0, cons, err := in.prepSet(opts, eng)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Constraints: cons}
+	throughput := ev0.Metrics.Throughput > 0
+
+	digits := device.EnumerateClassSets(in.Box.Classes(), in.Replication.maxReplicas())
+	bsp := in.replicaBnBSpace(eng, digits, throughput)
+	if in.Search.DisableBnB {
+		bsp.Bounds, bsp.Sigs = nil, nil
+	}
+	n, m := len(bsp.Free), len(digits)
+	if math.Pow(float64(m), float64(n)) > MaxExhaustiveLayouts {
+		if search.CanonicalSpaceSize(bsp.Sigs, n, m) > MaxExhaustiveLayouts {
+			return nil, fmt.Errorf("core: replicated exhaustive search over %d objects x %d class sets exceeds the %d-layout bound",
+				n, m, MaxExhaustiveLayouts)
+		}
+	}
+	best, found, st, err := eng.ExhaustiveBnB(cons, bsp, search.BnBOptions{
+		SplitDepth:  in.Search.SplitDepth,
+		NoReorder:   in.Search.NoReorder,
+		NoDominance: in.Search.NoDominance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Evaluated = st.Candidates
+	res.Search = st
+	if found {
+		res.Feasible = true
+		res.best = best
+		res.haveBest = true
+		res.TOCCents = best.TOCCents
+		res.Metrics = best.Metrics
+		res.Layout = best.LayoutClone()
+	} else {
+		res.Layout = ev0.LayoutClone()
+		res.TOCCents = ev0.TOCCents
+		res.Metrics = ev0.Metrics
+	}
+	res.EstimatorCalls = eng.Stats().Sub(stats0).EstimatorCalls
+	res.PlanTime = time.Since(start)
+	return newReplicaResult(res), nil
+}
+
+// replicaBnBSpace assembles the set-digit branch-and-bound space: every
+// catalog object free, the digit alphabet the enumerated class sets, exact
+// per-digit storage prices (the SetDigits contract), elapsed bounds from
+// the estimator's per-(unit, set) decomposition, and dominance signatures
+// from its per-set rows. The linear cost model is guaranteed here —
+// setEngine refuses custom cost models — so bounding and dominance need no
+// further gating beyond the throughput objective.
+func (in Input) replicaBnBSpace(eng *search.Engine, digits []device.ClassSet, throughput bool) search.BnBSpace {
+	objs := in.Cat.Objects()
+	free := make([]catalog.ObjectID, len(objs))
+	for i, o := range objs {
+		free[i] = o.ID
+	}
+	classes := make([]device.Class, len(digits))
+	for i, d := range digits {
+		classes[i] = device.Class(d)
+	}
+	bsp := search.BnBSpace{
+		Base:      catalog.NewCompactLayout(in.Cat.NumObjects()),
+		Free:      free,
+		Classes:   classes,
+		SetDigits: true,
+	}
+	bsp.SizeGB, bsp.PriceCents = in.denseCostTables()
+	est := eng.CompactEstimator()
+	m := len(digits)
+	if !throughput {
+		if dec, ok := est.(workload.SetElapsedDecomposable); ok {
+			table := make([]time.Duration, in.Cat.NumObjects()*device.NumClassSets)
+			if fixed, ok := dec.AccumulateSetElapsedTable(table); ok {
+				ub := &search.UnitBounds{Time: make([]time.Duration, len(free)*m), Fixed: fixed}
+				for i, id := range free {
+					d := catalog.DenseIndex(id)
+					if d < 0 || (d+1)*device.NumClassSets > len(table) {
+						continue
+					}
+					row := table[d*device.NumClassSets : (d+1)*device.NumClassSets]
+					for ci, set := range digits {
+						ub.Time[i*m+ci] = row[set]
+					}
+				}
+				bsp.Bounds = ub
+			}
+		}
+	}
+	if !in.Search.NoDominance {
+		if sig, ok := est.(workload.SetPlacementSignable); ok {
+			sizes := in.Cat.DenseSizeBytes()
+			sigs := make([][]byte, len(free))
+			for i, id := range free {
+				s := sig.AppendSetPlacementSignature(nil, id)
+				var sz int64
+				if d := catalog.DenseIndex(id); d >= 0 && d < len(sizes) {
+					sz = sizes[d]
+				}
+				sigs[i] = append(s,
+					byte(uint64(sz)>>56), byte(uint64(sz)>>48), byte(uint64(sz)>>40), byte(uint64(sz)>>32),
+					byte(uint64(sz)>>24), byte(uint64(sz)>>16), byte(uint64(sz)>>8), byte(uint64(sz)))
+			}
+			bsp.Sigs = sigs
+		}
+	}
+	return bsp
+}
+
+// PartitionedReplicaResult is a unit-granular replicated recommendation:
+// the inner ReplicaResult's SetLayout is keyed by the partitioning's unit
+// catalog.
+type PartitionedReplicaResult struct {
+	// ReplicaResult is the unit-granular replicated search result.
+	*ReplicaResult
+	// Partitioning maps the units back to their objects.
+	Partitioning *catalog.Partitioning
+}
+
+// ObjectSetLayout collapses the recommended unit set layout back to object
+// granularity. ok=false means some object's units landed on different class
+// sets — the recommendation is genuinely sub-object.
+func (r *PartitionedReplicaResult) ObjectSetLayout() (catalog.SetLayout, bool) {
+	if r.ReplicaResult == nil || r.SetLayout == nil {
+		return nil, false
+	}
+	collapsed, ok := r.Partitioning.CollapseLayout(setToMaskLayout(r.SetLayout))
+	if !ok {
+		return nil, false
+	}
+	return maskToSetLayout(collapsed), true
+}
+
+// OptimizeReplicatedPartitioned runs the replicated DOT search at partition
+// granularity: the input is lowered onto the partitioning's unit catalog
+// (Input.Partitioned) and OptimizeReplicated searches per-unit class sets —
+// a hot extent can hold a second point-lookup copy while its cold tail
+// keeps one cheap sequential copy.
+func OptimizeReplicatedPartitioned(in Input, pt *catalog.Partitioning, opts Options) (*PartitionedReplicaResult, error) {
+	uin, err := in.Partitioned(pt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := OptimizeReplicated(uin, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &PartitionedReplicaResult{ReplicaResult: res, Partitioning: pt}, nil
+}

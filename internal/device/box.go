@@ -30,6 +30,36 @@ func Box1() *Box { return NewBox("Box 1", HDDRAID0, LSSD, HSSD) }
 // Box2 returns the paper's Box 2 configuration.
 func Box2() *Box { return NewBox("Box 2", HDD, LSSDRAID0, HSSD) }
 
+// NewBoxOf builds a box from pre-constructed devices, for configurations
+// that mix Table 1 classes with NewCustom hardware.
+func NewBoxOf(name string, devices ...*Device) *Box {
+	return &Box{Name: name, Devices: devices}
+}
+
+// BoxHTAP returns the replication demo box: L-SSD and H-SSD from Table 1
+// plus a wide (six-disk) HDD RAID 0 scan stripe in the HDD slot, calibrated
+// by extrapolating Table 1's two-disk stripe to ideal sequential striping.
+// Its streaming reads (0.012 ms/page) outrun both SSDs while its random
+// reads stay seek-bound — the read-latency order across the box is NOT
+// total, so per-pattern best-replica routing has something to win: a scan
+// copy on the stripe plus a point-lookup copy on flash beats any single
+// placement once an SLA rules out the slow singleton layouts. On the
+// paper's own boxes the H-SSD is fastest at every read pattern and
+// replication never strictly wins; see NewCustom.
+func BoxHTAP() *Box {
+	stripe := NewCustom(HDD, Spec{
+		Brand: "WD", Model: "Caviar Black x6 RAID 0",
+		CapacityGB: 500, Interface: "SATA II", RPM: 7200, CacheMB: 32,
+		PurchaseUSD: 34, PowerWatts: 8.3, Drives: 6, RAIDCtrl: true,
+	}, [NumIOTypes]Calibration{
+		SeqRead:   {MS1: 0.012, MS300: 0.029},
+		RandRead:  {MS1: 12.5, MS300: 3.0},
+		SeqWrite:  {MS1: 0.010, MS300: 0.030},
+		RandWrite: {MS1: 10.5, MS300: 3.2},
+	})
+	return NewBoxOf("HTAP Box", stripe, New(LSSD), New(HSSD))
+}
+
 // Device returns the device of the given class, or nil if the box does not
 // include it.
 func (b *Box) Device(c Class) *Device {

@@ -1,0 +1,102 @@
+package device
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestClassSetOps covers the bitmask algebra: membership, add/remove,
+// counting, singleton detection, and member listing.
+func TestClassSetOps(t *testing.T) {
+	s := NewClassSet(HDD, HSSD)
+	if !s.Has(HDD) || !s.Has(HSSD) || s.Has(LSSD) {
+		t.Fatalf("membership wrong for %v", s)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	if s.IsSingleton() {
+		t.Fatalf("%v reported singleton", s)
+	}
+	if _, ok := s.Single(); ok {
+		t.Fatalf("Single succeeded on %v", s)
+	}
+	if got := s.Add(LSSD).Count(); got != 3 {
+		t.Fatalf("Add: count %d, want 3", got)
+	}
+	if got := s.Remove(HSSD); got != Singleton(HDD) {
+		t.Fatalf("Remove(HSSD) = %v, want {HDD}", got)
+	}
+	// Add and Remove are idempotent.
+	if s.Add(HDD) != s || s.Remove(LSSD) != s {
+		t.Fatal("Add/Remove of present/absent member changed the set")
+	}
+	if got := s.Classes(); !reflect.DeepEqual(got, []Class{HDD, HSSD}) {
+		t.Fatalf("Classes = %v", got)
+	}
+	if got := s.String(); got != "{HDD, H-SSD}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// TestClassSetSingleton: singleton masks round-trip through Single and
+// are valid placements; the empty set is not.
+func TestClassSetSingleton(t *testing.T) {
+	for c := Class(0); int(c) < NumClasses; c++ {
+		s := Singleton(c)
+		if !s.Valid() || !s.IsSingleton() {
+			t.Fatalf("Singleton(%v) = %v not a valid singleton", c, s)
+		}
+		got, ok := s.Single()
+		if !ok || got != c {
+			t.Fatalf("Single of %v = %v, %v", s, got, ok)
+		}
+	}
+	var empty ClassSet
+	if empty.Valid() || empty.IsSingleton() || empty.Count() != 0 {
+		t.Fatal("empty set must be invalid with zero members")
+	}
+	if empty.String() != "{}" {
+		t.Fatalf("empty String = %q", empty.String())
+	}
+}
+
+// TestEnumerateClassSets: ascending mask order, availability filtering,
+// and the replica cap. With maxReplicas=1 the enumeration must visit the
+// available classes as singletons in ascending class order — the invariant
+// the singleton-parity guarantee of the replicated search rests on.
+func TestEnumerateClassSets(t *testing.T) {
+	avail := []Class{HDD, LSSD, HSSD}
+
+	ones := EnumerateClassSets(avail, 1)
+	want1 := []ClassSet{Singleton(HDD), Singleton(LSSD), Singleton(HSSD)}
+	if !reflect.DeepEqual(ones, want1) {
+		t.Fatalf("maxReplicas=1: %v, want %v", ones, want1)
+	}
+
+	all := EnumerateClassSets(avail, 0) // no cap
+	if len(all) != 7 {                  // 2^3 - 1 non-empty subsets
+		t.Fatalf("uncapped enumeration has %d sets, want 7", len(all))
+	}
+	for i, s := range all {
+		if !s.Valid() {
+			t.Fatalf("enumerated invalid set %v", s)
+		}
+		if s&^NewClassSet(avail...) != 0 {
+			t.Fatalf("set %v uses unavailable classes", s)
+		}
+		if i > 0 && all[i-1] >= s {
+			t.Fatalf("enumeration not in ascending mask order at %d", i)
+		}
+	}
+
+	twos := EnumerateClassSets(avail, 2)
+	if len(twos) != 6 { // 3 singletons + 3 pairs
+		t.Fatalf("maxReplicas=2: %d sets, want 6", len(twos))
+	}
+	for _, s := range twos {
+		if s.Count() > 2 {
+			t.Fatalf("set %v exceeds the replica cap", s)
+		}
+	}
+}

@@ -266,6 +266,42 @@ func NewScaled(c Class, units int) *Device {
 	return d
 }
 
+// Calibration is one I/O type's measured service time in milliseconds at
+// the two calibration points of Table 1: 1 and 300 concurrent DB threads.
+// The paper measures these end-to-end per deployment (§3.5.1); NewCustom
+// lets experiments carry measurements for hardware outside Table 2.
+type Calibration struct {
+	MS1, MS300 float64
+}
+
+// NewCustom builds a device of class c from a deployment-specific spec and
+// service-time calibration instead of the paper's published Table 1/2
+// numbers. Price and capacity derive from the spec exactly as New derives
+// them, so custom devices obey the same economics (§2.1, §4.1).
+//
+// The published five classes happen to be totally ordered on read latency —
+// the H-SSD is fastest at both read patterns at every concurrency — which
+// makes best-replica read routing degenerate: no class set ever reads
+// faster than its fastest member alone. Hardware that breaks that order
+// (e.g. a wide HDD stripe that outruns SATA SSDs on streaming reads) is
+// exactly where replicated placement pays, and NewCustom is how such a
+// device enters a box.
+func NewCustom(c Class, spec Spec, svc [NumIOTypes]Calibration) *Device {
+	if !ValidClass(c) {
+		panic(fmt.Sprintf("device: NewCustom with invalid class %v", c))
+	}
+	d := &Device{
+		Class:         c,
+		Spec:          spec,
+		CapacityBytes: int64(spec.TotalCapacityGB() * 1e9),
+		PriceCents:    spec.DerivePriceCentsPerGBHour(),
+	}
+	for t, cal := range svc {
+		d.svc[t] = calib{c1: cal.MS1, c300: cal.MS300}
+	}
+	return d
+}
+
 // UnitCapacityBytes returns the capacity of ONE physical unit of the class,
 // derived from the hardware spec. It is independent of SetCapacity overrides
 // and of unit scaling, so discrete cost models can price whole devices even

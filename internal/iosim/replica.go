@@ -1,0 +1,284 @@
+// Replica-set accounting: the class-set generalization of the compiled
+// per-(object, class) tables. A replicated placement maps each object to a
+// set of classes holding a copy; reads are routed to the best replica for
+// the access pattern (min service time over members, per I/O type) and
+// writes charge every replica (each copy must be kept current). Both rules
+// are precomputed per (object, class-set) into dense rows, so evaluating a
+// replicated layout stays a flat array sum and a one-unit set change
+// re-costs in O(1) — the same building blocks the single-class search runs
+// on, widened from device.NumClasses to device.NumClassSets columns.
+//
+// Bit-parity contract: for a singleton set {c} the per-type terms are the
+// same float expressions, accumulated in the same order, as the
+// single-class row for c — the read minimum over one member is that
+// member's service time and the write sum over one member has one term —
+// so singleton-set evaluations are bit-identical to the single-class path.
+package iosim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+)
+
+// CompiledSetProfile is a Profile compiled against one (box, concurrency)
+// pair over class-set placements: a dense per-(object, class-set) table of
+// the object's total I/O time when placed on that set, with reads charged
+// to the set's best member per I/O type and writes charged to every
+// member. Like CompiledProfile it is frozen at compile time and safe for
+// concurrent use.
+type CompiledSetProfile struct {
+	boxName string
+	// objs lists the profiled ObjectIDs in ascending order; rows holds their
+	// per-set time subtotals, row k at rows[k*device.NumClassSets:].
+	objs []catalog.ObjectID
+	rows []time.Duration
+	// rowOf maps DenseIndex(id) -> row index, -1 for unprofiled objects.
+	rowOf []int32
+	// invalid marks unusable masks: the empty set, sets naming undefined
+	// classes, and sets with a member absent from the box.
+	invalid [device.NumClassSets]bool
+}
+
+// CompileSetProfile builds the dense class-set table. n is the catalog's
+// object count; profiled objects outside [1, n] are kept and surface the
+// map path's "not placed by layout" error.
+func CompileSetProfile(p Profile, box *device.Box, concurrency, n int) *CompiledSetProfile {
+	cp := &CompiledSetProfile{
+		boxName: box.Name,
+		objs:    make([]catalog.ObjectID, 0, len(p)),
+		rowOf:   make([]int32, n),
+	}
+	for i := range cp.rowOf {
+		cp.rowOf[i] = -1
+	}
+	for id := range p {
+		cp.objs = append(cp.objs, id)
+	}
+	sort.Slice(cp.objs, func(i, j int) bool { return cp.objs[i] < cp.objs[j] })
+	var svc [device.NumClasses][device.NumIOTypes]time.Duration
+	var absent [device.NumClasses]bool
+	for c := 0; c < device.NumClasses; c++ {
+		d := box.Device(device.Class(c))
+		if d == nil {
+			absent[c] = true
+			continue
+		}
+		for _, t := range device.AllIOTypes {
+			svc[c][t] = d.ServiceTime(t, concurrency)
+		}
+	}
+	cp.invalid[0] = true
+	for m := 1; m < device.NumClassSets; m++ {
+		set := device.ClassSet(m)
+		if !set.Valid() {
+			cp.invalid[m] = true
+			continue
+		}
+		for c := 0; c < device.NumClasses; c++ {
+			if set.Has(device.Class(c)) && absent[c] {
+				cp.invalid[m] = true
+				break
+			}
+		}
+	}
+	cp.rows = make([]time.Duration, len(cp.objs)*device.NumClassSets)
+	for k, id := range cp.objs {
+		v := p[id]
+		row := cp.rows[k*device.NumClassSets : (k+1)*device.NumClassSets]
+		for m := 1; m < device.NumClassSets; m++ {
+			if cp.invalid[m] {
+				continue
+			}
+			set := device.ClassSet(m)
+			var total time.Duration
+			for _, t := range device.AllIOTypes {
+				n := v[t]
+				if n <= 0 {
+					continue
+				}
+				if t.IsRead() {
+					// Best replica: minimum member service time, ties to the
+					// lowest class (ascending scan, strict improvement).
+					var best time.Duration
+					first := true
+					for c := 0; c < device.NumClasses; c++ {
+						if !set.Has(device.Class(c)) {
+							continue
+						}
+						if first || svc[c][t] < best {
+							best = svc[c][t]
+							first = false
+						}
+					}
+					total += time.Duration(n * float64(best))
+				} else {
+					// Writes charge every replica, members in ascending class
+					// order (one term per member, exactly the single-class
+					// term for that member).
+					for c := 0; c < device.NumClasses; c++ {
+						if set.Has(device.Class(c)) {
+							total += time.Duration(n * float64(svc[c][t]))
+						}
+					}
+				}
+			}
+			row[m] = total
+		}
+		if i := catalog.DenseIndex(id); i >= 0 && i < len(cp.rowOf) {
+			cp.rowOf[i] = int32(k)
+		}
+	}
+	return cp
+}
+
+// ValidSet reports whether the class-set mask is usable under this compile:
+// non-empty, defined, with every member present in the box.
+func (cp *CompiledSetProfile) ValidSet(set device.ClassSet) bool {
+	return int(set) < device.NumClassSets && !cp.invalid[set]
+}
+
+// IOTime computes the profile's accumulated I/O time under a compact
+// layout whose placement bytes are class-set masks. Error cases mirror
+// CompiledProfile.IOTime: a profiled object left unplaced, or placed on an
+// unusable set.
+func (cp *CompiledSetProfile) IOTime(cl catalog.CompactLayout) (time.Duration, error) {
+	var total time.Duration
+	for k, id := range cp.objs {
+		set, ok := cl.MaskAt(catalog.DenseIndex(id))
+		if !ok {
+			return 0, fmt.Errorf("iosim: object %d not placed by layout", id)
+		}
+		if cp.invalid[set] {
+			return 0, fmt.Errorf("iosim: layout places object %d on class set %v unusable for box %q", id, set, cp.boxName)
+		}
+		total += cp.rows[k*device.NumClassSets+int(set)]
+	}
+	return total, nil
+}
+
+// DeltaIOTime returns the change in the profile's I/O time when object id
+// moves from one class set to another. Unprofiled objects contribute
+// nothing; an unusable set is an error, matching IOTime.
+func (cp *CompiledSetProfile) DeltaIOTime(id catalog.ObjectID, from, to device.ClassSet) (time.Duration, error) {
+	i := catalog.DenseIndex(id)
+	if i < 0 || i >= len(cp.rowOf) || cp.rowOf[i] < 0 {
+		return 0, nil
+	}
+	if int(from) >= device.NumClassSets || cp.invalid[from] {
+		return 0, fmt.Errorf("iosim: layout places object %d on class set %v unusable for box %q", id, from, cp.boxName)
+	}
+	if int(to) >= device.NumClassSets || cp.invalid[to] {
+		return 0, fmt.Errorf("iosim: layout places object %d on class set %v unusable for box %q", id, to, cp.boxName)
+	}
+	row := cp.rows[int(cp.rowOf[i])*device.NumClassSets:]
+	return row[to] - row[from], nil
+}
+
+// AccumulateSetTimes adds every profiled object's per-set time row into a
+// dense table indexed by DenseIndex(id)*device.NumClassSets + mask: the raw
+// material of the replica branch-and-bound's admissible bound, exactly as
+// AccumulateClassTimes is for the single-class search. Rows of unusable
+// masks stay zero; the bound only ever consults the masks the enumeration
+// actually assigns, which are all usable.
+func (cp *CompiledSetProfile) AccumulateSetTimes(table []time.Duration) {
+	for k, id := range cp.objs {
+		i := catalog.DenseIndex(id)
+		if i < 0 || (i+1)*device.NumClassSets > len(table) {
+			continue
+		}
+		row := cp.rows[k*device.NumClassSets : (k+1)*device.NumClassSets]
+		dst := table[i*device.NumClassSets : (i+1)*device.NumClassSets]
+		for m := range row {
+			dst[m] += row[m]
+		}
+	}
+}
+
+// AppendSetRow appends object id's per-set time row as fixed-width bytes
+// (8 per mask, big-endian) to dst. Two objects with equal appended rows
+// are interchangeable under this profile for every replicated layout: each
+// usable set contributes the same time for both, and unusable sets never
+// appear in an enumerated layout.
+func (cp *CompiledSetProfile) AppendSetRow(dst []byte, id catalog.ObjectID) []byte {
+	var row []time.Duration
+	if i := catalog.DenseIndex(id); i >= 0 && i < len(cp.rowOf) && cp.rowOf[i] >= 0 {
+		k := int(cp.rowOf[i])
+		row = cp.rows[k*device.NumClassSets : (k+1)*device.NumClassSets]
+	}
+	for m := 0; m < device.NumClassSets; m++ {
+		var v uint64
+		if row != nil {
+			v = uint64(row[m])
+		}
+		dst = append(dst,
+			byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return dst
+}
+
+// SetIOTime is the map-path replica estimate: the accumulated I/O time of
+// the profile under a replicated layout, reads on each object's best
+// member per I/O type and writes on every member. The layout parameter
+// reuses catalog.Layout as the carrier — each value is a device.ClassSet
+// mask stored in the Class slot — because the search engine's map pipeline
+// is typed over Layout; interpretation is the caller's contract, and the
+// replica search keeps a dedicated engine so mask and class keys never
+// share a memo. Per-term arithmetic matches CompileSetProfile, so map and
+// compiled replica paths are bit-identical (integer Duration sums reorder
+// exactly across the map's iteration order).
+func (p Profile) SetIOTime(layout catalog.Layout, box *device.Box, concurrency int) (time.Duration, error) {
+	var total time.Duration
+	for id, v := range p {
+		raw, ok := layout[id]
+		if !ok {
+			return 0, fmt.Errorf("iosim: object %d not placed by layout", id)
+		}
+		set := device.ClassSet(raw)
+		if !set.Valid() {
+			return 0, fmt.Errorf("iosim: layout places object %d on invalid class set %v", id, set)
+		}
+		var devs [device.NumClasses]*device.Device
+		for c := 0; c < device.NumClasses; c++ {
+			if !set.Has(device.Class(c)) {
+				continue
+			}
+			d := box.Device(device.Class(c))
+			if d == nil {
+				return 0, fmt.Errorf("iosim: layout places object %d on class set %v unusable for box %q", id, set, box.Name)
+			}
+			devs[c] = d
+		}
+		for _, t := range device.AllIOTypes {
+			n := v[t]
+			if n <= 0 {
+				continue
+			}
+			if t.IsRead() {
+				var best time.Duration
+				first := true
+				for c := 0; c < device.NumClasses; c++ {
+					if devs[c] == nil {
+						continue
+					}
+					if st := devs[c].ServiceTime(t, concurrency); first || st < best {
+						best = st
+						first = false
+					}
+				}
+				total += time.Duration(n * float64(best))
+			} else {
+				for c := 0; c < device.NumClasses; c++ {
+					if devs[c] != nil {
+						total += time.Duration(n * float64(devs[c].ServiceTime(t, concurrency)))
+					}
+				}
+			}
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,304 @@
+package iosim
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+)
+
+// maskLayout builds a map layout whose values carry class-set masks in the
+// Class slots, the carrier convention of the replica search.
+func maskLayout(sets map[catalog.ObjectID]device.ClassSet) catalog.Layout {
+	l := make(catalog.Layout, len(sets))
+	for id, s := range sets {
+		l[id] = device.Class(s)
+	}
+	return l
+}
+
+// TestSetProfileSingletonParity: on singleton masks the replica tables must
+// reproduce the single-class evaluators bit for bit, on both the map and
+// the compiled paths.
+func TestSetProfileSingletonParity(t *testing.T) {
+	cat, prof := compiledFixture(t)
+	box := device.Box1()
+	rng := rand.New(rand.NewSource(11))
+	classes := box.Classes()
+	for _, conc := range []int{1, 30} {
+		cp := CompileProfile(prof, box, conc, cat.NumObjects())
+		csp := CompileSetProfile(prof, box, conc, cat.NumObjects())
+		for trial := 0; trial < 100; trial++ {
+			single := make(catalog.Layout)
+			sets := make(map[catalog.ObjectID]device.ClassSet)
+			for _, o := range cat.Objects() {
+				c := classes[rng.Intn(len(classes))]
+				single[o.ID] = c
+				sets[o.ID] = device.Singleton(c)
+			}
+			want, err := prof.IOTime(single, box, conc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMap, err := prof.SetIOTime(maskLayout(sets), box, conc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotMap != want {
+				t.Fatalf("conc %d trial %d: map SetIOTime %v, single IOTime %v", conc, trial, gotMap, want)
+			}
+			scl, _ := catalog.CompactFromLayout(cat, single)
+			wantC, err := cp.IOTime(scl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mcl, ok := catalog.CompactFromSetLayout(cat, catalog.SingletonSetLayout(single))
+			if !ok {
+				t.Fatal("compact set conversion failed")
+			}
+			gotC, err := csp.IOTime(mcl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotC != wantC || gotC != want {
+				t.Fatalf("conc %d trial %d: compiled set %v, compiled single %v, map %v", conc, trial, gotC, wantC, want)
+			}
+		}
+	}
+}
+
+// TestSetIOTimeMapMatchesCompiled: random replicated layouts over the box's
+// usable sets evaluate identically on the map and compiled paths.
+func TestSetIOTimeMapMatchesCompiled(t *testing.T) {
+	cat, prof := compiledFixture(t)
+	box := device.Box1()
+	valid := device.EnumerateClassSets(box.Classes(), 0)
+	rng := rand.New(rand.NewSource(13))
+	for _, conc := range []int{1, 300} {
+		csp := CompileSetProfile(prof, box, conc, cat.NumObjects())
+		for trial := 0; trial < 200; trial++ {
+			sets := make(map[catalog.ObjectID]device.ClassSet)
+			sl := make(catalog.SetLayout)
+			for _, o := range cat.Objects() {
+				s := valid[rng.Intn(len(valid))]
+				sets[o.ID] = s
+				sl[o.ID] = s
+			}
+			want, err := prof.SetIOTime(maskLayout(sets), box, conc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl, ok := catalog.CompactFromSetLayout(cat, sl)
+			if !ok {
+				t.Fatal("compact set conversion failed")
+			}
+			got, err := csp.IOTime(cl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("conc %d trial %d: compiled %v, map %v", conc, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestSetReplicaSemantics: the replica pricing rules on a hand-checked
+// case — reads charged to the best member per I/O type, writes charged to
+// every member.
+func TestSetReplicaSemantics(t *testing.T) {
+	cat, _ := compiledFixture(t)
+	box := device.Box1()
+	id := catalog.ObjectID(1)
+	prof := NewProfile()
+	prof.Add(id, device.SeqRead, 500)
+	prof.Add(id, device.RandRead, 200)
+	prof.Add(id, device.RandWrite, 50)
+
+	pair := device.NewClassSet(device.LSSD, device.HSSD)
+	lssd, hssd := box.Device(device.LSSD), box.Device(device.HSSD)
+	conc := 1
+	min := func(a, b time.Duration) time.Duration {
+		if b < a {
+			return b
+		}
+		return a
+	}
+	want := time.Duration(500*float64(min(lssd.ServiceTime(device.SeqRead, conc), hssd.ServiceTime(device.SeqRead, conc)))) +
+		time.Duration(200*float64(min(lssd.ServiceTime(device.RandRead, conc), hssd.ServiceTime(device.RandRead, conc)))) +
+		time.Duration(50*float64(lssd.ServiceTime(device.RandWrite, conc))) +
+		time.Duration(50*float64(hssd.ServiceTime(device.RandWrite, conc)))
+
+	got, err := prof.SetIOTime(maskLayout(map[catalog.ObjectID]device.ClassSet{id: pair}), box, conc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("map pair time %v, hand-computed %v", got, want)
+	}
+	csp := CompileSetProfile(prof, box, conc, cat.NumObjects())
+	sl := catalog.SetLayout{id: pair}
+	for _, o := range cat.Objects() { // unprofiled objects need placement-free slots
+		if o.ID != id {
+			sl[o.ID] = device.Singleton(device.HSSD)
+		}
+	}
+	cl, _ := catalog.CompactFromSetLayout(cat, sl)
+	if gotC, err := csp.IOTime(cl); err != nil || gotC != want {
+		t.Fatalf("compiled pair time %v (err %v), hand-computed %v", gotC, err, want)
+	}
+
+	// Adding a replica never slows reads and never speeds writes: the pair
+	// must cost at least each member's reads and at least the sum of writes.
+	for _, c := range []device.Class{device.LSSD, device.HSSD} {
+		solo, err := prof.SetIOTime(maskLayout(map[catalog.ObjectID]device.ClassSet{id: device.Singleton(c)}), box, conc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readsOnly := solo - time.Duration(50*float64(box.Device(c).ServiceTime(device.RandWrite, conc)))
+		if got < readsOnly {
+			t.Fatalf("pair %v beat member %v's reads-only %v", got, c, readsOnly)
+		}
+	}
+}
+
+// TestSetDeltaMatchesFull: DeltaIOTime equals the difference of two full
+// evaluations for every (from, to) pair of usable sets.
+func TestSetDeltaMatchesFull(t *testing.T) {
+	cat, prof := compiledFixture(t)
+	box := device.Box1()
+	csp := CompileSetProfile(prof, box, 1, cat.NumObjects())
+	valid := device.EnumerateClassSets(box.Classes(), 0)
+	base := catalog.CompactUniformSet(cat, device.Singleton(device.HSSD))
+	baseTime, err := csp.IOTime(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range cat.Objects() {
+		for _, to := range valid {
+			moved := base.Clone()
+			moved.SetRaw(o.ID, byte(to))
+			want, err := csp.IOTime(moved)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := csp.DeltaIOTime(o.ID, device.Singleton(device.HSSD), to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if baseTime+d != want {
+				t.Fatalf("obj %d -> %v: delta %v gives %v, full %v", o.ID, to, d, baseTime+d, want)
+			}
+		}
+	}
+	if d, err := csp.DeltaIOTime(catalog.ObjectID(200), device.Singleton(device.HSSD), valid[0]); err != nil || d != 0 {
+		t.Fatalf("unprofiled delta = %v, %v; want 0, nil", d, err)
+	}
+	if _, err := csp.DeltaIOTime(1, device.Singleton(device.HSSD), device.Singleton(device.HDD)); err == nil {
+		t.Fatal("delta into a set with an absent member must error")
+	}
+}
+
+// TestSetTableHelpers: AccumulateSetTimes reproduces per-object rows and
+// AppendSetRow discriminates objects exactly by their usable-set rows.
+func TestSetTableHelpers(t *testing.T) {
+	cat, prof := compiledFixture(t)
+	box := device.Box1()
+	csp := CompileSetProfile(prof, box, 1, cat.NumObjects())
+	table := make([]time.Duration, cat.NumObjects()*device.NumClassSets)
+	csp.AccumulateSetTimes(table)
+	for _, o := range cat.Objects() {
+		row := table[catalog.DenseIndex(o.ID)*device.NumClassSets : (catalog.DenseIndex(o.ID)+1)*device.NumClassSets]
+		for m, v := range row {
+			set := device.ClassSet(m)
+			if !csp.ValidSet(set) {
+				if v != 0 {
+					t.Fatalf("obj %d: unusable set %v has nonzero time %v", o.ID, set, v)
+				}
+				continue
+			}
+			d, err := csp.DeltaIOTime(o.ID, device.Singleton(device.HSSD), set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hssdRow := table[catalog.DenseIndex(o.ID)*device.NumClassSets+int(device.Singleton(device.HSSD))]
+			if v != hssdRow+d {
+				t.Fatalf("obj %d set %v: table %v, delta-reconstructed %v", o.ID, set, v, hssdRow+d)
+			}
+		}
+	}
+
+	// Objects with identical profiles share a signature row; distinct
+	// profiles differ.
+	twin := NewProfile()
+	twin.Add(1, device.SeqRead, 42)
+	twin.Add(2, device.SeqRead, 42)
+	twin.Add(3, device.SeqRead, 43)
+	tcp := CompileSetProfile(twin, box, 1, cat.NumObjects())
+	r1 := tcp.AppendSetRow(nil, 1)
+	r2 := tcp.AppendSetRow(nil, 2)
+	r3 := tcp.AppendSetRow(nil, 3)
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("identical profiles must share a set row")
+	}
+	if bytes.Equal(r1, r3) {
+		t.Fatal("distinct profiles must not share a set row")
+	}
+	if len(r1) != device.NumClassSets*8 {
+		t.Fatalf("row width %d, want %d", len(r1), device.NumClassSets*8)
+	}
+}
+
+// TestSetIOTimeErrorPaths mirrors the single-class error coverage.
+func TestSetIOTimeErrorPaths(t *testing.T) {
+	cat, prof := compiledFixture(t)
+	box := device.Box1() // plain HDD absent
+	csp := CompileSetProfile(prof, box, 1, cat.NumObjects())
+
+	missing := catalog.NewUniformSetLayout(cat, device.Singleton(device.HSSD))
+	delete(missing, 1)
+	ml := make(catalog.Layout)
+	for id, s := range missing {
+		ml[id] = device.Class(s)
+	}
+	if _, err := prof.SetIOTime(ml, box, 1); err == nil || !strings.Contains(err.Error(), "not placed") {
+		t.Fatalf("map path: want not-placed, got %v", err)
+	}
+	cl, _ := catalog.CompactFromSetLayout(cat, missing)
+	cl.Unset(1)
+	if _, err := csp.IOTime(cl); err == nil || !strings.Contains(err.Error(), "not placed") {
+		t.Fatalf("compiled path: want not-placed, got %v", err)
+	}
+
+	// A set containing a class the box does not carry.
+	bad := catalog.NewUniformSetLayout(cat, device.Singleton(device.HSSD))
+	bad[1] = device.NewClassSet(device.HDD, device.HSSD)
+	bl := make(catalog.Layout)
+	for id, s := range bad {
+		bl[id] = device.Class(s)
+	}
+	if _, err := prof.SetIOTime(bl, box, 1); err == nil || !strings.Contains(err.Error(), "unusable") {
+		t.Fatalf("map path: want unusable-set, got %v", err)
+	}
+	bcl, _ := catalog.CompactFromSetLayout(cat, bad)
+	if _, err := csp.IOTime(bcl); err == nil || !strings.Contains(err.Error(), "unusable") {
+		t.Fatalf("compiled path: want unusable-set, got %v", err)
+	}
+
+	// The empty set is invalid on the map path.
+	el := make(catalog.Layout)
+	for _, o := range cat.Objects() {
+		el[o.ID] = device.Class(device.Singleton(device.HSSD))
+	}
+	el[1] = 0
+	if _, err := prof.SetIOTime(el, box, 1); err == nil || !strings.Contains(err.Error(), "invalid class set") {
+		t.Fatalf("map path: want invalid-set, got %v", err)
+	}
+	if csp.ValidSet(0) {
+		t.Fatal("the empty set must be invalid under every compile")
+	}
+}

@@ -55,6 +55,12 @@ type Config struct {
 	// manager prices are unit-granular.
 	LayoutCost        func(l catalog.Layout) (float64, error)
 	LayoutCostCompact func(cl catalog.CompactLayout) (float64, error)
+	// Replication, when Enabled, advises replicated placement: the deployed
+	// layout generalizes to a catalog.SetLayout and every advise and
+	// re-advise searches over class sets (see replica.go). Replication
+	// prices only the linear cost model, so it cannot combine with
+	// LayoutCost.
+	Replication core.ReplicationConfig
 	// Partitioning, when set, advises at partition granularity: observed
 	// profiles are apportioned onto the partitioning's units by extent
 	// heat, searches run over the unit catalog, and the deployed layout,
@@ -94,8 +100,17 @@ type Decision struct {
 	// next check fires again and the manager keeps retrying.
 	Feasible bool
 	// From and To are the deployed layouts before and after the decision
-	// (To is nil when nothing was adopted).
+	// (To is nil when nothing was adopted). In replicated mode they are the
+	// single-class views of the set layouts, nil whenever the corresponding
+	// layout genuinely replicates some unit.
 	From, To catalog.Layout
+	// SetFrom and SetTo are the replicated layouts before and after the
+	// decision, populated only in replicated mode (SetTo nil when nothing
+	// was adopted).
+	SetFrom, SetTo catalog.SetLayout
+	// Replica is the underlying replicated search result, populated only in
+	// replicated mode; Result then mirrors Replica.Result.
+	Replica *core.ReplicaResult
 	// Migration prices the adopted transition (empty when none).
 	Migration MigrationPlan
 	// Result is the underlying search result (evaluation counts, metrics,
@@ -116,8 +131,13 @@ type Manager struct {
 	mig MigrationModel
 	col *Collector
 
-	mu     sync.Mutex
-	cur    catalog.Layout
+	mu sync.Mutex
+	// cur is the deployed single-class layout; in replicated mode it is the
+	// single-class view of curSet (nil while some unit replicates).
+	cur catalog.Layout
+	// curSet is the deployed replicated layout, non-nil exactly when
+	// Config.Replication is enabled.
+	curSet catalog.SetLayout
 	ref    Window
 	hasRef bool
 	stats  Stats
@@ -136,6 +156,9 @@ func NewManager(cfg Config) (*Manager, error) {
 	}
 	if (cfg.LayoutCost == nil) != (cfg.LayoutCostCompact == nil) {
 		return nil, fmt.Errorf("online: LayoutCost and LayoutCostCompact must be set together")
+	}
+	if cfg.Replication.Enabled && cfg.LayoutCost != nil {
+		return nil, fmt.Errorf("online: replicated advising prices only the linear cost model; drop LayoutCost or Replication")
 	}
 	cat := cfg.Cat
 	if cfg.Partitioning != nil {
@@ -165,6 +188,11 @@ func NewManager(cfg Config) (*Manager, error) {
 		mig: MigrationModel{Cat: cat, Box: cfg.Box},
 		col: NewCollector(cfg.Windows),
 		cur: deployed.Clone(),
+	}
+	if cfg.Replication.Enabled {
+		// A configured deployed layout is single-class; the replicated loop
+		// starts from its singleton lift and grows copies from there.
+		m.curSet = catalog.SingletonSetLayout(m.cur)
 	}
 	return m, nil
 }
@@ -200,10 +228,14 @@ func (m *Manager) Observe(w Window) { m.col.Observe(w) }
 
 // CurrentLayout returns a copy of the deployed layout the manager advises
 // from. At partition granularity it is unit-granular (keyed by the
-// partitioning's unit catalog).
+// partitioning's unit catalog). In replicated mode it is the single-class
+// view of CurrentSetLayout — nil while some unit genuinely replicates.
 func (m *Manager) CurrentLayout() catalog.Layout {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.cur == nil {
+		return nil
+	}
 	return m.cur.Clone()
 }
 
@@ -249,8 +281,18 @@ func (m *Manager) input(w Window) (core.Input, error) {
 		if w.Elapsed <= 0 {
 			return core.Input{}, fmt.Errorf("online: transactional window (txns=%d) without elapsed time", w.Txns)
 		}
-		pe, err := workload.NewProfileEstimator(m.cfg.Box, m.conc(), w.Profile, w.CPU,
-			workload.RunStats{Txns: w.Txns, Elapsed: w.Elapsed}, m.cur)
+		var pe *workload.ProfileEstimator
+		var err error
+		if m.curSet != nil {
+			// Replicated mode: the window was measured under the deployed
+			// set layout, so the throughput scaling must anchor on its
+			// replica-routed I/O time.
+			pe, err = workload.NewSetProfileEstimator(m.cfg.Box, m.conc(), w.Profile, w.CPU,
+				workload.RunStats{Txns: w.Txns, Elapsed: w.Elapsed}, m.curSet)
+		} else {
+			pe, err = workload.NewProfileEstimator(m.cfg.Box, m.conc(), w.Profile, w.CPU,
+				workload.RunStats{Txns: w.Txns, Elapsed: w.Elapsed}, m.cur)
+		}
 		if err != nil {
 			return core.Input{}, err
 		}
@@ -275,6 +317,7 @@ func (m *Manager) input(w Window) (core.Input, error) {
 		Budget:            m.cfg.Budget,
 		LayoutCost:        m.cfg.LayoutCost,
 		LayoutCostCompact: m.cfg.LayoutCostCompact,
+		Replication:       m.cfg.Replication,
 	}, nil
 }
 
@@ -292,10 +335,15 @@ func (m *Manager) Advise() (*Decision, error) { return m.AdviseWith(core.Optimiz
 // AdviseWith is Advise with the cold search injected. The returned result
 // may be shared by other managers advising an identical workload (the
 // fleet memo path): the manager only reads it and clones its layout before
-// adopting, never mutating the result.
+// adopting, never mutating the result. In replicated mode the injected
+// search is not used — replicated results have their own shape and are
+// never memo-shared — and the call routes to the replicated body.
 func (m *Manager) AdviseWith(search SearchFunc) (*Decision, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.curSet != nil {
+		return m.adviseReplicatedLocked()
+	}
 	agg, n := m.col.Aggregate(m.aggWindows())
 	if n == 0 || agg.IOs() < m.det.minIOs() {
 		return nil, fmt.Errorf("online: no usable observations to advise from (windows=%d, ios=%g)", n, agg.IOs())
@@ -344,7 +392,13 @@ func (m *Manager) checkLocked() (Drift, Window, int, error) {
 		return Drift{Thin: true}, agg, 0, nil
 	}
 	agg = m.lower(agg)
-	dr, err := m.det.Compare(m.ref, agg, m.cur)
+	var dr Drift
+	var err error
+	if m.curSet != nil {
+		dr, err = m.det.CompareSet(m.ref, agg, m.curSet)
+	} else {
+		dr, err = m.det.Compare(m.ref, agg, m.cur)
+	}
 	if err != nil {
 		return Drift{}, Window{}, n, err
 	}
@@ -364,8 +418,39 @@ func (m *Manager) checkLocked() (Drift, Window, int, error) {
 // infeasible outcome leaves both layout and reference untouched so the
 // next call retries.
 func (m *Manager) ReAdvise(force bool) (*Decision, error) {
+	return m.ReAdviseWith(force,
+		func(_ string, in core.Input, opts core.IncrementalOptions) (*core.Result, error) {
+			return core.OptimizeIncremental(in, opts)
+		},
+		func(_ string, in core.Input, opts core.Options) (*core.Result, error) {
+			return core.OptimizeBest(in, opts)
+		})
+}
+
+// IncrementalSearchFunc runs one seeded, gated incremental layout
+// optimization — core.OptimizeIncremental's shape, plus the fingerprint of
+// the observed aggregate the search prices (online.Window.Fingerprint).
+// ReAdviseWith callers inject it to interpose on the re-advise search: the
+// serve fleet memo keys on (observed fingerprint, seed layout, box, SLA)
+// and coalesces tenants whose keys agree — the input, seed and migration
+// gate are then semantically identical, so a shared result stays sound.
+type IncrementalSearchFunc func(obsFP string, in core.Input, opts core.IncrementalOptions) (*core.Result, error)
+
+// ColdSearchFunc is SearchFunc plus the observed-aggregate fingerprint —
+// the cold-fallback half of ReAdviseWith's seam.
+type ColdSearchFunc func(obsFP string, in core.Input, opts core.Options) (*core.Result, error)
+
+// ReAdviseWith is ReAdvise with the incremental search and the cold
+// fallback injected; both must be pure functions of their inputs so an
+// injected cache stays sound. In replicated mode the injected searches are
+// not used — replicated results have their own shape and are never
+// memo-shared — and the call routes to the replicated body.
+func (m *Manager) ReAdviseWith(force bool, inc IncrementalSearchFunc, cold ColdSearchFunc) (*Decision, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.curSet != nil {
+		return m.reAdviseReplicatedLocked(force)
+	}
 	dr, agg, n, err := m.checkLocked()
 	if err != nil {
 		return nil, err
@@ -381,7 +466,7 @@ func (m *Manager) ReAdvise(force bool) (*Decision, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.OptimizeIncremental(in, core.IncrementalOptions{
+	res, err := inc(dr.ObsFingerprint, in, core.IncrementalOptions{
 		Options: core.Options{RelativeSLA: m.cfg.SLA},
 		Seed:    m.cur,
 		Accept:  m.mig.Gate(m.cur, m.cfg.HeadroomFraction),
@@ -395,14 +480,14 @@ func (m *Manager) ReAdvise(force bool) (*Decision, error) {
 		// The migration budget admits no feasible layout near the deployed
 		// one; re-solve from scratch (full migration is then priced, not
 		// gated — the operator sees it in the decision).
-		cold, err := core.OptimizeBest(in, core.Options{RelativeSLA: m.cfg.SLA})
+		coldRes, err := cold(dr.ObsFingerprint, in, core.Options{RelativeSLA: m.cfg.SLA})
 		if err != nil {
 			return nil, err
 		}
-		dec.Result = cold
+		dec.Result = coldRes
 		dec.Incremental = false
 		m.stats.Fallbacks++
-		res = cold
+		res = coldRes
 	}
 	dec.Feasible = res.Feasible
 	if !res.Feasible {

@@ -1,0 +1,352 @@
+// Replicated online advising: the manager's class-set mode. With
+// Config.Replication enabled the deployed layout is a catalog.SetLayout —
+// each placement unit lives on a set of storage classes, reads route to the
+// best member per access pattern and writes land on every member — and the
+// whole loop generalizes accordingly: drift is judged at replica-routed
+// service times, re-advises run the seeded replicated incremental search,
+// and migration pricing charges per copy added (sequential read off the
+// fastest existing member plus a sequential write onto the destination)
+// while dropping a copy is free (deleting bytes moves nothing). With every
+// set a singleton the arithmetic reduces bit for bit to the single-class
+// loop.
+package online
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/core"
+	"dotprov/internal/device"
+	"dotprov/internal/pagestore"
+	"dotprov/internal/search"
+	"dotprov/internal/workload"
+)
+
+// setMoveTime prices transitioning one object of size bytes between replica
+// sets. Each copy added is read sequentially off the fastest existing
+// member (a brand-new object has no source and is charged writes only) and
+// rewritten at its destination's sequential-write rate; dropped copies cost
+// nothing. On singleton-to-singleton transitions this is exactly moveTime.
+func (m MigrationModel) setMoveTime(size int64, from, to device.ClassSet) time.Duration {
+	added := to &^ from
+	if size <= 0 || added == 0 {
+		return 0
+	}
+	pages := (size + pagestore.PageSize - 1) / pagestore.PageSize
+	var src time.Duration
+	for _, c := range from.Classes() {
+		if d := m.Box.Device(c); d != nil {
+			t := d.ServiceTime(device.SeqRead, m.conc())
+			if src == 0 || t < src {
+				src = t
+			}
+		}
+	}
+	var total time.Duration
+	for _, c := range added.Classes() {
+		d := m.Box.Device(c)
+		if d == nil {
+			continue
+		}
+		total += time.Duration(pages) * (src + d.ServiceTime(device.SeqWrite, m.conc()))
+	}
+	return total
+}
+
+// PlanSet diffs two replicated layouts and prices the transition, the
+// class-set analog of Plan. Bytes counts the bytes rewritten — object size
+// times copies added — so a decision that only drops copies reports moves
+// with zero bytes and zero time.
+func (m MigrationModel) PlanSet(from, to catalog.SetLayout) MigrationPlan {
+	var p MigrationPlan
+	for _, o := range m.Cat.Objects() {
+		src, okFrom := from[o.ID]
+		dst, okTo := to[o.ID]
+		if !okFrom || !okTo || src == dst {
+			continue
+		}
+		p.Moves = append(p.Moves, workload.ObjectMove{Obj: o.ID, From: device.Class(src), To: device.Class(dst)})
+		if added := dst &^ src; added != 0 {
+			p.Bytes += o.SizeBytes * int64(added.Count())
+		}
+		p.Time += m.setMoveTime(o.SizeBytes, src, dst)
+	}
+	return p
+}
+
+// GateSet builds the admission hook for core.OptimizeReplicatedIncremental,
+// the class-set analog of Gate: a candidate is admitted only when the time
+// to materialize its new copies off the seed layout fits within frac of the
+// SLA headroom. Candidate placement slots carry class-set masks, so the
+// compiled-path byte diff compares masks against the seed's compact set
+// form.
+func (m MigrationModel) GateSet(seed catalog.SetLayout, frac float64) func(search.Eval, workload.Constraints) bool {
+	if frac <= 0 {
+		frac = DefaultHeadroomFraction
+	}
+	sizes := m.Cat.DenseSizeBytes()
+	seedCompact, compactOK := catalog.CompactFromSetLayout(m.Cat, seed)
+	return func(ev search.Eval, cons workload.Constraints) bool {
+		var mig time.Duration
+		if compactOK && !ev.Compact.IsZero() {
+			sb, cb := seedCompact.Bytes(), ev.Compact.Bytes()
+			for i := 0; i < len(cb) && i < len(sb); i++ {
+				if sb[i] != cb[i] && i < len(sizes) {
+					mig += m.setMoveTime(sizes[i], device.ClassSet(sb[i]), device.ClassSet(cb[i]))
+				}
+			}
+		} else {
+			cand := ev.LayoutMap()
+			for _, o := range m.Cat.Objects() {
+				src, okFrom := seed[o.ID]
+				dst, okTo := cand[o.ID]
+				if okFrom && okTo && device.ClassSet(dst) != src {
+					mig += m.setMoveTime(o.SizeBytes, src, device.ClassSet(dst))
+				}
+			}
+		}
+		if mig == 0 {
+			return true
+		}
+		if cons.Baseline.Elapsed <= 0 || cons.Relative <= 0 {
+			return true
+		}
+		allowed := time.Duration(float64(cons.Baseline.Elapsed) / cons.Relative)
+		headroom := allowed - ev.Metrics.Elapsed
+		if headroom <= 0 {
+			return false
+		}
+		return float64(mig) <= frac*float64(headroom)
+	}
+}
+
+// setServiceTime resolves one I/O type's service time under a replica set:
+// reads route to the fastest member, writes charge every member — the same
+// model the set estimators price candidates with.
+func (d Detector) setServiceTime(s device.ClassSet, t device.IOType) (time.Duration, error) {
+	if !s.Valid() {
+		return 0, fmt.Errorf("online: invalid replica set %#x", uint8(s))
+	}
+	var out time.Duration
+	first := true
+	for _, c := range s.Classes() {
+		dev := d.Box.Device(c)
+		if dev == nil {
+			return 0, fmt.Errorf("online: replica set %v includes class %v absent from box %q", s, c, d.Box.Name)
+		}
+		st := dev.ServiceTime(t, d.conc())
+		switch {
+		case !t.IsRead():
+			out += st
+		case first || st < out:
+			out = st
+		}
+		first = false
+	}
+	return out, nil
+}
+
+// CompareSet checks the observed window against the reference under a
+// replicated deployed layout, the class-set analog of Compare: per-type
+// divergence is weighted at replica-routed service times (best member for
+// reads, all members for writes) and normalized by the reference profile's
+// replica-routed I/O time. On an all-singleton layout it agrees with
+// Compare exactly.
+func (d Detector) CompareSet(ref, obs Window, layout catalog.SetLayout) (Drift, error) {
+	if d.Box == nil {
+		return Drift{}, fmt.Errorf("online: Detector requires a Box")
+	}
+	dr := Drift{
+		RefFingerprint: ref.Fingerprint(),
+		ObsFingerprint: obs.Fingerprint(),
+	}
+	if dr.RefFingerprint == dr.ObsFingerprint {
+		return dr, nil
+	}
+	if obs.IOs() < d.minIOs() {
+		dr.Thin = true
+		return dr, nil
+	}
+	scale := 1.0
+	switch {
+	case ref.Elapsed > 0 && obs.Elapsed > 0:
+		scale = float64(ref.Elapsed) / float64(obs.Elapsed)
+	case ref.IOs() > 0 && obs.IOs() > 0:
+		scale = ref.IOs() / obs.IOs()
+	}
+	var num float64
+	seen := make(map[catalog.ObjectID]bool, len(ref.Profile)+len(obs.Profile))
+	union := make([]catalog.ObjectID, 0, len(ref.Profile)+len(obs.Profile))
+	for id := range ref.Profile {
+		if !seen[id] {
+			seen[id] = true
+			union = append(union, id)
+		}
+	}
+	for id := range obs.Profile {
+		if !seen[id] {
+			seen[id] = true
+			union = append(union, id)
+		}
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i] < union[j] })
+	for _, id := range union {
+		set, ok := layout[id]
+		if !ok {
+			return Drift{}, fmt.Errorf("online: object %d observed but not placed by the deployed layout", id)
+		}
+		rv := ref.Profile.Get(id)
+		ov := obs.Profile.Get(id)
+		for _, t := range device.AllIOTypes {
+			diff := math.Abs(rv[t] - scale*ov[t])
+			if diff > 0 {
+				st, err := d.setServiceTime(set, t)
+				if err != nil {
+					return Drift{}, err
+				}
+				num += diff * float64(st)
+			}
+		}
+	}
+	refTime, err := ref.Profile.SetIOTime(maskCarrier(layout), d.Box, d.conc())
+	if err != nil {
+		return Drift{}, err
+	}
+	switch {
+	case refTime > 0:
+		dr.Divergence = num / float64(refTime)
+	case num > 0:
+		dr.Divergence = math.Inf(1)
+	}
+	dr.Drifted = dr.Divergence > d.threshold()
+	return dr, nil
+}
+
+// maskCarrier lifts a replicated layout into the mask-in-Class-slot carrier
+// the map-path set pricers consume.
+func maskCarrier(sl catalog.SetLayout) catalog.Layout {
+	out := make(catalog.Layout, len(sl))
+	for id, s := range sl {
+		out[id] = device.Class(s)
+	}
+	return out
+}
+
+// singleView collapses an all-singleton replicated layout to its
+// single-class form, or returns nil when any unit genuinely replicates.
+func singleView(sl catalog.SetLayout) catalog.Layout {
+	if l, ok := sl.SingleLayout(); ok {
+		return l
+	}
+	return nil
+}
+
+// CurrentSetLayout returns a copy of the deployed replicated layout the
+// manager advises from, or nil when the manager runs in single-class mode.
+// At partition granularity it is unit-granular.
+func (m *Manager) CurrentSetLayout() catalog.SetLayout {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.curSet == nil {
+		return nil
+	}
+	return m.curSet.Clone()
+}
+
+// adoptSetLocked installs a feasible replicated layout and re-anchors the
+// reference profile. The single-class view tracks the set layout so
+// CurrentLayout and the decision log stay meaningful while the deployment
+// is singleton-only.
+func (m *Manager) adoptSetLocked(sl catalog.SetLayout, agg Window) {
+	m.curSet = sl.Clone()
+	m.cur = singleView(m.curSet)
+	m.ref = agg
+	m.hasRef = true
+}
+
+// adviseReplicatedLocked is Advise's class-set body: the cold replicated
+// optimization off the collected profile. Callers hold m.mu.
+func (m *Manager) adviseReplicatedLocked() (*Decision, error) {
+	agg, n := m.col.Aggregate(m.aggWindows())
+	if n == 0 || agg.IOs() < m.det.minIOs() {
+		return nil, fmt.Errorf("online: no usable observations to advise from (windows=%d, ios=%g)", n, agg.IOs())
+	}
+	agg = m.lower(agg)
+	in, err := m.input(agg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.OptimizeReplicated(in, core.Options{RelativeSLA: m.cfg.SLA})
+	if err != nil {
+		return nil, err
+	}
+	dec := &Decision{
+		WindowsMerged: n,
+		From:          singleView(m.curSet),
+		SetFrom:       m.curSet.Clone(),
+		Replica:       res,
+		Result:        res.Result,
+		Feasible:      res.Feasible,
+	}
+	if !res.Feasible {
+		return dec, nil
+	}
+	dec.Migration = m.mig.PlanSet(m.curSet, res.SetLayout)
+	dec.SetTo = res.SetLayout.Clone()
+	dec.To = singleView(res.SetLayout)
+	dec.ReAdvised = len(dec.Migration.Moves) > 0
+	m.adoptSetLocked(res.SetLayout, agg)
+	return dec, nil
+}
+
+// reAdviseReplicatedLocked is ReAdvise's class-set body: the drift check,
+// the seeded replicated incremental search gated on copy-materialization
+// time, and the cold replicated fallback. Callers hold m.mu.
+func (m *Manager) reAdviseReplicatedLocked(force bool) (*Decision, error) {
+	dr, agg, n, err := m.checkLocked()
+	if err != nil {
+		return nil, err
+	}
+	dec := &Decision{Drift: dr, WindowsMerged: n, From: singleView(m.curSet), SetFrom: m.curSet.Clone()}
+	if n == 0 || dr.Thin || (!force && !dr.Drifted) {
+		return dec, nil
+	}
+	in, err := m.input(agg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.OptimizeReplicatedIncremental(in, core.ReplicatedIncrementalOptions{
+		Options: core.Options{RelativeSLA: m.cfg.SLA},
+		Seed:    m.curSet,
+		Accept:  m.mig.GateSet(m.curSet, m.cfg.HeadroomFraction),
+	})
+	if err != nil {
+		return nil, err
+	}
+	dec.Replica, dec.Result, dec.Incremental = res, res.Result, true
+	if !res.Feasible {
+		cold, err := core.OptimizeReplicated(in, core.Options{RelativeSLA: m.cfg.SLA})
+		if err != nil {
+			return nil, err
+		}
+		dec.Replica, dec.Result, dec.Incremental = cold, cold.Result, false
+		m.stats.Fallbacks++
+		res = cold
+	}
+	dec.Feasible = res.Feasible
+	if !res.Feasible {
+		return dec, nil
+	}
+	dec.Migration = m.mig.PlanSet(m.curSet, res.SetLayout)
+	dec.SetTo = res.SetLayout.Clone()
+	dec.To = singleView(res.SetLayout)
+	dec.ReAdvised = len(dec.Migration.Moves) > 0
+	m.adoptSetLocked(res.SetLayout, agg)
+	if dec.ReAdvised {
+		m.stats.ReAdvises++
+	}
+	return dec, nil
+}

@@ -1,0 +1,313 @@
+package online
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/core"
+	"dotprov/internal/device"
+	"dotprov/internal/iosim"
+	"dotprov/internal/pagestore"
+	"dotprov/internal/search"
+	"dotprov/internal/types"
+	"dotprov/internal/workload"
+)
+
+// htapCatalog builds the replication demo database: a large orders table
+// with its primary-key index, scanned and point-looked-up at once.
+func htapCatalog(t *testing.T) (*catalog.Catalog, map[string]catalog.ObjectID) {
+	t.Helper()
+	cat := catalog.New()
+	sch := types.NewSchema(types.Column{Name: "id", Kind: types.KindInt})
+	ids := make(map[string]catalog.ObjectID)
+	orders, err := cat.CreateTable("orders", sch, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := cat.CreateIndex("orders_pkey", orders.ID, []string{"id"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.SetSize(orders.ID, 40e9)
+	cat.SetSize(ix.ID, 2e9)
+	ids["orders"], ids["orders_pkey"] = orders.ID, ix.ID
+	return cat, ids
+}
+
+// scanLookupWindow mixes heavy sequential scans with point lookups on the
+// same table — the access pattern per-pattern best-replica routing wins on.
+func scanLookupWindow(ids map[string]catalog.ObjectID) Window {
+	p := iosim.NewProfile()
+	p.Add(ids["orders"], device.SeqRead, 5e6)
+	p.Add(ids["orders"], device.RandRead, 150000)
+	p.Add(ids["orders_pkey"], device.RandRead, 50000)
+	return Window{Profile: p, CPU: 100 * time.Millisecond, Elapsed: time.Hour}
+}
+
+// lookupWindow is the reverted mix: the scans have faded and only the
+// transactional lookups remain, so a second scan copy no longer pays.
+func lookupWindow(ids map[string]catalog.ObjectID) Window {
+	p := iosim.NewProfile()
+	p.Add(ids["orders"], device.RandRead, 150000)
+	p.Add(ids["orders_pkey"], device.RandRead, 50000)
+	return Window{Profile: p, CPU: 100 * time.Millisecond, Elapsed: time.Hour}
+}
+
+// TestManagerReplicatedLifecycle drives the full replicated loop on the
+// HTAP box: the mixed scan+lookup profile makes the initial advise grow a
+// second scan copy of the orders table, and after the workload reverts to
+// lookups only a forced re-advise drops the copy again.
+func TestManagerReplicatedLifecycle(t *testing.T) {
+	cat, ids := htapCatalog(t)
+	m, err := NewManager(Config{
+		Cat:         cat,
+		Box:         device.BoxHTAP(),
+		SLA:         0.5,
+		Replication: core.ReplicationConfig{Enabled: true, MaxReplicas: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(scanLookupWindow(ids))
+	dec, err := m.Advise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Feasible || dec.Replica == nil || dec.SetTo == nil {
+		t.Fatalf("replicated advise did not adopt: %+v", dec)
+	}
+	if dec.Replica.MaxCopies() < 2 {
+		t.Fatalf("mixed scan+lookup profile on the HTAP box should replicate, got %d copies", dec.Replica.MaxCopies())
+	}
+	if dec.To != nil {
+		t.Fatal("single-class view of a replicated layout must be nil")
+	}
+	if m.CurrentLayout() != nil {
+		t.Fatal("CurrentLayout must be nil while a unit replicates")
+	}
+	cs := m.CurrentSetLayout()
+	if len(cs) != cat.NumObjects() {
+		t.Fatalf("deployed set layout places %d objects, want %d", len(cs), cat.NumObjects())
+	}
+	if !cs.Equal(dec.SetTo) {
+		t.Fatal("deployed set layout must match the adopted decision")
+	}
+	if len(dec.Migration.Moves) == 0 || dec.Migration.Time <= 0 || dec.Migration.Bytes <= 0 {
+		t.Fatalf("growing copies off L0 must price a real migration: %+v", dec.Migration)
+	}
+
+	// The workload reverts: lookups only. A forced re-advise must drop the
+	// scan copy and collapse back to singletons.
+	m.Observe(lookupWindow(ids))
+	dec2, err := m.ReAdvise(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec2.Feasible || dec2.Replica == nil {
+		t.Fatalf("reverted re-advise did not adopt: %+v", dec2)
+	}
+	if dec2.Replica.MaxCopies() != 1 {
+		t.Fatalf("lookup-only profile should not replicate, got %d copies", dec2.Replica.MaxCopies())
+	}
+	if dec2.To == nil || m.CurrentLayout() == nil {
+		t.Fatal("all-singleton adoption must restore the single-class view")
+	}
+	if !dec2.ReAdvised {
+		t.Fatal("dropping the scan copy is a layout change")
+	}
+	if st := m.Stats(); st.ReAdvises != 1 {
+		t.Fatalf("ReAdvises = %d, want 1", st.ReAdvises)
+	}
+}
+
+// TestManagerReplicatedTransactionalWindow exercises the replica-routed
+// profile-estimator path: transactional windows anchor their throughput
+// scaling on the deployed set layout's I/O time.
+func TestManagerReplicatedTransactionalWindow(t *testing.T) {
+	cat, ids := htapCatalog(t)
+	m, err := NewManager(Config{
+		Cat:         cat,
+		Box:         device.BoxHTAP(),
+		SLA:         0.5,
+		Replication: core.ReplicationConfig{Enabled: true, MaxReplicas: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := scanLookupWindow(ids)
+	w.Txns = 200000
+	m.Observe(w)
+	dec, err := m.Advise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Feasible {
+		t.Fatalf("transactional replicated advise infeasible: %+v", dec)
+	}
+	// Re-advise off the adopted (possibly replicated) deployment: the
+	// estimator must build cleanly against the set layout.
+	m.Observe(w)
+	if _, err := m.ReAdvise(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManagerReplicationRejectsLayoutCost: replication prices only the
+// linear cost model.
+func TestManagerReplicationRejectsLayoutCost(t *testing.T) {
+	cat, _ := htapCatalog(t)
+	lc := func(l catalog.Layout) (float64, error) { return 0, nil }
+	lcc := func(cl catalog.CompactLayout) (float64, error) { return 0, nil }
+	_, err := NewManager(Config{
+		Cat: cat, Box: device.BoxHTAP(), SLA: 0.5,
+		Replication: core.ReplicationConfig{Enabled: true},
+		LayoutCost:  lc, LayoutCostCompact: lcc,
+	})
+	if err == nil {
+		t.Fatal("replication plus LayoutCost must be rejected")
+	}
+}
+
+// TestPlanSetPricing pins the copy-transition cost model: adds are priced
+// as a sequential read off the fastest existing member plus a sequential
+// write onto each destination, drops are free, and singleton-to-singleton
+// transitions reproduce the single-class Plan exactly.
+func TestPlanSetPricing(t *testing.T) {
+	cat, ids := testCatalog(t)
+	box := device.Box1()
+	model := MigrationModel{Cat: cat, Box: box}
+
+	sizeOf := func(name string) int64 {
+		for _, o := range cat.Objects() {
+			if o.ID == ids[name] {
+				return o.SizeBytes
+			}
+		}
+		t.Fatalf("no object %q", name)
+		return 0
+	}
+
+	// Singleton parity: pure moves price like Plan.
+	from := catalog.NewUniformLayout(cat, device.HSSD)
+	to := from.Clone()
+	to[ids["fact"]] = device.HDDRAID0
+	to[ids["dim"]] = device.LSSD
+	sp := model.PlanSet(catalog.SingletonSetLayout(from), catalog.SingletonSetLayout(to))
+	p := model.Plan(from, to)
+	if sp.Time != p.Time || sp.Bytes != p.Bytes || len(sp.Moves) != len(p.Moves) {
+		t.Fatalf("singleton PlanSet %+v != Plan %+v", sp, p)
+	}
+
+	// Add-only: one new copy, read off the fastest existing member.
+	sf := catalog.SingletonSetLayout(from)
+	st := sf.Clone()
+	st[ids["fact"]] = device.NewClassSet(device.HSSD, device.HDDRAID0)
+	add := model.PlanSet(sf, st)
+	size := sizeOf("fact")
+	pages := (size + pagestore.PageSize - 1) / pagestore.PageSize
+	want := time.Duration(pages) * (box.Device(device.HSSD).ServiceTime(device.SeqRead, 1) +
+		box.Device(device.HDDRAID0).ServiceTime(device.SeqWrite, 1))
+	if add.Time != want {
+		t.Fatalf("add-copy time %v, want %v", add.Time, want)
+	}
+	if add.Bytes != size || len(add.Moves) != 1 {
+		t.Fatalf("add-copy plan %+v, want %d bytes, 1 move", add, size)
+	}
+
+	// Drop-only: the reverse transition moves no bytes and costs nothing,
+	// but still records the move.
+	drop := model.PlanSet(st, sf)
+	if drop.Time != 0 || drop.Bytes != 0 {
+		t.Fatalf("dropping a copy must be free: %+v", drop)
+	}
+	if len(drop.Moves) != 1 {
+		t.Fatalf("dropping a copy is still a layout change: %+v", drop)
+	}
+}
+
+// TestGateSetHeadroom: the replicated migration gate admits no-move
+// candidates unconditionally and rejects copy growth that overruns the SLA
+// headroom.
+func TestGateSetHeadroom(t *testing.T) {
+	cat, ids := testCatalog(t)
+	box := device.Box1()
+	model := MigrationModel{Cat: cat, Box: box}
+	seed := catalog.SingletonSetLayout(catalog.NewUniformLayout(cat, device.HSSD))
+	gate := model.GateSet(seed, 0.5)
+
+	seedCompact, ok := catalog.CompactFromSetLayout(cat, seed)
+	if !ok {
+		t.Fatal("compact set conversion failed")
+	}
+	cons := workload.Constraints{
+		Relative: 0.5,
+		Baseline: workload.Metrics{Elapsed: 10 * time.Second},
+	}
+	same := search.Eval{Compact: seedCompact, Metrics: workload.Metrics{Elapsed: 15 * time.Second}}
+	if !gate(same, cons) {
+		t.Fatal("a no-move candidate must always be admitted")
+	}
+	grown := seed.Clone()
+	grown[ids["fact"]] = device.NewClassSet(device.HSSD, device.HDDRAID0)
+	grownCompact, _ := catalog.CompactFromSetLayout(cat, grown)
+	// Headroom is 20s - 15s = 5s; copying 20 GB onto the RAID stripe takes
+	// far longer than the 2.5s budget.
+	tight := search.Eval{Compact: grownCompact, Metrics: workload.Metrics{Elapsed: 15 * time.Second}}
+	if gate(tight, cons) {
+		t.Fatal("copy growth past the headroom budget must be rejected")
+	}
+	// With a day of headroom the same growth fits.
+	loose := search.Eval{Compact: grownCompact, Metrics: workload.Metrics{Elapsed: 15 * time.Second}}
+	roomy := workload.Constraints{Relative: 0.001, Baseline: workload.Metrics{Elapsed: 100 * time.Second}}
+	if !gate(loose, roomy) {
+		t.Fatal("copy growth within the headroom budget must be admitted")
+	}
+}
+
+// TestCompareSetSingletonParity: on an all-singleton deployed layout the
+// replicated drift check agrees with the single-class one bit for bit, and
+// on a genuinely replicated layout it routes reads to the fastest member.
+func TestCompareSetSingletonParity(t *testing.T) {
+	_, ids := testCatalog(t)
+	det := Detector{Box: device.Box1()}
+	ref, obs := oltpWindow(ids), dssWindow(ids)
+	layout := catalog.Layout{
+		ids["fact"]: device.HDDRAID0, ids["fact_pkey"]: device.LSSD,
+		ids["dim"]: device.HSSD, ids["dim_pkey"]: device.HSSD, ids["wal"]: device.LSSD,
+	}
+	want, err := det.Compare(ref, obs, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := det.CompareSet(ref, obs, catalog.SingletonSetLayout(layout))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.Divergence) != math.Float64bits(want.Divergence) || got.Drifted != want.Drifted {
+		t.Fatalf("singleton CompareSet %+v != Compare %+v", got, want)
+	}
+
+	// Replicating the fact table on {HDD RAID 0, H-SSD} routes its
+	// sequential reads to the H-SSD, so the scan-heavy drift weighs less
+	// than under the RAID-only layout relative to its reference time.
+	sl := catalog.SingletonSetLayout(layout)
+	sl[ids["fact"]] = device.NewClassSet(device.HDDRAID0, device.HSSD)
+	repl, err := det.CompareSet(ref, obs, sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.Divergence <= 0 || math.IsInf(repl.Divergence, 0) {
+		t.Fatalf("replicated divergence = %g, want finite positive", repl.Divergence)
+	}
+	if math.Float64bits(repl.Divergence) == math.Float64bits(got.Divergence) {
+		t.Fatal("replicated routing must change the divergence weighting")
+	}
+
+	// Error path: a set member absent from the box.
+	sl[ids["fact"]] = device.NewClassSet(device.HDD) // Box 1 has no plain HDD
+	if _, err := det.CompareSet(ref, obs, sl); err == nil {
+		t.Fatal("set member absent from the box must error")
+	}
+}

@@ -1,0 +1,99 @@
+// Replicated provisioning: the §5 configuration sweep with the inner layout
+// search running over class sets (core.OptimizeReplicated) instead of
+// single classes. Replication prices only under the linear cost model —
+// the discrete-sized (alpha-blended) models read class bytes and cannot
+// price replica masks — so the replicated sweep rejects grids with nonzero
+// alpha points, and each candidate's estimator derives its own replica form
+// (the cross-candidate metrics memo of SweepConfigurations wraps estimators
+// in a type without a replica form, so it does not apply here).
+package provision
+
+import (
+	"fmt"
+
+	"dotprov/internal/core"
+	"dotprov/internal/search"
+)
+
+// ReplicaCandidateResult pairs a candidate box with its replicated
+// recommendation.
+type ReplicaCandidateResult struct {
+	Name string
+	// Result is the candidate's replicated recommendation.
+	Result *core.ReplicaResult
+	// Spec is the enumerated grid candidate behind this result.
+	Spec *BoxSpec
+	// Failure explains why the candidate produced no feasible layout; empty
+	// when the candidate is feasible.
+	Failure string
+}
+
+// ReplicaChoice reports the winning configuration of a replicated sweep and
+// every candidate's outcome.
+type ReplicaChoice struct {
+	// Best indexes Results; -1 if nothing feasible.
+	Best int
+	// Results holds every candidate's outcome in enumeration order.
+	Results []ReplicaCandidateResult
+	// Evaluated sums the layouts investigated across every candidate's
+	// search.
+	Evaluated int
+}
+
+// SweepConfigurationsReplicated solves the generalized provisioning problem
+// with replicated placement: every candidate box enumerated from the grid
+// runs core.OptimizeReplicated under the linear cost model, and the
+// feasible candidate with the minimum TOC wins, ties toward the lowest
+// enumeration index. base supplies Cat, Est, Profiles, Concurrency,
+// Replication and the worker budget; its Box is rebound per candidate.
+// Grids must price linearly (Alphas empty or {0}).
+func SweepConfigurationsReplicated(base core.Input, grid Grid, opts core.Options) (*ReplicaChoice, error) {
+	for _, a := range grid.Alphas {
+		if a != 0 {
+			return nil, fmt.Errorf("provision: replicated sweep prices only the linear cost model (alpha 0), got alpha %g", a)
+		}
+	}
+	specs, err := grid.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	if base.Est == nil {
+		return nil, fmt.Errorf("provision: sweep requires an estimator")
+	}
+	budget := base.Budget
+	if budget == nil {
+		budget = search.NewBudget(base.Workers)
+	}
+	results := make([]ReplicaCandidateResult, len(specs))
+	err = search.Parallel(budget.Workers(), len(specs), func(i int) error {
+		spec := specs[i]
+		box := spec.Box()
+		in := base
+		in.Box = box
+		in.Budget = budget
+		res, err := core.OptimizeReplicated(in, opts)
+		if err != nil {
+			return fmt.Errorf("provision: candidate %q: %w", spec.Name, err)
+		}
+		sp := spec
+		results[i] = ReplicaCandidateResult{Name: spec.Name, Spec: &sp, Result: res}
+		if !res.Feasible {
+			results[i].Failure = InfeasibilityReason(base.Cat, box, opts)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ch := &ReplicaChoice{Best: -1, Results: results}
+	for i, r := range results {
+		ch.Evaluated += r.Result.Evaluated
+		if !r.Result.Feasible {
+			continue
+		}
+		if ch.Best < 0 || r.Result.TOCCents < ch.Results[ch.Best].Result.TOCCents {
+			ch.Best = i
+		}
+	}
+	return ch, nil
+}

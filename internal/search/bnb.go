@@ -50,6 +50,13 @@ type BnBSpace struct {
 	PriceCents [device.NumClasses]float64
 	Bounds     *UnitBounds
 	Sigs       [][]byte
+	// SetDigits declares the digit alphabet to be device.ClassSet masks
+	// rather than single classes: Classes holds the masks (cast to
+	// device.Class — both are one byte), placement bytes are masks, and a
+	// digit's storage price is the sum of its member-class prices (every
+	// replica charged its full size). Everything else — hashing, cloning,
+	// delta chains, dominance, ranks — is byte-opaque and unchanged.
+	SetDigits bool
 }
 
 // BnBOptions tunes the enumeration; the zero value is the default
@@ -320,7 +327,7 @@ func (w *bnbWalker) rec(i int, storeAcc float64, timeAcc time.Duration) error {
 		w.prevOK = false
 		for ci := w.digitFloor(i); ci < sh.m; ci++ {
 			c := sh.sp.Classes[ci]
-			w.scratch.Set(obj, c)
+			w.scratch.SetRaw(obj, byte(c))
 			w.digits[i] = uint8(ci)
 			if sh.bounding && sh.prune(storeAcc+sh.prices[ci]*size+sh.minStore[i+1], timeAcc+row[ci]+sh.minTime[i+1]) {
 				w.stats.BoundPruned++
@@ -348,7 +355,7 @@ func (w *bnbWalker) rec(i int, storeAcc float64, timeAcc time.Duration) error {
 		return nil
 	}
 	for ci := w.digitFloor(i); ci < sh.m; ci++ {
-		w.scratch.Set(obj, sh.sp.Classes[ci])
+		w.scratch.SetRaw(obj, byte(sh.sp.Classes[ci]))
 		w.digits[i] = uint8(ci)
 		sAcc, tAcc := storeAcc, timeAcc
 		if sh.bounding {
@@ -377,7 +384,7 @@ func (w *bnbWalker) runTask(prefix []uint8) error {
 	for i, d := range prefix {
 		u := sh.order[i]
 		ci := int(d)
-		w.scratch.Set(sh.sp.Free[u], sh.sp.Classes[ci])
+		w.scratch.SetRaw(sh.sp.Free[u], byte(sh.sp.Classes[ci]))
 		w.digits[i] = d
 		if sh.bounding {
 			storeAcc += sh.prices[ci] * sh.sp.SizeGB[sh.densePos[u]]
@@ -489,7 +496,7 @@ func (e *Engine) ExhaustiveBnB(cons workload.Constraints, sp BnBSpace, opt BnBOp
 		sh.prices = classPrices(&sp)
 		for i := 0; i < scratch.Len(); i++ {
 			if c, ok := scratch.ClassAt(i); ok {
-				sh.baseStore += sp.PriceCents[c] * sp.SizeGB[i]
+				sh.baseStore += digitPriceCents(&sp, byte(c)) * sp.SizeGB[i]
 			}
 		}
 		sh.baseTime = sp.Bounds.Fixed

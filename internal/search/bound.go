@@ -115,13 +115,35 @@ func suffixFloors(sp *BnBSpace, order []int, prices []float64) (minStore []float
 	return minStore, minTime
 }
 
-// classPrices resolves the space's per-class prices in Classes order.
+// classPrices resolves the space's per-digit prices in Classes order.
 func classPrices(sp *BnBSpace) []float64 {
 	out := make([]float64, len(sp.Classes))
 	for i, c := range sp.Classes {
-		if int(c) < device.NumClasses {
-			out[i] = sp.PriceCents[c]
-		}
+		out[i] = digitPriceCents(sp, byte(c))
 	}
 	return out
+}
+
+// digitPriceCents resolves one placement byte's storage price under the
+// space's digit alphabet: the class price, or — with SetDigits — the sum
+// of the mask's member-class prices, since every replica is charged its
+// full size. Each digit's price is exact (not a floor), so the storage
+// suffix minima stay admissible for set digits with no further argument;
+// the same holds for the time floors, whose per-digit rows are exact
+// contributions whatever the digit alphabet.
+func digitPriceCents(sp *BnBSpace, b byte) float64 {
+	if !sp.SetDigits {
+		if int(b) < device.NumClasses {
+			return sp.PriceCents[b]
+		}
+		return 0
+	}
+	m := device.ClassSet(b)
+	var sum float64
+	for c := 0; c < device.NumClasses; c++ {
+		if m.Has(device.Class(c)) {
+			sum += sp.PriceCents[c]
+		}
+	}
+	return sum
 }

@@ -67,7 +67,9 @@ type WorkloadSpec struct {
 // box.
 type AdviseRequest struct {
 	Workload WorkloadSpec `json:"workload"`
-	// Box selects a built-in configuration: "box1" (default) or "box2".
+	// Box selects a built-in configuration: "box1" (default), "box2" or
+	// "htap" (the striped-HDD mixed box whose sequential scans beat the
+	// H-SSD, the setting where replication pays).
 	Box string `json:"box,omitempty"`
 	// Classes overrides Box with an explicit class list, e.g.
 	// ["hdd", "lssd", "hssd"] (see device.ParseClass for accepted names).
@@ -87,6 +89,15 @@ type AdviseRequest struct {
 	// core.MaxExhaustiveLayouts cap). The response then carries Search
 	// statistics.
 	Exhaustive bool `json:"exhaustive,omitempty"`
+	// Replication turns on replica-set placement: a unit may hold copies on
+	// several storage classes, each read pattern routes to its best replica
+	// and every write lands on all copies. The response then carries the
+	// per-unit copy lists in Replicas. Prices only the paper's linear cost
+	// model, so Alpha must be 0.
+	Replication bool `json:"replication,omitempty"`
+	// MaxReplicas caps the copies per unit when Replication is set; values
+	// below 1 mean no cap (up to one copy per storage class).
+	MaxReplicas int `json:"max_replicas,omitempty"`
 }
 
 // AdviseResponse reports the recommendation.
@@ -112,6 +123,16 @@ type AdviseResponse struct {
 	// branch-and-bound or pruned exhaustive walk; absent for the greedy
 	// optimizer's hill-climbing searches.
 	Search *SearchStatsOut `json:"search,omitempty"`
+	// Replicas maps each unit to its recommended copy classes when the
+	// request asked for replication; a single-entry list is a single-copy
+	// placement. Layout is then populated only when every unit collapsed to
+	// one copy.
+	Replicas map[string][]string `json:"replicas,omitempty"`
+	// MaxCopies is the largest replica count of any unit, and
+	// ReplicatedCopies counts the extra copies placed beyond one per unit
+	// (both replication requests only).
+	MaxCopies        int `json:"max_copies,omitempty"`
+	ReplicatedCopies int `json:"replicated_copies,omitempty"`
 }
 
 // SearchStatsOut is the wire form of the exhaustive enumeration's work
@@ -378,6 +399,28 @@ func (c *compiled) input(box *device.Box, budget *search.Budget) (core.Input, er
 	}, nil
 }
 
+// renderSetLayout maps a replicated layout back to object names -> copy
+// class name lists (device.ClassSet member order).
+func (c *compiled) renderSetLayout(sl catalog.SetLayout) map[string][]string {
+	out := make(map[string][]string, len(sl))
+	for id, set := range sl {
+		if name, ok := c.names[id]; ok {
+			out[name] = classNames(set)
+		}
+	}
+	return out
+}
+
+// classNames renders a class set's members as wire class names.
+func classNames(set device.ClassSet) []string {
+	members := set.Classes()
+	names := make([]string, len(members))
+	for i, cls := range members {
+		names[i] = cls.String()
+	}
+	return names
+}
+
 // renderLayout maps a layout back to object names -> class names.
 func (c *compiled) renderLayout(l catalog.Layout) map[string]string {
 	out := make(map[string]string, len(l))
@@ -490,6 +533,18 @@ func renderUnitLayout(pt *catalog.Partitioning, l catalog.Layout) map[string]str
 	return out
 }
 
+// renderUnitSetLayout maps a replicated unit layout onto unit names ->
+// copy class name lists.
+func renderUnitSetLayout(pt *catalog.Partitioning, sl catalog.SetLayout) map[string][]string {
+	out := make(map[string][]string, len(sl))
+	for id, set := range sl {
+		if u := pt.Unit(id); u.Name != "" {
+			out[u.Name] = classNames(set)
+		}
+	}
+	return out
+}
+
 // parseGranularity validates a wire granularity value and reports whether
 // partition-granular placement was requested.
 func parseGranularity(s string) (bool, error) {
@@ -542,7 +597,9 @@ func parseBox(req AdviseRequest) (*device.Box, error) {
 		return device.Box1(), nil
 	case "box2", "2":
 		return device.Box2(), nil
+	case "htap":
+		return device.BoxHTAP(), nil
 	default:
-		return nil, fmt.Errorf("unknown box %q (want box1 or box2, or set classes)", req.Box)
+		return nil, fmt.Errorf("unknown box %q (want box1, box2 or htap, or set classes)", req.Box)
 	}
 }

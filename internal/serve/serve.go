@@ -699,6 +699,17 @@ func (s *Server) handleAdvise(body []byte) (any, int, error) {
 		return nil, http.StatusBadRequest, err
 	}
 	opts := core.Options{RelativeSLA: req.SLA}
+	if req.Replication {
+		if req.Alpha != 0 {
+			return nil, http.StatusBadRequest,
+				fmt.Errorf("replication prices only the paper's linear cost model; drop alpha %g", req.Alpha)
+		}
+		in.Replication = core.ReplicationConfig{Enabled: true, MaxReplicas: req.MaxReplicas}
+		if partitioned {
+			return s.adviseReplicatedPartitioned(req, comp, box, in, opts)
+		}
+		return s.adviseReplicated(req, comp, box, in, opts)
+	}
 	if partitioned {
 		return s.advisePartitioned(req, comp, box, in, opts)
 	}
@@ -804,6 +815,90 @@ func (s *Server) advisePartitioned(req AdviseRequest, comp *compiled, box *devic
 		resp.SplitObjects = pres.SplitObjects()
 		resp.ElapsedMillis = float64(res.Metrics.Elapsed) / float64(time.Millisecond)
 		resp.ThroughputPerHour = res.Metrics.Throughput
+	} else {
+		resp.Failure = provision.InfeasibilityReason(pt.UnitCatalog(), box, opts)
+	}
+	return resp, http.StatusOK, nil
+}
+
+// adviseReplicatedSearch runs the request's selected replicated search:
+// the branch-and-bound set sweep by default, the pruned exhaustive set
+// enumeration when asked for the provable optimum.
+func adviseReplicatedSearch(in core.Input, opts core.Options, exhaustive bool) (*core.ReplicaResult, error) {
+	if exhaustive {
+		return core.ExhaustiveReplicated(in, opts)
+	}
+	return core.OptimizeReplicated(in, opts)
+}
+
+// replicaResponse lifts a replicated recommendation's common fields onto
+// the wire form; the caller fills granularity-specific rendering.
+func replicaResponse(res *core.ReplicaResult, gran string) AdviseResponse {
+	resp := AdviseResponse{
+		Feasible:       res.Feasible,
+		Granularity:    gran,
+		TOCCents:       res.TOCCents,
+		Evaluated:      res.Evaluated,
+		EstimatorCalls: res.EstimatorCalls,
+		PlanMillis:     float64(res.PlanTime) / float64(time.Millisecond),
+		Search:         searchStatsOut(res.Search),
+	}
+	if res.Feasible {
+		resp.MaxCopies = res.MaxCopies()
+		resp.ReplicatedCopies = res.ReplicatedCopies()
+		resp.ElapsedMillis = float64(res.Metrics.Elapsed) / float64(time.Millisecond)
+		resp.ThroughputPerHour = res.Metrics.Throughput
+	}
+	return resp
+}
+
+// adviseReplicated is handleAdvise's replicated tail at object
+// granularity: the search runs over per-object class sets and the
+// response carries each object's copy list (Layout only when every object
+// collapsed to a single copy).
+func (s *Server) adviseReplicated(req AdviseRequest, comp *compiled, box *device.Box, in core.Input, opts core.Options) (any, int, error) {
+	res, err := adviseReplicatedSearch(in, opts, req.Exhaustive)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity,
+			&failureError{err: err, failure: capacityDiagnostic(comp.cat, box, opts)}
+	}
+	resp := replicaResponse(res, "object")
+	if res.Feasible {
+		resp.Replicas = comp.renderSetLayout(res.SetLayout)
+		if res.Layout != nil {
+			resp.Layout = comp.renderLayout(res.Layout)
+		}
+	} else {
+		resp.Failure = provision.InfeasibilityReason(comp.cat, box, opts)
+	}
+	return resp, http.StatusOK, nil
+}
+
+// adviseReplicatedPartitioned is the replicated tail at partition
+// granularity: per-unit class sets over the heat-based unit catalog — a
+// hot extent can hold a second point-lookup copy while its cold tail
+// keeps one cheap sequential copy.
+func (s *Server) adviseReplicatedPartitioned(req AdviseRequest, comp *compiled, box *device.Box, in core.Input, opts core.Options) (any, int, error) {
+	pt, err := comp.partitioning()
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	uin, err := in.Partitioned(pt)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	res, err := adviseReplicatedSearch(uin, opts, req.Exhaustive)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity,
+			&failureError{err: err, failure: capacityDiagnostic(pt.UnitCatalog(), box, opts)}
+	}
+	resp := replicaResponse(res, "partition")
+	resp.Units = pt.NumUnits()
+	if res.Feasible {
+		resp.Replicas = renderUnitSetLayout(pt, res.SetLayout)
+		if res.Layout != nil {
+			resp.Layout = renderUnitLayout(pt, res.Layout)
+		}
 	} else {
 		resp.Failure = provision.InfeasibilityReason(pt.UnitCatalog(), box, opts)
 	}

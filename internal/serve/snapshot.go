@@ -391,7 +391,8 @@ func (s *Server) rebuildStream(rec streamRecord) (*stream, error) {
 	if err := mgr.RestoreState(rec.state); err != nil {
 		return nil, err
 	}
-	st := &stream{name: rec.name, objFP: rec.objFP, comp: comp, mgr: mgr, pt: pt, cfgJSON: rec.config, shard: s.ring.Shard(rec.name)}
+	st := &stream{name: rec.name, objFP: rec.objFP, comp: comp, mgr: mgr, pt: pt, cfgJSON: rec.config, shard: s.ring.Shard(rec.name),
+		rvKey: readviseMemoBase(comp, cfg.Box, req)}
 	st.noteDecision("advise", true, 0)
 	st.pinWire(comp)
 	return st, nil

@@ -1,0 +1,320 @@
+// Replica (class-set) estimators: the workload layer of the replicated
+// search. A replicated candidate stores a device.ClassSet mask in each
+// placement slot — catalog.Layout values on the map path, CompactLayout
+// bytes on the compiled path — and these estimators price it with reads on
+// each unit's best member per I/O type and writes on every member (see
+// iosim's replica tables). They are derived from the same frozen profiles
+// as the single-class estimators, so a singleton-mask candidate estimates
+// bit-identically to its single-class form on both paths.
+//
+// Mask and class bytes collide numerically (Singleton(c) != c), so a set
+// estimator must always drive its own search engine: layout keys from the
+// two alphabets must never share a memo.
+package workload
+
+import (
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+	"dotprov/internal/iosim"
+)
+
+// SetElapsedDecomposable is the class-set analog of ElapsedDecomposable:
+// the predicted Elapsed of a replicated candidate separates exactly into a
+// layout-independent remainder plus one additive per-(object, class-set)
+// term per placed object. AccumulateSetElapsedTable adds each object's
+// per-set term into table (dense, catalog.DenseIndex(id)*device.NumClassSets
+// + mask; the caller zeroes it) and returns the fixed remainder. ok=false
+// declines — the objective does not decompose (throughput estimators).
+//
+// The decomposition makes the replica branch-and-bound bound admissible
+// for free: each enumerated digit's table entry is the unit's exact
+// contribution on that set, so the minimum over the digit alphabet is a
+// true per-unit floor — no separate singleton-read/cheapest-copy-write
+// argument is needed.
+type SetElapsedDecomposable interface {
+	AccumulateSetElapsedTable(table []time.Duration) (fixed time.Duration, ok bool)
+}
+
+// SetPlacementSignable is the class-set analog of PlacementSignable: two
+// objects with equal signatures are interchangeable under the estimator
+// for every replicated layout. Per-(object, class-set) rows are required —
+// per-class rows are not enough, because best-replica read routing mixes
+// classes within a set differently for different I/O-type mixes.
+type SetPlacementSignable interface {
+	AppendSetPlacementSignature(dst []byte, id catalog.ObjectID) []byte
+}
+
+// unwrapCompiled recovers the map-path source of an already-compiled
+// estimator, so set estimators can be derived from an Input whose
+// estimator was pre-compiled (serve and core compile eagerly).
+func unwrapCompiled(est Estimator) Estimator {
+	switch e := est.(type) {
+	case *compiledObserved:
+		return e.src
+	case *compiledThroughput:
+		return e.src
+	}
+	return est
+}
+
+// NewSetEstimator returns the map-path replica form of est: an Estimator
+// that interprets each catalog.Layout value as a device.ClassSet mask.
+// Already-compiled estimators are unwrapped to their map-path source.
+// ok=false when the estimator kind has no replica form (plan-aware
+// estimators re-plan per layout and have no per-copy routing model).
+func NewSetEstimator(est Estimator) (Estimator, bool) {
+	switch e := unwrapCompiled(est).(type) {
+	case *ObservedEstimator:
+		return &setObserved{src: e}, true
+	case *ProfileEstimator:
+		return &setThroughput{src: e}, true
+	}
+	return nil, false
+}
+
+// CompileSetEstimator returns the compiled replica form of est: a
+// CompactEstimator/DeltaEstimator over mask-byte compact layouts, with the
+// map-path fallback of NewSetEstimator behind Estimate. ObjectMove values
+// passed to its EstimateDelta carry class-set masks in the From/To class
+// slots. ok=false mirrors NewSetEstimator.
+func CompileSetEstimator(est Estimator, cat *catalog.Catalog) (Estimator, bool) {
+	n := cat.NumObjects()
+	switch e := unwrapCompiled(est).(type) {
+	case *ObservedEstimator:
+		c := &compiledSetObserved{mapForm: setObserved{src: e}}
+		for _, q := range e.PerQuery {
+			c.queries = append(c.queries, iosim.CompileSetProfile(q.Profile, e.Box, e.Concurrency, n))
+			c.cpu = append(c.cpu, q.CPU)
+		}
+		return c, true
+	case *ProfileEstimator:
+		return &compiledSetThroughput{
+			mapForm: setThroughput{src: e},
+			cp:      iosim.CompileSetProfile(e.Profile, e.Box, e.Concurrency, n),
+		}, true
+	}
+	return nil, false
+}
+
+// ---- ObservedEstimator (DSS per-query counts) -----------------------------
+
+// setObserved is the map-path replica form of ObservedEstimator: each
+// query's observed I/O counts re-priced with best-replica reads and
+// all-replica writes.
+type setObserved struct {
+	src *ObservedEstimator
+}
+
+// Estimate implements Estimator over mask-valued layouts. The per-query
+// accumulation mirrors ObservedEstimator.Estimate term for term, so
+// singleton-mask layouts estimate bit-identically to their single-class
+// form.
+func (e *setObserved) Estimate(l catalog.Layout) (Metrics, error) {
+	m := Metrics{PerQuery: make([]time.Duration, 0, len(e.src.PerQuery))}
+	for _, q := range e.src.PerQuery {
+		io, err := q.Profile.SetIOTime(l, e.src.Box, e.src.Concurrency)
+		if err != nil {
+			return Metrics{}, err
+		}
+		t := io + q.CPU
+		m.PerQuery = append(m.PerQuery, t)
+		m.Elapsed += t
+	}
+	return m, nil
+}
+
+// compiledSetObserved is the compiled replica form of ObservedEstimator:
+// one dense per-(object, class-set) time table per observed query. Like
+// compiledObserved its delta state is nil — per-query I/O times are
+// recoverable exactly from the base Metrics.
+type compiledSetObserved struct {
+	mapForm setObserved
+	queries []*iosim.CompiledSetProfile
+	cpu     []time.Duration
+}
+
+// Estimate delegates to the map-path replica form, byte for byte.
+func (e *compiledSetObserved) Estimate(l catalog.Layout) (Metrics, error) {
+	return e.mapForm.Estimate(l)
+}
+
+// EstimateCompact implements CompactEstimator over mask-byte layouts.
+func (e *compiledSetObserved) EstimateCompact(cl catalog.CompactLayout) (Metrics, error) {
+	m := Metrics{PerQuery: make([]time.Duration, 0, len(e.queries))}
+	for i, q := range e.queries {
+		io, err := q.IOTime(cl)
+		if err != nil {
+			return Metrics{}, err
+		}
+		t := io + e.cpu[i]
+		m.PerQuery = append(m.PerQuery, t)
+		m.Elapsed += t
+	}
+	return m, nil
+}
+
+// EstimateCompactState implements DeltaEstimator.
+func (e *compiledSetObserved) EstimateCompactState(cl catalog.CompactLayout) (Metrics, DeltaState, error) {
+	m, err := e.EstimateCompact(cl)
+	return m, nil, err
+}
+
+// EstimateDelta implements DeltaEstimator; the moves' From/To class slots
+// carry class-set masks.
+func (e *compiledSetObserved) EstimateDelta(cl catalog.CompactLayout, base Metrics, _ DeltaState, moves []ObjectMove) (Metrics, DeltaState, error) {
+	if len(base.PerQuery) != len(e.queries) {
+		m, err := e.EstimateCompact(cl)
+		return m, nil, err
+	}
+	m := Metrics{PerQuery: make([]time.Duration, 0, len(e.queries))}
+	for i, q := range e.queries {
+		io := base.PerQuery[i] - e.cpu[i]
+		for _, mv := range moves {
+			d, err := q.DeltaIOTime(mv.Obj, device.ClassSet(mv.From), device.ClassSet(mv.To))
+			if err != nil {
+				return Metrics{}, nil, err
+			}
+			io += d
+		}
+		t := io + e.cpu[i]
+		m.PerQuery = append(m.PerQuery, t)
+		m.Elapsed += t
+	}
+	return m, nil, nil
+}
+
+// AccumulateSetElapsedTable implements SetElapsedDecomposable, exactly as
+// compiledObserved's AccumulateElapsedTable does for the single-class
+// search: Elapsed is the sum of per-query I/O plus CPU, and each query's
+// I/O is its per-(object, class-set) row sum.
+func (e *compiledSetObserved) AccumulateSetElapsedTable(table []time.Duration) (time.Duration, bool) {
+	var fixed time.Duration
+	for i, q := range e.queries {
+		q.AccumulateSetTimes(table)
+		fixed += e.cpu[i]
+	}
+	return fixed, true
+}
+
+// AppendSetPlacementSignature implements SetPlacementSignable: the
+// concatenated per-query set-time rows (per-query, not the union, because
+// PerQuery entries are observable in Metrics).
+func (e *compiledSetObserved) AppendSetPlacementSignature(dst []byte, id catalog.ObjectID) []byte {
+	for _, q := range e.queries {
+		dst = q.AppendSetRow(dst, id)
+	}
+	return dst
+}
+
+// ---- ProfileEstimator (OLTP test-run profile) -----------------------------
+
+// setThroughput is the map-path replica form of ProfileEstimator: the test
+// run's profile re-priced over class sets, funneled through the source's
+// metricsFromIOTime so the derived floats are bit-identical to the
+// single-class path on singleton masks.
+type setThroughput struct {
+	src *ProfileEstimator
+}
+
+// Estimate implements Estimator over mask-valued layouts.
+func (e *setThroughput) Estimate(l catalog.Layout) (Metrics, error) {
+	io, err := e.src.Profile.SetIOTime(l, e.src.Box, e.src.Concurrency)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return e.src.metricsFromIOTime(io)
+}
+
+// setThroughputState carries the exact profile I/O time of an evaluated
+// replicated layout, mirroring throughputState.
+type setThroughputState time.Duration
+
+// compiledSetThroughput is the compiled replica form of ProfileEstimator.
+type compiledSetThroughput struct {
+	mapForm setThroughput
+	cp      *iosim.CompiledSetProfile
+}
+
+// Estimate delegates to the map-path replica form, byte for byte.
+func (e *compiledSetThroughput) Estimate(l catalog.Layout) (Metrics, error) {
+	return e.mapForm.Estimate(l)
+}
+
+// EstimateCompact implements CompactEstimator over mask-byte layouts.
+func (e *compiledSetThroughput) EstimateCompact(cl catalog.CompactLayout) (Metrics, error) {
+	io, err := e.cp.IOTime(cl)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return e.mapForm.src.metricsFromIOTime(io)
+}
+
+// EstimateCompactState implements DeltaEstimator.
+func (e *compiledSetThroughput) EstimateCompactState(cl catalog.CompactLayout) (Metrics, DeltaState, error) {
+	io, err := e.cp.IOTime(cl)
+	if err != nil {
+		return Metrics{}, nil, err
+	}
+	m, err := e.mapForm.src.metricsFromIOTime(io)
+	return m, setThroughputState(io), err
+}
+
+// EstimateDelta implements DeltaEstimator; the moves' From/To class slots
+// carry class-set masks.
+func (e *compiledSetThroughput) EstimateDelta(cl catalog.CompactLayout, _ Metrics, state DeltaState, moves []ObjectMove) (Metrics, DeltaState, error) {
+	st, ok := state.(setThroughputState)
+	if !ok {
+		return e.EstimateCompactState(cl)
+	}
+	io := time.Duration(st)
+	for _, mv := range moves {
+		d, err := e.cp.DeltaIOTime(mv.Obj, device.ClassSet(mv.From), device.ClassSet(mv.To))
+		if err != nil {
+			return Metrics{}, nil, err
+		}
+		io += d
+	}
+	m, err := e.mapForm.src.metricsFromIOTime(io)
+	return m, setThroughputState(io), err
+}
+
+// AccumulateSetElapsedTable implements SetElapsedDecomposable by declining,
+// for the same reason compiledThroughput declines: the TOC objective is
+// C(L)/T and an elapsed-time floor cannot bound it.
+func (e *compiledSetThroughput) AccumulateSetElapsedTable([]time.Duration) (time.Duration, bool) {
+	return 0, false
+}
+
+// AppendSetPlacementSignature implements SetPlacementSignable: the
+// profile's per-set time row.
+func (e *compiledSetThroughput) AppendSetPlacementSignature(dst []byte, id catalog.ObjectID) []byte {
+	return e.cp.AppendSetRow(dst, id)
+}
+
+// NewSetProfileEstimator builds a ProfileEstimator whose measured run
+// executed under a replicated deployment: the base I/O time the throughput
+// scaling anchors on is priced with per-pattern best-replica reads and
+// all-copy writes under profiledSet, exactly as the engine would route
+// them. On all-singleton sets it reduces to NewProfileEstimator bit for
+// bit. The returned estimator scores single-class candidates like any
+// ProfileEstimator; lift it with NewSetEstimator or CompileSetEstimator to
+// score replicated candidates. It does not retain an object-granular
+// profiled layout, so it cannot be re-based onto a partitioning with
+// PartitionFor — build it over the unit catalog directly instead.
+func NewSetProfileEstimator(box *device.Box, concurrency int, profile iosim.Profile, cpu time.Duration, stats RunStats, profiledSet catalog.SetLayout) (*ProfileEstimator, error) {
+	carrier := make(catalog.Layout, len(profiledSet))
+	for id, s := range profiledSet {
+		carrier[id] = device.Class(s)
+	}
+	base, err := profile.SetIOTime(carrier, box, concurrency)
+	if err != nil {
+		return nil, err
+	}
+	return &ProfileEstimator{
+		Box: box, Concurrency: concurrency,
+		Profile: profile, CPUTime: cpu, Stats: stats,
+		baseTime: base,
+	}, nil
+}

@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dotprov/internal/catalog"
+	"dotprov/internal/device"
+)
+
+// setFixture returns the shared estimator fixture plus the usable class
+// sets of Box1 and a deterministic generator of random replicated layouts.
+func setFixture(t *testing.T) (*catalog.Catalog, *ObservedEstimator, *ProfileEstimator, []device.ClassSet) {
+	t.Helper()
+	cat, p1, p2 := estFixture(t)
+	box := device.Box1()
+	obs := &ObservedEstimator{Box: box, Concurrency: 1, PerQuery: []QueryObservation{
+		{Profile: p1, CPU: 250 * time.Millisecond},
+		{Profile: p2, CPU: 40 * time.Millisecond},
+	}}
+	pe, err := NewProfileEstimator(box, 8, p1, 2*time.Second,
+		RunStats{Txns: 5000, Elapsed: 90 * time.Second}, catalog.NewUniformLayout(cat, device.HSSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, obs, pe, device.EnumerateClassSets(box.Classes(), 0)
+}
+
+func randomSetLayout(rng *rand.Rand, cat *catalog.Catalog, valid []device.ClassSet) catalog.SetLayout {
+	l := make(catalog.SetLayout)
+	for _, o := range cat.Objects() {
+		l[o.ID] = valid[rng.Intn(len(valid))]
+	}
+	return l
+}
+
+// maskMap lifts a replicated layout to the mask-in-Class-slot carrier the
+// map-path set estimators consume.
+func maskMap(l catalog.SetLayout) catalog.Layout {
+	out := make(catalog.Layout, len(l))
+	for id, s := range l {
+		out[id] = device.Class(s)
+	}
+	return out
+}
+
+// TestSetEstimatorSingletonParity: on singleton masks both set estimators
+// must reproduce their single-class sources bit for bit, map and compiled.
+func TestSetEstimatorSingletonParity(t *testing.T) {
+	cat, obs, pe, _ := setFixture(t)
+	box := obs.Box
+	rng := rand.New(rand.NewSource(31))
+	classes := box.Classes()
+	for _, src := range []Estimator{obs, pe} {
+		setEst, ok := NewSetEstimator(src)
+		if !ok {
+			t.Fatalf("%T has no replica form", src)
+		}
+		compiledSet, ok := CompileSetEstimator(src, cat)
+		if !ok {
+			t.Fatalf("%T has no compiled replica form", src)
+		}
+		ce := compiledSet.(CompactEstimator)
+		for trial := 0; trial < 100; trial++ {
+			single := make(catalog.Layout)
+			for _, o := range cat.Objects() {
+				single[o.ID] = classes[rng.Intn(len(classes))]
+			}
+			want, err := src.Estimate(single)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := setEst.Estimate(maskMap(catalog.SingletonSetLayout(single)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !metricsEqual(got, want) {
+				t.Fatalf("%T trial %d: map set metrics %+v, single %+v", src, trial, got, want)
+			}
+			cl, ok := catalog.CompactFromSetLayout(cat, catalog.SingletonSetLayout(single))
+			if !ok {
+				t.Fatal("compact set conversion failed")
+			}
+			gotC, err := ce.EstimateCompact(cl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !metricsEqual(gotC, want) {
+				t.Fatalf("%T trial %d: compiled set metrics %+v, single %+v", src, trial, gotC, want)
+			}
+		}
+	}
+}
+
+// TestSetEstimatorDeltaChain: chained EstimateDelta over random replica
+// moves (adds, drops, swaps) stays bit-identical to full evaluation on both
+// estimator kinds — the property the replicated DOT sweep and refinement
+// rely on.
+func TestSetEstimatorDeltaChain(t *testing.T) {
+	cat, obs, pe, valid := setFixture(t)
+	for _, src := range []Estimator{obs, pe} {
+		compiledSet, _ := CompileSetEstimator(src, cat)
+		de, ok := compiledSet.(DeltaEstimator)
+		if !ok {
+			t.Fatalf("%T's compiled replica form must be delta-capable", src)
+		}
+		mapEst, _ := NewSetEstimator(src)
+		rng := rand.New(rand.NewSource(37))
+		sl := catalog.NewUniformSetLayout(cat, device.Singleton(device.HSSD))
+		cur, _ := catalog.CompactFromSetLayout(cat, sl)
+		curM, curState, err := de.EstimateCompactState(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			obj := catalog.ObjectID(1 + rng.Intn(cat.NumObjects()))
+			to := valid[rng.Intn(len(valid))]
+			from, _ := cur.MaskAt(catalog.DenseIndex(obj))
+			if from == to {
+				continue
+			}
+			next := cur.Clone()
+			next.SetRaw(obj, byte(to))
+			full, err := de.EstimateCompact(next)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sl[obj] = to
+			want, err := mapEst.Estimate(maskMap(sl))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !metricsEqual(full, want) {
+				t.Fatalf("%T trial %d: compiled full %+v, map %+v", src, trial, full, want)
+			}
+			dm, dstate, err := de.EstimateDelta(next, curM, curState,
+				[]ObjectMove{{Obj: obj, From: device.Class(from), To: device.Class(to)}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !metricsEqual(dm, want) {
+				t.Fatalf("%T trial %d: delta chain diverged: %+v vs %+v", src, trial, dm, want)
+			}
+			cur, curM, curState = next, dm, dstate
+		}
+	}
+}
+
+// TestSetEstimatorUnwrapAndFallback: set forms derive from already-compiled
+// estimators (serve compiles eagerly), and estimator kinds without a
+// replica form decline.
+func TestSetEstimatorUnwrapAndFallback(t *testing.T) {
+	cat, obs, pe, _ := setFixture(t)
+	for _, src := range []Estimator{obs, pe} {
+		pre := CompileEstimator(src, cat)
+		if _, ok := NewSetEstimator(pre); !ok {
+			t.Fatalf("NewSetEstimator must unwrap the compiled %T", src)
+		}
+		if _, ok := CompileSetEstimator(pre, cat); !ok {
+			t.Fatalf("CompileSetEstimator must unwrap the compiled %T", src)
+		}
+	}
+	if _, ok := NewSetEstimator(&plainEst{}); ok {
+		t.Fatal("plan-aware estimators have no replica form")
+	}
+	if _, ok := CompileSetEstimator(&plainEst{}, cat); ok {
+		t.Fatal("plan-aware estimators have no compiled replica form")
+	}
+}
+
+// TestSetElapsedDecomposition: for the observed estimator, fixed plus the
+// per-object table entries of a layout reconstructs EstimateCompact's
+// Elapsed exactly; the throughput estimator declines.
+func TestSetElapsedDecomposition(t *testing.T) {
+	cat, obs, pe, valid := setFixture(t)
+	compiledSet, _ := CompileSetEstimator(obs, cat)
+	dec, ok := compiledSet.(SetElapsedDecomposable)
+	if !ok {
+		t.Fatal("compiled set observed estimator must decompose")
+	}
+	table := make([]time.Duration, cat.NumObjects()*device.NumClassSets)
+	fixed, ok := dec.AccumulateSetElapsedTable(table)
+	if !ok {
+		t.Fatal("observed decomposition declined")
+	}
+	ce := compiledSet.(CompactEstimator)
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		sl := randomSetLayout(rng, cat, valid)
+		cl, _ := catalog.CompactFromSetLayout(cat, sl)
+		m, err := ce.EstimateCompact(cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := fixed
+		for id, set := range sl {
+			sum += table[catalog.DenseIndex(id)*device.NumClassSets+int(set)]
+		}
+		if sum != m.Elapsed {
+			t.Fatalf("trial %d: decomposed %v, estimated %v", trial, sum, m.Elapsed)
+		}
+	}
+
+	tEst, _ := CompileSetEstimator(pe, cat)
+	tdec, ok := tEst.(SetElapsedDecomposable)
+	if !ok {
+		t.Fatal("compiled set throughput estimator must implement the interface")
+	}
+	if _, ok := tdec.AccumulateSetElapsedTable(nil); ok {
+		t.Fatal("throughput objective must decline elapsed decomposition")
+	}
+}
+
+// TestSetPlacementSignatures: per-object set signatures separate objects
+// with different behavior and match objects whose rows agree.
+func TestSetPlacementSignatures(t *testing.T) {
+	cat, obs, _, _ := setFixture(t)
+	compiledSet, _ := CompileSetEstimator(obs, cat)
+	sig, ok := compiledSet.(SetPlacementSignable)
+	if !ok {
+		t.Fatal("compiled set observed estimator must be signable")
+	}
+	s1 := sig.AppendSetPlacementSignature(nil, 1)
+	s1b := sig.AppendSetPlacementSignature(nil, 1)
+	s2 := sig.AppendSetPlacementSignature(nil, 2)
+	if !bytes.Equal(s1, s1b) {
+		t.Fatal("signature must be deterministic")
+	}
+	if bytes.Equal(s1, s2) {
+		t.Fatal("objects with different profiles must sign differently")
+	}
+}

@@ -48,7 +48,22 @@
 #      8 CPUs the scaling headroom is not there to witness, so the gate
 #      degrades: >= 1.2x on 2-7 CPUs, and on a single CPU (where both
 #      runs are the same configuration) an absolute floor of 5e4 frames/s
-#      keeps the fold path itself honest.
+#      keeps the fold path itself honest; and
+#
+#   9. the replicated branch-and-bound walk (BenchmarkReplicatedBnB)
+#      prunes for profit: the bounded walk (pruned) runs STRICTLY FASTER
+#      than the plain unbounded enumeration of the same 6^8 class-set
+#      space — the replicated tentpole's reason to exist. The wide
+#      variant (3-class x 12-unit, 6^12 nominal) must also be present:
+#      it witnesses that the dominance-collapsed bounded walk covers a
+#      space a plain enumeration is refused outright; and
+#
+#  10. the 500-unit partition-granular REPLICATED advise
+#      (BenchmarkPartitionedReplicatedDOT/compiled) completes under 250ms
+#      per advise — every unit choosing a class set costs at most 2.5x
+#      the single-class scale contract of gate 6. The map/compiled count
+#      parity of check 1 covers the replicated sweep via the same pair
+#      naming.
 #
 # BENCHTIME controls -benchtime (default 1x: CI smoke; use e.g. 20x for a
 # recorded snapshot). INGEST_BENCHTIME controls the collector-ingest run,
@@ -62,7 +77,7 @@ benchtime="${BENCHTIME:-1x}"
 ingest_benchtime="${INGEST_BENCHTIME:-1s}"
 
 raw=$(go test -run '^$' \
-  -bench 'BenchmarkDOTOptimize|BenchmarkExhaustive$|BenchmarkExhaustivePruned|BenchmarkExhaustiveBnB|BenchmarkIOTimeCompiledVsMap|BenchmarkMemoKey|BenchmarkReAdvise|BenchmarkObjectGranularDOT|BenchmarkPartitionedDOT' \
+  -bench 'BenchmarkDOTOptimize|BenchmarkExhaustive$|BenchmarkExhaustivePruned|BenchmarkExhaustiveBnB|BenchmarkIOTimeCompiledVsMap|BenchmarkMemoKey|BenchmarkReAdvise|BenchmarkObjectGranularDOT|BenchmarkPartitionedDOT|BenchmarkReplicatedBnB|BenchmarkPartitionedReplicatedDOT' \
   -benchmem -benchtime "$benchtime" .)
 raw_ingest=$(go test -run '^$' \
   -bench 'BenchmarkCollectorIngest' -benchtime "$ingest_benchtime" .)
@@ -270,4 +285,38 @@ END {
   if (!found) { print "benchguard: BenchmarkPartitionedDOT500/compiled missing — benchmark names changed?"; exit 1 }
   if (ns+0 >= 1e8) { printf("REGRESSION: 500-unit partitioned advise took %s ns/op (budget 1e8)\n", ns); exit 1 }
   printf("benchguard OK: 500-unit partitioned advise at %s ns/op (budget 1e8)\n", ns)
+}'
+
+# Gate 9: the replicated bounded walk beats plain enumeration strictly, and
+# the wide (12-unit) point — which only the dominance-collapsed bounded
+# walk may legally enumerate — is present. Names are stripped of exactly
+# the "-GOMAXPROCS" suffix, as the converter does, so sub-bench names keep
+# any digits of their own.
+echo "$raw" | awk -v cpus="$(nproc)" '
+/^BenchmarkReplicatedBnB\// {
+  name=$1
+  if (cpus+0 > 1) sub("-" cpus "$", "", name)
+  ns=""
+  for (i=3; i<NF; i++) if ($(i+1)=="ns/op") ns=$i
+  if (ns=="") next
+  v=name; sub(/^BenchmarkReplicatedBnB\//, "", v)
+  t[v]=ns
+}
+END {
+  if (!("plain" in t) || !("pruned" in t)) { print "benchguard: ReplicatedBnB plain/pruned variants missing — benchmark names changed?"; exit 1 }
+  if (!("wide" in t)) { print "benchguard: ReplicatedBnB/wide (12-unit) variant missing — benchmark names changed?"; exit 1 }
+  if (t["pruned"]+0 >= t["plain"]+0) { printf("REGRESSION: replicated bounded walk (%s ns/op) not faster than plain enumeration (%s ns/op)\n", t["pruned"], t["plain"]); exit 1 }
+  printf("benchguard OK: replicated bounded walk (%s ns/op) beats plain enumeration (%s ns/op); wide 12-unit point at %s ns/op\n", t["pruned"], t["plain"], t["wide"])
+}'
+
+# Gate 10: the 500-unit replicated partitioned advise stays under 250ms.
+echo "$raw" | awk '
+/^BenchmarkPartitionedReplicatedDOT\/compiled/ {
+  for (i=3; i<NF; i++) if ($(i+1)=="ns/op") ns=$i
+  found=1
+}
+END {
+  if (!found) { print "benchguard: BenchmarkPartitionedReplicatedDOT/compiled missing — benchmark names changed?"; exit 1 }
+  if (ns+0 >= 2.5e8) { printf("REGRESSION: 500-unit replicated partitioned advise took %s ns/op (budget 2.5e8)\n", ns); exit 1 }
+  printf("benchguard OK: 500-unit replicated partitioned advise at %s ns/op (budget 2.5e8)\n", ns)
 }'
